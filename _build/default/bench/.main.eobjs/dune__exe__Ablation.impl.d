@@ -1,0 +1,1 @@
+bench/ablation.ml: Core Engine List Printf Stats Timing Transform_ast Two_pass Workloads Xquery_compile Xquery_rewrite Xut_automata Xut_xmark Xut_xml

@@ -1,0 +1,1 @@
+bench/fig12.ml: Core Engine List Printf Timing Workloads

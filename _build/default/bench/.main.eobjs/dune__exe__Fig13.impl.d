@@ -1,0 +1,1 @@
+bench/fig13.ml: Char Core Engine List Printf String Timing Workloads

@@ -1,0 +1,1 @@
+bench/fig14.ml: Buffer Core List Printf Sax_transform String Timing Unix Workloads

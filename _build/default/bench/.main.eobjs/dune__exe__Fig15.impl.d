@@ -1,0 +1,1 @@
+bench/fig15.ml: Char Composition Core List Printf Timing Workloads Xut_xml

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Arg Fig12 Fig13 Fig14 Fig15 List Micro Printf Timing Unix Workloads

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Hashtbl Instance List Measure Printf Staged Test Time Toolkit Xut_automata Xut_xmark Xut_xml Xut_xpath

@@ -1,0 +1,1 @@
+bench/timing.ml: Filename List Out_channel Printf String Sys Unix

@@ -1,0 +1,1 @@
+bench/workloads.ml: Buffer Core Engine Filename Printf Sax_transform Sys Transform_ast Unix User_query Xut_xmark Xut_xml Xut_xpath

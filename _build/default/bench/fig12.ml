@@ -1,0 +1,28 @@
+(* Fig. 12: execution time of the five methods for U1–U10 on one
+   document (the paper used the 2.22 MB XMark file). *)
+open Core
+
+let engines = Engine.[ Galax_update; Naive; Td_bu; Gentop; Two_pass_sax ]
+
+let run ~factor ~reps ~kind =
+  let file = Workloads.doc_file ~factor in
+  Printf.printf "\n== Fig. 12: transform-query evaluation, %s updates, %.2f MB document ==\n%!"
+    (match kind with `Insert -> "insert" | `Delete -> "delete" | `Replace -> "replace" | `Rename -> "rename")
+    (Workloads.file_size_mb file);
+  let header = "query" :: List.map Engine.name engines in
+  let rows =
+    List.map
+      (fun u ->
+        let update = Workloads.update_of kind u in
+        let cells =
+          List.map
+            (fun algo ->
+              let t = Timing.measure ~reps (fun () -> Workloads.run_once algo ~file update) in
+              Timing.fmt_time t)
+            engines
+        in
+        Printf.printf "  %s done\n%!" u.Workloads.name;
+        u.Workloads.name :: cells)
+      Workloads.all
+  in
+  Timing.print_table ~title:"Fig. 12 — runtime per engine (median of reps)" ~header rows

@@ -1,0 +1,35 @@
+(* Fig. 13(a–d): scalability with file size for U2, U4, U7, U10. *)
+open Core
+
+let engines = Engine.[ Galax_update; Naive; Td_bu; Gentop; Two_pass_sax ]
+
+let queries = Workloads.[ u2; u4; u7; u10 ]
+
+let run ~factors ~reps ~kind =
+  Printf.printf "\n== Fig. 13: scalability with file size (factors %s) ==\n%!"
+    (String.concat ", " (List.map (Printf.sprintf "%g") factors));
+  (* materialize all files first so generation is not timed *)
+  let files = List.map (fun f -> (f, Workloads.doc_file ~factor:f)) factors in
+  List.iteri
+    (fun i u ->
+      let update = Workloads.update_of kind u in
+      let header = "size" :: List.map Engine.name engines in
+      let rows =
+        List.map
+          (fun (factor, file) ->
+            let label = Printf.sprintf "%.1fMB (f=%g)" (Workloads.file_size_mb file) factor in
+            let cells =
+              List.map
+                (fun algo ->
+                  let t = Timing.measure ~reps (fun () -> Workloads.run_once algo ~file update) in
+                  Timing.fmt_time t)
+                engines
+            in
+            Printf.printf "  %s f=%g done\n%!" u.Workloads.name factor;
+            label :: cells)
+          files
+      in
+      Timing.print_table
+        ~title:(Printf.sprintf "Fig. 13(%c) — %s" (Char.chr (Char.code 'a' + i)) u.Workloads.name)
+        ~header rows)
+    queries

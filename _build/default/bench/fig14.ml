@@ -1,0 +1,55 @@
+(* Fig. 14: the SAX-based two-pass algorithm on large documents, with
+   the memory-consumption proxies of Section 6 (stack depth bounded by
+   document depth, truth-list size). *)
+open Core
+
+let queries = Workloads.[ u2; u4; u7; u10 ]
+
+let run ~factors ~kind =
+  Printf.printf "\n== Fig. 14: twoPassSAX on large files (factors %s) ==\n%!"
+    (String.concat ", " (List.map (Printf.sprintf "%g") factors));
+  let files = List.map (fun f -> (f, Workloads.doc_file ~factor:f)) factors in
+  let header = "size" :: List.concat_map (fun u -> [ u.Workloads.name ]) queries in
+  let rows =
+    List.map
+      (fun (factor, file) ->
+        let label = Printf.sprintf "%.0fMB (f=%g)" (Workloads.file_size_mb file) factor in
+        let cells =
+          List.map
+            (fun u ->
+              let update = Workloads.update_of kind u in
+              let out = Buffer.create (1 lsl 20) in
+              let t0 = Unix.gettimeofday () in
+              let _stats = Sax_transform.transform_file update ~src:file ~out in
+              let t = Unix.gettimeofday () -. t0 in
+              Timing.fmt_time t)
+            queries
+        in
+        Printf.printf "  f=%g done\n%!" factor;
+        label :: cells)
+      files
+  in
+  Timing.print_table ~title:"Fig. 14 — twoPassSAX runtime" ~header rows;
+  (* memory proxies on the largest file *)
+  match List.rev files with
+  | (factor, file) :: _ ->
+    let header = [ "query"; "stack peak"; "Ld entries"; "elements" ] in
+    let rows =
+      List.map
+        (fun u ->
+          let update = Workloads.update_of kind u in
+          let out = Buffer.create (1 lsl 20) in
+          let s = Sax_transform.transform_file update ~src:file ~out in
+          [ u.Workloads.name;
+            string_of_int s.Sax_transform.max_stack_depth;
+            string_of_int s.Sax_transform.truth_entries;
+            string_of_int s.Sax_transform.elements_seen ])
+        queries
+    in
+    Timing.print_table
+      ~title:
+        (Printf.sprintf
+           "Fig. 14 (memory) — twoPassSAX working set at f=%g: the stack is bounded by document depth"
+           factor)
+      ~header rows
+  | [] -> ()

@@ -1,0 +1,39 @@
+(* Fig. 15(a–d): composition of user and transform queries — the Compose
+   Method against the Naive Composition method, over file sizes. *)
+open Core
+
+let run ~factors ~reps =
+  Printf.printf "\n== Fig. 15: composition, Compose vs Naive Composition ==\n%!";
+  let files = List.map (fun f -> (f, Workloads.doc_file ~factor:f)) factors in
+  List.iteri
+    (fun i (pair_name, update, uq) ->
+      (match Composition.compose update uq with
+      | Ok _ -> ()
+      | Error m -> failwith ("pair " ^ pair_name ^ " did not compose: " ^ m));
+      (* compose inside the measurement: the composed query memoizes
+         transformed subtrees, so each run gets a fresh instance (and the
+         compile time, which is static analysis, is honestly charged) *)
+      let run_compose doc () =
+        match Composition.compose update uq with
+        | Ok c -> Composition.run_composed c ~doc
+        | Error _ -> assert false
+      in
+      let header = [ "size"; "Naive Composition"; "Compose" ] in
+      let rows =
+        List.map
+          (fun (factor, file) ->
+            let label = Printf.sprintf "%.1fMB (f=%g)" (Workloads.file_size_mb file) factor in
+            (* both methods run on a loaded store, like the paper's setup *)
+            let doc = Xut_xml.Dom.parse_file file in
+            let t_naive =
+              Timing.measure ~reps (fun () -> Composition.naive update uq ~doc)
+            in
+            let t_compose = Timing.measure ~reps (run_compose doc) in
+            Printf.printf "  %s f=%g done\n%!" pair_name factor;
+            [ label; Timing.fmt_time t_naive; Timing.fmt_time t_compose ])
+          files
+      in
+      Timing.print_table
+        ~title:(Printf.sprintf "Fig. 15(%c) — pair %s" (Char.chr (Char.code 'a' + i)) pair_name)
+        ~header rows)
+    Workloads.composition_pairs

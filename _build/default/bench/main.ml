@@ -1,0 +1,63 @@
+(* Benchmark harness regenerating every table and figure of the paper's
+   evaluation section (see DESIGN.md for the per-experiment index).
+
+     dune exec bench/main.exe                 # everything, default scale
+     dune exec bench/main.exe -- --quick      # reduced scale
+     dune exec bench/main.exe -- fig13 fig15  # a subset
+     dune exec bench/main.exe -- --op delete  # another update kind *)
+
+let () =
+  let quick = ref false in
+  let selected = ref [] in
+  let op = ref `Insert in
+  let usage = "main.exe [--quick] [--op insert|delete|replace|rename] [fig12 fig13 fig14 fig15 ablation micro]" in
+  Arg.parse
+    [ ("--quick", Arg.Set quick, " reduced document sizes");
+      ("--csv", Arg.String Timing.set_csv_dir, "DIR also write each table as CSV into DIR");
+      ( "--op",
+        Arg.String
+          (fun s ->
+            op :=
+              match s with
+              | "insert" -> `Insert
+              | "delete" -> `Delete
+              | "replace" -> `Replace
+              | "rename" -> `Rename
+              | _ -> raise (Arg.Bad ("unknown update kind " ^ s))),
+        " update kind for fig12/13/14 (default insert)" ) ]
+    (fun what -> selected := what :: !selected)
+    usage;
+  let selected = if !selected = [] then [ "fig12"; "fig13"; "fig14"; "fig15"; "ablation"; "micro" ] else List.rev !selected in
+  let kind = !op in
+
+  print_endline "Querying XML with Update Syntax (SIGMOD 2007) — benchmark harness";
+  print_endline "Embedded XPath queries (Fig. 11):";
+  List.iter
+    (fun u -> Printf.printf "  %-4s %s\n" u.Workloads.name u.Workloads.path)
+    Workloads.all;
+
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun what ->
+      match what with
+      | "fig12" ->
+        let factor = if !quick then 0.005 else 0.02 in
+        Fig12.run ~factor ~reps:(if !quick then 1 else 3) ~kind
+      | "fig13" ->
+        let factors =
+          if !quick then [ 0.005; 0.01; 0.02 ] else [ 0.02; 0.06; 0.1; 0.14; 0.18 ]
+        in
+        Fig13.run ~factors ~reps:(if !quick then 1 else 2) ~kind
+      | "fig14" ->
+        let factors = if !quick then [ 0.05; 0.1; 0.2 ] else [ 0.2; 0.5; 1.0; 1.5; 2.0 ] in
+        Fig14.run ~factors ~kind
+      | "fig15" ->
+        let factors =
+          if !quick then [ 0.005; 0.01; 0.02 ] else [ 0.02; 0.06; 0.1; 0.14; 0.18 ]
+        in
+        Fig15.run ~factors ~reps:(if !quick then 1 else 2)
+      | "ablation" -> Ablation.run ~factor:(if !quick then 0.01 else 0.05)
+      | "micro" -> Micro.run ()
+      | other -> Printf.eprintf "unknown experiment %S\n" other)
+    selected;
+  Printf.printf "\ntotal bench wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

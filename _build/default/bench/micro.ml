@@ -1,0 +1,56 @@
+(* Bechamel microbenches for the building blocks: NFA construction,
+   nextStates transitions, QualDP evaluation, SAX parsing throughput. *)
+open Bechamel
+open Toolkit
+
+let p1 =
+  "/site/open_auctions/open_auction[bidder/increase > 5]/annotation[happiness < 20]/description//text"
+
+let tests () =
+  let path = Xut_xpath.Parser.parse p1 in
+  let nfa = Xut_automata.Selecting_nfa.of_path path in
+  let doc = Xut_xmark.Generator.generate ~factor:0.001 () in
+  let doc_text = Xut_xml.Serialize.element_to_string doc in
+  let start = Xut_automata.Selecting_nfa.start_set nfa in
+  let labels = [| "site"; "open_auctions"; "open_auction"; "bidder"; "increase"; "x" |] in
+  let b = Xut_xpath.Lq.create_builder () in
+  let qi =
+    Xut_xpath.Lq.add_qual b
+      (Xut_xpath.Parser.parse_qual "bidder/increase > 5 and not(annotation/happiness < 20)")
+  in
+  let lq = Xut_xpath.Lq.freeze b in
+  [ Test.make ~name:"selecting-NFA construction"
+      (Staged.stage (fun () -> Xut_automata.Selecting_nfa.of_path path));
+    Test.make ~name:"nextStates (6 transitions)"
+      (Staged.stage (fun () ->
+           Array.fold_left
+             (fun s l ->
+               Xut_automata.Selecting_nfa.next_states nfa ~checkp:(fun _ -> true) s l)
+             start labels));
+    Test.make ~name:"QualDP at one node"
+      (Staged.stage (fun () ->
+           Xut_xpath.Lq.eval_at lq ~name:"open_auction" ~attrs:[ ("id", "x") ] ~text:"12"
+             ~csat:(fun _ -> false) ~wanted:[ qi ]));
+    Test.make ~name:"SAX parse (50 KB doc)"
+      (Staged.stage (fun () -> Xut_xml.Sax.parse_string doc_text (fun _ -> ())));
+    Test.make ~name:"DOM parse (50 KB doc)"
+      (Staged.stage (fun () -> Xut_xml.Dom.parse_string doc_text)) ]
+
+let run () =
+  print_endline "\n== Microbenchmarks (bechamel) ==";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-32s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "  %-32s (no estimate)\n" name)
+        analyzed)
+    (tests ())

@@ -1,0 +1,73 @@
+(* Wall-clock measurement and table rendering for the figure benches. *)
+
+let measure ?(reps = 3) f =
+  let times =
+    List.init reps (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (Sys.opaque_identity (f ()));
+        Unix.gettimeofday () -. t0)
+  in
+  let sorted = List.sort compare times in
+  List.nth sorted (reps / 2)
+
+(* Optional CSV mirror of every printed table (bench --csv DIR). *)
+let csv_hook : (title:string -> header:string list -> string list list -> unit) ref =
+  ref (fun ~title:_ ~header:_ _ -> ())
+
+let write_csv_hook ~title ~header rows = !csv_hook ~title ~header rows
+
+(* A plain text table: header row then data rows; first column
+   left-aligned, the rest right-aligned. *)
+let print_table ~title ~header rows =
+  Printf.printf "\n%s\n" title;
+  write_csv_hook ~title ~header rows;
+  let all_rows = header :: rows in
+  let ncols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all_rows
+  in
+  let widths = List.init ncols width in
+  let sep = "  " in
+  List.iteri
+    (fun r row ->
+      List.iteri
+        (fun c cell ->
+          let w = List.nth widths c in
+          if c = 0 then Printf.printf "%-*s%s" w cell sep
+          else Printf.printf "%*s%s" w cell sep)
+        row;
+      print_newline ();
+      if r = 0 then begin
+        List.iter (fun w -> Printf.printf "%s%s" (String.make w '-') sep) widths;
+        print_newline ()
+      end)
+    all_rows
+
+let fmt_time t = if t < 0.0005 then Printf.sprintf "%.2fms" (t *. 1000.) else Printf.sprintf "%.3fs" t
+
+(* Optional CSV mirror of every printed table (bench --csv DIR). *)
+let csv_dir : string option ref = ref None
+
+let set_csv_dir dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  csv_dir := Some dir
+
+let sanitize title =
+  String.map
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') then c
+      else '_')
+    title
+
+let () =
+  csv_hook :=
+    fun ~title ~header rows ->
+      match !csv_dir with
+      | None -> ()
+      | Some dir ->
+        let path = Filename.concat dir (sanitize title ^ ".csv") in
+        Out_channel.with_open_text path (fun oc ->
+            List.iter
+              (fun row -> output_string oc (String.concat "," row ^ "\n"))
+              (header :: rows));
+        Printf.printf "  [csv: %s]\n" path

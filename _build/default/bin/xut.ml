@@ -1,0 +1,198 @@
+(* xut — command-line front end for the transform-query engines.
+
+   Subcommands:
+     transform   evaluate a transform query against a document
+     compose     compose a transform query with a user query
+     rewrite     print the standard-XQuery rewriting (Fig. 2)
+     query       evaluate an XQuery (subset) against a document
+     xmark       generate an XMark-style document *)
+
+open Cmdliner
+open Core
+
+let read_file path =
+  In_channel.with_open_bin path In_channel.input_all
+
+let load_doc path = Xut_xml.Dom.parse_file path
+
+(* ---------------- shared arguments ---------------- *)
+
+let doc_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "d"; "doc" ] ~docv:"FILE" ~doc:"Input XML document.")
+
+let engine_arg =
+  let parse s =
+    match Engine.of_string s with
+    | Some a -> Ok a
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown engine %S (naive|gentop|td-bu|sax|copy|reference)" s))
+  in
+  let print ppf a = Format.pp_print_string ppf (Engine.name a) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Engine.Gentop
+    & info [ "e"; "engine" ] ~docv:"ENGINE"
+        ~doc:"Evaluation engine: naive, gentop, td-bu, sax, copy or reference.")
+
+let indent_arg =
+  Arg.(value & flag & info [ "pretty" ] ~doc:"Indent the output document.")
+
+let query_pos =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"QUERY" ~doc:"The query text, or @FILE to read it from a file.")
+
+let read_query q = if String.length q > 0 && q.[0] = '@' then read_file (String.sub q 1 (String.length q - 1)) else q
+
+let print_doc ~pretty root =
+  print_endline
+    (if pretty then Xut_xml.Serialize.element_to_string ~indent:2 root
+     else Xut_xml.Serialize.element_to_string root)
+
+(* ---------------- transform ---------------- *)
+
+let transform_cmd =
+  let run query doc engine pretty stats =
+    let q = Transform_parser.parse (read_query query) in
+    let root = load_doc doc in
+    Stats.reset ();
+    let t0 = Unix.gettimeofday () in
+    let out = Engine.run engine q ~doc:root in
+    let dt = Unix.gettimeofday () -. t0 in
+    print_doc ~pretty out;
+    if stats then
+      Format.eprintf "engine=%s time=%.4fs %a@." (Engine.name engine) dt Stats.pp (Stats.read ());
+    0
+  in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print timing and node counters to stderr.") in
+  Cmd.v
+    (Cmd.info "transform" ~doc:"Evaluate a transform query (update syntax) without touching the store.")
+    Term.(const run $ query_pos $ doc_arg $ engine_arg $ indent_arg $ stats)
+
+(* ---------------- compose ---------------- *)
+
+let compose_cmd =
+  let run tq uq doc_opt show naive_flag =
+    let q = Transform_parser.parse (read_query tq) in
+    let user = User_query.parse (read_query uq) in
+    (match Composition.compose q.Transform_ast.update user with
+    | Ok composed ->
+      if show then begin
+        print_endline "-- composed query (xut:* are runtime topDown helpers) --";
+        print_endline (Composition.to_string composed)
+      end;
+      (match doc_opt with
+      | Some path ->
+        let root = load_doc path in
+        let v =
+          if naive_flag then Composition.naive q.Transform_ast.update user ~doc:root
+          else Composition.run_composed composed ~doc:root
+        in
+        List.iter
+          (fun item ->
+            match item with
+            | Xut_xquery.Xq_value.N n -> print_endline (Xut_xml.Serialize.to_string n)
+            | other -> print_endline (Xut_xquery.Xq_value.string_of_item other))
+          v
+      | None -> ())
+    | Error reason ->
+      Printf.eprintf "not statically composable (%s); falling back to naive composition\n" reason;
+      Option.iter
+        (fun path ->
+          let root = load_doc path in
+          let v = Composition.naive q.Transform_ast.update user ~doc:root in
+          List.iter
+            (fun item ->
+              match item with
+              | Xut_xquery.Xq_value.N n -> print_endline (Xut_xml.Serialize.to_string n)
+              | other -> print_endline (Xut_xquery.Xq_value.string_of_item other))
+            v)
+        doc_opt);
+    0
+  in
+  let tq =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRANSFORM" ~doc:"Transform query (or @FILE).")
+  in
+  let uq =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"USER" ~doc:"User query (or @FILE).")
+  in
+  let doc_opt =
+    Arg.(value & opt (some file) None & info [ "d"; "doc" ] ~docv:"FILE" ~doc:"Evaluate against this document.")
+  in
+  let show = Arg.(value & flag & info [ "show" ] ~doc:"Print the composed query.") in
+  let naive_flag =
+    Arg.(value & flag & info [ "naive" ] ~doc:"Use the Naive Composition method instead.")
+  in
+  Cmd.v
+    (Cmd.info "compose" ~doc:"Compose a user query with a transform query (Section 4).")
+    Term.(const run $ tq $ uq $ doc_opt $ show $ naive_flag)
+
+(* ---------------- rewrite ---------------- *)
+
+let rewrite_cmd =
+  let run query method_ =
+    let q = Transform_parser.parse (read_query query) in
+    (match method_ with
+    | "naive" -> print_endline (Xquery_rewrite.rewrite_to_string q)
+    | "gentop" -> print_endline (Xquery_compile.compile_to_string q)
+    | m -> Printf.eprintf "unknown method %S (naive|gentop)\n" m);
+    0
+  in
+  let method_ =
+    Arg.(value & opt string "naive"
+         & info [ "m"; "method" ] ~docv:"METHOD"
+             ~doc:"Rewriting: 'naive' (Fig. 2 template) or 'gentop' (compiled automaton).")
+  in
+  Cmd.v
+    (Cmd.info "rewrite"
+       ~doc:"Print a transform query as standard XQuery (Fig. 2 template or compiled automaton).")
+    Term.(const run $ query_pos $ method_)
+
+(* ---------------- query ---------------- *)
+
+let query_cmd =
+  let run query doc =
+    let root = load_doc doc in
+    let env = Xut_xquery.Xq_eval.env ~context:root ~docs:[ ("doc", root) ] () in
+    let v = Xut_xquery.Xq_eval.run_query env (read_query query) in
+    List.iter
+      (fun item ->
+        match item with
+        | Xut_xquery.Xq_value.N n -> print_endline (Xut_xml.Serialize.to_string n)
+        | Xut_xquery.Xq_value.D e -> print_endline (Xut_xml.Serialize.element_to_string e)
+        | other -> print_endline (Xut_xquery.Xq_value.string_of_item other))
+      v;
+    0
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Evaluate an XQuery (engine subset) against a document.")
+    Term.(const run $ query_pos $ doc_arg)
+
+(* ---------------- xmark ---------------- *)
+
+let xmark_cmd =
+  let run factor seed output =
+    Xut_xmark.Generator.to_file ~seed:(Int64.of_int seed) ~factor output;
+    Printf.printf "wrote %s (factor %g)\n" output factor;
+    0
+  in
+  let factor =
+    Arg.(value & opt float 0.01 & info [ "f"; "factor" ] ~docv:"F" ~doc:"XMark scaling factor.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.") in
+  let output =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Output path.")
+  in
+  Cmd.v
+    (Cmd.info "xmark" ~doc:"Generate an XMark-style auction document.")
+    Term.(const run $ factor $ seed $ output)
+
+let main =
+  let info = Cmd.info "xut" ~version:"1.0.0" ~doc:"Querying XML with update syntax (SIGMOD 2007)." in
+  Cmd.group info [ transform_cmd; compose_cmd; rewrite_cmd; query_cmd; xmark_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/hypothetical.ml: Core Engine List Printf Stats Transform_parser Xut_xmark Xut_xpath

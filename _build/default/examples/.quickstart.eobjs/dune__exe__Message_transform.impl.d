@@ -1,0 +1,1 @@
+examples/message_transform.ml: Core Engine Sequence Xut_xml

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Engine List Printf Transform_ast Transform_parser Xut_xml Xut_xpath

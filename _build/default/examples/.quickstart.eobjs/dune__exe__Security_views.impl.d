@@ -1,0 +1,1 @@
+examples/security_views.ml: Composition Core List Printf Transform_ast Transform_parser Unix User_query Xut_xmark Xut_xml Xut_xpath Xut_xquery

@@ -1,0 +1,1 @@
+examples/streaming.ml: Buffer Core Filename Fun List Printf Sax_transform Sys Transform_parser Unix Xut_xmark Xut_xml Xut_xpath

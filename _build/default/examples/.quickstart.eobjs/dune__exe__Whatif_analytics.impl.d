@@ -1,0 +1,1 @@
+examples/whatif_analytics.ml: Core Engine List Printf Sequence Transform_parser Xq_eval Xq_value Xut_xmark Xut_xquery

@@ -1,0 +1,1 @@
+examples/whatif_analytics.mli:

@@ -1,0 +1,47 @@
+(* Quickstart: the "updates as queries" example of the paper's
+   introduction (Example 1.1) on the Fig. 1 parts catalog.
+
+     dune exec examples/quickstart.exe *)
+
+open Core
+
+let catalog =
+  {|<db>
+      <part><pname>keyboard</pname>
+        <supplier><sname>HP</sname><price>12</price><country>A</country></supplier>
+        <supplier><sname>Logi</sname><price>20</price><country>B</country></supplier>
+      </part>
+      <part><pname>mouse</pname>
+        <supplier><sname>Logi</sname><price>25</price><country>C</country></supplier>
+      </part>
+    </db>|}
+
+let () =
+  let doc = Xut_xml.Dom.parse_string catalog in
+
+  (* A transform query uses update syntax but has no destructive impact:
+     it returns the tree the update WOULD produce. *)
+  let query =
+    Transform_parser.parse
+      {|transform copy $a := doc("catalog") modify do delete $a//price return $a|}
+  in
+  print_endline "-- the transform query --";
+  print_endline (Transform_ast.to_string query);
+
+  (* Evaluate it with the automaton-based Top Down method (GENTOP). *)
+  let result = Engine.run Engine.Gentop query ~doc in
+  print_endline "\n-- result: everything except prices --";
+  print_endline (Xut_xml.Serialize.element_to_string ~indent:2 result);
+
+  (* The store is untouched — transform queries are non-updating. *)
+  let prices = Xut_xpath.Eval.select_doc doc (Xut_xpath.Parser.parse "//price") in
+  Printf.printf "\nprices still in the source document: %d\n" (List.length prices);
+
+  (* All engines produce the same tree; pick by workload. *)
+  print_endline "\n-- the five engines agree --";
+  List.iter
+    (fun algo ->
+      let out = Engine.run algo query ~doc in
+      Printf.printf "%-12s %s\n" (Engine.name algo)
+        (if Xut_xml.Node.equal_element out result then "ok" else "MISMATCH"))
+    Engine.[ Naive; Gentop; Td_bu; Two_pass_sax; Galax_update ]

@@ -1,0 +1,1 @@
+lib/automata/annotator.ml: Array Hashtbl List Lq Node Selecting_nfa Xut_xml Xut_xpath

@@ -1,0 +1,1 @@
+lib/automata/annotator.mli: Node Selecting_nfa Xut_xml Xut_xpath

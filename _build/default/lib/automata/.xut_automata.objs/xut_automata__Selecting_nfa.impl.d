@@ -1,0 +1,1 @@
+lib/automata/selecting_nfa.ml: Array Ast Buffer List Lq Norm Printf String Xut_xpath

@@ -1,0 +1,1 @@
+lib/automata/selecting_nfa.mli: Ast Lq Norm Xut_xpath

@@ -1,0 +1,94 @@
+open Xut_xml
+open Xut_xpath
+
+type table = { sat : (int, bool array) Hashtbl.t; lq : Lq.t }
+
+(* Expressions to evaluate at a node ("active" set), expanded from the
+   seeds with short-circuiting on label guards, plus the seeds each child
+   must evaluate (the Child/Desc sub-expressions reachable here). *)
+let expand lq ~name seeds =
+  let n = Lq.length lq in
+  let active = Array.make n false in
+  let child_candidates = ref [] in
+  let rec activate i =
+    if not active.(i) then begin
+      active.(i) <- true;
+      match Lq.expr lq i with
+      | Lq.Seq (a, b) ->
+        activate a;
+        if not (Lq.label_blocked lq a name) then activate b
+      | Lq.And_ (a, b) | Lq.Or_ (a, b) ->
+        activate a;
+        activate b
+      | Lq.Not_ a -> activate a
+      | Lq.Child p -> child_candidates := p :: !child_candidates
+      | Lq.Desc p ->
+        (* //p holds here iff p holds here or //p holds at a child *)
+        activate p;
+        child_candidates := i :: !child_candidates
+      | Lq.True_ | Lq.Label_is _ | Lq.Text_cmp _ | Lq.Attr_cmp _ | Lq.Attr_exists _ -> ()
+    end
+  in
+  List.iter activate seeds;
+  (active, List.sort_uniq compare !child_candidates)
+
+let annotate nfa root =
+  let lq = Selecting_nfa.lq nfa in
+  let tbl = { sat = Hashtbl.create 1024; lq } in
+  let has_any_qual =
+    let any = ref false in
+    for i = 0 to Selecting_nfa.size nfa - 1 do
+      if Selecting_nfa.has_qual nfa i then any := true
+    done;
+    !any
+  in
+  if not has_any_qual then tbl
+  else begin
+    let rec go (e : Node.element) (states : int list) (seeds : int list) : unit =
+      let name = Node.name e in
+      let states' = Selecting_nfa.next_states_unchecked nfa states name in
+      let top_quals =
+        List.filter_map
+          (fun s -> if Selecting_nfa.has_qual nfa s then Some (Selecting_nfa.state_lq nfa s) else None)
+          states'
+      in
+      let all_seeds = List.sort_uniq compare (seeds @ top_quals) in
+      if states' = [] && all_seeds = [] then ()
+      else begin
+        let active, candidates = expand lq ~name all_seeds in
+        let kids = Node.child_elements e in
+        List.iter
+          (fun c ->
+            let kid_seeds =
+              List.filter (fun p -> not (Lq.label_blocked lq p (Node.name c))) candidates
+            in
+            go c states' kid_seeds)
+          kids;
+        if all_seeds <> [] then begin
+          let csat i =
+            List.exists
+              (fun c ->
+                match Hashtbl.find_opt tbl.sat (Node.id c) with
+                | Some arr -> arr.(i)
+                | None -> false)
+              kids
+          in
+          ignore active;
+          let sat =
+            Lq.eval_at lq ~name ~attrs:(Node.attrs e) ~text:(Node.text_content e) ~csat
+              ~wanted:all_seeds
+          in
+          Hashtbl.replace tbl.sat (Node.id e) sat
+        end
+      end
+    in
+    go root (Selecting_nfa.start_set nfa) [];
+    tbl
+  end
+
+let sat tbl n i =
+  match Hashtbl.find_opt tbl.sat (Node.id n) with Some arr -> arr.(i) | None -> false
+
+let checkp tbl nfa s n = sat tbl n (Selecting_nfa.state_lq nfa s)
+
+let annotated_count tbl = Hashtbl.length tbl.sat

@@ -1,0 +1,40 @@
+open Xut_xml
+
+(** The bottom-up qualifier-annotation pass (algorithm [bottomUp] of
+    Section 5, Fig. 9), implemented natively on DOM trees.
+
+    One post-order traversal evaluates, at every node the filtering
+    machinery keeps alive, the truth of the LQ sub-qualifiers that are
+    needed there ({!Lq.eval_at} is QualDP of Fig. 7), and records them in
+    a side table keyed by element id.  Subtrees that no selecting-NFA
+    state and no propagated qualifier need can be pruned without a visit
+    — the role of the paper's filtering NFA (see DESIGN.md).
+
+    The table then makes [checkp] O(1) for the Top Down method, giving
+    the linear-time twoPass (TD-BU) evaluation. *)
+
+type table
+
+val expand : Xut_xpath.Lq.t -> name:string -> int list -> bool array * int list
+(** [expand lq ~name seeds] = the expressions to evaluate at a node named
+    [name] given the demanded [seeds] (closed under sub-expressions, with
+    short-circuiting on label guards), together with the sorted list of
+    child-seed candidates (the [*/p] and [//p] expressions reachable).
+    Shared with the SAX variant of the pass (Section 6). *)
+
+val annotate : Selecting_nfa.t -> Node.element -> table
+(** Run the pass from the document element, with the start set of the
+    NFA (the root's label is consumed by the first transition, matching
+    the [$a/p] convention). *)
+
+val sat : table -> Node.element -> int -> bool
+(** [sat tbl n i]: truth of LQ expression [i] at node [n] ([false] for
+    pruned or never-needed entries). *)
+
+val checkp : table -> Selecting_nfa.t -> int -> Node.element -> bool
+(** [checkp tbl nfa s n]: constant-time qualifier check for NFA state
+    [s] at node [n], for use with {!Selecting_nfa.next_states}. *)
+
+val annotated_count : table -> int
+(** Number of elements that were actually visited and annotated
+    (instrumentation: shows the pruning at work). *)

@@ -1,0 +1,137 @@
+open Xut_xpath
+
+type kind = K_start | K_label of string | K_wild | K_desc
+
+type state = { kind : kind; qual : Ast.qual; lq_idx : int }
+
+type t = {
+  states : state array;
+  lq : Lq.t;
+  ctx_qual : Ast.qual;
+  true_idx : int;  (* LQ index of the constant true *)
+}
+
+let of_norm (norm : Norm.t) =
+  let b = Lq.create_builder () in
+  let true_idx = Lq.add_qual b Ast.Q_true in
+  let ctx_qual = Ast.q_and norm.ctx_quals in
+  ignore (Lq.add_qual b ctx_qual);
+  let step_state (s : Norm.nstep) =
+    let qual = Ast.q_and s.quals in
+    let lq_idx = Lq.add_qual b qual in
+    let kind =
+      match s.nav with
+      | Norm.N_label l -> K_label l
+      | Norm.N_wild -> K_wild
+      | Norm.N_desc -> K_desc
+    in
+    { kind; qual; lq_idx }
+  in
+  let states =
+    Array.of_list
+      ({ kind = K_start; qual = Ast.Q_true; lq_idx = true_idx }
+      :: List.map step_state norm.steps)
+  in
+  { states; lq = Lq.freeze b; ctx_qual; true_idx }
+
+let of_path p = of_norm (Norm.steps p)
+
+let size t = Array.length t.states
+let final t = Array.length t.states - 1
+let lq t = t.lq
+let kind t i = t.states.(i).kind
+let state_qual t i = t.states.(i).qual
+let state_lq t i = t.states.(i).lq_idx
+let has_qual t i = t.states.(i).lq_idx <> t.true_idx
+let ctx_qual t = t.ctx_qual
+let selects_context t = Array.length t.states = 1
+
+(* Epsilon closure: from state i, successive '//' states are reachable
+   for free.  Input and output are sorted; we close each element and
+   merge. *)
+let close_state t i acc =
+  let n = Array.length t.states in
+  let rec go j acc =
+    let acc = j :: acc in
+    if j + 1 < n && t.states.(j + 1).kind = K_desc then go (j + 1) acc else acc
+  in
+  go i acc
+
+let sort_dedup l = List.sort_uniq compare l
+
+let closure t set = sort_dedup (List.fold_left (fun acc i -> close_state t i acc) [] set)
+
+let start_set t = closure t [ 0 ]
+
+(* Raw targets of state [i] on a node labeled [label], before closure. *)
+let targets t i label =
+  let n = Array.length t.states in
+  let fwd =
+    if i + 1 < n then
+      match t.states.(i + 1).kind with
+      | K_label l when String.equal l label -> [ i + 1 ]
+      | K_wild -> [ i + 1 ]
+      | K_label _ | K_desc | K_start -> []
+    else []
+  in
+  match t.states.(i).kind with K_desc -> i :: fwd | K_start | K_label _ | K_wild -> fwd
+
+let next_states t ~checkp set label =
+  let plus = List.concat_map (fun i -> targets t i label) set in
+  let plus = sort_dedup plus in
+  let filtered = List.filter (fun i -> (not (has_qual t i)) || checkp i) plus in
+  closure t filtered
+
+let next_states_unchecked t set label = closure t (sort_dedup (List.concat_map (fun i -> targets t i label) set))
+
+let accepts t set =
+  let f = final t in
+  List.exists (fun i -> i = f) set
+
+let consistent_at t i name =
+  match t.states.(i).kind with
+  | K_label l -> String.equal l name
+  | K_start | K_wild | K_desc -> true
+
+(* --- static simulation (Compose Method) -------------------------------- *)
+
+let any_targets t i =
+  let n = Array.length t.states in
+  let fwd =
+    if i + 1 < n then
+      match t.states.(i + 1).kind with
+      | K_label _ | K_wild -> [ i + 1 ]
+      | K_desc | K_start -> []
+    else []
+  in
+  match t.states.(i).kind with K_desc -> i :: fwd | K_start | K_label _ | K_wild -> fwd
+
+let next_on_label t set label = next_states_unchecked t set label
+
+let next_on_any t set = closure t (sort_dedup (List.concat_map (any_targets t) set))
+
+let next_on_desc t set =
+  (* zero or more any-label transitions: saturate *)
+  let rec go current acc =
+    let nxt = next_on_any t current in
+    let fresh = List.filter (fun i -> not (List.mem i acc)) nxt in
+    if fresh = [] then acc else go fresh (sort_dedup (fresh @ acc))
+  in
+  go (closure t set) (closure t set)
+
+let kind_to_string = function
+  | K_start -> "start"
+  | K_label l -> l
+  | K_wild -> "*"
+  | K_desc -> "//"
+
+let to_string t =
+  let buf = Buffer.create 128 in
+  Array.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf "s%d:%s%s%s " i (kind_to_string s.kind)
+           (if s.qual = Ast.Q_true then "" else "[" ^ Ast.qual_to_string s.qual ^ "]")
+           (if i = final t then "(final)" else "")))
+    t.states;
+  String.trim (Buffer.contents buf)

@@ -1,0 +1,80 @@
+open Xut_xpath
+
+(** Selecting NFA for X expressions (Section 3.4).
+
+    For [p] in the normal form [beta_1\[q_1\]/.../beta_k\[q_k\]] the
+    automaton has the semi-linear structure of Fig. 5: a start state
+    [(s_0,\[true\])], one state per step, epsilon transitions into ['//']
+    states and a ['*'] self-loop on them.  State sets are sorted int
+    lists; transitions and closures preserve sortedness.
+
+    The same structure doubles as the filtering NFA of Section 5: the LQ
+    list built from all qualifiers is embedded ({!lq}), and each state
+    knows the LQ index of its qualifier, which seeds the needs-propagation
+    that stands in for the filtering NFA's qualifier chains (DESIGN.md). *)
+
+type kind = K_start | K_label of string | K_wild | K_desc
+
+type t
+
+val of_norm : Norm.t -> t
+val of_path : Ast.path -> t
+
+val size : t -> int
+(** Number of states (k + 1). *)
+
+val final : t -> int
+
+val lq : t -> Lq.t
+
+val kind : t -> int -> kind
+val state_qual : t -> int -> Ast.qual
+(** Conjunction of the qualifiers attached to the state's step. *)
+
+val state_lq : t -> int -> int
+(** LQ index of {!state_qual}. *)
+
+val has_qual : t -> int -> bool
+(** Whether the state's qualifier is non-trivial. *)
+
+val ctx_qual : t -> Ast.qual
+(** Qualifier applying to the context node (from leading '.' steps). *)
+
+val selects_context : t -> bool
+(** True iff the path is empty (the final state is the start state, so
+    the context node itself is selected). *)
+
+val start_set : t -> int list
+(** Epsilon-closure of the start state. *)
+
+val next_states : t -> checkp:(int -> bool) -> int list -> string -> int list
+(** [nextStates] of Fig. 4.  [checkp s] must say whether the qualifier of
+    state [s] holds at the node being entered; states whose qualifier
+    fails are dropped before the closure. *)
+
+val next_states_unchecked : t -> int list -> string -> int list
+(** Transition ignoring qualifiers (the over-approximation the bottom-up
+    pass runs on, Fig. 9 lines 1–2). *)
+
+val accepts : t -> int list -> bool
+(** Does the set contain the final state? *)
+
+val consistent_at : t -> int -> string -> bool
+(** Could state [s] be the current state at a node named [name]?  A
+    label state requires the matching name; start, wildcard and
+    descendant states fit any node.  Used to settle statically computed
+    (delta') sets against a concrete node. *)
+
+(** {2 Static simulation for the Compose Method (Section 4)} *)
+
+val next_on_label : t -> int list -> string -> int list
+(** [delta'] on a concrete label, unchecked, with closure. *)
+
+val next_on_any : t -> int list -> int list
+(** [delta'(S, * )]: states reachable by consuming one node of any label. *)
+
+val next_on_desc : t -> int list -> int list
+(** [delta'(S, //)]: states reachable by an unbounded sequence of any-label
+    transitions (zero or more). *)
+
+val to_string : t -> string

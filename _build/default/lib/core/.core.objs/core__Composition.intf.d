@@ -1,0 +1,1 @@
+lib/core/composition.mli: Engine Node Transform_ast User_query Xq_ast Xq_value Xut_xml Xut_xquery

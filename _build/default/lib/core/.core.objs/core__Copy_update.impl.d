@@ -1,0 +1,1 @@
+lib/core/copy_update.ml: Eval Hashtbl Node Semantics Stats Transform_ast Xut_xml Xut_xpath

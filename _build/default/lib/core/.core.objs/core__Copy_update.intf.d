@@ -1,0 +1,1 @@
+lib/core/copy_update.mli: Node Transform_ast Xut_xml

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Copy_update Naive Sax_transform Semantics String Top_down Transform_ast Two_pass

@@ -1,0 +1,1 @@
+lib/core/naive.ml: Eval List Node Semantics Stats Transform_ast Xut_xml Xut_xpath

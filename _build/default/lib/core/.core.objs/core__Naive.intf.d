@@ -1,0 +1,1 @@
+lib/core/naive.mli: Node Transform_ast Xut_xml

@@ -1,0 +1,1 @@
+lib/core/sax_transform.ml: Annotator Array Ast Buffer Dom Hashtbl List Lq Node Sax Selecting_nfa Serialize Transform_ast Xut_automata Xut_xml Xut_xpath

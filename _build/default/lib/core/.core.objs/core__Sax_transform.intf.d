@@ -1,0 +1,1 @@
+lib/core/sax_transform.mli: Buffer Node Sax Selecting_nfa Transform_ast Xut_automata Xut_xml

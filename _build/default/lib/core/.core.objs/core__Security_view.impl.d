@@ -1,0 +1,1 @@
+lib/core/security_view.ml: Composition Dom Engine List Node Sequence Transform_ast User_query Xut_xml Xut_xpath

@@ -1,0 +1,1 @@
+lib/core/security_view.mli: Engine Node Sequence Transform_ast User_query Xq_value Xut_xml Xut_xpath Xut_xquery

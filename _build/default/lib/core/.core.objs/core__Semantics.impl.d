@@ -1,0 +1,1 @@
+lib/core/semantics.ml: Ast Eval Hashtbl List Node Transform_ast Xut_automata Xut_xml Xut_xpath

@@ -1,0 +1,1 @@
+lib/core/semantics.mli: Node Transform_ast Xut_automata Xut_xml

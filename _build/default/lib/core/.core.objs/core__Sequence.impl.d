@@ -1,0 +1,1 @@
+lib/core/sequence.ml: Engine Format List Transform_ast Transform_parser

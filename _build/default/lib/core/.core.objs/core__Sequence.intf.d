@@ -1,0 +1,1 @@
+lib/core/sequence.mli: Engine Format Node Transform_ast Xut_xml

@@ -1,0 +1,1 @@
+lib/core/top_down.ml: List Node Selecting_nfa Semantics Stats Transform_ast Xut_automata Xut_xml Xut_xpath

@@ -1,0 +1,1 @@
+lib/core/top_down.mli: Node Selecting_nfa Transform_ast Xut_automata Xut_xml

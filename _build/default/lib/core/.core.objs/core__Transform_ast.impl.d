@@ -1,0 +1,1 @@
+lib/core/transform_ast.ml: Ast Format Node Serialize String Xut_xml Xut_xpath

@@ -1,0 +1,1 @@
+lib/core/transform_ast.mli: Ast Format Node Xut_xml Xut_xpath

@@ -1,0 +1,1 @@
+lib/core/transform_parser.ml: Dom Lexer List Node Parser Printf Sax String Transform_ast Xut_xml Xut_xpath

@@ -1,0 +1,1 @@
+lib/core/transform_parser.mli: Transform_ast

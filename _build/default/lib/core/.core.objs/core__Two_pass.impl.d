@@ -1,0 +1,1 @@
+lib/core/two_pass.ml: Annotator Selecting_nfa Top_down Transform_ast Xut_automata

@@ -1,0 +1,1 @@
+lib/core/user_query.ml: Ast List Parser Result Xq_ast Xq_eval Xq_parser Xut_xpath Xut_xquery

@@ -1,0 +1,1 @@
+lib/core/user_query.mli: Ast Xq_ast Xq_value Xut_xml Xut_xpath Xut_xquery

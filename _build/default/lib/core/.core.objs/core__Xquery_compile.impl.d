@@ -1,0 +1,1 @@
+lib/core/xquery_compile.ml: Ast List Lq Printf Selecting_nfa Transform_ast Xq_ast Xq_eval Xut_automata Xut_xpath Xut_xquery

@@ -1,0 +1,1 @@
+lib/core/xquery_rewrite.ml: Transform_ast Xq_ast Xq_eval Xut_xpath Xut_xquery

@@ -1,0 +1,1 @@
+lib/core/xquery_rewrite.mli: Node Transform_ast Xq_ast Xut_xml Xut_xquery

@@ -1,0 +1,666 @@
+open Xut_xml
+open Xut_xpath
+open Xut_automata
+open Xut_xquery
+
+type composed = {
+  expr : Xq_ast.expr;
+  natives : (string * (Xq_value.t list -> Xq_value.t)) list;
+}
+
+(* ---------------- static simulation (delta', Section 4) ---------------- *)
+
+type chunk = { desc : bool; nav : Norm.nnav; quals : Ast.qual list }
+
+let chunkify (norm : Norm.t) : (chunk list, string) result =
+  if norm.ctx_quals <> [] then Error "context qualifiers in the user source path"
+  else begin
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | { Norm.nav = Norm.N_desc; quals = _ }
+        :: ({ Norm.nav = Norm.N_label _ | Norm.N_wild; _ } as s)
+        :: rest ->
+        go ({ desc = true; nav = s.Norm.nav; quals = s.Norm.quals } :: acc) rest
+      | { Norm.nav = Norm.N_desc; _ } :: _ -> Error "trailing descendant step"
+      | ({ Norm.nav = Norm.N_label _ | Norm.N_wild; _ } as s) :: rest ->
+        go ({ desc = false; nav = s.Norm.nav; quals = s.Norm.quals } :: acc) rest
+    in
+    go [] norm.steps
+  end
+
+let chunk_path (c : chunk) ~quals : Ast.path =
+  let nav =
+    match c.nav with
+    | Norm.N_label l -> Ast.Label l
+    | Norm.N_wild -> Ast.Wildcard
+    | Norm.N_desc -> assert false
+  in
+  let step = { Ast.nav; quals } in
+  if c.desc then [ Ast.step Ast.Descendant; step ] else [ step ]
+
+let step_sim nfa s (c : chunk) =
+  let s = if c.desc then Selecting_nfa.next_on_desc nfa s else s in
+  match c.nav with
+  | Norm.N_label l -> Selecting_nfa.next_on_label nfa s l
+  | Norm.N_wild -> Selecting_nfa.next_on_any nfa s
+  | Norm.N_desc -> assert false
+
+(* States reachable at strict descendants of a node holding [s]. *)
+let below nfa s = Selecting_nfa.next_on_desc nfa (Selecting_nfa.next_on_any nfa s)
+
+(* Can the update touch a strict descendant of a node holding [s]?
+   (For insert, matching [s] itself also changes the subtree.) *)
+let subtree_affected nfa update s =
+  Selecting_nfa.accepts nfa (below nfa s)
+  || (match update with
+     | Transform_ast.Insert _ | Transform_ast.Insert_first _ -> Selecting_nfa.accepts nfa s
+     | _ -> false)
+
+(* The state set after navigating [path] from [s] (delta', unchecked). *)
+let end_set nfa s (path : Ast.path) =
+  List.fold_left
+    (fun s ({ Ast.nav; _ } : Ast.step) ->
+      match nav with
+      | Ast.Self -> s
+      | Ast.Label l -> Selecting_nfa.next_on_label nfa s l
+      | Ast.Wildcard -> Selecting_nfa.next_on_any nfa s
+      | Ast.Descendant -> below nfa s)
+    s path
+
+(* Does the update change the labels of the nodes it matches?  Such
+   updates can make label-based steps match where the original document
+   does not (and vice versa), so their static simulation must widen
+   label transitions to wildcards. *)
+let relabels = function
+  | Transform_ast.Replace _ | Transform_ast.Rename _ -> true
+  | Transform_ast.Insert _ | Transform_ast.Insert_first _ | Transform_ast.Delete _ -> false
+
+(* Would evaluating a path rooted at a node with states [s] see different
+   data on Qt(T) than on T? *)
+let rec path_affected nfa update s (path : Ast.path) =
+  let insert =
+    match update with Transform_ast.Insert _ | Transform_ast.Insert_first _ -> true | _ -> false
+  in
+  let widen = relabels update in
+  let rec go s = function
+    | [] -> false
+    | ({ Ast.nav; quals } : Ast.step) :: rest ->
+      (* an insert at the current node can add content the next step matches *)
+      if insert && Selecting_nfa.accepts nfa s then true
+      else begin
+        let s' =
+          match nav with
+          | Ast.Self -> s
+          | Ast.Label l ->
+            if widen then Selecting_nfa.next_on_any nfa s
+            else Selecting_nfa.next_on_label nfa s l
+          | Ast.Wildcard -> Selecting_nfa.next_on_any nfa s
+          | Ast.Descendant -> below nfa s
+        in
+        if Selecting_nfa.accepts nfa s' && nav <> Ast.Self then true
+        else if List.exists (qual_affected nfa update s') quals then true
+        else go s' rest
+      end
+  in
+  go s path
+
+and qual_affected nfa update s (q : Ast.qual) =
+  match q with
+  | Ast.Q_true | Ast.Q_label _ -> false
+  | Ast.Q_and (a, b) | Ast.Q_or (a, b) ->
+    qual_affected nfa update s a || qual_affected nfa update s b
+  | Ast.Q_not a -> qual_affected nfa update s a
+  | Ast.Q_exists { spath; sattr = _ } | Ast.Q_cmp ({ spath; sattr = _ }, _, _) -> (
+    match update, spath with
+    | (Transform_ast.Insert _ | Transform_ast.Insert_first _), _ :: _
+      when Selecting_nfa.accepts nfa s ->
+      true
+    | _ -> path_affected nfa update s spath)
+
+(* ---------------- runtime navigation (the nav natives) ---------------- *)
+
+(* The nav natives walk the original tree running the selecting NFA with
+   exact, qualifier-checked state sets, so that:
+   - bindings inside deleted regions are skipped,
+   - a binding that is itself updated is returned transformed,
+   - bindings inside content inserted along a '//' descent are found,
+   - a surviving binding's exact state set is remembered (keyed by
+     element id) for the next chunk's native and for the final template
+     wrap ([xut:fin]). *)
+
+type runtime = {
+  nfa : Selecting_nfa.t;
+  update : Transform_ast.update;
+  state_tbl : (int, int list) Hashtbl.t;
+  (* transforming the same node twice must yield the same physical
+     result, so that duplicate bindings reached along different '//'
+     routes stay identity-equal (and get deduplicated) *)
+  transform_memo : (int, Node.t list) Hashtbl.t;
+}
+
+let checkp_direct rt s n = Eval.check_qual n (Selecting_nfa.state_qual rt.nfa s)
+
+let transformed_view rt states e =
+  match Hashtbl.find_opt rt.transform_memo (Node.id e) with
+  | Some ts -> ts
+  | None ->
+    let ts = Top_down.transform_at rt.nfa rt.update ~states e in
+    Hashtbl.replace rt.transform_memo (Node.id e) ts;
+    ts
+
+(* Do the chunk's user qualifiers hold for this binding, as seen on
+   Qt(T)?  [view] materializes the transformed subtree on demand. *)
+let quals_hold rt states quals (e : Node.element) =
+  let lazy_view = lazy (transformed_view rt states e) in
+  List.for_all
+    (fun q ->
+      if qual_affected rt.nfa rt.update states q then
+        match Lazy.force lazy_view with
+        | [ Node.Element t ] -> Eval.check_qual t q
+        | _ -> false
+      else Eval.check_qual e q)
+    quals
+
+let chunk_matches (c : chunk) name =
+  match c.nav with Norm.N_label l -> String.equal l name | Norm.N_wild -> true | Norm.N_desc -> false
+
+(* Collect candidates inside a constant (inserted) subtree: no states,
+   qualifiers evaluated directly. *)
+let scan_const_tree (c : chunk) (quals_ok : Node.element -> bool) (root : Node.element) emit =
+  let rec go e =
+    List.iter
+      (fun child ->
+        if chunk_matches c (Node.name child) && quals_ok child then emit (Node.Element child);
+        if c.desc then go child)
+      (Node.child_elements e)
+  in
+  go root
+
+(* Where a nav native finds the exact state set of its anchor: a static
+   hint (sound until the first '//' chunk, with anchor qualifiers checked
+   at run time) or the table filled by an upstream native. *)
+type anchor_source = Src_hint of int list | Src_table
+
+let nav_chunk rt (c : chunk) ~(src : anchor_source) (anchor : Xq_value.item) : Xq_value.t =
+  let out = ref [] in
+  let emit n = out := Xq_value.N n :: !out in
+  let const_quals_ok child = List.for_all (fun q -> Eval.check_qual child q) c.quals in
+  (* could the update's new content itself supply bindings for this chunk? *)
+  let update_content_can_bind =
+    match rt.update with
+    | Transform_ast.Delete _ -> false
+    | Transform_ast.Rename (_, l) -> chunk_matches c l
+    | Transform_ast.Insert (_, e) | Transform_ast.Insert_first (_, e) | Transform_ast.Replace (_, e)
+      ->
+      let rec any = function
+        | Node.Element el ->
+          chunk_matches c (Node.name el) || List.exists any (Node.children el)
+        | Node.Text _ | Node.Comment _ | Node.Pi _ -> false
+      in
+      any e
+  in
+  (* visit a child [child] whose parent holds exact set [s] *)
+  let rec visit s child =
+    let sc =
+      Selecting_nfa.next_states rt.nfa
+        ~checkp:(fun st -> checkp_direct rt st child)
+        s (Node.name child)
+    in
+    let matched = Selecting_nfa.accepts rt.nfa sc in
+    let is_candidate = chunk_matches c (Node.name child) in
+    match rt.update, matched with
+    | Transform_ast.Delete _, true -> ()  (* the region is gone *)
+    | (Transform_ast.Insert _ | Transform_ast.Insert_first _), true ->
+      (* the binding keeps its name; materialize its transformed view
+         only when something is actually emitted from it — qualifiers
+         the update cannot affect filter first *)
+      let lazy_ts = lazy (transformed_view rt sc child) in
+      let binding =
+        is_candidate
+        && List.for_all
+             (fun q ->
+               if qual_affected rt.nfa rt.update sc q then
+                 match Lazy.force lazy_ts with
+                 | [ Node.Element t ] -> Eval.check_qual t q
+                 | _ -> false
+               else Eval.check_qual child q)
+             c.quals
+      in
+      if binding then
+        List.iter
+          (fun t -> match t with Node.Element _ -> emit t | _ -> ())
+          (Lazy.force lazy_ts);
+      (* nested candidates: from the transformed content when it was
+         materialized (or when the new content could itself bind),
+         otherwise from the original subtree *)
+      if c.desc then
+        if Lazy.is_val lazy_ts || update_content_can_bind then
+          List.iter
+            (fun t ->
+              match t with
+              | Node.Element te -> scan_const_tree c const_quals_ok te emit
+              | Node.Text _ | Node.Comment _ | Node.Pi _ -> ())
+            (Lazy.force lazy_ts)
+        else List.iter (visit sc) (Node.child_elements child)
+    | (Transform_ast.Replace _ | Transform_ast.Rename _), true ->
+      (* labels change: candidacy and qualifiers are judged on the
+         transformed view, which replaces the original subtree *)
+      let ts = transformed_view rt sc child in
+      List.iter
+        (fun t ->
+          match t with
+          | Node.Element te ->
+            if chunk_matches c (Node.name te) && const_quals_ok te then emit t
+          | Node.Text _ | Node.Comment _ | Node.Pi _ -> ())
+        ts;
+      if c.desc then
+        List.iter
+          (fun t ->
+            match t with
+            | Node.Element te -> scan_const_tree c const_quals_ok te emit
+            | Node.Text _ | Node.Comment _ | Node.Pi _ -> ())
+          ts
+    | (Transform_ast.Delete _ | Transform_ast.Insert _ | Transform_ast.Insert_first _
+      | Transform_ast.Replace _ | Transform_ast.Rename _), false ->
+      if is_candidate && quals_hold rt sc c.quals child then begin
+        if Selecting_nfa.accepts rt.nfa (below rt.nfa sc) || sc <> [] then
+          Hashtbl.replace rt.state_tbl (Node.id child) sc;
+        emit (Node.Element child)
+      end;
+      if c.desc && sc <> [] then List.iter (visit sc) (Node.child_elements child)
+      else if c.desc then plain_descend child
+  and plain_descend e =
+    (* no live states below: pure navigation *)
+    List.iter
+      (fun child ->
+        if chunk_matches c (Node.name child) && const_quals_ok child then
+          emit (Node.Element child);
+        plain_descend child)
+      (Node.child_elements e)
+  in
+  let plain_children e =
+    List.iter
+      (fun child ->
+        if chunk_matches c (Node.name child) && const_quals_ok child then
+          emit (Node.Element child))
+      (Node.child_elements e)
+  in
+  let from_states e states =
+    (* static hints have unchecked labels/qualifiers: settle them at the
+       anchor *)
+    let alive =
+      List.filter
+        (fun s ->
+          Selecting_nfa.consistent_at rt.nfa s (Node.name e)
+          && ((not (Selecting_nfa.has_qual rt.nfa s)) || checkp_direct rt s e))
+        states
+    in
+    if alive = [] then if c.desc then plain_descend e else plain_children e
+    else List.iter (visit alive) (Node.child_elements e)
+  in
+  (match anchor with
+  | Xq_value.D root -> visit (Selecting_nfa.start_set rt.nfa) root
+  | Xq_value.N (Node.Element e) -> (
+    match src with
+    | Src_hint states -> from_states e states
+    | Src_table -> (
+      match Hashtbl.find_opt rt.state_tbl (Node.id e) with
+      | Some s -> List.iter (visit s) (Node.child_elements e)
+      | None ->
+        (* already transformed (or out of reach): pure navigation *)
+        if c.desc then plain_descend e else plain_children e))
+  | Xq_value.N _ | Xq_value.A _ | Xq_value.S _ | Xq_value.F _ | Xq_value.B _ ->
+    raise (Xq_value.Type_error "navigation over a non-element"));
+  List.rev !out
+
+(* A '//' chunk followed by further steps cannot be decomposed into
+   nested for-clauses without breaking the set semantics (nested bindings
+   reach the same node along several routes, in non-document order).
+   Instead, one native runs the {e product} of the user-suffix NFA and
+   the update NFA in a single pre-order walk: bindings come out exactly
+   once, in document order, transformed where the update touches them. *)
+let pipe_chunks rt (chunks : chunk list) (start_states : int list option)
+    (root_children : Node.t list) emit =
+  let suffix_path = List.concat_map (fun c -> chunk_path c ~quals:c.quals) chunks in
+  let unfa = Selecting_nfa.of_path suffix_path in
+  (* walk inside already-transformed (constant) content: user NFA only *)
+  let rec walk_const uc node =
+    match node with
+    | Node.Element e ->
+      List.iter
+        (fun child ->
+          match child with
+          | Node.Element ce ->
+            let uc' =
+              Selecting_nfa.next_states unfa
+                ~checkp:(fun s -> Eval.check_qual ce (Selecting_nfa.state_qual unfa s))
+                uc (Node.name ce)
+            in
+            if Selecting_nfa.accepts unfa uc' then emit (Node.Element ce);
+            if uc' <> [] then walk_const uc' child
+          | Node.Text _ | Node.Comment _ | Node.Pi _ -> ())
+        (Node.children e)
+    | Node.Text _ | Node.Comment _ | Node.Pi _ -> ()
+  in
+  let rec walk ustates sstates (children : Node.t list) =
+    List.iter
+      (fun child ->
+        match child with
+        | Node.Text _ | Node.Comment _ | Node.Pi _ -> ()
+        | Node.Element ce -> (
+          let sc =
+            match sstates with
+            | None -> None
+            | Some s ->
+              Some
+                (Selecting_nfa.next_states rt.nfa
+                   ~checkp:(fun st -> checkp_direct rt st ce)
+                   s (Node.name ce))
+          in
+          let matched =
+            match sc with Some s -> Selecting_nfa.accepts rt.nfa s | None -> false
+          in
+          match rt.update, matched with
+          | Transform_ast.Delete _, true -> ()  (* region gone: no bindings inside *)
+          | (Transform_ast.Replace _ | Transform_ast.Rename _), true ->
+            (* the node's label changes: run the user NFA against the
+               transformed view (which is all that exists on Qt(T)) *)
+            List.iter
+              (fun t ->
+                match t with
+                | Node.Element te ->
+                  let uct =
+                    Selecting_nfa.next_states unfa
+                      ~checkp:(fun s -> Eval.check_qual te (Selecting_nfa.state_qual unfa s))
+                      ustates (Node.name te)
+                  in
+                  if Selecting_nfa.accepts unfa uct then emit t;
+                  if uct <> [] then walk_const uct t
+                | Node.Text _ | Node.Comment _ | Node.Pi _ -> ())
+              (transformed_view rt (Option.get sc) ce)
+          | _ ->
+            let user_checkp s =
+              let q = Selecting_nfa.state_qual unfa s in
+              let affected =
+                match sc with
+                | Some states -> qual_affected rt.nfa rt.update states q
+                | None -> false
+              in
+              if affected then
+                match transformed_view rt (Option.get sc) ce with
+                | [ Node.Element t ] -> Eval.check_qual t q
+                | _ -> false
+              else Eval.check_qual ce q
+            in
+            let uc = Selecting_nfa.next_states unfa ~checkp:user_checkp ustates (Node.name ce) in
+            if matched then begin
+              (* insert (delete and relabeling were handled above): the
+                 content changes but the node keeps its place *)
+              if uc <> [] then begin
+                let ts = transformed_view rt (Option.get sc) ce in
+                if Selecting_nfa.accepts unfa uc then List.iter emit ts;
+                List.iter (walk_const uc) ts
+              end
+            end
+            else begin
+              if Selecting_nfa.accepts unfa uc then begin
+                (match sc with
+                | Some s when s <> [] -> Hashtbl.replace rt.state_tbl (Node.id ce) s
+                | _ -> ());
+                emit (Node.Element ce)
+              end;
+              if uc <> [] then walk uc sc (Node.children ce)
+            end))
+      children
+  in
+  walk (Selecting_nfa.start_set unfa) start_states root_children
+
+(* ---------------- composition ---------------- *)
+
+let fresh_var =
+  let n = ref 0 in
+  fun prefix ->
+    incr n;
+    Printf.sprintf "%s%d" prefix !n
+
+let compose update (uq : User_query.t) : (composed, string) result =
+  match update with
+  | Transform_ast.Insert _ | Transform_ast.Insert_first _ | Transform_ast.Delete _
+  | Transform_ast.Replace _ | Transform_ast.Rename _ -> (
+    let upath = Transform_ast.path update in
+    if upath = [] then Error "empty update path"
+    else
+      let nfa = Selecting_nfa.of_path upath in
+      if Selecting_nfa.ctx_qual nfa <> Ast.Q_true then
+        Error "context qualifier in the update path"
+      else if Selecting_nfa.selects_context nfa then Error "update selects the document element"
+      else
+        match chunkify (Norm.steps uq.User_query.source) with
+        | Error e -> Error e
+        | Ok chunks ->
+          let rt =
+            { nfa; update; state_tbl = Hashtbl.create 256; transform_memo = Hashtbl.create 256 }
+          in
+          let natives = ref [] in
+          let register name f =
+            natives := (name, f) :: !natives;
+            name
+          in
+          let register_nav chunk ~src =
+            let name = fresh_var "xut:nav" in
+            register name (function
+              | [ [ anchor ] ] -> nav_chunk rt chunk ~src anchor
+              | [ [] ] -> []
+              | _ -> raise (Xq_value.Type_error (name ^ ": expected a single node")))
+          in
+          let register_pipe chunks ~src =
+            let name = fresh_var "xut:pipe" in
+            register name (function
+              | [ [ anchor ] ] ->
+                let out = ref [] in
+                let emit n = out := Xq_value.N n :: !out in
+                (match anchor with
+                | Xq_value.D root ->
+                  pipe_chunks rt chunks
+                    (Some (Selecting_nfa.start_set nfa))
+                    [ Node.Element root ] emit
+                | Xq_value.N (Node.Element e) ->
+                  let states =
+                    match src with
+                    | Src_hint s ->
+                      let alive =
+                        List.filter
+                          (fun st ->
+                            Selecting_nfa.consistent_at nfa st (Node.name e)
+                            && ((not (Selecting_nfa.has_qual nfa st)) || checkp_direct rt st e))
+                          s
+                      in
+                      if alive = [] then None else Some alive
+                    | Src_table -> Hashtbl.find_opt rt.state_tbl (Node.id e)
+                  in
+                  pipe_chunks rt chunks states (Node.children e) emit
+                | _ -> raise (Xq_value.Type_error (name ^ ": expected a node")));
+                List.rev !out
+              | [ [] ] -> []
+              | _ -> raise (Xq_value.Type_error (name ^ ": expected a single node")))
+          in
+          let register_fin ~src =
+            let name = fresh_var "xut:fin" in
+            register name (function
+              | [ [ Xq_value.N (Node.Element e) ] ] -> (
+                let states =
+                  match src with
+                  | Src_hint s -> Some s
+                  | Src_table -> Hashtbl.find_opt rt.state_tbl (Node.id e)
+                in
+                match states with
+                | Some s -> List.map (fun n -> Xq_value.N n) (transformed_view rt s e)
+                | None -> [ Xq_value.N (Node.Element e) ])
+              | [ v ] -> v
+              | _ -> raise (Xq_value.Type_error (name ^ ": expected a single node")))
+          in
+          (* do the where/return clauses see different data on Qt(T) for a
+             binding holding state set [s]? *)
+          let output_affected s =
+            let operand_affected = function
+              | User_query.Const _ -> false
+              | User_query.Rel (p, _) -> (
+                match update, p with
+                | (Transform_ast.Insert _ | Transform_ast.Insert_first _), _ :: _
+                  when Selecting_nfa.accepts nfa s ->
+                  true
+                | _ -> path_affected nfa update s p)
+            in
+            List.exists
+              (fun { User_query.left; right; _ } -> operand_affected left || operand_affected right)
+              uq.User_query.conds
+            ||
+            let rec hole_affected = function
+              | User_query.T_elem (_, _, cs) -> List.exists hole_affected cs
+              | User_query.T_text _ -> false
+              | User_query.T_hole ([], None) -> subtree_affected nfa update s
+              | User_query.T_hole (p, attr) -> (
+                match update, p with
+                | Transform_ast.Insert _, _ :: _ when Selecting_nfa.accepts nfa s -> true
+                | _ ->
+                  path_affected nfa update s p
+                  || (attr = None && subtree_affected nfa update (end_set nfa s p)))
+            in
+            hole_affected uq.User_query.template
+          in
+          (* does anything from this point on require the exact state
+             machinery (look-ahead over the remaining chunks)? *)
+          (* with a relabeling update, any matched node at the binding
+             position can gain or lose the chunk's label: the static
+             label transition is blind to it, so widen to any-label *)
+          let matched_possible s (chunk : chunk) =
+            relabels update
+            && Selecting_nfa.accepts nfa
+                 (Selecting_nfa.next_on_any nfa
+                    (if chunk.desc then Selecting_nfa.next_on_desc nfa s else s))
+          in
+          let rec downstream_need s = function
+            | [] -> output_affected s
+            | (chunk : chunk) :: rest ->
+              let si = step_sim nfa s chunk in
+              Selecting_nfa.accepts nfa si
+              || (chunk.desc && Selecting_nfa.accepts nfa (below nfa s))
+              || List.exists (qual_affected nfa update si) chunk.quals
+              || matched_possible s chunk
+              || downstream_need si rest
+          in
+          let clauses = ref [] in
+          let add_clause c = clauses := c :: !clauses in
+          (* Emission modes: [Dead] — provably untouched, plain XQuery;
+             [Hint s] — untouched so far, static sets still exact;
+             [Tracked s] — a native ran upstream, sets live in the table. *)
+          let plain_chunk prev chunk =
+            let v = fresh_var "y" in
+            add_clause
+              (Xq_ast.For (v, Xq_ast.Path (Xq_ast.Var prev, chunk_path chunk ~quals:chunk.quals)));
+            v
+          in
+          let native_chunk prev chunk ~src =
+            let v = fresh_var "y" in
+            add_clause (Xq_ast.For (v, Xq_ast.Call (register_nav chunk ~src, [ Xq_ast.Var prev ])));
+            v
+          in
+          (* remaining chunks as one plain path expression: a single path
+             keeps set semantics and document order for free *)
+          let plain_rest prev chunks =
+            let path = List.concat_map (fun c -> chunk_path c ~quals:c.quals) chunks in
+            let v = fresh_var "y" in
+            add_clause (Xq_ast.For (v, Xq_ast.Path (Xq_ast.Var prev, path)));
+            v
+          in
+          let rec emit prev mode chunks =
+            match chunks with
+            | [] -> (prev, mode)
+            | chunk :: rest -> (
+              match mode with
+              | `Dead -> (plain_rest prev (chunk :: rest), `Dead)
+              | `Hint s | `Tracked s -> (
+                let si = step_sim nfa s chunk in
+                let acts =
+                  Selecting_nfa.accepts nfa si
+                  || (chunk.desc && Selecting_nfa.accepts nfa (below nfa s))
+                  || List.exists (qual_affected nfa update si) chunk.quals
+                  || matched_possible s chunk
+                in
+                let need_rest = downstream_need si rest in
+                let src = match mode with `Hint s -> Src_hint s | _ -> Src_table in
+                if chunk.desc && rest <> [] && (acts || need_rest) then begin
+                  (* '//' followed by more steps: single product walk *)
+                  let v = fresh_var "y" in
+                  add_clause
+                    (Xq_ast.For
+                       (v, Xq_ast.Call (register_pipe (chunk :: rest) ~src, [ Xq_ast.Var prev ])));
+                  let s_end = List.fold_left (step_sim nfa) s (chunk :: rest) in
+                  (v, `Tracked s_end)
+                end
+                else
+                  match mode with
+                  | `Hint _ ->
+                    if acts then
+                      emit (native_chunk prev chunk ~src:(Src_hint s)) (`Tracked si) rest
+                    else if need_rest then
+                      if (not chunk.desc) && chunk.nav <> Norm.N_wild then
+                        (* a label step keeps static sets exact *)
+                        emit (plain_chunk prev chunk) (`Hint si) rest
+                      else emit (native_chunk prev chunk ~src:(Src_hint s)) (`Tracked si) rest
+                    else (plain_rest prev (chunk :: rest), `Dead)
+                  | `Tracked _ ->
+                    if acts || need_rest then
+                      emit (native_chunk prev chunk ~src:Src_table) (`Tracked si) rest
+                    else (plain_rest prev (chunk :: rest), `Dead)
+                  | `Dead -> assert false))
+          in
+          let doc_var = fresh_var "d" in
+          add_clause (Xq_ast.LetC (doc_var, Xq_ast.Context));
+          let xvar, final_mode =
+            emit doc_var (`Hint (Selecting_nfa.start_set nfa)) chunks
+          in
+          let xvar =
+            match final_mode with
+            | `Dead -> xvar
+            | `Hint s | `Tracked s ->
+              if output_affected s then begin
+                let src = match final_mode with `Hint s -> Src_hint s | _ -> Src_table in
+                let t = fresh_var "xt" in
+                add_clause (Xq_ast.For (t, Xq_ast.Call (register_fin ~src, [ Xq_ast.Var xvar ])));
+                t
+              end
+              else xvar
+          in
+          let where =
+            let conds =
+              List.map
+                (fun ({ User_query.left; op; right } : User_query.cond) ->
+                  Xq_ast.Cmp
+                    ( User_query.cmp_to_xq op,
+                      User_query.operand_to_expr xvar left,
+                      User_query.operand_to_expr xvar right ))
+                uq.User_query.conds
+            in
+            match conds with
+            | [] -> None
+            | w :: ws -> Some (List.fold_left (fun acc c -> Xq_ast.And (acc, c)) w ws)
+          in
+          let ret = User_query.template_to_expr xvar uq.User_query.template in
+          let expr = Xq_ast.Flwor (List.rev !clauses, where, ret) in
+          Ok { expr; natives = !natives })
+
+let run_composed c ~doc =
+  let env = Xq_eval.env ~context:doc ~natives:c.natives () in
+  Xq_eval.eval_expr env c.expr
+
+let naive ?(algo = Engine.Gentop) update uq ~doc =
+  let transformed = Engine.transform algo update doc in
+  User_query.run uq ~doc:transformed
+
+let run update uq ~doc =
+  match compose update uq with
+  | Ok c -> run_composed c ~doc
+  | Error _ -> naive update uq ~doc
+
+let to_string c = Xq_ast.to_string c.expr

@@ -1,0 +1,47 @@
+open Xut_xml
+open Xut_xquery
+
+(** Composing user and transform queries (Section 4).
+
+    Given a transform query [Qt] and a user query [Q], the Compose Method
+    produces one query [Qc] with [Qc(T) = Q(Qt(T))]: the selecting NFA of
+    the embedded path is executed {e statically} over the steps of the
+    user query's paths (treating them as words, via delta'), and only
+    where a final state shows that the update can touch the data does the
+    composed query invoke the runtime [topDown] helper
+    ({!Top_down.transform_at}) on the — typically small — subtree at
+    hand.  Everywhere else the user query's navigation runs untouched on
+    the stored document: no copy, no full traversal.
+
+    All update kinds compose.  Beyond the paper's detailed insert/delete
+    cases, relabeling updates (replace, rename) are handled by widening
+    the static simulation (a matched node can gain or lose a step's
+    label, so label transitions become wildcards where a match is
+    possible) and judging candidacy against the transformed view at run
+    time; a '//' user step followed by further steps runs as a single
+    product walk of the user-suffix NFA and the update NFA, preserving
+    the set semantics and document order of path expressions. *)
+
+type composed = {
+  expr : Xq_ast.expr;
+  natives : (string * (Xq_value.t list -> Xq_value.t)) list;
+      (** the runtime topDown instances referenced by [expr] *)
+}
+
+val compose : Transform_ast.update -> User_query.t -> (composed, string) result
+(** [Error reason] when the pair falls outside the fragment (empty or
+    context-qualified update paths, context-qualified user sources). *)
+
+val run_composed : composed -> doc:Node.element -> Xq_value.t
+
+val run : Transform_ast.update -> User_query.t -> doc:Node.element -> Xq_value.t
+(** Compose if possible, otherwise fall back to {!naive}. *)
+
+val naive : ?algo:Engine.algo -> Transform_ast.update -> User_query.t -> doc:Node.element -> Xq_value.t
+(** The Naive Composition Method: evaluate the transform query first
+    (with GENTOP by default, as in Section 7.2), then the user query on
+    the materialized result. *)
+
+val to_string : composed -> string
+(** The composed query as XQuery text ([xut:apply<i>] names the runtime
+    topDown helpers). *)

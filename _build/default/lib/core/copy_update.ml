@@ -1,0 +1,19 @@
+open Xut_xml
+open Xut_xpath
+
+let transform update root =
+  (* Snapshot first (the "copy" of copy-and-update)... *)
+  let snapshot =
+    match Node.refresh_ids (Node.Element root) with
+    | Node.Element e -> e
+    | Node.Text _ | Node.Comment _ | Node.Pi _ -> assert false
+  in
+  Node.iter_elements (fun _ -> Stats.copy ()) snapshot;
+  (* ...then update the snapshot in place (modelled purely). *)
+  let selected = Eval.select_doc snapshot (Transform_ast.path update) in
+  let ids = Eval.node_set_ids selected in
+  let mem e =
+    Stats.visit ();
+    Hashtbl.mem ids (Node.id e)
+  in
+  Semantics.rebuild ~mem update snapshot

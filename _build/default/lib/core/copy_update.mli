@@ -1,0 +1,10 @@
+open Xut_xml
+
+(** The copy-and-update baseline (our GalaXUpdate stand-in): take a full
+    snapshot copy of the document, then perform the embedded update on
+    the snapshot.  Node-set membership is an O(1) id lookup, but the
+    snapshot means time and memory are always linear in |T|, with no
+    pruning and no sharing — the behaviour the paper attributes to
+    Galax's transform implementation (Section 7.1). *)
+
+val transform : Transform_ast.update -> Node.element -> Node.element

@@ -1,0 +1,32 @@
+type algo = Reference | Naive | Gentop | Td_bu | Two_pass_sax | Galax_update
+
+let all = [ Reference; Naive; Gentop; Td_bu; Two_pass_sax; Galax_update ]
+
+let name = function
+  | Reference -> "reference"
+  | Naive -> "NAIVE"
+  | Gentop -> "GENTOP"
+  | Td_bu -> "TD-BU"
+  | Two_pass_sax -> "twoPassSAX"
+  | Galax_update -> "GalaXUpdate"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "reference" -> Some Reference
+  | "naive" -> Some Naive
+  | "gentop" | "topdown" | "top-down" -> Some Gentop
+  | "td-bu" | "tdbu" | "twopass" | "two-pass" -> Some Td_bu
+  | "twopasssax" | "sax" -> Some Two_pass_sax
+  | "galaxupdate" | "copy" | "copy-update" -> Some Galax_update
+  | _ -> None
+
+let transform algo update root =
+  match algo with
+  | Reference -> Semantics.apply update root
+  | Naive -> Naive.transform update root
+  | Gentop -> Top_down.transform update root
+  | Td_bu -> Two_pass.transform update root
+  | Two_pass_sax -> Sax_transform.transform update root
+  | Galax_update -> Copy_update.transform update root
+
+let run algo (q : Transform_ast.t) ~doc = transform algo q.update doc

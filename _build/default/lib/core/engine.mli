@@ -1,0 +1,25 @@
+open Xut_xml
+
+(** Uniform front door over the five evaluation strategies, named as in
+    the experimental study (Section 7.1). *)
+
+type algo =
+  | Reference    (** the conceptual semantics (copy + apply), spec only *)
+  | Naive        (** NAIVE: Fig. 2 rewriting behaviour, quadratic scan *)
+  | Gentop       (** GENTOP: topDown with native qualifier evaluation *)
+  | Td_bu        (** TD-BU: twoPass = bottomUp annotations + topDown *)
+  | Two_pass_sax (** twoPassSAX: streaming, two SAX parses *)
+  | Galax_update (** GalaXUpdate stand-in: snapshot copy-and-update *)
+
+val all : algo list
+val name : algo -> string
+val of_string : string -> algo option
+
+val transform : algo -> Transform_ast.update -> Node.element -> Node.element
+(** Evaluate the transform query with the given engine on an in-memory
+    document, returning the result tree.  The input tree is never
+    modified (transform queries are non-updating). *)
+
+val run : algo -> Transform_ast.t -> doc:Node.element -> Node.element
+(** Evaluate a full transform query against the document bound to its
+    [doc("...")] reference. *)

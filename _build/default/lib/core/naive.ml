@@ -1,0 +1,12 @@
+open Xut_xml
+open Xut_xpath
+
+let transform update root =
+  let xp = Eval.select_doc root (Transform_ast.path update) in
+  (* Linear scan per node: the quadratic membership test of Fig. 2. *)
+  let mem e =
+    Stats.visit ();
+    Stats.copy ();
+    List.exists (fun x -> Node.id x = Node.id e) xp
+  in
+  Semantics.rebuild ~mem update root

@@ -1,0 +1,9 @@
+open Xut_xml
+
+(** The Naive Method (Section 3.1): materialize [$xp = r\[\[p\]\]], then
+    rebuild the whole tree, testing membership [n ∈ $xp] by scanning the
+    node list — exactly the behaviour of the Fig. 2 rewriting on an
+    engine that does not optimize the membership test.  Worst case
+    O(|T|²); always traverses and copies the entire document. *)
+
+val transform : Transform_ast.update -> Node.element -> Node.element

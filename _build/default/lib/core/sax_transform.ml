@@ -1,0 +1,214 @@
+open Xut_xml
+open Xut_xpath
+open Xut_automata
+
+exception Unsupported_streaming of string
+
+type source = (Sax.event -> unit) -> unit
+
+type run_stats = { max_stack_depth : int; truth_entries : int; elements_seen : int }
+
+(* Ld: truth of top-level qualifier [lq] at the element with document-order
+   number [seq].  Both passes number start-tags identically, so (seq, lq)
+   is a faithful replacement for the paper's cursor ids. *)
+module Truth = struct
+  type t = (int * int, bool) Hashtbl.t
+
+  let create () : t = Hashtbl.create 1024
+  let set t seq lq v = Hashtbl.replace t (seq, lq) v
+  let get t seq lq = try Hashtbl.find t (seq, lq) with Not_found -> false
+end
+
+(* ---------------- pass 1: SAX bottomUp ---------------- *)
+
+type p1_frame = {
+  states : int list;  (* unfiltered NFA states after this start-tag *)
+  all_seeds : int list;
+  candidates : int list;  (* child-seed candidates *)
+  csat : bool array;
+  text : Buffer.t;
+  attrs : (string * string) list;
+  name : string;
+  seq : int;
+}
+
+let pass1 nfa source truth =
+  let lq = Selecting_nfa.lq nfa in
+  let nlq = Lq.length lq in
+  let stack : p1_frame list ref = ref [] in
+  let skip = ref 0 in
+  let seq = ref (-1) in
+  let max_depth = ref 0 in
+  let handle = function
+    | Sax.Start_document | Sax.End_document | Sax.Comment_event _ | Sax.Pi_event _ -> ()
+    | Sax.Start_element (name, attrs) ->
+      incr seq;
+      if !skip > 0 then incr skip
+      else begin
+        let parent_states, parent_candidates =
+          match !stack with
+          | [] -> Selecting_nfa.start_set nfa, []
+          | f :: _ -> f.states, f.candidates
+        in
+        let states = Selecting_nfa.next_states_unchecked nfa parent_states name in
+        let kid_seeds =
+          List.filter (fun p -> not (Lq.label_blocked lq p name)) parent_candidates
+        in
+        let top_quals =
+          List.filter_map
+            (fun s ->
+              if Selecting_nfa.has_qual nfa s then Some (Selecting_nfa.state_lq nfa s) else None)
+            states
+        in
+        let all_seeds = List.sort_uniq compare (kid_seeds @ top_quals) in
+        if states = [] && all_seeds = [] then skip := 1
+        else begin
+          let _, candidates = Annotator.expand lq ~name all_seeds in
+          stack :=
+            { states; all_seeds; candidates; csat = Array.make nlq false;
+              text = Buffer.create 16; attrs; name; seq = !seq }
+            :: !stack;
+          max_depth := max !max_depth (List.length !stack)
+        end
+      end
+    | Sax.Characters t -> (
+      if !skip = 0 then
+        match !stack with f :: _ -> Buffer.add_string f.text t | [] -> ())
+    | Sax.End_element _ ->
+      if !skip > 0 then decr skip
+      else begin
+        match !stack with
+        | [] -> ()
+        | f :: rest ->
+          stack := rest;
+          let sat =
+            Lq.eval_at lq ~name:f.name ~attrs:f.attrs ~text:(Buffer.contents f.text)
+              ~csat:(fun i -> f.csat.(i)) ~wanted:f.all_seeds
+          in
+          List.iter
+            (fun s ->
+              if Selecting_nfa.has_qual nfa s then begin
+                let i = Selecting_nfa.state_lq nfa s in
+                Truth.set truth f.seq i sat.(i)
+              end)
+            f.states;
+          (match rest with
+          | parent :: _ ->
+            for i = 0 to nlq - 1 do
+              if sat.(i) then parent.csat.(i) <- true
+            done
+          | [] -> ())
+      end
+  in
+  source handle;
+  !max_depth, !seq + 1
+
+(* ---------------- pass 2: SAX topDown ---------------- *)
+
+type p2_frame = { fstates : int list; out_name : string; matched : bool }
+
+let emit_node sink node =
+  let rec go = function
+    | Node.Element e ->
+      sink (Sax.Start_element (Node.name e, Node.attrs e));
+      List.iter go (Node.children e);
+      sink (Sax.End_element (Node.name e))
+    | Node.Text s -> sink (Sax.Characters s)
+    | Node.Comment s -> sink (Sax.Comment_event s)
+    | Node.Pi (t, c) -> sink (Sax.Pi_event (t, c))
+  in
+  go node
+
+let pass2 nfa update source truth sink =
+  let root_matched = Selecting_nfa.selects_context nfa in
+  let stack : p2_frame list ref = ref [] in
+  let skip = ref 0 in
+  let seq = ref (-1) in
+  let produced_root = ref false in
+  let handle = function
+    | Sax.Start_document -> sink Sax.Start_document
+    | Sax.End_document ->
+      if not !produced_root then
+        raise (Transform_ast.Invalid_update "update deletes the document element");
+      sink Sax.End_document
+    | Sax.Comment_event _ as ev -> if !skip = 0 && !stack <> [] then sink ev
+    | Sax.Pi_event _ as ev -> if !skip = 0 && !stack <> [] then sink ev
+    | Sax.Characters t -> if !skip = 0 && !stack <> [] then sink (Sax.Characters t)
+    | Sax.Start_element (name, attrs) ->
+      incr seq;
+      if !skip > 0 then incr skip
+      else begin
+        let at_root = !stack = [] in
+        let parent_states =
+          match !stack with [] -> Selecting_nfa.start_set nfa | f :: _ -> f.fstates
+        in
+        let checkp s = Truth.get truth !seq (Selecting_nfa.state_lq nfa s) in
+        let fstates = Selecting_nfa.next_states nfa ~checkp parent_states name in
+        let matched = Selecting_nfa.accepts nfa fstates || (at_root && root_matched) in
+        let push out_name =
+          if at_root then produced_root := true;
+          stack := { fstates; out_name; matched } :: !stack
+        in
+        match update, matched with
+        | Transform_ast.Delete _, true ->
+          if at_root then
+            raise (Transform_ast.Invalid_update "update deletes the document element");
+          skip := 1
+        | Transform_ast.Replace (_, enew), true ->
+          (match enew, at_root with
+          | Node.Element _, _ | _, false -> ()
+          | (Node.Text _ | Node.Comment _ | Node.Pi _), true ->
+            raise
+              (Transform_ast.Invalid_update
+                 "update replaces the document element with a non-element"));
+          if at_root then produced_root := true;
+          emit_node sink enew;
+          skip := 1
+        | Transform_ast.Rename (_, l), true ->
+          sink (Sax.Start_element (l, attrs));
+          push l
+        | Transform_ast.Insert_first (_, enew), true ->
+          sink (Sax.Start_element (name, attrs));
+          emit_node sink enew;
+          push name
+        | (Transform_ast.Insert _ | Transform_ast.Insert_first _ | Transform_ast.Delete _
+          | Transform_ast.Replace _ | Transform_ast.Rename _), _ ->
+          sink (Sax.Start_element (name, attrs));
+          push name
+      end
+    | Sax.End_element _ ->
+      if !skip > 0 then decr skip
+      else begin
+        match !stack with
+        | [] -> ()
+        | f :: rest ->
+          stack := rest;
+          (match update, f.matched with
+          | Transform_ast.Insert (_, enew), true -> emit_node sink enew
+          | _ -> ());
+          sink (Sax.End_element f.out_name)
+      end
+  in
+  source handle
+
+let run nfa update ~source ~sink =
+  (match Selecting_nfa.ctx_qual nfa with
+  | Ast.Q_true -> ()
+  | q ->
+    raise
+      (Unsupported_streaming
+         ("context qualifier [" ^ Ast.qual_to_string q ^ "] cannot be checked in streaming mode")));
+  let truth = Truth.create () in
+  let max_depth, elements = pass1 nfa source truth in
+  pass2 nfa update source truth sink;
+  { max_stack_depth = max_depth; truth_entries = Hashtbl.length truth; elements_seen = elements }
+
+let transform update root =
+  let nfa = Selecting_nfa.of_path (Transform_ast.path update) in
+  let b = Dom.Builder.create () in
+  let _ = run nfa update ~source:(Sax.events_of_tree root) ~sink:(Dom.Builder.handler b) in
+  Dom.Builder.result b
+
+let transform_file update ~src ~out =
+  let nfa = Selecting_nfa.of_path (Transform_ast.path update) in
+  run nfa update ~source:(fun h -> Sax.parse_file src h) ~sink:(Serialize.event_sink out)

@@ -1,0 +1,50 @@
+open Xut_xml
+open Xut_xpath
+
+let refresh = Node.refresh_ids
+
+let apply_matched update (e : Node.element) ~(kids : Node.t list) : Node.t list =
+  match update with
+  | Transform_ast.Delete _ -> []
+  | Transform_ast.Replace (_, enew) -> [ refresh enew ]
+  | Transform_ast.Insert (_, enew) ->
+    [ Node.Element (Node.element ~attrs:(Node.attrs e) (Node.name e) (kids @ [ refresh enew ])) ]
+  | Transform_ast.Insert_first (_, enew) ->
+    [ Node.Element (Node.element ~attrs:(Node.attrs e) (Node.name e) (refresh enew :: kids)) ]
+  | Transform_ast.Rename (_, l) ->
+    [ Node.Element (Node.element ~attrs:(Node.attrs e) l kids) ]
+
+let rebuild ~mem update root =
+  let rec node n =
+    match n with
+    | Node.Element e ->
+      let kids = List.concat_map node (Node.children e) in
+      if mem e then apply_matched update e ~kids
+      else [ Node.Element (Node.element ~attrs:(Node.attrs e) (Node.name e) kids) ]
+    | Node.Text _ | Node.Comment _ | Node.Pi _ -> [ n ]
+  in
+  match node (Node.Element root) with
+  | [ Node.Element e ] -> e
+  | [] -> raise (Transform_ast.Invalid_update "update deletes the document element")
+  | [ _ ] | _ :: _ ->
+    raise (Transform_ast.Invalid_update "update replaces the document element with a non-element")
+
+let apply update root =
+  let selected = Eval.select_doc root (Transform_ast.path update) in
+  let ids = Eval.node_set_ids selected in
+  rebuild ~mem:(fun e -> Hashtbl.mem ids (Node.id e)) update root
+
+let ctx_holds nfa root =
+  match Xut_automata.Selecting_nfa.ctx_qual nfa with
+  | Ast.Q_true -> true
+  | q ->
+    let doc = Node.element "#document" [ Node.Element root ] in
+    Eval.check_qual doc q
+
+let apply_at_root update root =
+  let kids = Node.children root in
+  match apply_matched update root ~kids with
+  | [ Node.Element e ] -> e
+  | [] -> raise (Transform_ast.Invalid_update "update deletes the document element")
+  | [ _ ] | _ :: _ ->
+    raise (Transform_ast.Invalid_update "update replaces the document element with a non-element")

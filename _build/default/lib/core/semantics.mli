@@ -1,0 +1,28 @@
+open Xut_xml
+
+(** Reference semantics of transform queries (Section 2): materialize
+    [r\[\[p\]\]] with the direct evaluator, then rebuild the tree applying
+    the update.  Deliberately unoptimized — the specification every other
+    engine is tested against. *)
+
+val apply : Transform_ast.update -> Node.element -> Node.element
+(** @raise Transform_ast.Invalid_update when the update would delete the
+    document element or replace it with a non-element. *)
+
+val apply_matched :
+  Transform_ast.update -> Node.element -> kids:Node.t list -> Node.t list
+(** The node(s) a selected element becomes, given its already-processed
+    children. *)
+
+val rebuild :
+  mem:(Node.element -> bool) -> Transform_ast.update -> Node.element -> Node.element
+(** Full-copy rebuild applying the update at every element selected by
+    [mem]; shared by the Naive and copy-and-update baselines, which
+    differ only in how membership is decided. *)
+
+val ctx_holds : Xut_automata.Selecting_nfa.t -> Node.element -> bool
+(** Do the context qualifiers of the embedded path hold at the virtual
+    document node? *)
+
+val apply_at_root : Transform_ast.update -> Node.element -> Node.element
+(** Apply the update to the document element itself (the [p = '.'] case). *)

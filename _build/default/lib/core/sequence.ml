@@ -1,0 +1,25 @@
+type t = { var : string; doc : string; updates : Transform_ast.update list }
+
+let make ?(var = "a") ?(doc = "doc") updates = { var; doc; updates }
+
+let parse src =
+  let var, doc, updates = Transform_parser.parse_sequence src in
+  { var; doc; updates }
+
+let run algo t ~doc =
+  List.fold_left (fun acc u -> Engine.transform algo u acc) doc t.updates
+
+let pp ppf { var; doc; updates } =
+  match updates with
+  | [ u ] ->
+    Format.fprintf ppf "transform copy $%s := doc(\"%s\") modify do %a return $%s" var doc
+      Transform_ast.pp_update u var
+  | _ ->
+    Format.fprintf ppf "transform copy $%s := doc(\"%s\") modify do (@[<v>%a@]) return $%s" var
+      doc
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+         Transform_ast.pp_update)
+      updates var
+
+let to_string t = Format.asprintf "%a" pp t

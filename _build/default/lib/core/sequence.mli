@@ -1,0 +1,36 @@
+open Xut_xml
+
+(** Compound transform queries: a sequence of updates in one [modify]
+    clause —
+
+    {v
+    transform copy $a := doc("T") modify do (
+      delete $a/order/customer/creditcard,
+      rename $a/order/items as lines,
+      insert <stamp/> into $a/order
+    ) return $a
+    v}
+
+    Updates apply {e left to right}, each against the result of the
+    previous — i.e. the sequence is the composition of the single-update
+    transform queries, matching the intuition of chaining hypothetical
+    worlds.  (W3C XQuery Update instead collects a pending update list
+    against the snapshot; the sequential semantics here is the natural
+    one for transform queries, where each step is itself a query.)
+
+    This is one of the "more involved updates" the paper leaves as
+    future work (Section 9). *)
+
+type t = { var : string; doc : string; updates : Transform_ast.update list }
+
+val make : ?var:string -> ?doc:string -> Transform_ast.update list -> t
+
+val parse : string -> t
+(** @raise Transform_parser.Parse_error on malformed input. *)
+
+val run : Engine.algo -> t -> doc:Node.element -> Node.element
+(** Apply the updates left to right with the chosen engine.
+    @raise Transform_ast.Invalid_update as single-update evaluation. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,19 @@
+type snapshot = { visited : int; copied : int; shared : int }
+
+let visited = ref 0
+let copied = ref 0
+let shared = ref 0
+
+let reset () =
+  visited := 0;
+  copied := 0;
+  shared := 0
+
+let visit () = incr visited
+let copy () = incr copied
+let share () = incr shared
+
+let read () = { visited = !visited; copied = !copied; shared = !shared }
+
+let pp ppf s =
+  Format.fprintf ppf "visited=%d copied=%d shared=%d" s.visited s.copied s.shared

@@ -1,0 +1,17 @@
+(** Lightweight instrumentation counters.
+
+    The paper's claim that the automaton methods "traverse only the
+    necessary part of the tree" is observable through these: each engine
+    ticks [visited] per element it examines and [copied] per element it
+    rebuilds. Counters are global and single-threaded, like the engines. *)
+
+type snapshot = { visited : int; copied : int; shared : int }
+
+val reset : unit -> unit
+val visit : unit -> unit
+val copy : unit -> unit
+val share : unit -> unit
+(** An entire subtree was returned without inspection. *)
+
+val read : unit -> snapshot
+val pp : Format.formatter -> snapshot -> unit

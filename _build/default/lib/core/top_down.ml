@@ -1,0 +1,100 @@
+open Xut_xml
+open Xut_automata
+
+type checkp = int -> Node.element -> bool
+
+let direct_checkp nfa s n = Xut_xpath.Eval.check_qual n (Selecting_nfa.state_qual nfa s)
+
+(* Rebuild element [e] from processed children, preserving physical
+   sharing (and skipping the copy) when nothing below changed. *)
+let rebuild_elem e kids =
+  let unchanged =
+    List.length kids = List.length (Node.children e)
+    && List.for_all2 (fun a b -> a == b) kids (Node.children e)
+  in
+  if unchanged then Node.Element e
+  else begin
+    Stats.copy ();
+    Node.Element (Node.element ~attrs:(Node.attrs e) (Node.name e) kids)
+  end
+
+let make_go ~checkp nfa update =
+  let rec go (e : Node.element) states : Node.t list =
+      Stats.visit ();
+      let states' =
+        Selecting_nfa.next_states nfa ~checkp:(fun s -> checkp s e) states (Node.name e)
+      in
+      if states' = [] then begin
+        Stats.share ();
+        [ Node.Element e ]
+      end
+      else begin
+        let matched = Selecting_nfa.accepts nfa states' in
+        match update, matched with
+        | Transform_ast.Delete _, true -> []
+        | Transform_ast.Replace (_, enew), true ->
+          Stats.copy ();
+          [ Node.refresh_ids enew ]
+        | (Transform_ast.Insert _ | Transform_ast.Insert_first _ | Transform_ast.Rename _
+          | Transform_ast.Delete _ | Transform_ast.Replace _), _ ->
+          let kids =
+            List.concat_map
+              (function
+                | Node.Element c -> go c states'
+                | (Node.Text _ | Node.Comment _ | Node.Pi _) as other -> [ other ])
+              (Node.children e)
+          in
+          if matched then Semantics.apply_matched update e ~kids
+          else [ rebuild_elem e kids ]
+      end
+  in
+  go
+
+let run ?checkp nfa update root =
+  let checkp = match checkp with Some f -> f | None -> direct_checkp nfa in
+  if not (Semantics.ctx_holds nfa root) then root
+  else if Selecting_nfa.selects_context nfa then Semantics.apply_at_root update root
+  else begin
+    let go = make_go ~checkp nfa update in
+    match go root (Selecting_nfa.start_set nfa) with
+    | [ Node.Element e ] -> e
+    | [] -> raise (Transform_ast.Invalid_update "update deletes the document element")
+    | [ _ ] | _ :: _ ->
+      raise (Transform_ast.Invalid_update "update replaces the document element with a non-element")
+  end
+
+let transform_at ?checkp nfa update ~states (e : Node.element) : Node.t list =
+  let checkp = match checkp with Some f -> f | None -> direct_checkp nfa in
+  let go = make_go ~checkp nfa update in
+  (* [states] comes from the static delta' simulation of the Compose
+     Method: label consistency and qualifiers have not been checked yet,
+     so settle both at [e] before deciding anything. *)
+  let alive =
+    List.filter
+      (fun s ->
+        Selecting_nfa.consistent_at nfa s (Node.name e)
+        && ((not (Selecting_nfa.has_qual nfa s)) || checkp s e))
+      states
+  in
+  if alive = [] then [ Node.Element e ]
+  else begin
+    let matched = Selecting_nfa.accepts nfa alive in
+    match update, matched with
+    | Transform_ast.Delete _, true -> []
+    | Transform_ast.Replace (_, enew), true -> [ Node.refresh_ids enew ]
+    | (Transform_ast.Insert _ | Transform_ast.Insert_first _ | Transform_ast.Rename _
+      | Transform_ast.Delete _ | Transform_ast.Replace _), _ ->
+      let kids =
+        List.concat_map
+          (function
+            | Node.Element c -> go c alive
+            | (Node.Text _ | Node.Comment _ | Node.Pi _) as other -> [ other ])
+          (Node.children e)
+      in
+      if matched then Semantics.apply_matched update e ~kids
+      else [ rebuild_elem e kids ]
+  end
+
+let transform update root =
+  let nfa = Selecting_nfa.of_path (Transform_ast.path update) in
+  run nfa update root

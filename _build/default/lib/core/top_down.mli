@@ -1,0 +1,39 @@
+open Xut_xml
+open Xut_automata
+
+(** Algorithm [topDown] (Section 3.3, Fig. 3).
+
+    A single top-down pass runs the selecting NFA while rebuilding the
+    tree; subtrees where the state set empties are returned {e shared},
+    without inspection — the pruning that separates this method from the
+    Naive one.  Qualifier checking is pluggable: the default consults the
+    direct evaluator at each node (the GENTOP configuration, where the
+    "host engine" evaluates qualifiers natively); the Two-pass method
+    passes the O(1) oracle from {!Xut_automata.Annotator} instead. *)
+
+type checkp = int -> Node.element -> bool
+(** [checkp s n]: does the qualifier of NFA state [s] hold at [n]? *)
+
+val direct_checkp : Selecting_nfa.t -> checkp
+(** Qualifier evaluation by the direct evaluator (GENTOP). *)
+
+val run : ?checkp:checkp -> Selecting_nfa.t -> Transform_ast.update -> Node.element -> Node.element
+(** Evaluate the transform query whose embedded path built [nfa].
+    @raise Transform_ast.Invalid_update as {!Semantics.apply}. *)
+
+val transform : Transform_ast.update -> Node.element -> Node.element
+(** Convenience: build the NFA from the update's path and {!run} with the
+    direct oracle. *)
+
+val transform_at :
+  ?checkp:checkp ->
+  Selecting_nfa.t ->
+  Transform_ast.update ->
+  states:int list ->
+  Node.element ->
+  Node.t list
+(** The runtime [topDown(Mp, S, Qt, $z)] helper of the Compose Method
+    (Section 4): apply the update at and below a node reached with the
+    statically computed state set [states] (qualifiers are checked here,
+    since delta' cannot).  Returns the transformed forest — empty when a
+    matched delete erases the node itself. *)

@@ -1,0 +1,56 @@
+open Xut_xml
+open Xut_xpath
+
+type update =
+  | Insert of Ast.path * Node.t
+  | Insert_first of Ast.path * Node.t
+  | Delete of Ast.path
+  | Replace of Ast.path * Node.t
+  | Rename of Ast.path * string
+
+type t = { var : string; doc : string; update : update }
+
+exception Invalid_update of string
+
+let make ?(var = "a") ?(doc = "doc") update = { var; doc; update }
+
+let path = function
+  | Insert (p, _) | Insert_first (p, _) | Delete p | Replace (p, _) | Rename (p, _) -> p
+
+let with_path u p =
+  match u with
+  | Insert (_, e) -> Insert (p, e)
+  | Insert_first (_, e) -> Insert_first (p, e)
+  | Delete _ -> Delete p
+  | Replace (_, e) -> Replace (p, e)
+  | Rename (_, l) -> Rename (p, l)
+
+let update_kind = function
+  | Insert _ | Insert_first _ -> "insert"
+  | Delete _ -> "delete"
+  | Replace _ -> "replace"
+  | Rename _ -> "rename"
+
+(* "$a" then the path: a path opening with '//' already prints its
+   separator. *)
+let var_path p =
+  let s = Ast.path_to_string p in
+  if String.length s >= 2 && s.[0] = '/' && s.[1] = '/' then "$a" ^ s else "$a/" ^ s
+
+let pp_update ppf = function
+  | Insert (p, e) ->
+    Format.fprintf ppf "insert %s into %s" (Serialize.to_string e) (var_path p)
+  | Insert_first (p, e) ->
+    Format.fprintf ppf "insert %s as first into %s" (Serialize.to_string e) (var_path p)
+  | Delete p -> Format.fprintf ppf "delete %s" (var_path p)
+  | Replace (p, e) ->
+    Format.fprintf ppf "replace %s with %s" (var_path p) (Serialize.to_string e)
+  | Rename (p, l) -> Format.fprintf ppf "rename %s as %s" (var_path p) l
+
+let update_to_string u = Format.asprintf "%a" pp_update u
+
+let pp ppf { var; doc; update } =
+  Format.fprintf ppf "transform copy $%s := doc(\"%s\") modify do %a return $%s" var doc
+    pp_update update var
+
+let to_string t = Format.asprintf "%a" pp t

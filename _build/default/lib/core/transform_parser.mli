@@ -1,0 +1,24 @@
+(** Parser for transform queries in the concrete syntax of Section 2:
+
+    {v
+    transform copy $a := doc("foo") modify
+      do delete $a//supplier[country = "A"]/price
+    return $a
+    v}
+
+    Inserted/replacement elements are XML literals parsed by the XML
+    substrate; paths are parsed by the X parser. *)
+
+exception Parse_error of string
+
+val parse : string -> Transform_ast.t
+
+val parse_update : string -> Transform_ast.update
+(** Parse just an update expression, e.g.
+    [insert <foo/> into $a/site/people]. *)
+
+val parse_sequence : string -> string * string * Transform_ast.update list
+(** Parse a transform query whose [modify do] clause may hold a
+    parenthesized, comma-separated sequence of updates, applied left to
+    right (see {!Sequence}).  Returns (variable, document name, updates);
+    a single un-parenthesized update yields a one-element list. *)

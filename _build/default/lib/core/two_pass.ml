@@ -1,0 +1,11 @@
+open Xut_automata
+
+let run nfa update root =
+  let table = Annotator.annotate nfa root in
+  Top_down.run ~checkp:(Annotator.checkp table nfa) nfa update root
+
+let transform update root =
+  let nfa = Selecting_nfa.of_path (Transform_ast.path update) in
+  run nfa update root
+
+let annotated_nodes nfa root = Annotator.annotated_count (Annotator.annotate nfa root)

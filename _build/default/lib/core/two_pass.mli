@@ -1,0 +1,16 @@
+open Xut_xml
+open Xut_automata
+
+(** Algorithm [twoPass] (Section 5, Fig. 10): the bottom-up annotation
+    pass ({!Xut_automata.Annotator}) makes every qualifier check O(1),
+    then {!Top_down} runs with the annotation oracle.  Data complexity is
+    linear in |T| regardless of qualifier complexity — the TD-BU engine
+    of the experiments. *)
+
+val transform : Transform_ast.update -> Node.element -> Node.element
+
+val run : Selecting_nfa.t -> Transform_ast.update -> Node.element -> Node.element
+(** Like {!transform} with a prebuilt NFA. *)
+
+val annotated_nodes : Selecting_nfa.t -> Node.element -> int
+(** Instrumentation: how many elements the first pass annotates. *)

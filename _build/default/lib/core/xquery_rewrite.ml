@@ -1,0 +1,64 @@
+open Xut_xquery
+
+let mem_test =
+  (* some $x in $xp satisfies ($n is $x) *)
+  Xq_ast.Quant (`Some, "x", Xq_ast.Var "xp", Xq_ast.Is (Xq_ast.Var "n", Xq_ast.Var "x"))
+
+let recurse_children =
+  (* for $c in xut:children($n) return local:apply($c, $xp) *)
+  Xq_ast.Flwor
+    ( [ Xq_ast.For ("c", Xq_ast.Call ("xut:children", [ Xq_ast.Var "n" ])) ],
+      None,
+      Xq_ast.Call ("local:apply", [ Xq_ast.Var "c"; Xq_ast.Var "xp" ]) )
+
+let rebuild ?(name = Xq_ast.Call ("fn:local-name", [ Xq_ast.Var "n" ])) ?(before = []) extra =
+  (* element {name} { $n/@*, before, children..., extra } *)
+  Xq_ast.ElemDyn
+    ( name,
+      Xq_ast.Seq
+        ([ Xq_ast.AttrPath (Xq_ast.Var "n", [], "*") ] @ before @ [ recurse_children ] @ extra) )
+
+let apply_body (update : Transform_ast.update) =
+  let if_elem e =
+    Xq_ast.If (Xq_ast.Call ("xut:is-element", [ Xq_ast.Var "n" ]), e, Xq_ast.Var "n")
+  in
+  match update with
+  | Transform_ast.Insert (_, enew) ->
+    if_elem
+      (rebuild [ Xq_ast.If (mem_test, Xq_ast.NodeConst enew, Xq_ast.Empty) ])
+  | Transform_ast.Insert_first (_, enew) ->
+    if_elem
+      (rebuild ~before:[ Xq_ast.If (mem_test, Xq_ast.NodeConst enew, Xq_ast.Empty) ] [])
+  | Transform_ast.Delete _ -> if_elem (Xq_ast.If (mem_test, Xq_ast.Empty, rebuild []))
+  | Transform_ast.Replace (_, enew) ->
+    if_elem (Xq_ast.If (mem_test, Xq_ast.NodeConst enew, rebuild []))
+  | Transform_ast.Rename (_, label) ->
+    if_elem
+      (rebuild
+         ~name:
+           (Xq_ast.If (mem_test, Xq_ast.Str label, Xq_ast.Call ("fn:local-name", [ Xq_ast.Var "n" ])))
+         [])
+
+let rewrite (q : Transform_ast.t) =
+  let doc_e = Xq_ast.Call ("doc", [ Xq_ast.Str q.doc ]) in
+  let path = Transform_ast.path q.update in
+  let xp = Xq_ast.Path (doc_e, path) in
+  let body =
+    Xq_ast.Flwor
+      ( [ Xq_ast.LetC ("xp", xp) ],
+        None,
+        Xq_ast.DocCtor
+          (Xq_ast.Flwor
+             ( [ Xq_ast.For ("n", Xq_ast.Path (doc_e, Xut_xpath.Parser.parse "*")) ],
+               None,
+               Xq_ast.Call ("local:apply", [ Xq_ast.Var "n"; Xq_ast.Var "xp" ]) )) )
+  in
+  Xq_ast.program
+    ~functions:[ { Xq_ast.fname = "local:apply"; params = [ "n"; "xp" ]; body = apply_body q.update } ]
+    body
+
+let rewrite_to_string q = Xq_ast.program_to_string (rewrite q)
+
+let run (q : Transform_ast.t) ~doc =
+  let env = Xq_eval.env ~docs:[ (q.Transform_ast.doc, doc) ] ~context:doc () in
+  Xq_eval.value_to_element (Xq_eval.eval_program env (rewrite q))

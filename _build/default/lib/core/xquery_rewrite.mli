@@ -1,0 +1,17 @@
+open Xut_xml
+open Xut_xquery
+
+(** The Naive Method as actual query rewriting (Section 3.1, Fig. 2):
+    translate a transform query into a standard XQuery program for the
+    mini engine.  The program materializes [$xp := doc(T)/p] and rebuilds
+    the document with a recursive function whose membership test
+    ([some $x in $xp satisfies ($n is $x)]) is the quadratic scan the
+    NAIVE measurements exhibit. *)
+
+val rewrite : Transform_ast.t -> Xq_ast.program
+
+val rewrite_to_string : Transform_ast.t -> string
+(** The program as XQuery text (parseable by {!Xut_xquery.Xq_parser}). *)
+
+val run : Transform_ast.t -> doc:Node.element -> Node.element
+(** Rewrite, evaluate on the mini engine, return the document element. *)

@@ -1,0 +1,1 @@
+lib/xmark/generator.ml: Array Buffer Float List Node Out_channel Printf Prng Serialize String Words Xut_xml

@@ -1,0 +1,1 @@
+lib/xmark/prng.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/xmark/prng.mli:

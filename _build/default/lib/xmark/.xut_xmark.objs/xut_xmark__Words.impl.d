@@ -1,0 +1,1 @@
+lib/xmark/words.ml: Buffer Prng

@@ -1,0 +1,40 @@
+open Xut_xml
+
+(** Synthetic XMark-style documents (the substitute for xmlgen; see
+    DESIGN.md "Substitutions").
+
+    The generator reproduces the auction-site schema shape of XMark
+    [Schmidt et al., VLDB 2002] — regions/items, people/profiles, open
+    and closed auctions, and the recursive parlist/listitem description
+    structure with [emph]/[keyword] inline markup — together with the
+    value distributions the Fig. 11 queries select on:
+
+    - person ids ["person0"], ["person1"], ... (U2)
+    - [profile/age] in 18..60, present with p=0.6 (U3)
+    - [location = "United States"] with p=0.75 (U9)
+    - [bidder/increase] in 1..30 (U7, U10), [initial], [reserve] (U8)
+    - [annotation/happiness] in 0..29 (U7)
+    - closed-auction descriptions nest parlists two deep with
+      [text/emph/keyword] inside (U6)
+
+    Element counts scale linearly with [factor], using XMark's own
+    proportions (21750 items, 25500 persons, 12000 open and 9750 closed
+    auctions at factor 1.0). *)
+
+type counts = {
+  items : int;
+  persons : int;
+  open_auctions : int;
+  closed_auctions : int;
+  categories : int;
+}
+
+val counts : factor:float -> counts
+
+val generate : ?seed:int64 -> factor:float -> unit -> Node.element
+(** Build the [site] document element.  Deterministic for a given
+    [seed] (default 42) and [factor]. *)
+
+val to_file : ?seed:int64 -> factor:float -> string -> unit
+(** Generate and serialize to a file (streamed; used to create the large
+    documents of the Fig. 14 experiment without holding the tree). *)

@@ -1,0 +1,33 @@
+(* Vocabulary for generated prose, in the spirit of xmlgen's Shakespeare
+   extracts: enough variety that string predicates are selective. *)
+
+let words =
+  [| "gold"; "silver"; "vintage"; "rare"; "auction"; "lot"; "item"; "fine"; "antique";
+     "mint"; "condition"; "original"; "boxed"; "signed"; "limited"; "edition"; "classic";
+     "collector"; "estate"; "imported"; "handmade"; "restored"; "pristine"; "certified";
+     "appraised"; "catalog"; "reserve"; "bidding"; "starts"; "today"; "shipping";
+     "included"; "worldwide"; "payment"; "accepted"; "creditcard"; "money"; "order";
+     "cash"; "delivery"; "business"; "days"; "quality"; "guaranteed"; "authentic";
+     "provenance"; "documented"; "museum"; "grade"; "exceptional" |]
+
+let countries =
+  [| "United States"; "Germany"; "France"; "Japan"; "China"; "Brazil"; "Kenya"; "Australia" |]
+
+let cities = [| "Springfield"; "Lyon"; "Osaka"; "Nairobi"; "Recife"; "Perth"; "Hamburg" |]
+
+let first_names = [| "Alice"; "Bob"; "Chen"; "Dora"; "Emil"; "Fatima"; "Goro"; "Hana"; "Ivan"; "Jo" |]
+
+let last_names =
+  [| "Smith"; "Muller"; "Tanaka"; "Okafor"; "Silva"; "Ivanov"; "Dupont"; "Wang"; "Brown"; "Kim" |]
+
+let payment_kinds = [| "Creditcard"; "Cash"; "Money order"; "Personal Check" |]
+
+let auction_types = [| "Regular"; "Featured"; "Dutch" |]
+
+let sentence rng n =
+  let buf = Buffer.create (n * 8) in
+  for i = 0 to n - 1 do
+    if i > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (Prng.choose rng words)
+  done;
+  Buffer.contents buf

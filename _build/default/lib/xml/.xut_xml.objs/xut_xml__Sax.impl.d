@@ -1,0 +1,1 @@
+lib/xml/sax.ml: Buffer Char Format Fun List Node Printf Reader String

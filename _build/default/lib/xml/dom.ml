@@ -1,0 +1,52 @@
+exception No_document_element
+
+module Builder = struct
+  (* Stack of open elements, children accumulated in reverse. *)
+  type frame = { name : string; attrs : (string * string) list; mutable rev_children : Node.t list }
+
+  type t = { mutable stack : frame list; mutable root : Node.element option }
+
+  let create () = { stack = []; root = None }
+
+  let add_child b node =
+    match b.stack with
+    | top :: _ -> top.rev_children <- node :: top.rev_children
+    | [] -> (
+      (* comments/PIs outside the document element are dropped *)
+      match node with
+      | Node.Element e -> b.root <- Some e
+      | Node.Text _ | Node.Comment _ | Node.Pi _ -> ())
+
+  let handle b = function
+    | Sax.Start_document | Sax.End_document -> ()
+    | Sax.Start_element (name, attrs) ->
+      b.stack <- { name; attrs; rev_children = [] } :: b.stack
+    | Sax.Characters s -> add_child b (Node.Text s)
+    | Sax.Comment_event s -> add_child b (Node.Comment s)
+    | Sax.Pi_event (t, c) -> add_child b (Node.Pi (t, c))
+    | Sax.End_element _ -> (
+      match b.stack with
+      | top :: rest ->
+        b.stack <- rest;
+        let e = Node.element ~attrs:top.attrs top.name (List.rev top.rev_children) in
+        add_child b (Node.Element e)
+      | [] -> invalid_arg "Dom.Builder: end element with empty stack")
+
+  let result b =
+    match b.root with
+    | Some e when b.stack = [] -> e
+    | Some _ -> invalid_arg "Dom.Builder: unclosed elements remain"
+    | None -> raise No_document_element
+
+  let handler b ev = handle b ev
+end
+
+let parse_string ?keep_ws src =
+  let b = Builder.create () in
+  Sax.parse_string ?keep_ws src (Builder.handler b);
+  Builder.result b
+
+let parse_file ?keep_ws path =
+  let b = Builder.create () in
+  Sax.parse_file ?keep_ws path (Builder.handler b);
+  Builder.result b

@@ -1,0 +1,123 @@
+type t =
+  | Element of element
+  | Text of string
+  | Comment of string
+  | Pi of string * string
+
+and element = {
+  id : int;
+  name : string;
+  attrs : (string * string) list;
+  children : t list;
+}
+
+let counter = ref 0
+
+let fresh_id () =
+  incr counter;
+  !counter
+
+let element ?(attrs = []) name children = { id = fresh_id (); name; attrs; children }
+let elem ?attrs name children = Element (element ?attrs name children)
+let text s = Text s
+let comment s = Comment s
+let pi target content = Pi (target, content)
+
+let with_children e children = { e with id = fresh_id (); children }
+let with_name e name = { e with id = fresh_id (); name }
+
+let name e = e.name
+let id e = e.id
+let children e = e.children
+let attrs e = e.attrs
+let attr e k = List.assoc_opt k e.attrs
+
+let child_elements e =
+  List.filter_map (function Element c -> Some c | Text _ | Comment _ | Pi _ -> None) e.children
+
+let text_content e =
+  let buf = Buffer.create 16 in
+  List.iter
+    (function Text s -> Buffer.add_string buf s | Element _ | Comment _ | Pi _ -> ())
+    e.children;
+  Buffer.contents buf
+
+let rec equal a b =
+  match a, b with
+  | Element x, Element y -> equal_element x y
+  | Text x, Text y -> String.equal x y
+  | Comment x, Comment y -> String.equal x y
+  | Pi (t1, c1), Pi (t2, c2) -> String.equal t1 t2 && String.equal c1 c2
+  | (Element _ | Text _ | Comment _ | Pi _), _ -> false
+
+and equal_element x y =
+  String.equal x.name y.name
+  && List.length x.attrs = List.length y.attrs
+  && List.for_all2 (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && String.equal v1 v2)
+       (List.sort Stdlib.compare x.attrs) (List.sort Stdlib.compare y.attrs)
+  && List.length x.children = List.length y.children
+  && List.for_all2 equal x.children y.children
+
+let rec compare a b =
+  match a, b with
+  | Element x, Element y ->
+    let c = String.compare x.name y.name in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare (List.sort Stdlib.compare x.attrs) (List.sort Stdlib.compare y.attrs) in
+      if c <> 0 then c else List.compare compare x.children y.children
+  | Text x, Text y -> String.compare x y
+  | Comment x, Comment y -> String.compare x y
+  | Pi (t1, c1), Pi (t2, c2) ->
+    let c = String.compare t1 t2 in
+    if c <> 0 then c else String.compare c1 c2
+  | Element _, (Text _ | Comment _ | Pi _) -> -1
+  | (Text _ | Comment _ | Pi _), Element _ -> 1
+  | Text _, (Comment _ | Pi _) -> -1
+  | (Comment _ | Pi _), Text _ -> 1
+  | Comment _, Pi _ -> -1
+  | Pi _, Comment _ -> 1
+
+let rec size = function
+  | Element e -> List.fold_left (fun acc c -> acc + size c) 1 e.children
+  | Text _ | Comment _ | Pi _ -> 1
+
+let rec element_count = function
+  | Element e -> List.fold_left (fun acc c -> acc + element_count c) 1 e.children
+  | Text _ | Comment _ | Pi _ -> 0
+
+let rec depth = function
+  | Element e -> 1 + List.fold_left (fun acc c -> max acc (depth c)) 0 e.children
+  | Text _ | Comment _ | Pi _ -> 1
+
+let rec fold_elements f acc e =
+  let acc = f acc e in
+  List.fold_left
+    (fun acc c ->
+      match c with Element ce -> fold_elements f acc ce | Text _ | Comment _ | Pi _ -> acc)
+    acc e.children
+
+let iter_elements f e = fold_elements (fun () e -> f e) () e
+
+let descendant_or_self e = List.rev (fold_elements (fun acc e -> e :: acc) [] e)
+
+let rec refresh_ids = function
+  | Element e ->
+    Element { e with id = fresh_id (); children = List.map refresh_ids e.children }
+  | (Text _ | Comment _ | Pi _) as n -> n
+
+let rec pp ppf = function
+  | Element e -> pp_element ppf e
+  | Text s -> Format.fprintf ppf "%S" s
+  | Comment s -> Format.fprintf ppf "<!--%s-->" s
+  | Pi (t, c) -> Format.fprintf ppf "<?%s %s?>" t c
+
+and pp_element ppf e =
+  Format.fprintf ppf "<%s" e.name;
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%S" k v) e.attrs;
+  match e.children with
+  | [] -> Format.fprintf ppf "/>"
+  | cs ->
+    Format.fprintf ppf ">";
+    List.iter (pp ppf) cs;
+    Format.fprintf ppf "</%s>" e.name

@@ -1,0 +1,79 @@
+(** Immutable XML tree model.
+
+    Elements carry a unique integer id, assigned when the element is built.
+    Ids give nodes an identity independent of structural equality, which the
+    transform algorithms use to key per-node annotations (the [sat] vectors
+    of Section 5) and to implement the node-set membership test of the Naive
+    method.  Structural operations ({!equal}, {!compare}) ignore ids. *)
+
+type t =
+  | Element of element
+  | Text of string
+  | Comment of string
+  | Pi of string * string  (** processing instruction: target, content *)
+
+and element = private {
+  id : int;
+  name : string;
+  attrs : (string * string) list;
+  children : t list;
+}
+
+val elem : ?attrs:(string * string) list -> string -> t list -> t
+(** [elem name children] builds an element node with a fresh id. *)
+
+val element : ?attrs:(string * string) list -> string -> t list -> element
+(** Like {!elem} but returns the record, for document roots. *)
+
+val text : string -> t
+val comment : string -> t
+val pi : string -> string -> t
+
+val with_children : element -> t list -> element
+(** Replace the child list, keeping name/attrs and allocating a fresh id. *)
+
+val with_name : element -> string -> element
+(** Rename, keeping attrs/children and allocating a fresh id. *)
+
+val name : element -> string
+val id : element -> int
+val children : element -> t list
+val attrs : element -> (string * string) list
+val attr : element -> string -> string option
+
+val child_elements : element -> element list
+
+val text_content : element -> string
+(** Concatenation of the element's {e direct} text children (the string
+    value used for qualifier comparisons; see DESIGN.md "String values"). *)
+
+val equal : t -> t -> bool
+(** Structural equality ignoring element ids. *)
+
+val equal_element : element -> element -> bool
+
+val compare : t -> t -> int
+(** Structural total order ignoring ids (document content order). *)
+
+val size : t -> int
+(** Number of nodes in the subtree (elements + texts + comments + PIs). *)
+
+val element_count : t -> int
+val depth : t -> int
+
+val fold_elements : ('a -> element -> 'a) -> 'a -> element -> 'a
+(** Pre-order fold over all elements of the subtree, root included. *)
+
+val iter_elements : (element -> unit) -> element -> unit
+
+val descendant_or_self : element -> element list
+(** All elements of the subtree in document order, root first. *)
+
+val refresh_ids : t -> t
+(** Deep copy with fresh ids for every element (used by the
+    copy-and-update baseline to model a full snapshot). *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer (single line, ids omitted). *)
+
+val pp_element : Format.formatter -> element -> unit

@@ -1,0 +1,73 @@
+type t = {
+  refill : bytes -> int;  (* fill the buffer, return the byte count; 0 = eof *)
+  buf : bytes;
+  mutable len : int;   (* valid bytes in [buf] *)
+  mutable pos : int;   (* cursor within [buf] *)
+  mutable finished : bool;
+  mutable line : int;
+  mutable bol_consumed : int;  (* consumed count at the beginning of the line *)
+  mutable consumed : int;      (* total characters consumed *)
+}
+
+let default_chunk = 65536
+
+let make refill chunk_size =
+  {
+    refill;
+    buf = Bytes.create chunk_size;
+    len = 0;
+    pos = 0;
+    finished = false;
+    line = 1;
+    bol_consumed = 0;
+    consumed = 0;
+  }
+
+let of_string s =
+  let offset = ref 0 in
+  let refill buf =
+    let n = min (String.length s - !offset) (Bytes.length buf) in
+    Bytes.blit_string s !offset buf 0 n;
+    offset := !offset + n;
+    n
+  in
+  make refill (min default_chunk (max 16 (String.length s)))
+
+let of_channel ?(chunk_size = default_chunk) ic =
+  make (fun buf -> input ic buf 0 (Bytes.length buf)) chunk_size
+
+let fill t =
+  if (not t.finished) && t.pos >= t.len then begin
+    let n = t.refill t.buf in
+    t.len <- n;
+    t.pos <- 0;
+    if n = 0 then t.finished <- true
+  end
+
+let peek t =
+  fill t;
+  if t.pos < t.len then Bytes.get t.buf t.pos else '\000'
+
+let eof t =
+  fill t;
+  t.pos >= t.len
+
+let advance t =
+  fill t;
+  if t.pos < t.len then begin
+    (if Bytes.get t.buf t.pos = '\n' then begin
+       t.line <- t.line + 1;
+       t.bol_consumed <- t.consumed + 1
+     end);
+    t.pos <- t.pos + 1;
+    t.consumed <- t.consumed + 1
+  end
+
+let next t =
+  let c = peek t in
+  advance t;
+  c
+
+let line t = t.line
+let col t = t.consumed - t.bol_consumed + 1
+let bytes_read t = t.consumed

@@ -1,0 +1,27 @@
+(** Chunked character input for the streaming parser.
+
+    A reader pulls fixed-size chunks from its source on demand, so
+    parsing a document keeps O(chunk + current token) bytes in memory —
+    the property the Section 6 algorithm's working-set claim rests on.
+    One character of pushback ({!unread}) is available, which is all the
+    XML grammar needs. *)
+
+type t
+
+val of_string : string -> t
+val of_channel : ?chunk_size:int -> in_channel -> t
+
+val peek : t -> char
+(** The next character, ['\000'] at end of input (NUL bytes in the
+    input are rejected by the parser anyway). *)
+
+val advance : t -> unit
+val next : t -> char
+
+val eof : t -> bool
+
+val line : t -> int
+val col : t -> int
+
+val bytes_read : t -> int
+(** Total characters consumed so far. *)

@@ -1,0 +1,124 @@
+let add_escaped buf ~attr s =
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' when attr -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape_text s =
+  let buf = Buffer.create (String.length s + 8) in
+  add_escaped buf ~attr:false s;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s + 8) in
+  add_escaped buf ~attr:true s;
+  Buffer.contents buf
+
+let add_attrs buf attrs =
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf k;
+      Buffer.add_string buf "=\"";
+      add_escaped buf ~attr:true v;
+      Buffer.add_char buf '"')
+    attrs
+
+let has_text_child e =
+  List.exists (function Node.Text _ -> true | _ -> false) (Node.children e)
+
+let rec add_node buf ~indent ~level node =
+  match node with
+  | Node.Text s -> add_escaped buf ~attr:false s
+  | Node.Comment s ->
+    Buffer.add_string buf "<!--";
+    Buffer.add_string buf s;
+    Buffer.add_string buf "-->"
+  | Node.Pi (t, c) ->
+    Buffer.add_string buf "<?";
+    Buffer.add_string buf t;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf c;
+    Buffer.add_string buf "?>"
+  | Node.Element e ->
+    Buffer.add_char buf '<';
+    Buffer.add_string buf (Node.name e);
+    add_attrs buf (Node.attrs e);
+    (match Node.children e with
+    | [] -> Buffer.add_string buf "/>"
+    | cs ->
+      Buffer.add_char buf '>';
+      let inline =
+        match indent with None -> true | Some _ -> has_text_child e
+      in
+      if inline then List.iter (add_node buf ~indent:None ~level:0) cs
+      else begin
+        let n = Option.get indent in
+        List.iter
+          (fun c ->
+            Buffer.add_char buf '\n';
+            Buffer.add_string buf (String.make ((level + 1) * n) ' ');
+            add_node buf ~indent ~level:(level + 1) c)
+          cs;
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make (level * n) ' ')
+      end;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf (Node.name e);
+      Buffer.add_char buf '>')
+
+let to_buffer ?indent buf node = add_node buf ~indent ~level:0 node
+
+let to_string ?indent node =
+  let buf = Buffer.create 1024 in
+  to_buffer ?indent buf node;
+  Buffer.contents buf
+
+let element_to_string ?indent e = to_string ?indent (Node.Element e)
+
+let document_to_string ?indent e =
+  "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n" ^ element_to_string ?indent e
+
+let to_channel ?indent oc e =
+  let buf = Buffer.create 65536 in
+  to_buffer ?indent buf (Node.Element e);
+  Buffer.output_buffer oc buf
+
+let add_event buf = function
+  | Sax.Start_document | Sax.End_document -> ()
+  | Sax.Start_element (name, attrs) ->
+    Buffer.add_char buf '<';
+    Buffer.add_string buf name;
+    add_attrs buf attrs;
+    Buffer.add_char buf '>'
+  | Sax.Characters s -> add_escaped buf ~attr:false s
+  | Sax.Comment_event s ->
+    Buffer.add_string buf "<!--";
+    Buffer.add_string buf s;
+    Buffer.add_string buf "-->"
+  | Sax.Pi_event (t, c) ->
+    Buffer.add_string buf "<?";
+    Buffer.add_string buf t;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf c;
+    Buffer.add_string buf "?>"
+  | Sax.End_element name ->
+    Buffer.add_string buf "</";
+    Buffer.add_string buf name;
+    Buffer.add_char buf '>'
+
+let event_sink buf event = add_event buf event
+
+let channel_event_sink oc =
+  let buf = Buffer.create 65536 in
+  fun event ->
+    add_event buf event;
+    if Buffer.length buf > 32768 || event = Sax.End_document then begin
+      Buffer.output_buffer oc buf;
+      Buffer.clear buf
+    end

@@ -1,0 +1,31 @@
+(** XML serialization. *)
+
+val escape_text : string -> string
+(** Escape [&], [<], [>] for character data. *)
+
+val escape_attr : string -> string
+(** Escape ampersand, less-than and double-quote for attribute values. *)
+
+val to_buffer : ?indent:int -> Buffer.t -> Node.t -> unit
+(** Append the serialization of the node.  With [indent], children are
+    placed on their own lines indented by [indent] spaces per level
+    (mixed content is kept inline). *)
+
+val to_string : ?indent:int -> Node.t -> string
+
+val element_to_string : ?indent:int -> Node.element -> string
+
+val document_to_string : ?indent:int -> Node.element -> string
+(** Like {!element_to_string}, preceded by an XML declaration. *)
+
+val to_channel : ?indent:int -> out_channel -> Node.element -> unit
+
+(** {2 Streaming sink}
+
+    An event handler that serializes a SAX stream as it arrives; the
+    output of the streaming transform algorithm (Section 6) is exposed
+    this way so results never need to be materialized as trees. *)
+
+val event_sink : Buffer.t -> Sax.event -> unit
+
+val channel_event_sink : out_channel -> Sax.event -> unit

@@ -1,0 +1,1 @@
+lib/xpath/eval.ml: Ast Hashtbl List Node Norm String Xut_xml

@@ -1,0 +1,1 @@
+lib/xpath/lq.ml: Array Ast Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/xpath/norm.ml: Ast Buffer List String

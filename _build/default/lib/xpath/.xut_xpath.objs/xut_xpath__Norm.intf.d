@@ -1,0 +1,1 @@
+lib/xpath/norm.mli: Ast

@@ -1,0 +1,93 @@
+open Xut_xml
+
+(* Expand one step from a document-ordered frontier of elements, keeping
+   document order and removing duplicates (descendant steps can reach the
+   same node along several routes). *)
+let dedup elems =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun e ->
+      let id = Node.id e in
+      if Hashtbl.mem seen id then false
+      else begin
+        Hashtbl.add seen id ();
+        true
+      end)
+    elems
+
+let rec descendant_or_self_acc acc e =
+  let acc = e :: acc in
+  List.fold_left descendant_or_self_acc acc (Node.child_elements e)
+
+let rec select_from (frontier : Node.element list) (path : Ast.path) : Node.element list =
+  match path with
+  | [] -> frontier
+  | { Ast.nav; quals } :: rest ->
+    let expanded =
+      match nav with
+      | Ast.Self -> frontier
+      | Ast.Label l ->
+        List.concat_map
+          (fun e -> List.filter (fun c -> String.equal (Node.name c) l) (Node.child_elements e))
+          frontier
+      | Ast.Wildcard -> List.concat_map Node.child_elements frontier
+      | Ast.Descendant ->
+        dedup (List.concat_map (fun e -> List.rev (descendant_or_self_acc [] e)) frontier)
+    in
+    let filtered = List.filter (fun e -> List.for_all (check_qual e) quals) expanded in
+    select_from filtered rest
+
+and check_qual (n : Node.element) (q : Ast.qual) : bool =
+  match q with
+  | Ast.Q_true -> true
+  | Ast.Q_label l -> String.equal (Node.name n) l
+  | Ast.Q_and (a, b) -> check_qual n a && check_qual n b
+  | Ast.Q_or (a, b) -> check_qual n a || check_qual n b
+  | Ast.Q_not a -> not (check_qual n a)
+  | Ast.Q_exists { spath; sattr } -> (
+    let nodes = select_from [ n ] spath in
+    match sattr with
+    | None -> nodes <> []
+    | Some a -> List.exists (fun e -> Node.attr e a <> None) nodes)
+  | Ast.Q_cmp ({ spath; sattr }, op, v) ->
+    let nodes = select_from [ n ] spath in
+    let values =
+      match sattr with
+      | None -> List.map Node.text_content nodes
+      | Some a -> List.filter_map (fun e -> Node.attr e a) nodes
+    in
+    List.exists (fun s -> Ast.compare_values op s v) values
+
+let select ctx path =
+  let result = dedup (select_from [ ctx ] path) in
+  (* Child-only paths produce document order by construction; after a
+     descendant step, later child steps can emit cousins out of order, so
+     sort by pre-order rank. *)
+  if List.exists (fun (s : Ast.step) -> s.nav = Ast.Descendant) path then begin
+    let rank = Hashtbl.create 256 in
+    let counter = ref 0 in
+    Node.iter_elements
+      (fun e ->
+        Hashtbl.replace rank (Node.id e) !counter;
+        incr counter)
+      ctx;
+    let key e = try Hashtbl.find rank (Node.id e) with Not_found -> max_int in
+    List.stable_sort (fun a b -> compare (key a) (key b)) result
+  end
+  else result
+
+let select_doc root path =
+  (* Leading '.' steps qualify the virtual document node; an empty path
+     (after normalization) denotes the document element itself. *)
+  let norm = Norm.steps path in
+  let doc = Node.element "#document" [ Node.Element root ] in
+  if not (List.for_all (check_qual doc) norm.Norm.ctx_quals) then []
+  else
+    match norm.Norm.steps with
+    | [] -> [ root ]
+    | _ -> select doc (Norm.to_path norm)
+
+let node_set_ids elems =
+  let tbl = Hashtbl.create (List.length elems * 2) in
+  List.iter (fun e -> Hashtbl.replace tbl (Node.id e) ()) elems;
+  tbl

@@ -1,0 +1,23 @@
+open Xut_xml
+
+(** Direct (non-automaton) evaluator for X — the reference semantics
+    [v\[\[p\]\]] of Section 2 that every other engine is tested against,
+    and the qualifier oracle [checkp] used by the Top Down method when no
+    annotations are available (the paper's GENTOP configuration delegates
+    qualifier checking to the host engine; this is our host engine). *)
+
+val select : Node.element -> Ast.path -> Node.element list
+(** [select ctx p] = the elements reachable from context node [ctx] via
+    [p], in document order, without duplicates.  The first step navigates
+    to children of [ctx]; an empty path yields [ctx] itself. *)
+
+val select_doc : Node.element -> Ast.path -> Node.element list
+(** [select_doc root p] evaluates [p] with the virtual document node as
+    context, i.e. the first step is matched against [root] itself (the
+    [$a/p] convention of Section 2 where [$a = doc(...)]). *)
+
+val check_qual : Node.element -> Ast.qual -> bool
+(** [checkp q n]: does qualifier [q] hold at node [n]? *)
+
+val node_set_ids : Node.element list -> (int, unit) Hashtbl.t
+(** Identity set over element ids, for membership tests. *)

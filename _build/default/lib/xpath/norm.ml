@@ -1,0 +1,59 @@
+type nnav = N_label of string | N_wild | N_desc
+
+type nstep = { nav : nnav; quals : Ast.qual list }
+
+type t = { ctx_quals : Ast.qual list; steps : nstep list }
+
+let steps (path : Ast.path) =
+  (* Self steps merge their qualifiers into the previous step; a leading
+     run of Self steps contributes context qualifiers. *)
+  let rec go ctx_quals acc = function
+    | [] -> { ctx_quals = List.rev ctx_quals; steps = List.rev acc }
+    | ({ nav = Ast.Self; quals } : Ast.step) :: rest -> (
+      match acc with
+      | [] -> go (List.rev_append quals ctx_quals) acc rest
+      | prev :: others -> go ctx_quals ({ prev with quals = prev.quals @ quals } :: others) rest)
+    | { nav = Ast.Label l; quals } :: rest -> go ctx_quals ({ nav = N_label l; quals } :: acc) rest
+    | { nav = Ast.Wildcard; quals } :: rest -> go ctx_quals ({ nav = N_wild; quals } :: acc) rest
+    | { nav = Ast.Descendant; quals } :: rest -> go ctx_quals ({ nav = N_desc; quals } :: acc) rest
+  in
+  go [] [] path
+
+let to_path t =
+  List.map
+    (fun { nav; quals } ->
+      let nav =
+        match nav with
+        | N_label l -> Ast.Label l
+        | N_wild -> Ast.Wildcard
+        | N_desc -> Ast.Descendant
+      in
+      { Ast.nav; quals })
+    t.steps
+
+let nnav_to_string = function N_label l -> l | N_wild -> "*" | N_desc -> "//"
+
+let nstep_to_string { nav; quals } =
+  nnav_to_string nav
+  ^ String.concat "" (List.map (fun q -> "[" ^ Ast.qual_to_string q ^ "]") quals)
+
+let to_string t =
+  let ctx =
+    match t.ctx_quals with
+    | [] -> ""
+    | qs -> "." ^ String.concat "" (List.map (fun q -> "[" ^ Ast.qual_to_string q ^ "]") qs) ^ "/"
+  in
+  (* '//' is its own separator: no '/' before or after it *)
+  let buf = Buffer.create 32 in
+  let rec go first = function
+    | [] -> ()
+    | { nav = N_desc; _ } :: rest ->
+      Buffer.add_string buf "//";
+      go true rest
+    | s :: rest ->
+      if not first then Buffer.add_char buf '/';
+      Buffer.add_string buf (nstep_to_string s);
+      go false rest
+  in
+  go true t.steps;
+  ctx ^ Buffer.contents buf

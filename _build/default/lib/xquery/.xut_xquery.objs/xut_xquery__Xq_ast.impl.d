@@ -1,0 +1,1 @@
+lib/xquery/xq_ast.ml: Ast Buffer Float Format List String Xut_xml Xut_xpath

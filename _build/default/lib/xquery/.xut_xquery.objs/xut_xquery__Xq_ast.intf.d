@@ -1,0 +1,1 @@
+lib/xquery/xq_ast.mli: Ast Format Xut_xml Xut_xpath

@@ -1,0 +1,1 @@
+lib/xquery/xq_eval.ml: Float Hashtbl List Map Node Printf String Xq_ast Xq_parser Xq_value Xut_xml Xut_xpath

@@ -1,0 +1,1 @@
+lib/xquery/xq_eval.mli: Node Xq_ast Xq_value Xut_xml

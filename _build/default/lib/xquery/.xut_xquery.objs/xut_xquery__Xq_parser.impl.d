@@ -1,0 +1,1 @@
+lib/xquery/xq_parser.ml: Buffer Char List Printf String Xq_ast Xq_scanner Xut_xpath

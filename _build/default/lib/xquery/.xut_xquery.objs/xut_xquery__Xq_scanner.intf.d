@@ -1,0 +1,1 @@
+lib/xquery/xq_scanner.mli:

@@ -1,0 +1,1 @@
+lib/xquery/xq_value.ml: Bool Float Format List Node String Xq_ast Xut_xml

@@ -1,0 +1,1 @@
+lib/xquery/xq_value.mli: Format Node Xq_ast Xut_xml

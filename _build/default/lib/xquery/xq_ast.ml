@@ -1,0 +1,144 @@
+open Xut_xpath
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+type arith = Add | Sub | Mul | Div | Mod
+
+type expr =
+  | Empty
+  | Seq of expr list
+  | Str of string
+  | Num of float
+  | Var of string
+  | Context
+  | Path of expr * Ast.path
+  | AttrPath of expr * Ast.path * string
+  | Flwor of clause list * expr option * expr
+  | If of expr * expr * expr
+  | Quant of [ `Some | `Every ] * string * expr * expr
+  | Cmp of cmp * expr * expr
+  | Arith of arith * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Is of expr * expr
+  | ElemLit of string * (string * string) list * expr list
+  | ElemDyn of expr * expr
+  | TextCtor of expr
+  | DocCtor of expr
+  | Call of string * expr list
+  | NodeConst of Xut_xml.Node.t
+
+and clause = For of string * expr | LetC of string * expr
+
+type fundef = { fname : string; params : string list; body : expr }
+
+type program = { functions : fundef list; body : expr }
+
+let program ?(functions = []) body = { functions; body }
+
+let cmp_to_string = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let arith_to_string = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "div" | Mod -> "mod"
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter (fun c -> if c = '"' then Buffer.add_string buf "&quot;" else Buffer.add_char buf c) s;
+  Buffer.contents buf
+
+(* "/p", or "//p" when the path opens with a descendant step. *)
+let join_path p =
+  let s = Ast.path_to_string p in
+  if String.length s >= 2 && s.[0] = '/' && s.[1] = '/' then s else "/" ^ s
+
+let rec pp ppf expr =
+  match expr with
+  | Empty -> Format.pp_print_string ppf "()"
+  | Seq es ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp)
+      es
+  | Str s -> Format.fprintf ppf "\"%s\"" (escape_string s)
+  | Num f ->
+    if Float.is_integer f then Format.fprintf ppf "%d" (int_of_float f)
+    else Format.fprintf ppf "%g" f
+  | Var v -> Format.fprintf ppf "$%s" v
+  | Context -> Format.pp_print_string ppf "."
+  | Path (base, p) -> Format.fprintf ppf "%a%s" pp_base base (join_path p)
+  | AttrPath (base, [], a) -> Format.fprintf ppf "%a/@%s" pp_base base a
+  | AttrPath (base, p, a) -> Format.fprintf ppf "%a%s/@%s" pp_base base (join_path p) a
+  | Flwor (clauses, where, ret) ->
+    Format.fprintf ppf "@[<v>";
+    List.iter
+      (function
+        | For (v, e) -> Format.fprintf ppf "for $%s in %a@ " v pp e
+        | LetC (v, e) -> Format.fprintf ppf "let $%s := %a@ " v pp e)
+      clauses;
+    (match where with
+    | Some w -> Format.fprintf ppf "where %a@ " pp w
+    | None -> ());
+    Format.fprintf ppf "return %a@]" pp ret
+  | If (c, t, e) -> Format.fprintf ppf "@[<v>if (%a)@ then %a@ else %a@]" pp c pp t pp e
+  | Quant (q, v, src, body) ->
+    Format.fprintf ppf "%s $%s in %a satisfies %a"
+      (match q with `Some -> "some" | `Every -> "every")
+      v pp src pp body
+  | Cmp (op, a, b) -> Format.fprintf ppf "%a %s %a" pp_atom a (cmp_to_string op) pp_atom b
+  | Arith (op, a, b) ->
+    Format.fprintf ppf "%a %s %a" pp_atom a (arith_to_string op) pp_atom b
+  | And (a, b) -> Format.fprintf ppf "%a and %a" pp_atom a pp_atom b
+  | Or (a, b) -> Format.fprintf ppf "%a or %a" pp_atom a pp_atom b
+  | Is (a, b) -> Format.fprintf ppf "%a is %a" pp_atom a pp_atom b
+  | ElemLit (name, attrs, children) ->
+    Format.fprintf ppf "<%s" name;
+    List.iter (fun (k, v) -> Format.fprintf ppf " %s=\"%s\"" k (escape_string v)) attrs;
+    if children = [] then Format.fprintf ppf "/>"
+    else begin
+      Format.fprintf ppf ">";
+      List.iter
+        (function
+          | TextCtor (Str s) -> Format.pp_print_string ppf s
+          | child -> Format.fprintf ppf "{%a}" pp child)
+        children;
+      Format.fprintf ppf "</%s>" name
+    end
+  | ElemDyn (n, c) -> Format.fprintf ppf "element {%a} {%a}" pp n pp c
+  | TextCtor e -> Format.fprintf ppf "text {%a}" pp e
+  | DocCtor e -> Format.fprintf ppf "document {%a}" pp e
+  | Call (f, args) ->
+    Format.fprintf ppf "%s(%a)" f
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
+      args
+  | NodeConst n -> Format.pp_print_string ppf (Xut_xml.Serialize.to_string n)
+
+(* Parenthesize operands whose top form would change the parse. *)
+and pp_atom ppf e =
+  match e with
+  | Flwor _ | If _ | Quant _ | Cmp _ | Arith _ | And _ | Or _ | Is _ | Seq _ ->
+    Format.fprintf ppf "(%a)" pp e
+  | _ -> pp ppf e
+
+and pp_base ppf e =
+  match e with
+  | Var _ | Context | Call _ -> pp ppf e
+  | Path (_, _) | AttrPath _ -> pp ppf e
+  | _ -> Format.fprintf ppf "(%a)" pp e
+
+let to_string e = Format.asprintf "@[<v>%a@]" pp e
+
+let pp_program ppf { functions; body } =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun { fname; params; body } ->
+      Format.fprintf ppf "declare function %s(%s) {@   %a@ };@ @ " fname
+        (String.concat ", " (List.map (fun p -> "$" ^ p) params))
+        pp body)
+    functions;
+  Format.fprintf ppf "%a@]" pp body
+
+let program_to_string p = Format.asprintf "%a" pp_program p

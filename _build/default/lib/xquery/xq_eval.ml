@@ -1,0 +1,376 @@
+open Xut_xml
+open Xq_value
+
+exception Eval_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
+
+module Smap = Map.Make (String)
+
+type env = {
+  vars : Xq_value.t Smap.t;
+  funs : Xq_ast.fundef Smap.t;
+  natives : (Xq_value.t list -> Xq_value.t) Smap.t;
+  docs : (string * Node.element) list;
+  context : Node.element option;
+}
+
+let env ?(docs = []) ?(natives = []) ?context () =
+  {
+    vars = Smap.empty;
+    funs = Smap.empty;
+    natives = List.fold_left (fun m (k, v) -> Smap.add k v m) Smap.empty natives;
+    docs;
+    context;
+  }
+
+let lookup_doc env name =
+  match List.assoc_opt name env.docs with
+  | Some e -> e
+  | None -> (
+    match env.context with
+    | Some e -> e
+    | None -> fail "doc(%S): no such document bound" name)
+
+(* Strip an optional namespace prefix for builtin lookup. *)
+let local_part name =
+  match String.index_opt name ':' with
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+  | None -> name
+
+let select_from_item path item =
+  match item with
+  | N (Node.Element e) -> List.map (fun r -> N (Node.Element r)) (Xut_xpath.Eval.select e path)
+  | D root -> List.map (fun r -> N (Node.Element r)) (Xut_xpath.Eval.select_doc root path)
+  | N (Node.Text _ | Node.Comment _ | Node.Pi _) -> []
+  | A _ | S _ | F _ | B _ -> raise (Type_error "path applied to an atomic value")
+
+let attrs_of_item item =
+  match item with
+  | N (Node.Element e) | D e -> Node.attrs e
+  | N (Node.Text _ | Node.Comment _ | Node.Pi _) -> []
+  | A _ | S _ | F _ | B _ -> raise (Type_error "attribute step applied to an atomic value")
+
+(* Element construction: attribute items become attributes; adjacent
+   atomics join with a space into one text node; nodes are copied. *)
+let build_content items =
+  let attrs = ref [] in
+  let rev_children = ref [] in
+  let pending_atom = ref None in
+  let flush_atom () =
+    match !pending_atom with
+    | Some s ->
+      rev_children := Node.Text s :: !rev_children;
+      pending_atom := None
+    | None -> ()
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | A (k, v) -> attrs := (k, v) :: !attrs
+      | N n ->
+        flush_atom ();
+        rev_children := Node.refresh_ids n :: !rev_children
+      | D e ->
+        flush_atom ();
+        rev_children := Node.refresh_ids (Node.Element e) :: !rev_children
+      | S _ | F _ | B _ ->
+        let s = string_of_item item in
+        pending_atom :=
+          Some (match !pending_atom with None -> s | Some prev -> prev ^ " " ^ s))
+    items;
+  flush_atom ();
+  (List.rev !attrs, List.rev !rev_children)
+
+let rec eval env (expr : Xq_ast.expr) : Xq_value.t =
+  match expr with
+  | Xq_ast.Empty -> []
+  | Xq_ast.Seq es -> List.concat_map (eval env) es
+  | Xq_ast.Str s -> [ S s ]
+  | Xq_ast.Num f -> [ F f ]
+  | Xq_ast.Var v -> (
+    match Smap.find_opt v env.vars with
+    | Some value -> value
+    | None -> fail "unbound variable $%s" v)
+  | Xq_ast.Context -> (
+    match env.context with
+    | Some root -> [ D root ]
+    | None -> fail "no context item")
+  | Xq_ast.Path (base, path) ->
+    let v = eval env base in
+    List.concat_map (select_from_item path) v
+  | Xq_ast.AttrPath (base, path, attr) ->
+    let v = eval env base in
+    let nodes = if path = [] then v else List.concat_map (select_from_item path) v in
+    List.concat_map
+      (fun item ->
+        let attrs = attrs_of_item item in
+        if attr = "*" then List.map (fun (k, v) -> A (k, v)) attrs
+        else
+          match List.assoc_opt attr attrs with
+          | Some v -> [ A (attr, v) ]
+          | None -> [])
+      nodes
+  | Xq_ast.Flwor (clauses, where, ret) -> eval_flwor env clauses where ret
+  | Xq_ast.If (c, t, e) -> if ebv (eval env c) then eval env t else eval env e
+  | Xq_ast.Quant (q, v, src, body) ->
+    let items = eval env src in
+    let test item = ebv (eval { env with vars = Smap.add v [ item ] env.vars } body) in
+    [ B (match q with `Some -> List.exists test items | `Every -> List.for_all test items) ]
+  | Xq_ast.Cmp (op, a, b) -> [ B (general_cmp op (eval env a) (eval env b)) ]
+  | Xq_ast.Arith (op, a, b) -> (
+    match eval env a, eval env b with
+    | [], _ | _, [] -> []
+    | [ x ], [ y ] -> (
+      let num item =
+        match as_float (atomize_item item) with
+        | Some f -> f
+        | None -> fail "arithmetic on a non-numeric value %S" (string_of_item item)
+      in
+      let x = num x and y = num y in
+      match op with
+      | Xq_ast.Add -> [ F (x +. y) ]
+      | Xq_ast.Sub -> [ F (x -. y) ]
+      | Xq_ast.Mul -> [ F (x *. y) ]
+      | Xq_ast.Div ->
+        if y = 0.0 then fail "division by zero" else [ F (x /. y) ]
+      | Xq_ast.Mod ->
+        if y = 0.0 then fail "modulo by zero" else [ F (Float.rem x y) ])
+    | _ -> fail "arithmetic on a multi-item sequence")
+  | Xq_ast.And (a, b) -> [ B (ebv (eval env a) && ebv (eval env b)) ]
+  | Xq_ast.Or (a, b) -> [ B (ebv (eval env a) || ebv (eval env b)) ]
+  | Xq_ast.Is (a, b) -> (
+    match eval env a, eval env b with
+    | [ x ], [ y ] -> [ B (item_identity x y) ]
+    | [], _ | _, [] -> []
+    | _ -> raise (Type_error "'is' requires single nodes"))
+  | Xq_ast.ElemLit (name, attrs, children) ->
+    let content = List.concat_map (eval env) children in
+    let dyn_attrs, kids = build_content content in
+    [ N (Node.elem ~attrs:(attrs @ dyn_attrs) name kids) ]
+  | Xq_ast.ElemDyn (name_e, content_e) ->
+    let name =
+      match eval env name_e with
+      | [ item ] -> string_of_item item
+      | _ -> fail "element{} name must be a single item"
+    in
+    let attrs, kids = build_content (eval env content_e) in
+    [ N (Node.elem ~attrs name kids) ]
+  | Xq_ast.TextCtor e ->
+    let s = String.concat "" (List.map string_of_item (eval env e)) in
+    [ N (Node.Text s) ]
+  | Xq_ast.DocCtor e -> (
+    (* our documents are their root elements *)
+    match List.filter (function N (Node.Element _) -> true | _ -> false) (eval env e) with
+    | [ N (Node.Element root) ] -> [ D root ]
+    | _ -> fail "document{} must construct exactly one element")
+  | Xq_ast.Call (name, args) -> eval_call env name (List.map (eval env) args)
+  | Xq_ast.NodeConst n -> [ N n ]
+
+and eval_flwor env clauses where ret =
+  match clauses with
+  | [] ->
+    let keep = match where with None -> true | Some w -> ebv (eval env w) in
+    if keep then eval env ret else []
+  | Xq_ast.LetC (v, e) :: rest ->
+    let value = eval env e in
+    eval_flwor { env with vars = Smap.add v value env.vars } rest where ret
+  | Xq_ast.For (v, e) :: rest ->
+    let items = eval env e in
+    List.concat_map
+      (fun item -> eval_flwor { env with vars = Smap.add v [ item ] env.vars } rest where ret)
+      items
+
+and eval_call env name args =
+  match Smap.find_opt name env.natives with
+  | Some f -> f args
+  | None -> (
+    match Smap.find_opt name env.funs with
+    | Some fd -> apply_fun env fd args
+    | None -> eval_builtin env name args)
+
+and apply_fun env fd args =
+  if List.length fd.Xq_ast.params <> List.length args then
+    fail "%s expects %d arguments, got %d" fd.Xq_ast.fname (List.length fd.Xq_ast.params)
+      (List.length args);
+  let vars =
+    List.fold_left2 (fun m p a -> Smap.add p a m) env.vars fd.Xq_ast.params args
+  in
+  eval { env with vars } fd.Xq_ast.body
+
+and eval_builtin env name args =
+  match local_part name, args with
+  | "empty", [ v ] -> of_bool (v = [])
+  | "exists", [ v ] -> of_bool (v <> [])
+  | "not", [ v ] -> of_bool (not (ebv v))
+  | "count", [ v ] -> [ F (float_of_int (List.length v)) ]
+  | "true", [] -> of_bool true
+  | "false", [] -> of_bool false
+  | "string", [ v ] -> of_string (String.concat "" (List.map string_of_item v))
+  | "concat", vs -> of_string (String.concat "" (List.map (fun v -> String.concat "" (List.map string_of_item v)) vs))
+  | "local-name", [ v ] -> (
+    match v with
+    | [ N (Node.Element e) ] | [ D e ] -> of_string (Node.name e)
+    | [ _ ] | [] -> of_string ""
+    | _ -> fail "local-name: more than one item")
+  | "doc", [ v ] -> (
+    match v with
+    | [ S name ] -> [ D (lookup_doc env name) ]
+    | _ -> fail "doc: expected a string")
+  | "string-length", [ v ] -> (
+    match v with
+    | [] -> [ F 0.0 ]
+    | [ item ] -> [ F (float_of_int (String.length (string_of_item item))) ]
+    | _ -> fail "string-length: more than one item")
+  | "contains", [ a; b ] ->
+    let hay = String.concat "" (List.map string_of_item a) in
+    let needle = String.concat "" (List.map string_of_item b) in
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    of_bool (n = 0 || go 0)
+  | "starts-with", [ a; b ] ->
+    let hay = String.concat "" (List.map string_of_item a) in
+    let pre = String.concat "" (List.map string_of_item b) in
+    of_bool (String.length pre <= String.length hay
+             && String.sub hay 0 (String.length pre) = pre)
+  | "ends-with", [ a; b ] ->
+    let hay = String.concat "" (List.map string_of_item a) in
+    let suf = String.concat "" (List.map string_of_item b) in
+    let lh = String.length hay and ls = String.length suf in
+    of_bool (ls <= lh && String.sub hay (lh - ls) ls = suf)
+  | "upper-case", [ v ] -> of_string (String.uppercase_ascii (String.concat "" (List.map string_of_item v)))
+  | "lower-case", [ v ] -> of_string (String.lowercase_ascii (String.concat "" (List.map string_of_item v)))
+  | "normalize-space", [ v ] ->
+    let s = String.concat "" (List.map string_of_item v) in
+    let words = String.split_on_char ' ' (String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) s) in
+    of_string (String.concat " " (List.filter (fun w -> w <> "") words))
+  | "string-join", [ v; sep ] ->
+    let sep = String.concat "" (List.map string_of_item sep) in
+    of_string (String.concat sep (List.map string_of_item v))
+  | "number", [ v ] -> (
+    match v with
+    | [ item ] -> (
+      match as_float (atomize_item item) with Some f -> [ F f ] | None -> [ F Float.nan ])
+    | _ -> [ F Float.nan ])
+  | "boolean", [ v ] -> of_bool (ebv v)
+  | ("sum" | "avg" | "max" | "min"), [ v ] -> (
+    let nums =
+      List.filter_map (fun item -> as_float (atomize_item item)) v
+    in
+    match local_part name, nums with
+    | "sum", ns -> [ F (List.fold_left ( +. ) 0.0 ns) ]
+    | _, [] -> []
+    | "avg", ns -> [ F (List.fold_left ( +. ) 0.0 ns /. float_of_int (List.length ns)) ]
+    | "max", n :: ns -> [ F (List.fold_left Float.max n ns) ]
+    | "min", n :: ns -> [ F (List.fold_left Float.min n ns) ]
+    | _ -> assert false)
+  | "round", [ v ] -> (
+    match v with
+    | [ item ] -> (
+      match as_float (atomize_item item) with Some f -> [ F (Float.round f) ] | None -> [ F Float.nan ])
+    | _ -> fail "round: expected one item")
+  | "floor", [ v ] -> (
+    match v with
+    | [ item ] -> (
+      match as_float (atomize_item item) with Some f -> [ F (Float.floor f) ] | None -> [ F Float.nan ])
+    | _ -> fail "floor: expected one item")
+  | "ceiling", [ v ] -> (
+    match v with
+    | [ item ] -> (
+      match as_float (atomize_item item) with Some f -> [ F (Float.ceil f) ] | None -> [ F Float.nan ])
+    | _ -> fail "ceiling: expected one item")
+  | "distinct-values", [ v ] ->
+    let seen = Hashtbl.create 16 in
+    List.filter_map
+      (fun item ->
+        let s = string_of_item item in
+        if Hashtbl.mem seen s then None
+        else begin
+          Hashtbl.add seen s ();
+          Some (S s)
+        end)
+      v
+  | "substring", ([ v; st ] | [ v; st; _ ]) -> (
+    let s = String.concat "" (List.map string_of_item v) in
+    let want_len =
+      match args with
+      | [ _; _; [ l ] ] -> (
+        match as_float (atomize_item l) with Some f -> Some (int_of_float f) | None -> None)
+      | _ -> None
+    in
+    match st with
+    | [ item ] -> (
+      match as_float (atomize_item item) with
+      | Some f ->
+        let start = max 0 (int_of_float f - 1) in
+        let n = String.length s in
+        if start >= n then of_string ""
+        else
+          let len =
+            match want_len with Some l -> min l (n - start) | None -> n - start
+          in
+          of_string (String.sub s start (max 0 len))
+      | None -> of_string "")
+    | _ -> fail "substring: bad start")
+  | "attr", [ name_v; value_v ] ->
+    (* xut:attr(name, value): a constructed attribute item *)
+    [ A
+        ( String.concat "" (List.map string_of_item name_v),
+          String.concat "" (List.map string_of_item value_v) ) ]
+  | "attrs-except", [ v; prefix_v ] -> (
+    let prefix = String.concat "" (List.map string_of_item prefix_v) in
+    let keep (k, _) =
+      String.length k < String.length prefix || String.sub k 0 (String.length prefix) <> prefix
+    in
+    match v with
+    | [ N (Node.Element e) ] | [ D e ] ->
+      List.filter_map (fun (k, v) -> if keep (k, v) then Some (A (k, v)) else None) (Node.attrs e)
+    | [ _ ] | [] -> []
+    | _ -> fail "attrs-except: expected a single node")
+  | "strip-attr", [ v; name_v ] -> (
+    (* remove the attribute from every element of the subtree *)
+    let attr = String.concat "" (List.map string_of_item name_v) in
+    let rec strip node =
+      match node with
+      | Node.Element e ->
+        if List.mem_assoc attr (Node.attrs e) then
+          Node.Element
+            (Node.element
+               ~attrs:(List.filter (fun (k, _) -> k <> attr) (Node.attrs e))
+               (Node.name e)
+               (List.map strip (Node.children e)))
+        else
+          let kids = List.map strip (Node.children e) in
+          if List.for_all2 (fun a b -> a == b) (Node.children e) kids then node
+          else Node.Element (Node.element ~attrs:(Node.attrs e) (Node.name e) kids)
+      | Node.Text _ | Node.Comment _ | Node.Pi _ -> node
+    in
+    match v with
+    | [ N n ] -> [ N (strip n) ]
+    | [ D e ] -> [ N (strip (Node.Element e)) ]
+    | [] -> []
+    | _ -> fail "strip-attr: expected a single node")
+  | "is-element", [ v ] ->
+    of_bool (match v with [ N (Node.Element _) ] -> true | _ -> false)
+  | "children", [ v ] -> (
+    match v with
+    | [ N (Node.Element e) ] | [ D e ] -> List.map (fun n -> N n) (Node.children e)
+    | [ N (Node.Text _ | Node.Comment _ | Node.Pi _) ] -> []
+    | [] -> []
+    | _ -> fail "children: expected a single node")
+  | _, _ -> fail "unknown function %s/%d" name (List.length args)
+
+let eval_expr env e = eval env e
+
+let eval_program env (p : Xq_ast.program) =
+  let funs =
+    List.fold_left (fun m (fd : Xq_ast.fundef) -> Smap.add fd.fname fd m) env.funs p.functions
+  in
+  eval { env with funs } p.body
+
+let value_to_element value =
+  match value with
+  | [ N (Node.Element e) ] | [ D e ] -> e
+  | _ -> raise (Eval_error "expected a single element result")
+
+let run_query env src = eval_program env (Xq_parser.parse src)

@@ -1,0 +1,41 @@
+open Xut_xml
+
+(** Interpreter for the XQuery subset.
+
+    Documents referenced by [doc("name")] are resolved through the
+    [docs] binding; native OCaml functions can be registered to extend
+    the engine (the Compose Method registers its runtime [topDown]
+    helper this way — the moral equivalent of shipping a user-defined
+    function with the query, Section 4). *)
+
+exception Eval_error of string
+
+type env
+
+val env :
+  ?docs:(string * Node.element) list ->
+  ?natives:(string * (Xq_value.t list -> Xq_value.t)) list ->
+  ?context:Node.element ->
+  unit ->
+  env
+(** [context] doubles as the binding of '.' (as a document node) and the
+    default target of [doc] when the name is unknown. *)
+
+val eval_program : env -> Xq_ast.program -> Xq_value.t
+
+val eval_expr : env -> Xq_ast.expr -> Xq_value.t
+(** Evaluate a single expression (no user-defined functions in scope). *)
+
+val run_query : env -> string -> Xq_value.t
+(** Parse with {!Xq_parser} and evaluate. *)
+
+val value_to_element : Xq_value.t -> Node.element
+(** Interpret a result as a single document element.
+    @raise Eval_error otherwise. *)
+
+(** {2 Builtins}
+
+    [empty], [exists], [not], [count], [true], [false], [concat],
+    [string], [fn:local-name], [doc], [xut:is-element] (item is an
+    element node), [xut:children] (all child nodes of an element,
+    including text). *)

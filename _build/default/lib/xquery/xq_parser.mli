@@ -1,0 +1,10 @@
+(** Parser for the XQuery subset (grammar in {!Xq_ast}).
+
+    Direct XML constructors and path expressions are parsed by dropping
+    from the token stream to raw scanning: paths are carved out as
+    substrings (bracket- and quote-aware) and delegated to the X parser. *)
+
+exception Parse_error of string
+
+val parse : string -> Xq_ast.program
+val parse_expr : string -> Xq_ast.expr

@@ -1,0 +1,215 @@
+type token =
+  | EOF
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | SLASH
+  | DSLASH
+  | AT
+  | DOT
+  | STAR
+  | ASSIGN
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | VAR of string
+  | NAME of string
+  | STR of string
+  | NUM of float
+
+exception Scan_error of { pos : int; msg : string }
+
+type t = {
+  source : string;
+  mutable cur : int;
+  (* cached lookahead: token and the cursor position after it *)
+  mutable cached : (token * int) option;
+}
+
+let of_string source = { source; cur = 0; cached = None }
+let src t = t.source
+
+let pos t = t.cur
+
+let set_pos t p =
+  t.cur <- p;
+  t.cached <- None
+
+let error t msg = raise (Scan_error { pos = t.cur; msg })
+
+let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+let is_digit c = c >= '0' && c <= '9'
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_name_char c = is_name_start c || is_digit c || c = '-'
+
+let at t i = if i < String.length t.source then t.source.[i] else '\000'
+
+(* whitespace and nested (: ... :) comments *)
+let skip_ws t =
+  t.cached <- None;
+  let rec go () =
+    if is_ws (at t t.cur) then begin
+      t.cur <- t.cur + 1;
+      go ()
+    end
+    else if at t t.cur = '(' && at t (t.cur + 1) = ':' then begin
+      let depth = ref 1 in
+      t.cur <- t.cur + 2;
+      while !depth > 0 do
+        if t.cur >= String.length t.source then error t "unterminated comment"
+        else if at t t.cur = '(' && at t (t.cur + 1) = ':' then begin
+          incr depth;
+          t.cur <- t.cur + 2
+        end
+        else if at t t.cur = ':' && at t (t.cur + 1) = ')' then begin
+          decr depth;
+          t.cur <- t.cur + 2
+        end
+        else t.cur <- t.cur + 1
+      done;
+      go ()
+    end
+  in
+  go ()
+
+let peek_char t =
+  let save = t.cur in
+  let cached = t.cached in
+  skip_ws t;
+  let c = at t t.cur in
+  t.cur <- save;
+  t.cached <- cached;
+  c
+
+let scan_name src i =
+  (* scan a (possibly prefixed) name starting at i; returns (name, stop) *)
+  let n = String.length src in
+  let rec go j =
+    if j < n && is_name_char src.[j] then go (j + 1)
+    else if
+      (* a ':' continues the name only when followed by a name start
+         (so "a := b" does not lex "a:" as a name) *)
+      j < n && src.[j] = ':' && j + 1 < n && is_name_start src.[j + 1]
+    then go (j + 1)
+    else j
+  in
+  let stop = go i in
+  (String.sub src i (stop - i), stop)
+
+let scan_token t =
+  skip_ws t;
+  let i = t.cur in
+  let src = t.source in
+  let n = String.length src in
+  if i >= n then (EOF, i)
+  else
+    match src.[i] with
+    | '(' -> (LPAREN, i + 1)
+    | ')' -> (RPAREN, i + 1)
+    | '{' -> (LBRACE, i + 1)
+    | '}' -> (RBRACE, i + 1)
+    | '[' -> (LBRACKET, i + 1)
+    | ']' -> (RBRACKET, i + 1)
+    | ',' -> (COMMA, i + 1)
+    | ';' -> (SEMI, i + 1)
+    | '/' -> if at t (i + 1) = '/' then (DSLASH, i + 2) else (SLASH, i + 1)
+    | '@' -> (AT, i + 1)
+    | '*' -> (STAR, i + 1)
+    | '+' -> (PLUS, i + 1)
+    | '-' -> (MINUS, i + 1)
+    | ':' -> if at t (i + 1) = '=' then (ASSIGN, i + 2) else error t "unexpected ':'"
+    | '=' -> (EQ, i + 1)
+    | '!' -> if at t (i + 1) = '=' then (NEQ, i + 2) else error t "expected '!='"
+    | '<' -> if at t (i + 1) = '=' then (LE, i + 2) else (LT, i + 1)
+    | '>' -> if at t (i + 1) = '=' then (GE, i + 2) else (GT, i + 1)
+    | '$' ->
+      let name, stop = scan_name src (i + 1) in
+      if name = "" then error t "expected a variable name after '$'" else (VAR name, stop)
+    | ('"' | '\'') as q ->
+      let rec find j =
+        if j >= n then error t "unterminated string literal"
+        else if src.[j] = q then j
+        else find (j + 1)
+      in
+      let stop = find (i + 1) in
+      (STR (String.sub src (i + 1) (stop - i - 1)), stop + 1)
+    | '.' ->
+      if is_digit (at t (i + 1)) then begin
+        let rec go j = if is_digit (at t j) then go (j + 1) else j in
+        let stop = go (i + 1) in
+        (NUM (float_of_string (String.sub src i (stop - i))), stop)
+      end
+      else (DOT, i + 1)
+    | c when is_digit c ->
+      let rec go j = if is_digit (at t j) then go (j + 1) else j in
+      let stop = go i in
+      let stop = if at t stop = '.' && is_digit (at t (stop + 1)) then go (stop + 1) else stop in
+      (NUM (float_of_string (String.sub src i (stop - i))), stop)
+    | c when is_name_start c ->
+      let name, stop = scan_name src i in
+      (NAME name, stop)
+    | c -> error t (Printf.sprintf "unexpected character %C" c)
+
+let peek t =
+  match t.cached with
+  | Some (tok, _) -> tok
+  | None ->
+    let save = t.cur in
+    let tok, stop = scan_token t in
+    t.cur <- save;
+    t.cached <- Some (tok, stop);
+    tok
+
+let advance t =
+  match t.cached with
+  | Some (_, stop) ->
+    t.cur <- stop;
+    t.cached <- None
+  | None ->
+    let _, stop = scan_token t in
+    t.cur <- stop;
+    t.cached <- None
+
+let next t =
+  let tok = peek t in
+  advance t;
+  tok
+
+let token_to_string = function
+  | EOF -> "<eof>"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | SLASH -> "/"
+  | DSLASH -> "//"
+  | AT -> "@"
+  | DOT -> "."
+  | STAR -> "*"
+  | ASSIGN -> ":="
+  | EQ -> "="
+  | NEQ -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | VAR v -> "$" ^ v
+  | NAME n -> n
+  | STR s -> Printf.sprintf "%S" s
+  | NUM f -> string_of_float f

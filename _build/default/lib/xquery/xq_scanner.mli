@@ -1,0 +1,65 @@
+(** Incremental tokenizer for the XQuery parser.
+
+    Unlike a batch lexer, the scanner only commits to a token when the
+    parser consumes it ({!advance}); {!peek} never moves the cursor.
+    This lets the parser drop to raw character scanning for the two
+    constructs a token stream cannot express: direct XML constructors
+    and embedded XPath expressions (which are handed to the X parser as
+    substrings). *)
+
+type token =
+  | EOF
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | SLASH
+  | DSLASH
+  | AT
+  | DOT
+  | STAR
+  | ASSIGN  (** := *)
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | VAR of string   (** $name *)
+  | NAME of string  (** possibly prefixed: local:insert *)
+  | STR of string
+  | NUM of float
+
+exception Scan_error of { pos : int; msg : string }
+
+type t
+
+val of_string : string -> t
+val pos : t -> int
+val set_pos : t -> int -> unit
+val src : t -> string
+
+val peek : t -> token
+(** The next token; the cursor stays before it. *)
+
+val advance : t -> unit
+(** Consume the token last returned by {!peek}. *)
+
+val next : t -> token
+
+val peek_char : t -> char
+(** First character after whitespace/comments ('\000' at end); cursor
+    unmoved.  Used to spot XML literals before tokenizing '<'. *)
+
+val skip_ws : t -> unit
+(** Advance the cursor past whitespace and (nested) [(: :)] comments. *)
+
+val error : t -> string -> 'a
+
+val token_to_string : token -> string

@@ -1,0 +1,1 @@
+test/fixtures.ml: Alcotest Dom List Node Xut_xml Xut_xpath

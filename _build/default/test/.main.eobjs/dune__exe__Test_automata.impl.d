@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Annotator Eval Fixtures List Parser Selecting_nfa Xut_automata Xut_xml Xut_xpath

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Buffer Core Dom Engine Filename Fixtures Fun List Node Out_channel Printf Sax Sax_transform Sys Transform_ast Transform_parser Xut_xml Xut_xpath

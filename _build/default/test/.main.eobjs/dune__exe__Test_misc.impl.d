@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Ast Char Core Engine Eval Fixtures Lexer List Lq Norm Parser QCheck2 QCheck_alcotest String Transform_ast Xquery_rewrite Xut_automata Xut_xml Xut_xpath Xut_xquery

@@ -1,0 +1,1 @@
+test/test_reader.ml: Alcotest Buffer Core Dom Filename Fixtures Fun In_channel List Node Out_channel Printf Reader Sax Serialize Sys Xut_automata Xut_xmark Xut_xml

@@ -1,0 +1,1 @@
+test/test_security_view.ml: Alcotest Core Fixtures List Node Security_view Serialize User_query Xut_xml Xut_xpath Xut_xquery

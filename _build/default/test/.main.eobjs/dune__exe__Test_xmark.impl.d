@@ -1,0 +1,1 @@
+test/test_xmark.ml: Alcotest Dom Filename Fun Generator Lazy List Node Printf Prng Sys Xut_xmark Xut_xml Xut_xpath

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Buffer Dom Fixtures List Node Option Sax Serialize Xut_xml

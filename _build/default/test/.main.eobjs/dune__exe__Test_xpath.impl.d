@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest Array Ast Eval Fixtures Fun Hashtbl Lexer List Lq Norm Parser Printf Xut_xml Xut_xpath

@@ -1,0 +1,1 @@
+test/test_xquery.ml: Alcotest Core Fixtures List Printf Xq_ast Xq_eval Xq_parser Xq_value Xut_xml Xut_xpath Xut_xquery

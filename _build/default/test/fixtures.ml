@@ -1,0 +1,65 @@
+(* Shared documents and queries for the test suites. *)
+open Xut_xml
+
+(* The running example of the paper (Fig. 1): a parts/suppliers catalog. *)
+let parts_doc_text =
+  {|<db>
+  <part>
+    <pname>keyboard</pname>
+    <supplier>
+      <sname>HP</sname><price>12</price><country>A</country>
+    </supplier>
+    <supplier>
+      <sname>Logi</sname><price>20</price><country>B</country>
+    </supplier>
+    <part>
+      <pname>key</pname>
+      <supplier>
+        <sname>Acme</sname><price>20</price><country>A</country>
+      </supplier>
+    </part>
+  </part>
+  <part>
+    <pname>mouse</pname>
+    <supplier>
+      <sname>Logi</sname><price>25</price><country>C</country>
+    </supplier>
+    <part>
+      <pname>wheel</pname>
+      <supplier>
+        <sname>Acme</sname><price>3</price><country>B</country>
+      </supplier>
+      <part>
+        <pname>axle</pname>
+        <supplier>
+          <sname>Tiny</sname><price>1</price><country>A</country>
+        </supplier>
+      </part>
+    </part>
+  </part>
+</db>|}
+
+let parts_doc () = Dom.parse_string parts_doc_text
+
+(* p1 of Example 3.1: //part[pname='keyboard']//part[not(...)]. *)
+let p1_text =
+  "//part[pname = 'keyboard']//part[not(supplier/sname = 'HP') and not(supplier/price < 15)]"
+
+let node_testable = Alcotest.testable Node.pp Node.equal
+
+let element_testable =
+  Alcotest.testable Node.pp_element Node.equal_element
+
+let check_tree = Alcotest.check element_testable
+
+let parse_path = Xut_xpath.Parser.parse
+
+let names es = List.map Node.name es
+
+let pnames doc path =
+  (* part names of the parts selected by [path] in the parts doc *)
+  Xut_xpath.Eval.select_doc doc (parse_path path)
+  |> List.map (fun e ->
+         match Xut_xpath.Eval.select e (parse_path "pname") with
+         | n :: _ -> Node.text_content n
+         | [] -> "?")

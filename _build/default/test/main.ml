@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "xut"
+    [ ("xml", Test_xml.suite);
+      ("xpath", Test_xpath.suite);
+      ("automata", Test_automata.suite);
+      ("transform", Test_transform.suite);
+      ("xquery", Test_xquery.suite);
+      ("compose", Test_compose.suite);
+      ("properties", Test_properties.suite);
+      ("xmark", Test_xmark.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("reader", Test_reader.suite);
+      ("security-view", Test_security_view.suite);
+      ("misc", Test_misc.suite) ]

@@ -1,0 +1,142 @@
+open Xut_xpath
+open Xut_automata
+
+let nfa_of s = Selecting_nfa.of_path (Parser.parse s)
+
+(* Nodes selected via the NFA during a top-down walk must equal the direct
+   evaluator's answer. *)
+let nfa_select ?(checkp = `Direct) nfa root =
+  let cp =
+    match checkp with
+    | `Direct -> fun s n -> Eval.check_qual n (Selecting_nfa.state_qual nfa s)
+    | `Annotated ->
+      let tbl = Annotator.annotate nfa root in
+      Annotator.checkp tbl nfa
+  in
+  let acc = ref [] in
+  let rec go e states =
+    let states' =
+      Selecting_nfa.next_states nfa ~checkp:(fun s -> cp s e) states (Xut_xml.Node.name e)
+    in
+    if states' <> [] then begin
+      if Selecting_nfa.accepts nfa states' then acc := e :: !acc;
+      List.iter (fun c -> go c states') (Xut_xml.Node.child_elements e)
+    end
+  in
+  go root (Selecting_nfa.start_set nfa);
+  List.rev !acc
+
+let queries =
+  [ "db/part"; "db/part/pname"; "//part"; "//supplier"; "db//part"; "//part//supplier";
+    "db/*/supplier"; "db/part[pname = \"keyboard\"]"; "//part[supplier/price < 5]";
+    "//part[not(supplier/country = \"A\")]"; Fixtures.p1_text;
+    "//part[supplier/sname = \"HP\" or supplier/sname = \"Acme\"]"; "db/nothing";
+    "//part[pname = \"keyboard\"]//part"; "//supplier[country = \"A\"]/price";
+    "db/part/part/part"; "//part[label() = \"part\"]"; "//*[sname = \"Tiny\"]" ]
+
+let ids es = List.map Xut_xml.Node.id es
+
+let test_nfa_matches_eval () =
+  let root = Fixtures.parts_doc () in
+  List.iter
+    (fun q ->
+      let nfa = nfa_of q in
+      let expected = ids (Eval.select_doc root (Parser.parse q)) in
+      let got = ids (nfa_select nfa root) in
+      Alcotest.(check (list int)) ("NFA = eval for " ^ q) expected got)
+    queries
+
+let test_nfa_annotated_matches_eval () =
+  let root = Fixtures.parts_doc () in
+  List.iter
+    (fun q ->
+      let nfa = nfa_of q in
+      let expected = ids (Eval.select_doc root (Parser.parse q)) in
+      let got = ids (nfa_select ~checkp:`Annotated nfa root) in
+      Alcotest.(check (list int)) ("annotated NFA = eval for " ^ q) expected got)
+    queries
+
+let test_structure_example_3_1 () =
+  (* Fig. 5: start, desc, part[q1], desc, part[q2] -> 5 states. *)
+  let nfa = nfa_of Fixtures.p1_text in
+  Alcotest.(check int) "five states" 5 (Selecting_nfa.size nfa);
+  Alcotest.(check bool) "s1 is //" true (Selecting_nfa.kind nfa 1 = Selecting_nfa.K_desc);
+  Alcotest.(check bool) "s2 is part" true (Selecting_nfa.kind nfa 2 = Selecting_nfa.K_label "part");
+  Alcotest.(check bool) "s2 has qualifier" true (Selecting_nfa.has_qual nfa 2);
+  Alcotest.(check bool) "s3 is //" true (Selecting_nfa.kind nfa 3 = Selecting_nfa.K_desc);
+  Alcotest.(check int) "final" 4 (Selecting_nfa.final nfa);
+  (* the epsilon-closure of the start state contains the first // state *)
+  Alcotest.(check (list int)) "start closure" [ 0; 1 ] (Selecting_nfa.start_set nfa)
+
+let test_next_states_desc_loop () =
+  let nfa = nfa_of "//part" in
+  (* states: 0 start, 1 desc, 2 part *)
+  let s0 = Selecting_nfa.start_set nfa in
+  Alcotest.(check (list int)) "closure(start)" [ 0; 1 ] s0;
+  let s1 = Selecting_nfa.next_states nfa ~checkp:(fun _ -> true) s0 "db" in
+  Alcotest.(check (list int)) "after db: desc survives" [ 1 ] s1;
+  let s2 = Selecting_nfa.next_states nfa ~checkp:(fun _ -> true) s1 "part" in
+  Alcotest.(check (list int)) "after part: desc + final" [ 1; 2 ] s2;
+  Alcotest.(check bool) "accepts" true (Selecting_nfa.accepts nfa s2)
+
+let test_qualifier_blocks_transition () =
+  let nfa = nfa_of "db/part[pname = \"keyboard\"]/supplier" in
+  let s0 = Selecting_nfa.start_set nfa in
+  let s1 = Selecting_nfa.next_states nfa ~checkp:(fun _ -> true) s0 "db" in
+  let blocked = Selecting_nfa.next_states nfa ~checkp:(fun _ -> false) s1 "part" in
+  Alcotest.(check (list int)) "qualifier false kills the state" [] blocked;
+  let open_ = Selecting_nfa.next_states nfa ~checkp:(fun _ -> true) s1 "part" in
+  Alcotest.(check (list int)) "qualifier true keeps it" [ 2 ] open_
+
+let test_static_simulation () =
+  (* delta' as used by the Compose Method (Example 4.2):
+     Mp of //supplier[country=A]; initial {0,1}; after 'part' -> {1};
+     after 'supplier' -> {1, final}. *)
+  let nfa = nfa_of "//supplier[country = \"A\"]" in
+  let s0 = Selecting_nfa.start_set nfa in
+  let s1 = Selecting_nfa.next_on_label nfa s0 "part" in
+  Alcotest.(check (list int)) "S1" [ 1 ] s1;
+  let s2 = Selecting_nfa.next_on_label nfa s1 "supplier" in
+  Alcotest.(check (list int)) "S2" [ 1; 2 ] s2;
+  Alcotest.(check bool) "final in S2" true (Selecting_nfa.accepts nfa s2);
+  (* any-label transition *)
+  let any = Selecting_nfa.next_on_any nfa s0 in
+  Alcotest.(check (list int)) "any from start" [ 1; 2 ] any;
+  (* desc transition saturates *)
+  let desc = Selecting_nfa.next_on_desc nfa [ 0 ] in
+  Alcotest.(check (list int)) "desc from start" [ 0; 1; 2 ] desc
+
+let test_empty_path () =
+  let nfa = Selecting_nfa.of_path [] in
+  Alcotest.(check bool) "selects context" true (Selecting_nfa.selects_context nfa);
+  let nfa2 = nfa_of "db" in
+  Alcotest.(check bool) "nonempty does not" false (Selecting_nfa.selects_context nfa2)
+
+let test_annotator_prunes () =
+  (* supplier//part reaches nothing from the root: the annotator must not
+     visit (annotate) any node beyond pruning (Example 5.3). *)
+  let root = Fixtures.parts_doc () in
+  let nfa = nfa_of "supplier[country = \"A\"]//part" in
+  let tbl = Annotator.annotate nfa root in
+  Alcotest.(check int) "no annotations" 0 (Annotator.annotated_count tbl);
+  (* and a query with qualifiers only on parts does not annotate pname etc. *)
+  let nfa2 = nfa_of "db/part[pname = \"keyboard\"]" in
+  let tbl2 = Annotator.annotate nfa2 root in
+  Alcotest.(check bool) "annotates a strict subset" true
+    (Annotator.annotated_count tbl2 > 0
+    && Annotator.annotated_count tbl2 < Xut_xml.Node.element_count (Xut_xml.Node.Element root))
+
+let test_nfa_construction_linear () =
+  let nfa = nfa_of "a/b/c/d/e/f/g/h" in
+  Alcotest.(check int) "9 states for 8 steps" 9 (Selecting_nfa.size nfa)
+
+let suite =
+  [ Alcotest.test_case "NFA select = direct eval" `Quick test_nfa_matches_eval;
+    Alcotest.test_case "annotated NFA select = direct eval" `Quick test_nfa_annotated_matches_eval;
+    Alcotest.test_case "structure of Fig. 5" `Quick test_structure_example_3_1;
+    Alcotest.test_case "descendant self-loop" `Quick test_next_states_desc_loop;
+    Alcotest.test_case "qualifier blocks transition" `Quick test_qualifier_blocks_transition;
+    Alcotest.test_case "static delta' (compose)" `Quick test_static_simulation;
+    Alcotest.test_case "empty path" `Quick test_empty_path;
+    Alcotest.test_case "annotator pruning" `Quick test_annotator_prunes;
+    Alcotest.test_case "construction size" `Quick test_nfa_construction_linear ]

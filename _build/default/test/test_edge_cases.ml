@@ -1,0 +1,167 @@
+(* Edge cases across the engines: nested matches, updates interacting
+   with their own targets, qualifier corner cases, failure injection. *)
+open Xut_xml
+open Core
+
+let parse_path = Xut_xpath.Parser.parse
+
+let engines = Engine.[ Naive; Gentop; Td_bu; Two_pass_sax; Galax_update ]
+
+let check_all ?doc name update =
+  let root = match doc with Some d -> d | None -> Fixtures.parts_doc () in
+  let expected = Engine.transform Engine.Reference update root in
+  List.iter
+    (fun algo ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s / %s" name (Engine.name algo))
+        true
+        (Node.equal_element expected (Engine.transform algo update root)))
+    engines;
+  expected
+
+let test_nested_delete () =
+  (* //part matches parts nested inside parts: deleting the outer one
+     removes the inner match too *)
+  let out = check_all "nested delete" (Transform_ast.Delete (parse_path "//part")) in
+  Alcotest.(check int) "all parts gone" 0
+    (List.length (Xut_xpath.Eval.select_doc out (parse_path "//part")))
+
+let test_nested_rename () =
+  let out = check_all "nested rename" (Transform_ast.Rename (parse_path "//part", "component")) in
+  Alcotest.(check int) "all 5 renamed, nesting kept" 5
+    (List.length (Xut_xpath.Eval.select_doc out (parse_path "//component")));
+  Alcotest.(check int) "nested components remain nested" 3
+    (List.length (Xut_xpath.Eval.select_doc out (parse_path "//component/component")))
+
+let test_insert_does_not_match_itself () =
+  (* inserting a <supplier> under //part must not recurse into the new
+     element (the update runs against T, not against its own output) *)
+  let supplier = Node.elem "part" [ Node.elem "pname" [ Node.text "new!" ] ] in
+  let out =
+    check_all "insert self-similar" (Transform_ast.Insert (parse_path "//part", supplier))
+  in
+  (* 5 original parts each got exactly one new part child *)
+  Alcotest.(check int) "5 inserted" (5 + 5)
+    (List.length (Xut_xpath.Eval.select_doc out (parse_path "//part[pname = \"new!\"]"))
+     + List.length (Xut_xpath.Eval.select_doc out (parse_path "//part[not(pname = \"new!\")]")))
+
+let test_replace_with_matching_element () =
+  let repl = Node.elem "price" [ Node.text "0" ] in
+  let out = check_all "replace with same label" (Transform_ast.Replace (parse_path "//price", repl)) in
+  let prices = Xut_xpath.Eval.select_doc out (parse_path "//price") in
+  Alcotest.(check int) "six zeroed prices" 6 (List.length prices);
+  List.iter (fun p -> Alcotest.(check string) "zeroed" "0" (Node.text_content p)) prices
+
+let test_wildcard_and_label_qual () =
+  ignore
+    (check_all "wildcard with label() qual"
+       (Transform_ast.Delete (parse_path "db/*[label() = \"part\"]/supplier")))
+
+let test_deep_qualifier_negation () =
+  ignore
+    (check_all "double negation"
+       (Transform_ast.Delete (parse_path "//part[not(not(supplier/country = \"A\"))]")));
+  ignore
+    (check_all "qualifier on qualifier path"
+       (Transform_ast.Delete (parse_path "//part[supplier[country = \"A\"]/price < 15]")))
+
+let test_mixed_content_preserved () =
+  let doc = Dom.parse_string "<m><p>one <em>two</em> three</p><x/></m>" in
+  let out = check_all ~doc "mixed content" (Transform_ast.Delete (parse_path "m/x")) in
+  match Xut_xpath.Eval.select_doc out (parse_path "m/p") with
+  | [ p ] ->
+    Alcotest.(check int) "3 children kept" 3 (List.length (Node.children p));
+    Alcotest.(check string) "text intact" "one  three" (Node.text_content p)
+  | _ -> Alcotest.fail "p lost"
+
+let test_comments_pis_preserved () =
+  let doc = Dom.parse_string "<m><!-- note --><?tgt data?><x/><y/></m>" in
+  let out = check_all ~doc "comments and PIs" (Transform_ast.Delete (parse_path "m/y")) in
+  match Node.children out with
+  | [ Node.Comment c; Node.Pi (t, _); Node.Element _ ] ->
+    Alcotest.(check string) "comment" " note " c;
+    Alcotest.(check string) "pi" "tgt" t
+  | _ -> Alcotest.fail "children shape changed"
+
+let test_attributes_preserved () =
+  let doc = Dom.parse_string "<m><x id=\"1\" k=\"v\"><y/></x></m>" in
+  let out = check_all ~doc "attrs kept through rebuild" (Transform_ast.Delete (parse_path "m/x/y")) in
+  match Xut_xpath.Eval.select_doc out (parse_path "m/x") with
+  | [ x ] ->
+    Alcotest.(check (option string)) "id" (Some "1") (Node.attr x "id");
+    Alcotest.(check (option string)) "k" (Some "v") (Node.attr x "k")
+  | _ -> Alcotest.fail "x lost"
+
+let test_update_matching_everything () =
+  (* '//' + wildcard: every element below the root is selected *)
+  ignore (check_all "rename everything" (Transform_ast.Rename (parse_path "//*", "n")));
+  ignore (check_all "delete everything" (Transform_ast.Delete (parse_path "db/*")))
+
+let test_empty_document_element () =
+  let doc = Dom.parse_string "<empty/>" in
+  ignore (check_all ~doc "empty root, no match" (Transform_ast.Delete (parse_path "empty/x")));
+  let out =
+    check_all ~doc "insert into empty root"
+      (Transform_ast.Insert (parse_path "empty", Node.elem "child" []))
+  in
+  Alcotest.(check int) "child added" 1 (List.length (Node.children out))
+
+let test_deep_nesting_stack_safety () =
+  (* 2000-deep chain: engines must not be limited by tiny stacks *)
+  let rec deep n = if n = 0 then Node.text "x" else Node.elem "d" [ deep (n - 1) ] in
+  let doc = Node.element "root" [ deep 2000 ] in
+  let u = Transform_ast.Insert (parse_path "root//d[not(d)]", Node.elem "leaf" []) in
+  let expected = Engine.transform Engine.Reference u doc in
+  List.iter
+    (fun algo ->
+      Alcotest.(check bool)
+        ("deep nesting / " ^ Engine.name algo)
+        true
+        (Node.equal_element expected (Engine.transform algo u doc)))
+    engines
+
+let test_two_pass_sax_rejects_ctx_quals () =
+  let u = Transform_ast.Delete (parse_path ".[db]/db/part") in
+  match Engine.transform Engine.Two_pass_sax u (Fixtures.parts_doc ()) with
+  | exception Sax_transform.Unsupported_streaming _ -> ()
+  | _ -> Alcotest.fail "streaming should reject context qualifiers"
+
+let test_invalid_queries_rejected () =
+  let fails s =
+    match Transform_parser.parse s with
+    | exception Transform_parser.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("should fail: " ^ s)
+  in
+  fails "transform copy $a := doc(\"f\") modify do insert <a/> into $a/p";
+  fails "transform copy := doc(\"f\") modify do delete $a/p return $a"
+
+let test_truncated_file_rejected () =
+  let tmp = Filename.temp_file "xut" ".xml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      Out_channel.with_open_bin tmp (fun oc -> output_string oc "<site><people><person id=");
+      (match Dom.parse_file tmp with
+      | exception Sax.Parse_error _ -> ()
+      | _ -> Alcotest.fail "DOM parse should fail");
+      let u = Transform_ast.Delete (parse_path "site/people") in
+      match Sax_transform.transform_file u ~src:tmp ~out:(Buffer.create 16) with
+      | exception Sax.Parse_error _ -> ()
+      | _ -> Alcotest.fail "streaming parse should fail")
+
+let suite =
+  [ Alcotest.test_case "nested delete" `Quick test_nested_delete;
+    Alcotest.test_case "nested rename" `Quick test_nested_rename;
+    Alcotest.test_case "insert does not match itself" `Quick test_insert_does_not_match_itself;
+    Alcotest.test_case "replace with matching label" `Quick test_replace_with_matching_element;
+    Alcotest.test_case "wildcard + label() qual" `Quick test_wildcard_and_label_qual;
+    Alcotest.test_case "deep qualifier nesting" `Quick test_deep_qualifier_negation;
+    Alcotest.test_case "mixed content preserved" `Quick test_mixed_content_preserved;
+    Alcotest.test_case "comments/PIs preserved" `Quick test_comments_pis_preserved;
+    Alcotest.test_case "attributes preserved" `Quick test_attributes_preserved;
+    Alcotest.test_case "update matching everything" `Quick test_update_matching_everything;
+    Alcotest.test_case "empty document element" `Quick test_empty_document_element;
+    Alcotest.test_case "2000-deep nesting" `Quick test_deep_nesting_stack_safety;
+    Alcotest.test_case "streaming rejects ctx quals" `Quick test_two_pass_sax_rejects_ctx_quals;
+    Alcotest.test_case "invalid queries rejected" `Quick test_invalid_queries_rejected;
+    Alcotest.test_case "truncated file rejected" `Quick test_truncated_file_rejected ]

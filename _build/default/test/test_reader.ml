@@ -1,0 +1,94 @@
+(* The chunked reader and the streaming property of the SAX parser:
+   events must be identical for any chunk size, including pathological
+   1-byte chunks that split every token across refills. *)
+open Xut_xml
+
+let events_of source =
+  let acc = ref [] in
+  source (fun ev -> acc := ev :: !acc);
+  List.rev !acc
+
+let with_temp_doc text f =
+  let tmp = Filename.temp_file "xut_rd" ".xml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      Out_channel.with_open_bin tmp (fun oc -> output_string oc text);
+      f tmp)
+
+let check_chunked text =
+  let expected = events_of (Sax.parse_string text) in
+  List.iter
+    (fun chunk_size ->
+      with_temp_doc text (fun tmp ->
+          let got =
+            events_of (fun h ->
+                In_channel.with_open_bin tmp (fun ic ->
+                    Sax.parse_reader (Reader.of_channel ~chunk_size ic) h))
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "event count (chunk=%d)" chunk_size)
+            (List.length expected) (List.length got);
+          List.iter2
+            (fun a b ->
+              Alcotest.(check bool)
+                (Printf.sprintf "event equal (chunk=%d)" chunk_size)
+                true (Sax.equal_event a b))
+            expected got))
+    [ 1; 2; 3; 7; 64 ]
+
+let test_chunk_boundaries () =
+  check_chunked "<a x=\"1\" y='two'><b>text &amp; more &#65;</b><!-- c --><?pi data?><![CDATA[<r>]]><c/></a>"
+
+let test_chunked_xmark () =
+  let doc = Xut_xmark.Generator.generate ~factor:0.001 () in
+  check_chunked (Serialize.element_to_string doc)
+
+let test_reader_basics () =
+  let r = Reader.of_string "ab\ncd" in
+  Alcotest.(check char) "peek" 'a' (Reader.peek r);
+  Alcotest.(check char) "next" 'a' (Reader.next r);
+  Alcotest.(check int) "line 1" 1 (Reader.line r);
+  ignore (Reader.next r);
+  ignore (Reader.next r);
+  Alcotest.(check int) "line 2 after newline" 2 (Reader.line r);
+  Alcotest.(check int) "col" 1 (Reader.col r);
+  ignore (Reader.next r);
+  ignore (Reader.next r);
+  Alcotest.(check bool) "eof" true (Reader.eof r);
+  Alcotest.(check char) "peek at eof" '\000' (Reader.peek r);
+  Alcotest.(check int) "bytes read" 5 (Reader.bytes_read r)
+
+let test_error_position () =
+  (* the unknown entity is on line 3 *)
+  match Sax.parse_string "<a>\n<b>\n&bogus;</b></a>" (fun _ -> ()) with
+  | exception Sax.Parse_error { line; _ } -> Alcotest.(check int) "line" 3 line
+  | _ -> Alcotest.fail "should not parse"
+
+let test_streaming_transform_tiny_chunks () =
+  (* the full two-pass streaming pipeline over 16-byte chunks *)
+  let doc = Fixtures.parts_doc () in
+  let text = Serialize.element_to_string doc in
+  with_temp_doc text (fun tmp ->
+      let update =
+        Core.Transform_parser.parse_update "delete $a//supplier[country = 'A']/price"
+      in
+      let nfa = Xut_automata.Selecting_nfa.of_path (Core.Transform_ast.path update) in
+      let out = Buffer.create 256 in
+      let source h =
+        In_channel.with_open_bin tmp (fun ic ->
+            Sax.parse_reader (Reader.of_channel ~chunk_size:16 ic) h)
+      in
+      let _ = Core.Sax_transform.run nfa update ~source ~sink:(Serialize.event_sink out) in
+      let got = Dom.parse_string (Buffer.contents out) in
+      let expected = Core.Engine.transform Core.Engine.Reference update doc in
+      Alcotest.(check bool) "chunked streaming = reference" true
+        (Node.equal_element expected got))
+
+let suite =
+  [ Alcotest.test_case "reader basics" `Quick test_reader_basics;
+    Alcotest.test_case "chunk boundaries" `Quick test_chunk_boundaries;
+    Alcotest.test_case "chunked xmark document" `Quick test_chunked_xmark;
+    Alcotest.test_case "error position" `Quick test_error_position;
+    Alcotest.test_case "streaming transform, 16-byte chunks" `Quick
+      test_streaming_transform_tiny_chunks ]

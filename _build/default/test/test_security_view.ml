@@ -1,0 +1,78 @@
+open Xut_xml
+open Core
+
+let doc () = Fixtures.parts_doc ()
+
+let policy =
+  Security_view.make ~name:"suppliers-for-group-b"
+    [ Security_view.deny "//supplier[country = 'A']/price";
+      Security_view.redact "//supplier[country = 'C']" ~with_:"<supplier><sname>hidden</sname></supplier>";
+      Security_view.relabel "//part/part" ~as_:"component" ]
+
+let test_view_materialization () =
+  let v = Security_view.view_of policy ~doc:(doc ()) in
+  let count p = List.length (Xut_xpath.Eval.select_doc v (Xut_xpath.Parser.parse p)) in
+  (* country-A prices hidden, others kept *)
+  Alcotest.(check int) "A prices gone" 0 (count "//supplier[country = 'A']/price");
+  Alcotest.(check bool) "other prices kept" true (count "//price" > 0);
+  (* country-C suppliers redacted *)
+  Alcotest.(check int) "C suppliers redacted" 0 (count "//supplier[country = 'C']");
+  Alcotest.(check int) "placeholder present" 1 (count "//supplier[sname = 'hidden']");
+  (* nested parts relabeled *)
+  Alcotest.(check int) "components" 3 (count "//component");
+  (* the stored document is untouched *)
+  Alcotest.(check bool) "store intact" true
+    (Node.equal_element (doc ()) (Fixtures.parts_doc ()))
+
+let test_rules_apply_in_order () =
+  (* a later rule sees the earlier rules' output *)
+  let p =
+    Security_view.make ~name:"chain"
+      [ Security_view.relabel "//supplier" ~as_:"vendor";
+        Security_view.deny "//vendor/price" ]
+  in
+  let v = Security_view.view_of p ~doc:(doc ()) in
+  let count q = List.length (Xut_xpath.Eval.select_doc v (Xut_xpath.Parser.parse q)) in
+  Alcotest.(check int) "renamed first" 6 (count "//vendor");
+  Alcotest.(check int) "then their prices deleted" 0 (count "//vendor/price")
+
+let test_answer_matches_view () =
+  let uq = User_query.parse "for $x in db/part/supplier return $x" in
+  let d = doc () in
+  let through_view =
+    User_query.run uq ~doc:(Security_view.view_of policy ~doc:d)
+    |> List.map (fun i ->
+           match i with
+           | Xut_xquery.Xq_value.N n -> Serialize.to_string n
+           | o -> Xut_xquery.Xq_value.string_of_item o)
+  in
+  let answered =
+    Security_view.answer policy uq ~doc:d
+    |> List.map (fun i ->
+           match i with
+           | Xut_xquery.Xq_value.N n -> Serialize.to_string n
+           | o -> Xut_xquery.Xq_value.string_of_item o)
+  in
+  Alcotest.(check (list string)) "answer = query over view" through_view answered
+
+let test_single_rule_composes () =
+  (* one-rule policies go through the Compose Method *)
+  let p = Security_view.make ~name:"one" [ Security_view.deny "//supplier[country = 'A']" ] in
+  let uq = User_query.parse "for $x in db/part[pname = \"keyboard\"]/supplier return $x/sname" in
+  let got = Security_view.answer p uq ~doc:(doc ()) in
+  Alcotest.(check int) "only non-A suppliers" 1 (List.length got)
+
+let test_permitted () =
+  let d = doc () in
+  Alcotest.(check bool) "non-A prices visible" true
+    (Security_view.permitted policy "//price" ~doc:d);
+  let strict = Security_view.make ~name:"strict" [ Security_view.deny "//price" ] in
+  Alcotest.(check bool) "no price visible" false
+    (Security_view.permitted strict "//price" ~doc:d)
+
+let suite =
+  [ Alcotest.test_case "view materialization" `Quick test_view_materialization;
+    Alcotest.test_case "rules apply in order" `Quick test_rules_apply_in_order;
+    Alcotest.test_case "answer = query over view" `Quick test_answer_matches_view;
+    Alcotest.test_case "single rule composes" `Quick test_single_rule_composes;
+    Alcotest.test_case "permitted audit" `Quick test_permitted ]

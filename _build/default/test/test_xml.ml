@@ -1,0 +1,142 @@
+open Xut_xml
+
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+let roundtrip s =
+  let e = Dom.parse_string s in
+  Serialize.element_to_string e
+
+let test_parse_simple () =
+  let e = Dom.parse_string "<a><b>hi</b><c x=\"1\"/></a>" in
+  check_str "name" "a" (Node.name e);
+  check_int "children" 2 (List.length (Node.children e));
+  match Node.children e with
+  | [ Node.Element b; Node.Element c ] ->
+    check_str "b text" "hi" (Node.text_content b);
+    check_str "c attr" "1" (Option.get (Node.attr c "x"))
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_roundtrip () =
+  check_str "simple" "<a><b>hi</b><c x=\"1\"/></a>" (roundtrip "<a><b>hi</b><c x=\"1\"/></a>");
+  check_str "nested" "<a><b><c><d>x</d></c></b></a>" (roundtrip "<a><b><c><d>x</d></c></b></a>")
+
+let test_escapes () =
+  let e = Dom.parse_string "<a>x &amp; y &lt; z &#65;&#x42;</a>" in
+  check_str "entities" "x & y < z AB" (Node.text_content e);
+  let s = Serialize.element_to_string e in
+  check_str "re-escaped" "<a>x &amp; y &lt; z AB</a>" s
+
+let test_attr_quotes () =
+  let e = Dom.parse_string "<a x='single &quot;q' y=\"double 'q\"/>" in
+  check_str "single" "single \"q" (Option.get (Node.attr e "x"));
+  check_str "double" "double 'q" (Option.get (Node.attr e "y"))
+
+let test_comment_pi_cdata () =
+  let e = Dom.parse_string "<?xml version=\"1.0\"?><a><!-- c --><?tgt data?><![CDATA[<raw>]]></a>" in
+  (match Node.children e with
+  | [ Node.Comment c; Node.Pi (t, d); Node.Text raw ] ->
+    check_str "comment" " c " c;
+    check_str "pi target" "tgt" t;
+    check_str "pi data" "data" d;
+    check_str "cdata" "<raw>" raw
+  | _ -> Alcotest.fail "unexpected children");
+  ignore e
+
+let test_doctype_skipped () =
+  let e = Dom.parse_string "<!DOCTYPE site SYSTEM \"foo.dtd\" [<!ENTITY x \"y\">]><a/>" in
+  check_str "root" "a" (Node.name e)
+
+let test_ws_dropped () =
+  let e = Dom.parse_string "<a>\n  <b/>\n  <c/>\n</a>" in
+  check_int "no ws children" 2 (List.length (Node.children e))
+
+let test_ws_kept () =
+  let e = Dom.parse_string ~keep_ws:true "<a>\n  <b/>\n</a>" in
+  check_int "ws kept" 3 (List.length (Node.children e))
+
+let test_mixed_content () =
+  let e = Dom.parse_string "<p>one <em>two</em> three</p>" in
+  check_int "3 children" 3 (List.length (Node.children e));
+  check_str "direct text" "one  three" (Node.text_content e)
+
+let test_parse_errors () =
+  let fails s =
+    match Dom.parse_string s with
+    | exception Sax.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("should not parse: " ^ s)
+  in
+  fails "<a>";
+  fails "<a></b>";
+  fails "<a><b></a></b>";
+  fails "no markup";
+  fails "<a attr=novalue/>";
+  fails "<a>&bogus;</a>"
+
+let test_sax_events () =
+  let events = ref [] in
+  Sax.parse_string "<a x=\"1\"><b>t</b></a>" (fun ev -> events := ev :: !events);
+  let got = List.rev !events in
+  let expected =
+    [ Sax.Start_document; Sax.Start_element ("a", [ ("x", "1") ]); Sax.Start_element ("b", []);
+      Sax.Characters "t"; Sax.End_element "b"; Sax.End_element "a"; Sax.End_document ]
+  in
+  Alcotest.(check int) "event count" (List.length expected) (List.length got);
+  List.iter2
+    (fun e g -> Alcotest.(check bool) "event" true (Sax.equal_event e g))
+    expected got
+
+let test_events_of_tree_roundtrip () =
+  let e = Dom.parse_string Fixtures.parts_doc_text in
+  let b = Dom.Builder.create () in
+  Sax.events_of_tree e (Dom.Builder.handler b);
+  Fixtures.check_tree "tree->events->tree" e (Dom.Builder.result b)
+
+let test_serialize_parse_roundtrip () =
+  let e = Dom.parse_string Fixtures.parts_doc_text in
+  let e' = Dom.parse_string (Serialize.element_to_string e) in
+  Fixtures.check_tree "parse(serialize(t)) = t" e e'
+
+let test_indent () =
+  let e = Dom.parse_string "<a><b>t</b></a>" in
+  check_str "indented" "<a>\n  <b>t</b>\n</a>" (Serialize.element_to_string ~indent:2 e)
+
+let test_node_ops () =
+  let e = Dom.parse_string Fixtures.parts_doc_text in
+  check_int "element count" 35 (Node.element_count (Node.Element e));
+  Alcotest.(check bool) "size includes text nodes" true
+    (Node.size (Node.Element e) > Node.element_count (Node.Element e));
+  check_int "depth" 7 (Node.depth (Node.Element e));
+  check_int "descendants" 35 (List.length (Node.descendant_or_self e))
+
+let test_refresh_ids () =
+  let e = Dom.parse_string "<a><b/><b/></a>" in
+  let e' = Node.refresh_ids (Node.Element e) in
+  Alcotest.(check bool) "structurally equal" true (Node.equal (Node.Element e) e');
+  match e' with
+  | Node.Element f -> Alcotest.(check bool) "fresh id" true (Node.id f <> Node.id e)
+  | _ -> Alcotest.fail "not an element"
+
+let test_event_sink () =
+  let buf = Buffer.create 64 in
+  Sax.parse_string "<a><b>t</b></a>" (Serialize.event_sink buf);
+  check_str "streamed serialization" "<a><b>t</b></a>" (Buffer.contents buf)
+
+let suite =
+  [ Alcotest.test_case "parse simple" `Quick test_parse_simple;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "escapes" `Quick test_escapes;
+    Alcotest.test_case "attribute quotes" `Quick test_attr_quotes;
+    Alcotest.test_case "comment/pi/cdata" `Quick test_comment_pi_cdata;
+    Alcotest.test_case "doctype skipped" `Quick test_doctype_skipped;
+    Alcotest.test_case "whitespace dropped" `Quick test_ws_dropped;
+    Alcotest.test_case "whitespace kept" `Quick test_ws_kept;
+    Alcotest.test_case "mixed content" `Quick test_mixed_content;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "sax events" `Quick test_sax_events;
+    Alcotest.test_case "events_of_tree roundtrip" `Quick test_events_of_tree_roundtrip;
+    Alcotest.test_case "serialize/parse roundtrip" `Quick test_serialize_parse_roundtrip;
+    Alcotest.test_case "indent" `Quick test_indent;
+    Alcotest.test_case "node ops" `Quick test_node_ops;
+    Alcotest.test_case "refresh ids" `Quick test_refresh_ids;
+    Alcotest.test_case "event sink" `Quick test_event_sink ]
