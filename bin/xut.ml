@@ -1,11 +1,13 @@
 (* xut — command-line front end for the transform-query engines.
 
    Subcommands:
-     transform   evaluate a transform query against a document
-     compose     compose a transform query with a user query
-     rewrite     print the standard-XQuery rewriting (Fig. 2)
-     query       evaluate an XQuery (subset) against a document
-     xmark       generate an XMark-style document *)
+     transform    evaluate a transform query against a document
+     compose      compose a transform query with a user query
+     rewrite      print the standard-XQuery rewriting (Fig. 2)
+     query        evaluate an XQuery (subset) against a document
+     xmark        generate an XMark-style document
+     serve        line-delimited request loop over the xut_service layer
+     bench-serve  closed-loop load driver for the service layer *)
 
 open Cmdliner
 open Core
@@ -191,8 +193,202 @@ let xmark_cmd =
     (Cmd.info "xmark" ~doc:"Generate an XMark-style auction document.")
     Term.(const run $ factor $ seed $ output)
 
+(* ---------------- serve ---------------- *)
+
+let serve_cmd =
+  let run domains cache_capacity queue_capacity =
+    if domains < 1 || cache_capacity < 0 || queue_capacity < 1 then begin
+      Printf.eprintf "xut serve: need --domains >= 1, --cache >= 0, --queue >= 1\n";
+      exit 2
+    end;
+    let svc =
+      Xut_service.Service.create ~domains ~cache_capacity ~queue_capacity ()
+    in
+    Printf.eprintf
+      "xut serve: %d domain%s, plan cache %d, queue %d — LOAD / UNLOAD / TRANSFORM / STATS on stdin\n%!"
+      domains (if domains = 1 then "" else "s") cache_capacity queue_capacity;
+    let rec loop () =
+      match In_channel.input_line stdin with
+      | None -> ()
+      | Some line when String.trim line = "" -> loop ()
+      | Some line ->
+        (match Xut_service.Service.parse_request line with
+        | Error msg -> Printf.printf "ERR %s\n%!" msg
+        | Ok Xut_service.Service.Stats -> begin
+          match Xut_service.Service.call svc Xut_service.Service.Stats with
+          | Ok payload -> Printf.printf "%s\nOK\n%!" payload
+          | Error msg -> Printf.printf "ERR %s\n%!" msg
+        end
+        | Ok req -> begin
+          match Xut_service.Service.call svc req with
+          | Ok payload -> Printf.printf "OK %s\n%!" payload
+          | Error msg -> Printf.printf "ERR %s\n%!" msg
+        end);
+        loop ()
+    in
+    loop ();
+    Xut_service.Service.shutdown svc;
+    0
+  in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let cache =
+    Arg.(value & opt int 128
+         & info [ "cache" ] ~docv:"N" ~doc:"Plan-cache capacity (0 disables).")
+  in
+  let queue =
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc:"Request-queue capacity.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve transform queries over stdin (LOAD / UNLOAD / TRANSFORM / STATS, one per line).")
+    Term.(const run $ domains $ cache $ queue)
+
+(* ---------------- bench-serve ---------------- *)
+
+let bench_serve_cmd =
+  let run doc_opt factor requests domains_list engine query_opt payload =
+    (* Document: the given file, or a generated XMark one. *)
+    let doc_file, cleanup =
+      match doc_opt with
+      | Some f -> (f, fun () -> ())
+      | None ->
+        let f = Filename.temp_file "xut_bench" ".xml" in
+        Xut_xmark.Generator.to_file ~seed:42L ~factor f;
+        (f, fun () -> Sys.remove f)
+    in
+    let query =
+      match query_opt with
+      | Some q -> read_query q
+      | None ->
+        (* U7-shaped repeated-query workload over the XMark document:
+           qualifier-heavy, so the memoized annotation pass matters. *)
+        "transform copy $a := doc(\"d\") modify do delete $a/site/open_auctions/open_auction[bidder/increase > 5]/annotation[happiness < 20]/description//text return $a"
+    in
+    let domain_counts =
+      String.split_on_char ',' domains_list
+      |> List.filter_map (fun s ->
+             match int_of_string_opt (String.trim s) with
+             | Some n when n >= 1 -> Some n
+             | _ -> None)
+    in
+    let domain_counts = if domain_counts = [] then [ 1; 2; 4 ] else domain_counts in
+    Printf.printf "bench-serve: doc=%s requests=%d engine=%s reply=%s cores=%d\nquery: %s\n\n"
+      doc_file requests (Engine.name engine)
+      (if payload then "payload" else "count")
+      (Domain.recommended_domain_count ())
+      query;
+    Printf.printf "%-8s %-6s %10s %12s %10s %10s\n" "domains" "cache" "wall(s)" "req/s" "p95(ms)" "hits";
+    let measure ~domains ~cache_on =
+      let svc =
+        Xut_service.Service.create ~domains
+          ~cache_capacity:(if cache_on then 128 else 0)
+          ~queue_capacity:(max 64 (4 * domains))
+          ()
+      in
+      (match
+         Xut_service.Service.call svc
+           (Xut_service.Service.Load { name = "d"; file = doc_file })
+       with
+      | Ok _ -> ()
+      | Error msg -> failwith ("bench-serve: " ^ msg));
+      Xut_service.Metrics.reset (Xut_service.Service.metrics svc);
+      let req =
+        if payload then Xut_service.Service.Transform { doc = "d"; engine; query }
+        else Xut_service.Service.Count { doc = "d"; engine; query }
+      in
+      (* Closed loop: keep a window of in-flight requests, twice the
+         worker count, so every domain always has work without the
+         driver outrunning the queue. *)
+      let window = 2 * domains in
+      let in_flight = Queue.create () in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to requests do
+        if Queue.length in_flight >= window then
+          ignore (Xut_service.Service.await (Queue.pop in_flight));
+        Queue.push (Xut_service.Service.submit svc req) in_flight
+      done;
+      Queue.iter (fun fut -> ignore (Xut_service.Service.await fut)) in_flight;
+      let dt = Unix.gettimeofday () -. t0 in
+      let m = Xut_service.Service.metrics svc in
+      let p95 = Xut_service.Metrics.quantile m 0.95 *. 1e3 in
+      let hits = Xut_service.Metrics.cache_hits m in
+      let errors = Xut_service.Metrics.errors m in
+      Xut_service.Service.shutdown svc;
+      if errors > 0 then failwith (Printf.sprintf "bench-serve: %d errors" errors);
+      let rps = float_of_int requests /. dt in
+      Printf.printf "%-8d %-6s %10.3f %12.1f %10.2f %10d\n%!" domains
+        (if cache_on then "on" else "off") dt rps p95 hits;
+      rps
+    in
+    let results =
+      List.map
+        (fun d ->
+          let off = measure ~domains:d ~cache_on:false in
+          let on = measure ~domains:d ~cache_on:true in
+          (d, off, on))
+        domain_counts
+    in
+    cleanup ();
+    (match (List.nth_opt results 0, List.rev results) with
+    | Some (d1, _, on1), (dn, _, onn) :: _ when dn > d1 ->
+      Printf.printf "\nscaling: %d domains = %.2fx the %d-domain throughput (cache on)\n" dn
+        (onn /. on1) d1
+    | _ -> ());
+    List.iter
+      (fun (d, off, on) ->
+        Printf.printf "cache: on = %.2fx off at %d domain%s\n" (on /. off) d
+          (if d = 1 then "" else "s"))
+      results;
+    0
+  in
+  let doc_opt =
+    Arg.(value & opt (some file) None
+         & info [ "d"; "doc" ] ~docv:"FILE" ~doc:"Benchmark document (default: generated XMark).")
+  in
+  let factor =
+    Arg.(value & opt float 0.002
+         & info [ "f"; "factor" ] ~docv:"F" ~doc:"XMark factor for the generated document.")
+  in
+  let requests =
+    Arg.(value & opt int 300 & info [ "n"; "requests" ] ~docv:"N" ~doc:"Requests per run.")
+  in
+  let domains_list =
+    Arg.(value & opt string "1,2,4"
+         & info [ "domains" ] ~docv:"LIST" ~doc:"Comma-separated worker-domain counts.")
+  in
+  let query_opt =
+    Arg.(value & opt (some string) None
+         & info [ "q"; "query" ] ~docv:"QUERY" ~doc:"Transform query (or @FILE) to repeat.")
+  in
+  let payload =
+    Arg.(value & flag
+         & info [ "payload" ]
+             ~doc:"Request the full serialized result per request (TRANSFORM) instead of the \
+                   lean element-count reply (COUNT).")
+  in
+  let bench_engine =
+    let parse s =
+      match Engine.of_string s with
+      | Some a -> Ok a
+      | None -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
+    in
+    let print ppf a = Format.pp_print_string ppf (Engine.name a) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Engine.Td_bu
+      & info [ "e"; "engine" ] ~docv:"ENGINE"
+          ~doc:"Evaluation engine (default td-bu, the one the annotation memo serves).")
+  in
+  Cmd.v
+    (Cmd.info "bench-serve"
+       ~doc:"Closed-loop load benchmark of the service layer: domains 1..N, plan cache on/off.")
+    Term.(const run $ doc_opt $ factor $ requests $ domains_list $ bench_engine $ query_opt $ payload)
+
 let main =
   let info = Cmd.info "xut" ~version:"1.0.0" ~doc:"Querying XML with update syntax (SIGMOD 2007)." in
-  Cmd.group info [ transform_cmd; compose_cmd; rewrite_cmd; query_cmd; xmark_cmd ]
+  Cmd.group info
+    [ transform_cmd; compose_cmd; rewrite_cmd; query_cmd; xmark_cmd; serve_cmd; bench_serve_cmd ]
 
 let () = exit (Cmd.eval' main)

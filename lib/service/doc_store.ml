@@ -1,0 +1,38 @@
+open Xut_xml
+
+type info = { name : string; file : string option; elements : int }
+
+type t = { mu : Mutex.t; tbl : (string, Node.element * info) Hashtbl.t }
+
+let create () = { mu = Mutex.create (); tbl = Hashtbl.create 16 }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let register t ~name ?file root =
+  let info = { name; file; elements = Node.element_count (Node.Element root) } in
+  locked t (fun () -> Hashtbl.replace t.tbl name (root, info));
+  info
+
+let load_file t ~name path =
+  match Dom.parse_file path with
+  | root -> Ok (register t ~name ~file:path root)
+  | exception Sax.Parse_error { line; col; msg } ->
+    Error (Printf.sprintf "parse error in %s at %d:%d: %s" path line col msg)
+  | exception Sys_error msg -> Error msg
+  | exception Dom.No_document_element ->
+    Error (Printf.sprintf "no document element in %s" path)
+
+let find t name = locked t (fun () -> Option.map fst (Hashtbl.find_opt t.tbl name))
+let info t name = locked t (fun () -> Option.map snd (Hashtbl.find_opt t.tbl name))
+
+let evict t name =
+  locked t (fun () ->
+      let present = Hashtbl.mem t.tbl name in
+      Hashtbl.remove t.tbl name;
+      present)
+
+let names t =
+  locked t (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [])
+  |> List.sort String.compare

@@ -1,0 +1,38 @@
+open Xut_xml
+
+(** Named store of parsed documents.
+
+    A document is parsed once — [LOAD] in the service protocol — and the
+    resulting immutable {!Node.element} is handed out to every request
+    that names it.  Because transform queries never mutate their input
+    (the whole point of the paper), concurrent workers can evaluate
+    against the same stored tree with no copying and no locking beyond
+    the store's own table lock. *)
+
+type info = {
+  name : string;
+  file : string option;  (** origin path, when loaded from disk *)
+  elements : int;        (** element count, for listings *)
+}
+
+type t
+
+val create : unit -> t
+
+val register : t -> name:string -> ?file:string -> Node.element -> info
+(** Register an already-built tree under [name], replacing any previous
+    binding. *)
+
+val load_file : t -> name:string -> string -> (info, string) result
+(** Parse the file (outside the store lock) and {!register} it. *)
+
+val find : t -> string -> Node.element option
+val info : t -> string -> info option
+
+val evict : t -> string -> bool
+(** Remove a binding; [false] when the name was not bound.  In-flight
+    requests holding the tree are unaffected (it is immutable and
+    garbage-collected when they finish). *)
+
+val names : t -> string list
+(** Bound names, sorted. *)

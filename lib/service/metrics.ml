@@ -1,0 +1,115 @@
+(* Buckets are powers of two in microseconds: bucket [i] counts
+   latencies in [2^i, 2^(i+1)) us.  32 buckets reach ~71 minutes, far
+   beyond any request this service answers. *)
+
+let n_buckets = 32
+
+type t = {
+  requests : int Atomic.t;
+  errors : int Atomic.t;
+  cache_hits : int Atomic.t;
+  cache_misses : int Atomic.t;
+  depth : int Atomic.t;
+  max_depth : int Atomic.t;
+  buckets : int Atomic.t array;
+  count : int Atomic.t;
+  max_latency_ns : int Atomic.t;
+}
+
+let create () =
+  {
+    requests = Atomic.make 0;
+    errors = Atomic.make 0;
+    cache_hits = Atomic.make 0;
+    cache_misses = Atomic.make 0;
+    depth = Atomic.make 0;
+    max_depth = Atomic.make 0;
+    buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+    count = Atomic.make 0;
+    max_latency_ns = Atomic.make 0;
+  }
+
+let incr_requests m = Atomic.incr m.requests
+let incr_errors m = Atomic.incr m.errors
+let incr_cache_hits m = Atomic.incr m.cache_hits
+let incr_cache_misses m = Atomic.incr m.cache_misses
+
+let requests m = Atomic.get m.requests
+let errors m = Atomic.get m.errors
+let cache_hits m = Atomic.get m.cache_hits
+let cache_misses m = Atomic.get m.cache_misses
+
+let rec raise_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then raise_max cell v
+
+let queue_enter m =
+  let d = Atomic.fetch_and_add m.depth 1 + 1 in
+  raise_max m.max_depth d
+
+let queue_leave m = Atomic.decr m.depth
+let queue_depth m = Atomic.get m.depth
+let max_queue_depth m = Atomic.get m.max_depth
+
+let bucket_of_us us =
+  if us <= 1 then 0
+  else
+    let rec go i v = if v <= 1 || i = n_buckets - 1 then i else go (i + 1) (v lsr 1) in
+    go 0 us
+
+let record_latency m seconds =
+  let ns = int_of_float (seconds *. 1e9) in
+  let us = ns / 1_000 in
+  Atomic.incr m.buckets.(bucket_of_us us);
+  Atomic.incr m.count;
+  raise_max m.max_latency_ns ns
+
+let latency_count m = Atomic.get m.count
+
+(* Representative latency of bucket i: its geometric middle, 2^i*sqrt(2) us. *)
+let bucket_value i = float_of_int (1 lsl i) *. 1.4142 *. 1e-6
+
+let quantile m q =
+  let total = Atomic.get m.count in
+  if total = 0 then 0.
+  else begin
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int total))) in
+    let seen = ref 0 and answer = ref 0. and found = ref false in
+    for i = 0 to n_buckets - 1 do
+      if not !found then begin
+        seen := !seen + Atomic.get m.buckets.(i);
+        if !seen >= rank then begin
+          answer := bucket_value i;
+          found := true
+        end
+      end
+    done;
+    !answer
+  end
+
+let max_latency m = float_of_int (Atomic.get m.max_latency_ns) *. 1e-9
+
+let reset m =
+  Atomic.set m.requests 0;
+  Atomic.set m.errors 0;
+  Atomic.set m.cache_hits 0;
+  Atomic.set m.cache_misses 0;
+  Atomic.set m.max_depth (Atomic.get m.depth);
+  Array.iter (fun b -> Atomic.set b 0) m.buckets;
+  Atomic.set m.count 0;
+  Atomic.set m.max_latency_ns 0
+
+let dump m =
+  let b = Buffer.create 256 in
+  let ms v = v *. 1e3 in
+  Printf.bprintf b "requests %d\n" (requests m);
+  Printf.bprintf b "errors %d\n" (errors m);
+  Printf.bprintf b "cache_hits %d\n" (cache_hits m);
+  Printf.bprintf b "cache_misses %d\n" (cache_misses m);
+  Printf.bprintf b "queue_depth %d\n" (queue_depth m);
+  Printf.bprintf b "queue_depth_max %d\n" (max_queue_depth m);
+  Printf.bprintf b "latency_count %d\n" (latency_count m);
+  Printf.bprintf b "latency_p50_ms %.3f\n" (ms (quantile m 0.50));
+  Printf.bprintf b "latency_p95_ms %.3f\n" (ms (quantile m 0.95));
+  Printf.bprintf b "latency_max_ms %.3f" (ms (max_latency m));
+  Buffer.contents b

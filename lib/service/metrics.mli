@@ -1,0 +1,53 @@
+(** Service-level metrics: request/error/cache counters, queue depth and
+    a latency histogram, all domain-safe.
+
+    Counters are [Atomic.t]; the histogram is a fixed array of atomic
+    buckets on a power-of-two microsecond scale, so recording a latency
+    is lock-free and quantiles are answered from the bucket counts
+    without retaining per-request samples. *)
+
+type t
+
+val create : unit -> t
+
+(** {2 Counters} *)
+
+val incr_requests : t -> unit
+val incr_errors : t -> unit
+val incr_cache_hits : t -> unit
+val incr_cache_misses : t -> unit
+
+val requests : t -> int
+val errors : t -> int
+val cache_hits : t -> int
+val cache_misses : t -> int
+
+(** {2 Queue depth}
+
+    Maintained by the worker pool: {!queue_enter} on enqueue,
+    {!queue_leave} on dequeue.  {!queue_depth} is the instantaneous
+    depth, {!max_queue_depth} the high-water mark. *)
+
+val queue_enter : t -> unit
+val queue_leave : t -> unit
+val queue_depth : t -> int
+val max_queue_depth : t -> int
+
+(** {2 Latency histogram} *)
+
+val record_latency : t -> float -> unit
+(** [record_latency m seconds] adds one observation. *)
+
+val latency_count : t -> int
+
+val quantile : t -> float -> float
+(** [quantile m 0.95] returns an estimate (in seconds) of the given
+    latency quantile, from the histogram buckets; [0.] when empty. *)
+
+val max_latency : t -> float
+(** Largest latency observed, exactly (in seconds). *)
+
+val reset : t -> unit
+
+val dump : t -> string
+(** Multi-line text rendering of every metric (the [STATS] payload). *)

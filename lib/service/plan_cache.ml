@@ -1,0 +1,138 @@
+open Xut_xpath
+open Xut_automata
+
+type annotations = { amu : Mutex.t; docs : (int, Annotator.table) Hashtbl.t }
+
+type plan = {
+  source : string;
+  query : Core.Transform_ast.t;
+  norm : Norm.t;
+  nfa : Selecting_nfa.t;
+  annotations : annotations;
+}
+
+let compile source =
+  let query = Core.Transform_parser.parse source in
+  let norm = Norm.steps (Core.Transform_ast.path query.Core.Transform_ast.update) in
+  let nfa = Selecting_nfa.of_norm norm in
+  {
+    source;
+    query;
+    norm;
+    nfa;
+    annotations = { amu = Mutex.create (); docs = Hashtbl.create 4 };
+  }
+
+(* At most this many documents' annotation tables per plan; crossing the
+   bound drops them all (stored docs are few, so this is a leak bound for
+   evicted documents, not an LRU). *)
+let max_annotated_docs = 8
+
+let annotation plan root =
+  let a = plan.annotations in
+  let id = Xut_xml.Node.id root in
+  Mutex.lock a.amu;
+  let cached = Hashtbl.find_opt a.docs id in
+  Mutex.unlock a.amu;
+  match cached with
+  | Some table -> table
+  | None ->
+    (* Built outside the lock: concurrent misses on the same document may
+       annotate twice; one insert wins and both tables are valid. *)
+    let table = Annotator.annotate plan.nfa root in
+    Mutex.lock a.amu;
+    if Hashtbl.length a.docs >= max_annotated_docs then Hashtbl.reset a.docs;
+    if not (Hashtbl.mem a.docs id) then Hashtbl.add a.docs id table;
+    Mutex.unlock a.amu;
+    table
+
+(* Recency is a stamp per entry from a monotone clock; eviction scans for
+   the minimum.  The scan is O(capacity) but runs only on insertion into
+   a full cache, and plan caches are small (tens of entries). *)
+
+type entry = { plan : plan; mutable last_used : int }
+
+type t = {
+  capacity : int;
+  mu : Mutex.t;
+  tbl : (string, entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Plan_cache.create: negative capacity";
+  {
+    capacity;
+    mu = Mutex.create ();
+    tbl = Hashtbl.create (max 16 capacity);
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, stamp) when stamp <= e.last_used -> acc
+        | _ -> Some (key, e.last_used))
+      t.tbl None
+  in
+  match victim with
+  | Some (key, _) ->
+    Hashtbl.remove t.tbl key;
+    t.evictions <- t.evictions + 1
+  | None -> ()
+
+type outcome = Hit | Miss
+
+let find_or_compile t source =
+  let cached =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.tbl source with
+        | Some e ->
+          e.last_used <- tick t;
+          t.hits <- t.hits + 1;
+          Some e.plan
+        | None ->
+          t.misses <- t.misses + 1;
+          None)
+  in
+  match cached with
+  | Some plan -> (plan, Hit)
+  | None ->
+    let plan = compile source in
+    if t.capacity > 0 then
+      locked t (fun () ->
+          if not (Hashtbl.mem t.tbl source) then begin
+            if Hashtbl.length t.tbl >= t.capacity then evict_lru t;
+            Hashtbl.replace t.tbl source { plan; last_used = tick t }
+          end);
+    (plan, Miss)
+
+type stats = { hits : int; misses : int; evictions : int; entries : int; capacity : int }
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.tbl;
+        capacity = t.capacity;
+      })
+
+let clear t = locked t (fun () -> Hashtbl.reset t.tbl)

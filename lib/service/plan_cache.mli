@@ -1,0 +1,60 @@
+open Xut_xpath
+open Xut_automata
+
+(** LRU cache of compiled transform-query plans, keyed by query text.
+
+    A plan bundles everything the front end produces — parsed AST,
+    normalized embedded path, selecting NFA — so a cache hit goes
+    straight to engine execution.  On XMark-scale documents the front
+    end is microseconds while evaluation is milliseconds; the cache
+    matters because a serving workload repeats a small set of queries
+    (the Fig. 11 workloads, security views, canned what-ifs) over large
+    documents, and because it also deduplicates the per-query allocation
+    churn across millions of requests. *)
+
+type annotations
+(** Per-plan memo of {!Xut_automata.Annotator} tables, keyed by document
+    root id — the doc-dependent half of TD-BU's work, reusable because
+    stored documents are immutable. *)
+
+type plan = {
+  source : string;                 (** the exact query text (cache key) *)
+  query : Core.Transform_ast.t;
+  norm : Norm.t;                   (** normal form of the embedded path *)
+  nfa : Selecting_nfa.t;           (** selecting NFA built from [norm] *)
+  annotations : annotations;
+}
+
+val compile : string -> plan
+(** Run the whole front end: parse, normalize, build the NFA.
+    @raise Core.Transform_parser.Parse_error on bad transform syntax. *)
+
+val annotation : plan -> Xut_xml.Node.element -> Annotator.table
+(** The memoized bottom-up annotation of this document for this plan's
+    NFA, computing and remembering it on first use.  This is the big
+    per-request saving for repeated TD-BU queries on a stored document:
+    the whole first pass of twoPass is amortized away, leaving only the
+    top-down rebuild.  The memo holds at most a handful of documents and
+    is dropped wholesale when it overflows (annotations of evicted
+    documents die with it). *)
+
+type t
+
+val create : capacity:int -> t
+(** LRU cache holding at most [capacity] plans.  [capacity = 0] disables
+    caching: every lookup compiles and nothing is stored (the
+    [bench-serve] cache-off mode). *)
+
+type outcome = Hit | Miss
+
+val find_or_compile : t -> string -> plan * outcome
+(** Return the cached plan for this query text, or compile (outside the
+    cache lock — concurrent misses may compile the same text twice; the
+    duplicate insert is harmless) and remember it, evicting the least
+    recently used entry when full.  Raises as {!compile} on bad input;
+    failures are not cached. *)
+
+type stats = { hits : int; misses : int; evictions : int; entries : int; capacity : int }
+
+val stats : t -> stats
+val clear : t -> unit

@@ -1,0 +1,142 @@
+open Core
+
+type request =
+  | Load of { name : string; file : string }
+  | Unload of { name : string }
+  | Transform of { doc : string; engine : Engine.algo; query : string }
+  | Count of { doc : string; engine : Engine.algo; query : string }
+  | Stats
+
+type response = (string, string) result
+
+type t = {
+  store : Doc_store.t;
+  cache : Plan_cache.t;
+  metrics : Metrics.t;
+  pool : (request, string) Worker_pool.t;
+}
+
+(* Engines that consume the selecting NFA take the precompiled one from
+   the plan; TD-BU additionally reuses the memoized bottom-up annotation
+   of the stored document.  The others (Naive, snapshot copy, reference,
+   SAX) only need the parsed AST. *)
+let run_plan (plan : Plan_cache.plan) engine root =
+  let update = plan.Plan_cache.query.Transform_ast.update in
+  match (engine : Engine.algo) with
+  | Engine.Gentop -> Top_down.run plan.Plan_cache.nfa update root
+  | Engine.Td_bu ->
+    let table = Plan_cache.annotation plan root in
+    Top_down.run
+      ~checkp:(Xut_automata.Annotator.checkp table plan.Plan_cache.nfa)
+      plan.Plan_cache.nfa update root
+  | other -> Engine.transform other update root
+
+let evaluate ~store ~cache ~metrics ~doc ~engine ~query =
+  match Doc_store.find store doc with
+  | None -> failwith (Printf.sprintf "no document %S (LOAD it first)" doc)
+  | Some root ->
+    let plan, outcome = Plan_cache.find_or_compile cache query in
+    (match outcome with
+    | Plan_cache.Hit -> Metrics.incr_cache_hits metrics
+    | Plan_cache.Miss -> Metrics.incr_cache_misses metrics);
+    run_plan plan engine root
+
+let handle ~store ~cache ~metrics = function
+  | Load { name; file } -> begin
+    match Doc_store.load_file store ~name file with
+    | Ok info ->
+      Printf.sprintf "loaded %s elements=%d" info.Doc_store.name info.Doc_store.elements
+    | Error msg -> failwith msg
+  end
+  | Unload { name } ->
+    if Doc_store.evict store name then Printf.sprintf "unloaded %s" name
+    else failwith (Printf.sprintf "no document %S" name)
+  | Transform { doc; engine; query } ->
+    Xut_xml.Serialize.element_to_string (evaluate ~store ~cache ~metrics ~doc ~engine ~query)
+  | Count { doc; engine; query } ->
+    Printf.sprintf "elements=%d"
+      (Xut_xml.Node.element_count
+         (Xut_xml.Node.Element (evaluate ~store ~cache ~metrics ~doc ~engine ~query)))
+  | Stats ->
+    let b = Buffer.create 512 in
+    Buffer.add_string b (Metrics.dump metrics);
+    let cs = Plan_cache.stats cache in
+    Printf.bprintf b "\nplan_cache entries=%d capacity=%d evictions=%d" cs.Plan_cache.entries
+      cs.Plan_cache.capacity cs.Plan_cache.evictions;
+    List.iter
+      (fun name ->
+        match Doc_store.info store name with
+        | Some i -> Printf.bprintf b "\ndoc %s elements=%d" i.Doc_store.name i.Doc_store.elements
+        | None -> ())
+      (Doc_store.names store);
+    Buffer.contents b
+
+let create ?(domains = 1) ?(cache_capacity = 128) ?(queue_capacity = 64) () =
+  let store = Doc_store.create () in
+  let cache = Plan_cache.create ~capacity:cache_capacity in
+  let metrics = Metrics.create () in
+  let handler req =
+    Metrics.incr_requests metrics;
+    let t0 = Unix.gettimeofday () in
+    let finish () = Metrics.record_latency metrics (Unix.gettimeofday () -. t0) in
+    match handle ~store ~cache ~metrics req with
+    | payload ->
+      finish ();
+      payload
+    | exception e ->
+      finish ();
+      Metrics.incr_errors metrics;
+      raise e
+  in
+  let pool =
+    Worker_pool.create
+      ~on_enqueue:(fun () -> Metrics.queue_enter metrics)
+      ~on_dequeue:(fun () -> Metrics.queue_leave metrics)
+      ~domains ~queue_capacity handler
+  in
+  { store; cache; metrics; pool }
+
+let submit t req = Worker_pool.submit t.pool req
+let await = Worker_pool.await
+let call t req = Worker_pool.call t.pool req
+let metrics t = t.metrics
+let cache_stats t = Plan_cache.stats t.cache
+let store t = t.store
+let shutdown t = Worker_pool.shutdown t.pool
+
+(* ---- the line protocol of [xut serve] ---- *)
+
+let parse_request line =
+  let line = String.trim line in
+  let split2 s =
+    match String.index_opt s ' ' with
+    | None -> (s, "")
+    | Some i ->
+      (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
+  in
+  let verb, rest = split2 line in
+  match String.uppercase_ascii verb with
+  | "LOAD" -> begin
+    match split2 rest with
+    | "", _ -> Error "usage: LOAD <name> <file>"
+    | name, file when file <> "" -> Ok (Load { name; file })
+    | _ -> Error "usage: LOAD <name> <file>"
+  end
+  | "UNLOAD" ->
+    if rest = "" then Error "usage: UNLOAD <name>" else Ok (Unload { name = rest })
+  | ("TRANSFORM" | "COUNT") as verb -> begin
+    match split2 rest with
+    | name, rest' when name <> "" && rest' <> "" -> begin
+      let engine_s, query = split2 rest' in
+      match Engine.of_string engine_s with
+      | None -> Error (Printf.sprintf "unknown engine %S" engine_s)
+      | Some engine ->
+        if query = "" then Error (Printf.sprintf "usage: %s <name> <engine> <query>" verb)
+        else if verb = "COUNT" then Ok (Count { doc = name; engine; query })
+        else Ok (Transform { doc = name; engine; query })
+    end
+    | _ -> Error (Printf.sprintf "usage: %s <name> <engine> <query>" verb)
+  end
+  | "STATS" -> Ok Stats
+  | "" -> Error "empty request"
+  | v -> Error (Printf.sprintf "unknown request %S (LOAD|UNLOAD|TRANSFORM|COUNT|STATS)" v)

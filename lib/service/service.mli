@@ -1,0 +1,62 @@
+(** The transform-query service: {!Doc_store} + {!Plan_cache} +
+    {!Worker_pool} + {!Metrics} behind one request type.
+
+    This is the in-process serving layer the ROADMAP's production goal
+    needs: documents are parsed once, query front ends are compiled once
+    and cached, evaluation fans out over OCaml 5 domains, and every
+    request is isolated — a bad query is an [Error] response, never a
+    dead worker.  [xut serve] speaks exactly this request type over
+    stdin; a socket transport can reuse it unchanged (ROADMAP). *)
+
+type request =
+  | Load of { name : string; file : string }
+      (** Parse [file] and store it under [name]. *)
+  | Unload of { name : string }
+  | Transform of { doc : string; engine : Core.Engine.algo; query : string }
+      (** Evaluate a transform query against stored document [doc];
+          the payload is the serialized result tree. *)
+  | Count of { doc : string; engine : Core.Engine.algo; query : string }
+      (** Like [Transform] but reply only [elements=N], the element
+          count of the result — the lean reply for what-if analytics
+          and validation traffic, where the client doesn't want the
+          (possibly multi-MB) result document back. *)
+  | Stats
+      (** Metrics dump + cache stats + stored-document listing. *)
+
+type response = (string, string) result
+(** [Ok payload] or [Error message]; errors cover unknown documents,
+    parse failures, invalid updates — anything the request raised. *)
+
+type t
+
+val create : ?domains:int -> ?cache_capacity:int -> ?queue_capacity:int -> unit -> t
+(** Start a service.  Defaults: [domains = 1] (single worker, the CLI
+    serve default), [cache_capacity = 128] plans ([0] disables the
+    cache), [queue_capacity = 64] pending requests (backpressure
+    threshold). *)
+
+val submit : t -> request -> response Worker_pool.future
+(** Asynchronous entry: enqueue, return a future.  Blocks when the
+    queue is full. *)
+
+val await : response Worker_pool.future -> response
+
+val call : t -> request -> response
+(** Synchronous round trip. *)
+
+val metrics : t -> Metrics.t
+val cache_stats : t -> Plan_cache.stats
+val store : t -> Doc_store.t
+
+val shutdown : t -> unit
+(** Drain and join the worker domains.  Idempotent. *)
+
+val parse_request : string -> (request, string) result
+(** Parse one line of the [xut serve] protocol:
+    {v
+    LOAD <name> <file>
+    UNLOAD <name>
+    TRANSFORM <name> <engine> <query text...>
+    COUNT <name> <engine> <query text...>
+    STATS
+    v} *)

@@ -1,0 +1,125 @@
+type 'r future = {
+  fmu : Mutex.t;
+  fcond : Condition.t;
+  mutable value : 'r option;
+}
+
+type ('a, 'b) cell = { arg : 'a; future : ('b, string) result future }
+
+type ('a, 'b) t = {
+  mu : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  queue : ('a, 'b) cell Queue.t;
+  capacity : int;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+  n_domains : int;
+  on_enqueue : unit -> unit;
+  on_dequeue : unit -> unit;
+}
+
+let fulfil fut value =
+  Mutex.lock fut.fmu;
+  fut.value <- Some value;
+  Condition.broadcast fut.fcond;
+  Mutex.unlock fut.fmu
+
+let await fut =
+  Mutex.lock fut.fmu;
+  let rec wait () =
+    match fut.value with
+    | Some v ->
+      Mutex.unlock fut.fmu;
+      v
+    | None ->
+      Condition.wait fut.fcond fut.fmu;
+      wait ()
+  in
+  wait ()
+
+let peek fut =
+  Mutex.lock fut.fmu;
+  let v = fut.value in
+  Mutex.unlock fut.fmu;
+  v
+
+let worker_loop t f =
+  let rec loop () =
+    Mutex.lock t.mu;
+    while Queue.is_empty t.queue && not t.closed do
+      Condition.wait t.not_empty t.mu
+    done;
+    if Queue.is_empty t.queue then begin
+      (* closed and drained *)
+      Mutex.unlock t.mu;
+      ()
+    end
+    else begin
+      let cell = Queue.pop t.queue in
+      t.on_dequeue ();
+      Condition.signal t.not_full;
+      Mutex.unlock t.mu;
+      (* Failure isolation: any exception from f becomes this request's
+         error response; the worker itself never dies. *)
+      let result =
+        match f cell.arg with
+        | v -> Ok v
+        | exception Failure msg -> Error msg
+        | exception e -> Error (Printexc.to_string e)
+      in
+      fulfil cell.future result;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?(on_enqueue = Fun.id) ?(on_dequeue = Fun.id) ~domains ~queue_capacity f =
+  if domains < 1 then invalid_arg "Worker_pool.create: domains < 1";
+  if queue_capacity < 1 then invalid_arg "Worker_pool.create: queue_capacity < 1";
+  let t =
+    {
+      mu = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      queue = Queue.create ();
+      capacity = queue_capacity;
+      closed = false;
+      workers = [];
+      n_domains = domains;
+      on_enqueue;
+      on_dequeue;
+    }
+  in
+  t.workers <- List.init domains (fun _ -> Domain.spawn (fun () -> worker_loop t f));
+  t
+
+let submit t arg =
+  let future = { fmu = Mutex.create (); fcond = Condition.create (); value = None } in
+  Mutex.lock t.mu;
+  while Queue.length t.queue >= t.capacity && not t.closed do
+    Condition.wait t.not_full t.mu
+  done;
+  if t.closed then begin
+    Mutex.unlock t.mu;
+    invalid_arg "Worker_pool.submit: pool is shut down"
+  end;
+  Queue.push { arg; future } t.queue;
+  t.on_enqueue ();
+  Condition.signal t.not_empty;
+  Mutex.unlock t.mu;
+  future
+
+let call t arg = await (submit t arg)
+
+let domains t = t.n_domains
+
+let shutdown t =
+  Mutex.lock t.mu;
+  let workers = t.workers in
+  t.closed <- true;
+  t.workers <- [];
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.mu;
+  List.iter Domain.join workers

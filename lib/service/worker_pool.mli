@@ -1,0 +1,48 @@
+(** Domain-based worker pool with a bounded request queue.
+
+    [create ~domains ~queue_capacity f] spawns [domains] OCaml 5 domains
+    that each loop: dequeue a request, run [f] on it, fulfil the
+    request's future.  The queue is a mutex/condvar bounded buffer:
+    {!submit} blocks once [queue_capacity] requests are waiting, which
+    is the backpressure that keeps a closed-loop client from swamping
+    the pool.
+
+    Failure isolation: [f] raising rejects that request's future with
+    the exception message — the worker survives and keeps serving.
+    Nothing can kill a worker short of the runtime itself dying. *)
+
+type ('a, 'b) t
+
+type 'r future
+(** A pending result of type ['r]; for this pool's requests,
+    [('b, string) result future]. *)
+
+val create :
+  ?on_enqueue:(unit -> unit) ->
+  ?on_dequeue:(unit -> unit) ->
+  domains:int ->
+  queue_capacity:int ->
+  ('a -> 'b) ->
+  ('a, 'b) t
+(** The [on_enqueue]/[on_dequeue] hooks run under the queue lock as a
+    request enters/leaves the queue (the service wires queue-depth
+    metrics through them; they must not block). *)
+
+val submit : ('a, 'b) t -> 'a -> ('b, string) result future
+(** Enqueue a request, blocking while the queue is full.
+    @raise Invalid_argument after {!shutdown}. *)
+
+val await : 'r future -> 'r
+(** Block until the request has been served. *)
+
+val peek : 'r future -> 'r option
+(** Non-blocking: [None] while the request is still pending. *)
+
+val call : ('a, 'b) t -> 'a -> ('b, string) result
+(** [submit] then [await]: synchronous round trip. *)
+
+val domains : ('a, 'b) t -> int
+
+val shutdown : ('a, 'b) t -> unit
+(** Stop accepting requests, drain the queue, join every worker.
+    Idempotent. *)

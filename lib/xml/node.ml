@@ -11,11 +11,9 @@ and element = {
   children : t list;
 }
 
-let counter = ref 0
+let counter = Atomic.make 0
 
-let fresh_id () =
-  incr counter;
-  !counter
+let fresh_id () = Atomic.fetch_and_add counter 1 + 1
 
 let element ?(attrs = []) name children = { id = fresh_id (); name; attrs; children }
 let elem ?attrs name children = Element (element ?attrs name children)

@@ -1,6 +1,8 @@
 (** Immutable XML tree model.
 
-    Elements carry a unique integer id, assigned when the element is built.
+    Elements carry a unique integer id, assigned when the element is built
+    (allocation is atomic, so trees built on concurrent domains still get
+    distinct ids).
     Ids give nodes an identity independent of structural equality, which the
     transform algorithms use to key per-node annotations (the [sat] vectors
     of Section 5) and to implement the node-set membership test of the Naive

@@ -11,4 +11,5 @@ let () =
       ("edge-cases", Test_edge_cases.suite);
       ("reader", Test_reader.suite);
       ("security-view", Test_security_view.suite);
+      ("service", Test_service.suite);
       ("misc", Test_misc.suite) ]

@@ -1,0 +1,314 @@
+(* The xut_service serving layer: plan cache, document store, worker
+   pool, metrics, and the line protocol. *)
+
+open Xut_service
+
+let doc_xml =
+  {|<site><people>
+      <person id="p1"><name>Alice</name><age>30</age></person>
+      <person id="p2"><name>Bob</name><age>17</age></person>
+      <person id="p3"><name>Carol</name><age>45</age></person>
+    </people><items>
+      <item><name>kettle</name><price>12</price></item>
+      <item><name>lamp</name><price>40</price></item>
+    </items></site>|}
+
+let q_del_adult_names =
+  {|transform copy $a := doc("d") modify do delete $a/site/people/person[age > 20]/name return $a|}
+
+let q_del_prices =
+  {|transform copy $a := doc("d") modify do delete $a//price return $a|}
+
+let q_rename_items =
+  {|transform copy $a := doc("d") modify do rename $a/site/items/item as product return $a|}
+
+let queries = [ q_del_adult_names; q_del_prices; q_rename_items ]
+
+let with_doc_file f =
+  let path = Filename.temp_file "xut_service_test" ".xml" in
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc doc_xml);
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let reference_answer engine q =
+  let root = Xut_xml.Dom.parse_string doc_xml in
+  let query = Core.Transform_parser.parse q in
+  Xut_xml.Serialize.element_to_string (Core.Engine.run engine query ~doc:root)
+
+(* ---- plan cache ---- *)
+
+let test_cache_hit_miss () =
+  let c = Plan_cache.create ~capacity:4 in
+  let p1, o1 = Plan_cache.find_or_compile c q_del_prices in
+  Alcotest.(check bool) "first lookup misses" true (o1 = Plan_cache.Miss);
+  let p2, o2 = Plan_cache.find_or_compile c q_del_prices in
+  Alcotest.(check bool) "second lookup hits" true (o2 = Plan_cache.Hit);
+  Alcotest.(check bool) "hit returns the same plan" true (p1 == p2);
+  let s = Plan_cache.stats c in
+  Alcotest.(check int) "hits" 1 s.Plan_cache.hits;
+  Alcotest.(check int) "misses" 1 s.Plan_cache.misses;
+  Alcotest.(check int) "entries" 1 s.Plan_cache.entries
+
+let test_cache_lru_eviction () =
+  let c = Plan_cache.create ~capacity:2 in
+  ignore (Plan_cache.find_or_compile c q_del_adult_names);
+  ignore (Plan_cache.find_or_compile c q_del_prices);
+  (* touch the older entry, making q_del_prices the LRU one *)
+  ignore (Plan_cache.find_or_compile c q_del_adult_names);
+  ignore (Plan_cache.find_or_compile c q_rename_items);
+  let s = Plan_cache.stats c in
+  Alcotest.(check int) "one eviction" 1 s.Plan_cache.evictions;
+  Alcotest.(check int) "still full" 2 s.Plan_cache.entries;
+  let _, o = Plan_cache.find_or_compile c q_del_adult_names in
+  Alcotest.(check bool) "recently-used entry survived" true (o = Plan_cache.Hit);
+  let _, o = Plan_cache.find_or_compile c q_del_prices in
+  Alcotest.(check bool) "LRU entry was evicted" true (o = Plan_cache.Miss)
+
+let test_cache_disabled () =
+  let c = Plan_cache.create ~capacity:0 in
+  ignore (Plan_cache.find_or_compile c q_del_prices);
+  let _, o = Plan_cache.find_or_compile c q_del_prices in
+  Alcotest.(check bool) "capacity 0 never hits" true (o = Plan_cache.Miss);
+  Alcotest.(check int) "capacity 0 stores nothing" 0 (Plan_cache.stats c).Plan_cache.entries
+
+let test_cache_bad_query () =
+  let c = Plan_cache.create ~capacity:4 in
+  (match Plan_cache.find_or_compile c "not a transform query" with
+  | _ -> Alcotest.fail "expected a parse error"
+  | exception _ -> ());
+  Alcotest.(check int) "failures are not cached" 0 (Plan_cache.stats c).Plan_cache.entries
+
+(* ---- document store ---- *)
+
+let test_store_load_evict () =
+  with_doc_file (fun path ->
+      let store = Doc_store.create () in
+      (match Doc_store.load_file store ~name:"d" path with
+      | Ok info ->
+        Alcotest.(check int) "element count" 18 info.Doc_store.elements;
+        Alcotest.(check bool) "file recorded" true (info.Doc_store.file = Some path)
+      | Error e -> Alcotest.fail e);
+      Alcotest.(check bool) "find after load" true (Doc_store.find store "d" <> None);
+      Alcotest.(check (list string)) "names" [ "d" ] (Doc_store.names store);
+      Alcotest.(check bool) "evict" true (Doc_store.evict store "d");
+      Alcotest.(check bool) "gone" true (Doc_store.find store "d" = None);
+      Alcotest.(check bool) "evicting again is false" false (Doc_store.evict store "d"))
+
+let test_store_bad_input () =
+  let store = Doc_store.create () in
+  (match Doc_store.load_file store ~name:"x" "/nonexistent/file.xml" with
+  | Ok _ -> Alcotest.fail "expected an error for a missing file"
+  | Error _ -> ());
+  let path = Filename.temp_file "xut_service_test" ".xml" in
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc "<open><unclosed></open>");
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      match Doc_store.load_file store ~name:"x" path with
+      | Ok _ -> Alcotest.fail "expected a parse error"
+      | Error _ -> ())
+
+(* ---- service ---- *)
+
+let with_service ?(domains = 1) ?(cache_capacity = 128) f =
+  let svc = Service.create ~domains ~cache_capacity () in
+  Fun.protect ~finally:(fun () -> Service.shutdown svc) (fun () -> f svc)
+
+let load_doc svc path =
+  match Service.call svc (Service.Load { name = "d"; file = path }) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_service_matches_engine_run () =
+  with_doc_file (fun path ->
+      with_service (fun svc ->
+          load_doc svc path;
+          List.iter
+            (fun engine ->
+              List.iter
+                (fun q ->
+                  match Service.call svc (Service.Transform { doc = "d"; engine; query = q }) with
+                  | Ok payload ->
+                    Alcotest.(check string)
+                      (Core.Engine.name engine ^ " matches Engine.run")
+                      (reference_answer engine q) payload
+                  | Error e -> Alcotest.fail e)
+                queries)
+            [ Core.Engine.Td_bu; Core.Engine.Gentop; Core.Engine.Naive ];
+          match
+            Service.call svc
+              (Service.Count { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
+          with
+          | Ok payload ->
+            (* 18 elements minus the two deleted price elements *)
+            Alcotest.(check string) "COUNT reply" "elements=16" payload
+          | Error e -> Alcotest.fail e))
+
+let test_service_concurrent_4_domains () =
+  with_doc_file (fun path ->
+      with_service ~domains:4 (fun svc ->
+          load_doc svc path;
+          let expected =
+            List.map (fun q -> reference_answer Core.Engine.Td_bu q) queries
+          in
+          let futures =
+            List.init 60 (fun i ->
+                let q = List.nth queries (i mod 3) in
+                ( i mod 3,
+                  Service.submit svc
+                    (Service.Transform { doc = "d"; engine = Core.Engine.Td_bu; query = q }) ))
+          in
+          List.iter
+            (fun (which, fut) ->
+              match Service.await fut with
+              | Ok payload ->
+                Alcotest.(check string)
+                  "parallel output byte-identical to single-threaded run"
+                  (List.nth expected which) payload
+              | Error e -> Alcotest.fail e)
+            futures;
+          let m = Service.metrics svc in
+          Alcotest.(check int) "no errors" 0 (Metrics.errors m);
+          Alcotest.(check bool) "cache hit on repeats" true (Metrics.cache_hits m >= 57)))
+
+let test_service_error_isolation () =
+  with_doc_file (fun path ->
+      with_service (fun svc ->
+          load_doc svc path;
+          (* malformed query *)
+          (match
+             Service.call svc
+               (Service.Transform
+                  { doc = "d"; engine = Core.Engine.Td_bu; query = "delete everything please" })
+           with
+          | Ok _ -> Alcotest.fail "expected an error response"
+          | Error _ -> ());
+          (* unknown document *)
+          (match
+             Service.call svc
+               (Service.Transform
+                  { doc = "nope"; engine = Core.Engine.Td_bu; query = q_del_prices })
+           with
+          | Ok _ -> Alcotest.fail "expected an error response"
+          | Error _ -> ());
+          (* the single worker survived both and still serves *)
+          (match
+             Service.call svc
+               (Service.Transform { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
+           with
+          | Ok payload ->
+            Alcotest.(check string) "pool keeps serving after errors"
+              (reference_answer Core.Engine.Td_bu q_del_prices)
+              payload
+          | Error e -> Alcotest.fail e);
+          Alcotest.(check int) "errors counted" 2 (Metrics.errors (Service.metrics svc))))
+
+let test_service_stats_and_unload () =
+  with_doc_file (fun path ->
+      with_service (fun svc ->
+          load_doc svc path;
+          (match Service.call svc Service.Stats with
+          | Ok payload ->
+            Alcotest.(check bool) "stats mentions the doc" true
+              (String.length payload > 0
+              && String.split_on_char '\n' payload
+                 |> List.exists (fun l -> l = "doc d elements=18"))
+          | Error e -> Alcotest.fail e);
+          (match Service.call svc (Service.Unload { name = "d" }) with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail e);
+          match Service.call svc (Service.Unload { name = "d" }) with
+          | Ok _ -> Alcotest.fail "expected an error for a double unload"
+          | Error _ -> ()))
+
+let test_parse_request () =
+  let ok = function Ok r -> r | Error e -> Alcotest.fail e in
+  (match ok (Service.parse_request "LOAD d /tmp/x.xml") with
+  | Service.Load { name = "d"; file = "/tmp/x.xml" } -> ()
+  | _ -> Alcotest.fail "LOAD parse");
+  (match ok (Service.parse_request "TRANSFORM d td-bu transform copy $a := doc(\"d\") modify do delete $a//x return $a") with
+  | Service.Transform { doc = "d"; engine = Core.Engine.Td_bu; query } ->
+    Alcotest.(check bool) "query text survives" true
+      (String.length query > 0 && String.sub query 0 9 = "transform")
+  | _ -> Alcotest.fail "TRANSFORM parse");
+  (match ok (Service.parse_request "stats") with
+  | Service.Stats -> ()
+  | _ -> Alcotest.fail "STATS parse (case-insensitive verb)");
+  (match ok (Service.parse_request "COUNT d gentop transform copy $a := doc(\"d\") modify do delete $a//x return $a") with
+  | Service.Count { doc = "d"; engine = Core.Engine.Gentop; _ } -> ()
+  | _ -> Alcotest.fail "COUNT parse");
+  List.iter
+    (fun line ->
+      match Service.parse_request line with
+      | Ok _ -> Alcotest.fail ("should not parse: " ^ line)
+      | Error _ -> ())
+    [ ""; "LOAD d"; "TRANSFORM d"; "TRANSFORM d bogus-engine q"; "FROBNICATE x" ]
+
+(* ---- worker pool and metrics ---- *)
+
+let test_pool_parallel_sum () =
+  let pool = Worker_pool.create ~domains:4 ~queue_capacity:8 (fun n -> n * n) in
+  let futures = List.init 100 (fun i -> Worker_pool.submit pool i) in
+  let total =
+    List.fold_left
+      (fun acc fut ->
+        match Worker_pool.await fut with
+        | Ok v -> acc + v
+        | Error e -> Alcotest.fail e)
+      0 futures
+  in
+  Worker_pool.shutdown pool;
+  Alcotest.(check int) "all 100 squares served" 328350 total
+
+let test_pool_failure_isolation () =
+  let pool =
+    Worker_pool.create ~domains:2 ~queue_capacity:4 (fun n ->
+        if n < 0 then failwith "negative" else n + 1)
+  in
+  (match Worker_pool.call pool (-1) with
+  | Error msg -> Alcotest.(check string) "error message" "negative" msg
+  | Ok _ -> Alcotest.fail "expected an error");
+  (match Worker_pool.call pool 41 with
+  | Ok v -> Alcotest.(check int) "workers survive a raise" 42 v
+  | Error e -> Alcotest.fail e);
+  Worker_pool.shutdown pool;
+  Worker_pool.shutdown pool (* idempotent *)
+
+let test_metrics_histogram () =
+  let m = Metrics.create () in
+  (* 90 fast requests, 10 slow ones *)
+  for _ = 1 to 90 do
+    Metrics.record_latency m 0.001
+  done;
+  for _ = 1 to 10 do
+    Metrics.record_latency m 0.1
+  done;
+  Alcotest.(check int) "count" 100 (Metrics.latency_count m);
+  let p50 = Metrics.quantile m 0.50 in
+  Alcotest.(check bool) "p50 in the fast bucket" true (p50 > 0.0005 && p50 < 0.002);
+  let p95 = Metrics.quantile m 0.95 in
+  Alcotest.(check bool) "p95 in the slow bucket" true (p95 > 0.05 && p95 < 0.2);
+  Alcotest.(check bool) "max is exact" true (abs_float (Metrics.max_latency m -. 0.1) < 1e-6);
+  Metrics.queue_enter m;
+  Metrics.queue_enter m;
+  Metrics.queue_leave m;
+  Alcotest.(check int) "queue depth" 1 (Metrics.queue_depth m);
+  Alcotest.(check int) "high-water mark" 2 (Metrics.max_queue_depth m)
+
+let suite =
+  [
+    Alcotest.test_case "plan cache: miss then hit" `Quick test_cache_hit_miss;
+    Alcotest.test_case "plan cache: LRU eviction" `Quick test_cache_lru_eviction;
+    Alcotest.test_case "plan cache: capacity 0 disables" `Quick test_cache_disabled;
+    Alcotest.test_case "plan cache: failures not cached" `Quick test_cache_bad_query;
+    Alcotest.test_case "doc store: load, find, evict" `Quick test_store_load_evict;
+    Alcotest.test_case "doc store: bad input" `Quick test_store_bad_input;
+    Alcotest.test_case "service: output matches Engine.run" `Quick test_service_matches_engine_run;
+    Alcotest.test_case "service: 4-domain output byte-identical" `Quick
+      test_service_concurrent_4_domains;
+    Alcotest.test_case "service: error isolation" `Quick test_service_error_isolation;
+    Alcotest.test_case "service: stats and unload" `Quick test_service_stats_and_unload;
+    Alcotest.test_case "protocol: parse_request" `Quick test_parse_request;
+    Alcotest.test_case "pool: parallel fan-out" `Quick test_pool_parallel_sum;
+    Alcotest.test_case "pool: failure isolation" `Quick test_pool_failure_isolation;
+    Alcotest.test_case "metrics: histogram and queue depth" `Quick test_metrics_histogram;
+  ]
