@@ -8,12 +8,16 @@
 
 let () =
   let quick = ref false in
+  let tdbu_only = ref false in
   let selected = ref [] in
   let op = ref `Insert in
-  let usage = "main.exe [--quick] [--op insert|delete|replace|rename] [fig12 fig13 fig14 fig15 ablation micro]" in
+  let json = ref None in
+  let usage = "main.exe [--quick] [--json FILE] [--op insert|delete|replace|rename] [fig12 fig13 fig14 fig15 ablation micro]" in
   Arg.parse
     [ ("--quick", Arg.Set quick, " reduced document sizes");
+      ("--tdbu-only", Arg.Set tdbu_only, " micro: skip bechamel, measure only TD-BU ns/node");
       ("--csv", Arg.String Timing.set_csv_dir, "DIR also write each table as CSV into DIR");
+      ("--json", Arg.String (fun f -> json := Some f), "FILE write micro results as JSON to FILE");
       ( "--op",
         Arg.String
           (fun s ->
@@ -57,7 +61,7 @@ let () =
         in
         Fig15.run ~factors ~reps:(if !quick then 1 else 2)
       | "ablation" -> Ablation.run ~factor:(if !quick then 0.01 else 0.05)
-      | "micro" -> Micro.run ()
+      | "micro" -> Micro.run ?json:!json ~quick:!quick ~tdbu_only:!tdbu_only ()
       | other -> Printf.eprintf "unknown experiment %S\n" other)
     selected;
   Printf.printf "\ntotal bench wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

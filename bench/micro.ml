@@ -1,5 +1,11 @@
 (* Bechamel microbenches for the building blocks: NFA construction,
-   nextStates transitions, QualDP evaluation, SAX parsing throughput. *)
+   nextStates transitions, QualDP evaluation, SAX parsing throughput —
+   plus an end-to-end ns-per-node measurement for TD-BU on XMark with
+   the qualifier-heavy query subset (the hot path the bitset NFA and
+   transition memo target).
+
+   With [~json] the results are also written as a machine-readable JSON
+   file (one object per measurement), seeding the BENCH trajectory. *)
 open Bechamel
 open Toolkit
 
@@ -11,8 +17,9 @@ let tests () =
   let nfa = Xut_automata.Selecting_nfa.of_path path in
   let doc = Xut_xmark.Generator.generate ~factor:0.001 () in
   let doc_text = Xut_xml.Serialize.element_to_string doc in
-  let start = Xut_automata.Selecting_nfa.start_set nfa in
+  let start = Xut_automata.Selecting_nfa.start nfa in
   let labels = [| "site"; "open_auctions"; "open_auction"; "bidder"; "increase"; "x" |] in
+  let syms = Array.map Xut_xml.Sym.intern labels in
   let b = Xut_xpath.Lq.create_builder () in
   let qi =
     Xut_xpath.Lq.add_qual b
@@ -24,9 +31,8 @@ let tests () =
     Test.make ~name:"nextStates (6 transitions)"
       (Staged.stage (fun () ->
            Array.fold_left
-             (fun s l ->
-               Xut_automata.Selecting_nfa.next_states nfa ~checkp:(fun _ -> true) s l)
-             start labels));
+             (fun s l -> Xut_automata.Selecting_nfa.next nfa ~checkp:(fun _ -> true) s l)
+             start syms));
     Test.make ~name:"QualDP at one node"
       (Staged.stage (fun () ->
            Xut_xpath.Lq.eval_at lq ~name:"open_auction" ~attrs:[ ("id", "x") ] ~text:"12"
@@ -36,21 +42,103 @@ let tests () =
     Test.make ~name:"DOM parse (50 KB doc)"
       (Staged.stage (fun () -> Xut_xml.Dom.parse_string doc_text)) ]
 
-let run () =
-  print_endline "\n== Microbenchmarks (bechamel) ==";
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+(* ---- end-to-end ns/node: TD-BU over XMark, qualifier-heavy queries ---- *)
+
+let qualifier_heavy = [ "U2"; "U3"; "U7"; "U8"; "U9"; "U10" ]
+
+let tdbu_ns_per_node ~factor ~reps =
+  let root = Xut_xmark.Generator.generate ~factor () in
+  let nodes = Xut_xml.Node.element_count (Xut_xml.Node.Element root) in
+  let queries =
+    List.filter (fun u -> List.mem u.Workloads.name qualifier_heavy) Workloads.all
   in
-  List.iter
-    (fun test ->
-      let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
-      let analyzed = Analyze.all ols Instance.monotonic_clock results in
-      Hashtbl.iter
-        (fun name ols_result ->
-          match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Printf.printf "  %-32s %12.1f ns/run\n" name est
-          | _ -> Printf.printf "  %-32s (no estimate)\n" name)
-        analyzed)
-    (tests ())
+  List.map
+    (fun u ->
+      let update = Workloads.delete_of u in
+      let nfa = Xut_automata.Selecting_nfa.of_path (Xut_xpath.Parser.parse u.Workloads.path) in
+      (* one warmup run outside the clock (fills transition memos the way
+         a cached plan in the service layer would) *)
+      ignore (Sys.opaque_identity (Core.Two_pass.run nfa update root));
+      let dt =
+        Timing.measure ~reps (fun () ->
+            ignore (Sys.opaque_identity (Core.Two_pass.run nfa update root)))
+      in
+      (u.Workloads.name, dt *. 1e9 /. float_of_int nodes))
+    queries
+
+(* ---- JSON output ------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path ~factor ~micro ~tdbu =
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc "{\n";
+      Printf.fprintf oc "  \"bench\": \"micro\",\n";
+      Printf.fprintf oc "  \"xmark_factor\": %g,\n" factor;
+      Printf.fprintf oc "  \"micro_ns_per_run\": {\n";
+      List.iteri
+        (fun i (name, ns) ->
+          Printf.fprintf oc "    \"%s\": %.1f%s\n" (json_escape name) ns
+            (if i = List.length micro - 1 then "" else ","))
+        micro;
+      Printf.fprintf oc "  },\n";
+      Printf.fprintf oc "  \"tdbu_ns_per_node\": {\n";
+      List.iteri
+        (fun i (name, ns) ->
+          Printf.fprintf oc "    \"%s\": %.2f%s\n" (json_escape name) ns
+            (if i = List.length tdbu - 1 then "" else ","))
+        tdbu;
+      Printf.fprintf oc "  },\n";
+      let mean =
+        List.fold_left (fun acc (_, ns) -> acc +. ns) 0. tdbu
+        /. float_of_int (max 1 (List.length tdbu))
+      in
+      Printf.fprintf oc "  \"tdbu_ns_per_node_mean\": %.2f\n" mean;
+      output_string oc "}\n");
+  Printf.printf "  [json: %s]\n" path
+
+let run ?json ?(quick = false) ?(tdbu_only = false) () =
+  let micro_results = ref [] in
+  if not tdbu_only then begin
+    print_endline "\n== Microbenchmarks (bechamel) ==";
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+    in
+    List.iter
+      (fun test ->
+        let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
+        let analyzed = Analyze.all ols Instance.monotonic_clock results in
+        Hashtbl.iter
+          (fun name ols_result ->
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] ->
+              micro_results := (name, est) :: !micro_results;
+              Printf.printf "  %-32s %12.1f ns/run\n" name est
+            | _ -> Printf.printf "  %-32s (no estimate)\n" name)
+          analyzed)
+      (tests ())
+  end;
+  let factor = if quick then 0.0005 else 0.002 in
+  let reps = if quick then 3 else 5 in
+  Printf.printf "\n== TD-BU ns/node (XMark f=%g, qualifier-heavy queries) ==\n" factor;
+  let tdbu = tdbu_ns_per_node ~factor ~reps in
+  List.iter (fun (name, ns) -> Printf.printf "  %-6s %10.2f ns/node\n" name ns) tdbu;
+  let mean =
+    List.fold_left (fun acc (_, ns) -> acc +. ns) 0. tdbu
+    /. float_of_int (max 1 (List.length tdbu))
+  in
+  Printf.printf "  %-6s %10.2f ns/node\n" "mean" mean;
+  match json with
+  | Some path -> write_json path ~factor ~micro:(List.rev !micro_results) ~tdbu
+  | None -> ()

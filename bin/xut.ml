@@ -248,7 +248,7 @@ let serve_cmd =
 (* ---------------- bench-serve ---------------- *)
 
 let bench_serve_cmd =
-  let run doc_opt factor requests domains_list engine query_opt payload =
+  let run doc_opt factor requests domains_list engine query_opt payload json_opt =
     (* Document: the given file, or a generated XMark one. *)
     let doc_file, cleanup =
       match doc_opt with
@@ -331,6 +331,25 @@ let bench_serve_cmd =
         domain_counts
     in
     cleanup ();
+    (match json_opt with
+    | None -> ()
+    | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc "{\n";
+          Printf.fprintf oc "  \"bench\": \"bench-serve\",\n";
+          Printf.fprintf oc "  \"engine\": \"%s\",\n" (Engine.name engine);
+          Printf.fprintf oc "  \"requests\": %d,\n" requests;
+          Printf.fprintf oc "  \"reply\": \"%s\",\n" (if payload then "payload" else "count");
+          Printf.fprintf oc "  \"rows\": [\n";
+          List.iteri
+            (fun i (d, off, on) ->
+              Printf.fprintf oc
+                "    { \"domains\": %d, \"req_s_cache_off\": %.1f, \"req_s_cache_on\": %.1f }%s\n"
+                d off on
+                (if i = List.length results - 1 then "" else ","))
+            results;
+          Printf.fprintf oc "  ]\n}\n");
+      Printf.printf "[json: %s]\n" path);
     (match (List.nth_opt results 0, List.rev results) with
     | Some (d1, _, on1), (dn, _, onn) :: _ when dn > d1 ->
       Printf.printf "\nscaling: %d domains = %.2fx the %d-domain throughput (cache on)\n" dn
@@ -368,6 +387,10 @@ let bench_serve_cmd =
              ~doc:"Request the full serialized result per request (TRANSFORM) instead of the \
                    lean element-count reply (COUNT).")
   in
+  let json_opt =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Also write the result grid as JSON to FILE.")
+  in
   let bench_engine =
     let parse s =
       match Engine.of_string s with
@@ -384,7 +407,7 @@ let bench_serve_cmd =
   Cmd.v
     (Cmd.info "bench-serve"
        ~doc:"Closed-loop load benchmark of the service layer: domains 1..N, plan cache on/off.")
-    Term.(const run $ doc_opt $ factor $ requests $ domains_list $ bench_engine $ query_opt $ payload)
+    Term.(const run $ doc_opt $ factor $ requests $ domains_list $ bench_engine $ query_opt $ payload $ json_opt)
 
 let main =
   let info = Cmd.info "xut" ~version:"1.0.0" ~doc:"Querying XML with update syntax (SIGMOD 2007)." in

@@ -44,18 +44,18 @@ let annotate nfa root =
   in
   if not has_any_qual then tbl
   else begin
-    let rec go (e : Node.element) (states : int list) (seeds : int list) : unit =
+    let rec go (e : Node.element) (states : Selecting_nfa.set) (seeds : int list) : unit =
       let name = Node.name e in
-      let states' = Selecting_nfa.next_states_unchecked nfa states name in
+      let states' = Selecting_nfa.next_unchecked nfa states (Node.sym e) in
       let top_quals =
-        List.filter_map
-          (fun s -> if Selecting_nfa.has_qual nfa s then Some (Selecting_nfa.state_lq nfa s) else None)
-          states'
+        let qs = Selecting_nfa.set_inter states' (Selecting_nfa.qual_states nfa) in
+        if Selecting_nfa.set_is_empty qs then []
+        else Selecting_nfa.set_fold (fun s acc -> Selecting_nfa.state_lq nfa s :: acc) qs []
       in
       let all_seeds = List.sort_uniq compare (seeds @ top_quals) in
-      if states' = [] && all_seeds = [] then ()
+      if Selecting_nfa.set_is_empty states' && all_seeds = [] then ()
       else begin
-        let active, candidates = expand lq ~name all_seeds in
+        let candidates = if all_seeds = [] then [] else snd (expand lq ~name all_seeds) in
         let kids = Node.child_elements e in
         List.iter
           (fun c ->
@@ -73,7 +73,6 @@ let annotate nfa root =
                 | None -> false)
               kids
           in
-          ignore active;
           let sat =
             Lq.eval_at lq ~name ~attrs:(Node.attrs e) ~text:(Node.text_content e) ~csat
               ~wanted:all_seeds
@@ -82,7 +81,7 @@ let annotate nfa root =
         end
       end
     in
-    go root (Selecting_nfa.start_set nfa) [];
+    go root (Selecting_nfa.start nfa) [];
     tbl
   end
 

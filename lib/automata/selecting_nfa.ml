@@ -1,14 +1,176 @@
 open Xut_xpath
+module Sym = Xut_xml.Sym
 
 type kind = K_start | K_label of string | K_wild | K_desc
 
 type state = { kind : kind; qual : Ast.qual; lq_idx : int }
+
+(* ---- state sets --------------------------------------------------------
+
+   A state set is an int bitset when the automaton has at most
+   [small_limit] states (the overwhelmingly common case: one state per
+   normalized step), and a Bytes-backed bitset above.  Every set of a
+   given automaton uses the same representation, so binary operations
+   never mix constructors.  Sets are immutable once they escape the
+   functions that build them. *)
+
+let small_limit = 62
+
+type set = Bits of int | Wide of Bytes.t
+
+let wide_zero nwords = Bytes.make (nwords * 8) '\000'
+
+let wmem w i = Char.code (Bytes.unsafe_get w (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+(* mutation helper: only ever applied to not-yet-published Bytes *)
+let wset w i =
+  let j = i lsr 3 in
+  Bytes.unsafe_set w j (Char.unsafe_chr (Char.code (Bytes.unsafe_get w j) lor (1 lsl (i land 7))))
+
+let wide_binop op a b =
+  let len = Bytes.length a in
+  let r = Bytes.create len in
+  let i = ref 0 in
+  while !i < len do
+    Bytes.set_int64_ne r !i (op (Bytes.get_int64_ne a !i) (Bytes.get_int64_ne b !i));
+    i := !i + 8
+  done;
+  r
+
+(* union [src] into a not-yet-published [dst] *)
+let wide_blend_into dst src =
+  let i = ref 0 in
+  while !i < Bytes.length dst do
+    Bytes.set_int64_ne dst !i (Int64.logor (Bytes.get_int64_ne dst !i) (Bytes.get_int64_ne src !i));
+    i := !i + 8
+  done
+
+let wide_is_empty a =
+  let rec go i = i >= Bytes.length a || (Bytes.get_int64_ne a i = 0L && go (i + 8)) in
+  go 0
+
+let mismatch () = invalid_arg "Selecting_nfa: sets of different automata"
+
+let set_is_empty = function Bits b -> b = 0 | Wide w -> wide_is_empty w
+
+let set_mem s i =
+  match s with Bits b -> b land (1 lsl i) <> 0 | Wide w -> wmem w i
+
+let set_equal a b =
+  match a, b with
+  | Bits x, Bits y -> x = y
+  | Wide x, Wide y -> Bytes.equal x y
+  | (Bits _ | Wide _), _ -> false
+
+let set_union a b =
+  match a, b with
+  | Bits x, Bits y -> Bits (x lor y)
+  | Wide x, Wide y -> Wide (wide_binop Int64.logor x y)
+  | (Bits _ | Wide _), _ -> mismatch ()
+
+let set_inter a b =
+  match a, b with
+  | Bits x, Bits y -> Bits (x land y)
+  | Wide x, Wide y -> Wide (wide_binop Int64.logand x y)
+  | (Bits _ | Wide _), _ -> mismatch ()
+
+let set_diff a b =
+  match a, b with
+  | Bits x, Bits y -> Bits (x land lnot y)
+  | Wide x, Wide y -> Wide (wide_binop (fun p q -> Int64.logand p (Int64.lognot q)) x y)
+  | (Bits _ | Wide _), _ -> mismatch ()
+
+let set_fold f s acc =
+  match s with
+  | Bits b ->
+    let acc = ref acc and m = ref b and i = ref 0 in
+    while !m <> 0 do
+      if !m land 1 <> 0 then acc := f !i !acc;
+      incr i;
+      m := !m lsr 1
+    done;
+    !acc
+  | Wide w ->
+    let acc = ref acc in
+    for j = 0 to Bytes.length w - 1 do
+      let byte = Char.code (Bytes.unsafe_get w j) in
+      if byte <> 0 then
+        for k = 0 to 7 do
+          if byte land (1 lsl k) <> 0 then acc := f ((j lsl 3) lor k) !acc
+        done
+    done;
+    !acc
+
+let set_iter f s = set_fold (fun i () -> f i) s ()
+
+let set_to_list s = List.rev (set_fold (fun i acc -> i :: acc) s [])
+
+(* ---- transition memo ---------------------------------------------------
+
+   Per-automaton open-address table from [(state set, symbol)] to the
+   transition's precomputed pieces.  Entries are immutable records, so a
+   racy slot read either misses or returns a fully-initialised entry
+   (OCaml's memory model guarantees immutable fields are only observed
+   initialised); concurrent domains sharing one compiled plan race only
+   on which equivalent entry wins a slot.  Hit/miss counters are plain
+   (unsynchronized) ints: approximate under concurrency, exact on one
+   domain. *)
+
+type memo_entry = {
+  e_sym : int;
+  e_key : set;
+  e_raw : set;        (* targets before closure and qualifier filtering *)
+  e_qual_raw : set;   (* raw states with a non-trivial qualifier *)
+  e_closed : set;     (* closure (raw): the unchecked transition result *)
+  e_closed_nq : set;  (* closure (raw minus qualifier states) *)
+}
+
+let memo_slots = 512 (* power of two *)
+let memo_probes = 3
+
+type memo = {
+  mutable slots : memo_entry option array;
+  (* [||] until the first store: keeps [of_norm] cheap for throwaway
+     automata; the table is only paid for once transitions run.  Two
+     domains racing on the first store may each install an array and one
+     install wins, dropping the other's entry — harmless for a memo. *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let memo_create () = { slots = [||]; hits = 0; misses = 0 }
+
+(* process-wide totals, same approximate-under-domains contract *)
+let g_hits = ref 0
+let g_misses = ref 0
+
+let memo_hash key sym =
+  let h =
+    match key with
+    | Bits b -> (b * 0x9e3779b9) lxor (sym * 0x85ebca6b)
+    | Wide w -> Hashtbl.hash w lxor (sym * 0x85ebca6b)
+  in
+  h land max_int
 
 type t = {
   states : state array;
   lq : Lq.t;
   ctx_qual : Ast.qual;
   true_idx : int;  (* LQ index of the constant true *)
+  n : int;
+  small : bool;
+  nwords : int;
+  enter_sym : int array;
+  (* symbol consuming a node must carry to enter state [j]: the label's
+     symbol for label states, [-1] (any) for wildcards, [-2] (never) for
+     start and descendant states, which are entered by epsilon only *)
+  self_loop : bool array;  (* state is '//': consuming any node may stay *)
+  eps_bits : int array;    (* epsilon closure of each state (small repr) *)
+  eps_wide : Bytes.t array;  (* same, wide repr ([||] when small) *)
+  quals : set;             (* states with a non-trivial qualifier *)
+  start : set;
+  empty : set;
+  memo : memo;
 }
 
 let of_norm (norm : Norm.t) =
@@ -32,92 +194,322 @@ let of_norm (norm : Norm.t) =
       ({ kind = K_start; qual = Ast.Q_true; lq_idx = true_idx }
       :: List.map step_state norm.steps)
   in
-  { states; lq = Lq.freeze b; ctx_qual; true_idx }
+  let n = Array.length states in
+  let small = n <= small_limit in
+  let nwords = (n + 63) / 64 in
+  let enter_sym =
+    Array.map
+      (fun s ->
+        match s.kind with
+        | K_label l -> Sym.intern l
+        | K_wild -> -1
+        | K_start | K_desc -> -2)
+      states
+  in
+  let self_loop = Array.map (fun s -> s.kind = K_desc) states in
+  (* epsilon closure of state [i]: [i] plus the run of '//' states
+     immediately after it *)
+  let close_indices i =
+    let rec go j acc = if j + 1 < n && self_loop.(j + 1) then go (j + 1) (j + 1 :: acc) else acc in
+    go i [ i ]
+  in
+  let eps_bits =
+    if small then
+      Array.init n (fun i -> List.fold_left (fun b j -> b lor (1 lsl j)) 0 (close_indices i))
+    else [||]
+  in
+  let eps_wide =
+    if small then [||]
+    else
+      Array.init n (fun i ->
+          let w = wide_zero nwords in
+          List.iter (wset w) (close_indices i);
+          w)
+  in
+  let mask_of pred =
+    if small then
+      Bits
+        (Array.to_seq states
+        |> Seq.fold_lefti (fun b i s -> if pred i s then b lor (1 lsl i) else b) 0)
+    else begin
+      let w = wide_zero nwords in
+      Array.iteri (fun i s -> if pred i s then wset w i) states;
+      Wide w
+    end
+  in
+  let quals = mask_of (fun _ s -> s.lq_idx <> true_idx) in
+  let start =
+    if small then Bits eps_bits.(0) else Wide (Bytes.copy eps_wide.(0))
+  in
+  let empty = if small then Bits 0 else Wide (wide_zero nwords) in
+  { states; lq = Lq.freeze b; ctx_qual; true_idx; n; small; nwords; enter_sym; self_loop;
+    eps_bits; eps_wide; quals; start; empty; memo = memo_create () }
 
 let of_path p = of_norm (Norm.steps p)
 
-let size t = Array.length t.states
-let final t = Array.length t.states - 1
+let size t = t.n
+let final t = t.n - 1
 let lq t = t.lq
 let kind t i = t.states.(i).kind
 let state_qual t i = t.states.(i).qual
 let state_lq t i = t.states.(i).lq_idx
 let has_qual t i = t.states.(i).lq_idx <> t.true_idx
 let ctx_qual t = t.ctx_qual
-let selects_context t = Array.length t.states = 1
+let selects_context t = t.n = 1
 
-(* Epsilon closure: from state i, successive '//' states are reachable
-   for free.  Input and output are sorted; we close each element and
-   merge. *)
-let close_state t i acc =
-  let n = Array.length t.states in
-  let rec go j acc =
-    let acc = j :: acc in
-    if j + 1 < n && t.states.(j + 1).kind = K_desc then go (j + 1) acc else acc
+let start t = t.start
+let empty_set t = t.empty
+let qual_states t = t.quals
+
+let set_of_list t l =
+  if t.small then Bits (List.fold_left (fun b i -> b lor (1 lsl i)) 0 l)
+  else begin
+    let w = wide_zero t.nwords in
+    List.iter (wset w) l;
+    Wide w
+  end
+
+let accepts_set t s =
+  match s with Bits b -> b land (1 lsl (t.n - 1)) <> 0 | Wide w -> wmem w (t.n - 1)
+
+(* Raw (pre-closure, pre-qualifier) targets of [s] consuming a node.
+   [sym] = -1 means "any label" (the static delta' of Section 4). *)
+let raw_targets t s sym =
+  match s with
+  | Bits b ->
+    let r = ref 0 and m = ref b and i = ref 0 in
+    while !m <> 0 do
+      if !m land 1 <> 0 then begin
+        if t.self_loop.(!i) then r := !r lor (1 lsl !i);
+        let j = !i + 1 in
+        if
+          j < t.n
+          &&
+          let es = t.enter_sym.(j) in
+          es = -1 || (es = sym && sym >= 0) || (sym = -1 && es >= 0)
+        then r := !r lor (1 lsl j)
+      end;
+      incr i;
+      m := !m lsr 1
+    done;
+    Bits !r
+  | Wide w ->
+    let r = wide_zero t.nwords in
+    for i = 0 to t.n - 1 do
+      if wmem w i then begin
+        if t.self_loop.(i) then wset r i;
+        let j = i + 1 in
+        if
+          j < t.n
+          &&
+          let es = t.enter_sym.(j) in
+          es = -1 || (es = sym && sym >= 0) || (sym = -1 && es >= 0)
+        then wset r j
+      end
+    done;
+    Wide r
+
+let close_set t s =
+  match s with
+  | Bits b ->
+    let c = ref 0 and m = ref b and i = ref 0 in
+    while !m <> 0 do
+      if !m land 1 <> 0 then c := !c lor t.eps_bits.(!i);
+      incr i;
+      m := !m lsr 1
+    done;
+    Bits !c
+  | Wide w ->
+    let c = wide_zero t.nwords in
+    for i = 0 to t.n - 1 do
+      if wmem w i then wide_blend_into c t.eps_wide.(i)
+    done;
+    Wide c
+
+(* memoized transition pieces for [(s, sym)] *)
+let transition t s sym =
+  let m = t.memo in
+  let h = memo_hash s sym in
+  let slots = m.slots in
+  let rec probe i =
+    if i >= memo_probes then None
+    else
+      let j = (h + i) land (memo_slots - 1) in
+      match slots.(j) with
+      | Some e when e.e_sym = sym && set_equal e.e_key s -> Some e
+      | _ -> probe (i + 1)
   in
-  go i acc
+  match (if Array.length slots = 0 then None else probe 0) with
+  | Some e ->
+    m.hits <- m.hits + 1;
+    incr g_hits;
+    e
+  | None ->
+    m.misses <- m.misses + 1;
+    incr g_misses;
+    let raw = raw_targets t s sym in
+    let e =
+      { e_sym = sym; e_key = s; e_raw = raw; e_qual_raw = set_inter raw t.quals;
+        e_closed = close_set t raw; e_closed_nq = close_set t (set_diff raw t.quals) }
+    in
+    let slots =
+      if Array.length m.slots = 0 then begin
+        let a = Array.make memo_slots None in
+        m.slots <- a;
+        a
+      end
+      else m.slots
+    in
+    let rec store i =
+      if i >= memo_probes then slots.(h land (memo_slots - 1)) <- Some e
+      else if slots.(j_of i) = None then slots.(j_of i) <- Some e
+      else store (i + 1)
+    and j_of i = (h + i) land (memo_slots - 1) in
+    store 0;
+    e
 
-let sort_dedup l = List.sort_uniq compare l
+let next_unchecked t s sym = (transition t s sym).e_closed
 
-let closure t set = sort_dedup (List.fold_left (fun acc i -> close_state t i acc) [] set)
+let next t ~checkp s sym =
+  let e = transition t s sym in
+  if set_is_empty e.e_qual_raw then e.e_closed
+  else
+    match e.e_qual_raw with
+    | Bits qb ->
+      let acc = ref (match e.e_closed_nq with Bits b -> b | Wide _ -> mismatch ()) in
+      let m = ref qb and i = ref 0 in
+      while !m <> 0 do
+        if !m land 1 <> 0 && checkp !i then acc := !acc lor t.eps_bits.(!i);
+        incr i;
+        m := !m lsr 1
+      done;
+      Bits !acc
+    | Wide qw ->
+      let acc =
+        match e.e_closed_nq with Bits _ -> mismatch () | Wide w -> Bytes.copy w
+      in
+      for i = 0 to t.n - 1 do
+        if wmem qw i && checkp i then wide_blend_into acc t.eps_wide.(i)
+      done;
+      Wide acc
 
-let start_set t = closure t [ 0 ]
+let memo_stats t = (t.memo.hits, t.memo.misses)
+let global_memo_stats () = (!g_hits, !g_misses)
 
-(* Raw targets of state [i] on a node labeled [label], before closure. *)
-let targets t i label =
-  let n = Array.length t.states in
-  let fwd =
-    if i + 1 < n then
-      match t.states.(i + 1).kind with
-      | K_label l when String.equal l label -> [ i + 1 ]
-      | K_wild -> [ i + 1 ]
-      | K_label _ | K_desc | K_start -> []
-    else []
+(* ---- static simulation, set form (Compose Method, Section 4) ---------- *)
+
+let next_on_label_set t s sym = next_unchecked t s sym
+
+let next_on_any_set t s = (transition t s (-1)).e_closed
+
+let next_on_desc_set t s =
+  (* zero or more any-label transitions: saturate to the fixpoint *)
+  let rec go cur =
+    let nxt = set_union cur (next_on_any_set t cur) in
+    if set_equal nxt cur then cur else go nxt
   in
-  match t.states.(i).kind with K_desc -> i :: fwd | K_start | K_label _ | K_wild -> fwd
+  go (close_set t s)
 
-let next_states t ~checkp set label =
-  let plus = List.concat_map (fun i -> targets t i label) set in
-  let plus = sort_dedup plus in
-  let filtered = List.filter (fun i -> (not (has_qual t i)) || checkp i) plus in
-  closure t filtered
-
-let next_states_unchecked t set label = closure t (sort_dedup (List.concat_map (fun i -> targets t i label) set))
-
-let accepts t set =
-  let f = final t in
-  List.exists (fun i -> i = f) set
+let consistent_at_sym t i sym = t.enter_sym.(i) < 0 || t.enter_sym.(i) = sym
 
 let consistent_at t i name =
   match t.states.(i).kind with
   | K_label l -> String.equal l name
   | K_start | K_wild | K_desc -> true
 
-(* --- static simulation (Compose Method) -------------------------------- *)
+(* ---- sorted-int-list views --------------------------------------------
 
-let any_targets t i =
-  let n = Array.length t.states in
-  let fwd =
-    if i + 1 < n then
-      match t.states.(i + 1).kind with
-      | K_label _ | K_wild -> [ i + 1 ]
-      | K_desc | K_start -> []
-    else []
-  in
-  match t.states.(i).kind with K_desc -> i :: fwd | K_start | K_label _ | K_wild -> fwd
+   The historical API: state sets as sorted [int list]s, labels as
+   strings.  Thin conversions over the bitset core, kept for the compiled
+   XQuery generator, the tests, and external callers; the engines use the
+   set form above. *)
 
-let next_on_label t set label = next_states_unchecked t set label
+let start_set t = set_to_list t.start
 
-let next_on_any t set = closure t (sort_dedup (List.concat_map (any_targets t) set))
+let next_states t ~checkp s label = set_to_list (next t ~checkp (set_of_list t s) (Sym.intern label))
 
-let next_on_desc t set =
-  (* zero or more any-label transitions: saturate *)
-  let rec go current acc =
-    let nxt = next_on_any t current in
-    let fresh = List.filter (fun i -> not (List.mem i acc)) nxt in
-    if fresh = [] then acc else go fresh (sort_dedup (fresh @ acc))
-  in
-  go (closure t set) (closure t set)
+let next_states_unchecked t s label =
+  set_to_list (next_unchecked t (set_of_list t s) (Sym.intern label))
+
+let accepts t s =
+  let f = final t in
+  List.exists (fun i -> i = f) s
+
+let next_on_label t s label = next_states_unchecked t s label
+
+let next_on_any t s = set_to_list (next_on_any_set t (set_of_list t s))
+
+let next_on_desc t s = set_to_list (next_on_desc_set t (set_of_list t s))
+
+(* ---- reference implementation -----------------------------------------
+
+   The original list-based transition functions, kept verbatim as the
+   oracle for the bitset core (the qcheck equivalence property runs both
+   on random paths and label sequences).  Not used by any engine. *)
+
+module Reference = struct
+  let close_state t i acc =
+    let n = Array.length t.states in
+    let rec go j acc =
+      let acc = j :: acc in
+      if j + 1 < n && t.states.(j + 1).kind = K_desc then go (j + 1) acc else acc
+    in
+    go i acc
+
+  let sort_dedup l = List.sort_uniq compare l
+
+  let closure t set = sort_dedup (List.fold_left (fun acc i -> close_state t i acc) [] set)
+
+  let start_set t = closure t [ 0 ]
+
+  let targets t i label =
+    let n = Array.length t.states in
+    let fwd =
+      if i + 1 < n then
+        match t.states.(i + 1).kind with
+        | K_label l when String.equal l label -> [ i + 1 ]
+        | K_wild -> [ i + 1 ]
+        | K_label _ | K_desc | K_start -> []
+      else []
+    in
+    match t.states.(i).kind with K_desc -> i :: fwd | K_start | K_label _ | K_wild -> fwd
+
+  let next_states t ~checkp set label =
+    let plus = List.concat_map (fun i -> targets t i label) set in
+    let plus = sort_dedup plus in
+    let filtered = List.filter (fun i -> (not (has_qual t i)) || checkp i) plus in
+    closure t filtered
+
+  let next_states_unchecked t set label =
+    closure t (sort_dedup (List.concat_map (fun i -> targets t i label) set))
+
+  let accepts t set =
+    let f = final t in
+    List.exists (fun i -> i = f) set
+
+  let any_targets t i =
+    let n = Array.length t.states in
+    let fwd =
+      if i + 1 < n then
+        match t.states.(i + 1).kind with
+        | K_label _ | K_wild -> [ i + 1 ]
+        | K_desc | K_start -> []
+      else []
+    in
+    match t.states.(i).kind with K_desc -> i :: fwd | K_start | K_label _ | K_wild -> fwd
+
+  let next_on_label t set label = next_states_unchecked t set label
+
+  let next_on_any t set = closure t (sort_dedup (List.concat_map (any_targets t) set))
+
+  let next_on_desc t set =
+    let rec go current acc =
+      let nxt = next_on_any t current in
+      let fresh = List.filter (fun i -> not (List.mem i acc)) nxt in
+      if fresh = [] then acc else go fresh (sort_dedup (fresh @ acc))
+    in
+    go (closure t set) (closure t set)
+end
 
 let kind_to_string = function
   | K_start -> "start"

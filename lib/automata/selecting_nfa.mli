@@ -5,8 +5,17 @@ open Xut_xpath
     For [p] in the normal form [beta_1\[q_1\]/.../beta_k\[q_k\]] the
     automaton has the semi-linear structure of Fig. 5: a start state
     [(s_0,\[true\])], one state per step, epsilon transitions into ['//']
-    states and a ['*'] self-loop on them.  State sets are sorted int
-    lists; transitions and closures preserve sortedness.
+    states and a ['*'] self-loop on them.
+
+    State sets are bitsets ({!type:set}): a single immediate [int] when the
+    automaton has at most 62 states (the common case — one state per
+    normalized step), a [Bytes]-backed bitset above.  Epsilon closures are
+    precomputed per state when the automaton is built, labels are compared
+    as interned symbols ({!Xut_xml.Sym}), and each automaton carries a
+    lock-free memo table from [(state set, symbol)] to the transition
+    result, so plans cached across service requests keep their warmed
+    transitions.  The historical sorted-[int list] API is retained as thin
+    views over the bitset core.
 
     The same structure doubles as the filtering NFA of Section 5: the LQ
     list built from all qualifiers is embedded ({!lq}), and each state
@@ -44,20 +53,76 @@ val selects_context : t -> bool
 (** True iff the path is empty (the final state is the start state, so
     the context node itself is selected). *)
 
-val start_set : t -> int list
+(** {2 Bitset state sets (the hot-path representation)} *)
+
+type set
+(** An immutable set of states of one particular automaton.  Sets from
+    different automata must not be mixed (checked only for automata of
+    different widths). *)
+
+val start : t -> set
 (** Epsilon-closure of the start state. *)
 
-val next_states : t -> checkp:(int -> bool) -> int list -> string -> int list
-(** [nextStates] of Fig. 4.  [checkp s] must say whether the qualifier of
-    state [s] holds at the node being entered; states whose qualifier
-    fails are dropped before the closure. *)
+val empty_set : t -> set
 
-val next_states_unchecked : t -> int list -> string -> int list
+val set_of_list : t -> int list -> set
+val set_to_list : set -> int list
+(** Ascending. *)
+
+val set_is_empty : set -> bool
+val set_mem : set -> int -> bool
+val set_equal : set -> set -> bool
+val set_union : set -> set -> set
+val set_inter : set -> set -> set
+val set_diff : set -> set -> set
+
+val set_fold : (int -> 'a -> 'a) -> set -> 'a -> 'a
+(** Folds in ascending state order. *)
+
+val set_iter : (int -> unit) -> set -> unit
+
+val accepts_set : t -> set -> bool
+(** Does the set contain the final state? *)
+
+val qual_states : t -> set
+(** States with a non-trivial qualifier.  [set_inter s (qual_states t)]
+    being empty is the one-instruction fast path that skips all
+    per-node qualifier bookkeeping. *)
+
+val next : t -> checkp:(int -> bool) -> set -> Xut_xml.Sym.t -> set
+(** [nextStates] of Fig. 4 on the bitset representation.  [checkp s] must
+    say whether the qualifier of state [s] holds at the node being
+    entered; states whose qualifier fails are dropped before the closure.
+    The qualifier-independent parts of the transition are memoized per
+    automaton. *)
+
+val next_unchecked : t -> set -> Xut_xml.Sym.t -> set
 (** Transition ignoring qualifiers (the over-approximation the bottom-up
-    pass runs on, Fig. 9 lines 1–2). *)
+    pass runs on, Fig. 9 lines 1–2).  Memoized. *)
+
+val consistent_at_sym : t -> int -> Xut_xml.Sym.t -> bool
+(** {!consistent_at} on an interned label. *)
+
+val next_on_label_set : t -> set -> Xut_xml.Sym.t -> set
+val next_on_any_set : t -> set -> set
+val next_on_desc_set : t -> set -> set
+
+val memo_stats : t -> int * int
+(** [(hits, misses)] of this automaton's transition memo.  Counters are
+    unsynchronized: approximate under concurrent domains. *)
+
+val global_memo_stats : unit -> int * int
+(** Process-wide transition-memo [(hits, misses)] across all automata. *)
+
+(** {2 Sorted-int-list views (historical API)} *)
+
+val start_set : t -> int list
+(** Epsilon-closure of the start state, as a sorted list. *)
+
+val next_states : t -> checkp:(int -> bool) -> int list -> string -> int list
+val next_states_unchecked : t -> int list -> string -> int list
 
 val accepts : t -> int list -> bool
-(** Does the set contain the final state? *)
 
 val consistent_at : t -> int -> string -> bool
 (** Could state [s] be the current state at a node named [name]?  A
@@ -76,5 +141,20 @@ val next_on_any : t -> int list -> int list
 val next_on_desc : t -> int list -> int list
 (** [delta'(S, //)]: states reachable by an unbounded sequence of any-label
     transitions (zero or more). *)
+
+(** {2 Reference implementation}
+
+    The original list-based transition functions, kept as the oracle for
+    the bitset core's equivalence tests.  Not used by the engines. *)
+
+module Reference : sig
+  val start_set : t -> int list
+  val next_states : t -> checkp:(int -> bool) -> int list -> string -> int list
+  val next_states_unchecked : t -> int list -> string -> int list
+  val accepts : t -> int list -> bool
+  val next_on_label : t -> int list -> string -> int list
+  val next_on_any : t -> int list -> int list
+  val next_on_desc : t -> int list -> int list
+end
 
 val to_string : t -> string

@@ -39,21 +39,21 @@ let chunk_path (c : chunk) ~quals : Ast.path =
   if c.desc then [ Ast.step Ast.Descendant; step ] else [ step ]
 
 let step_sim nfa s (c : chunk) =
-  let s = if c.desc then Selecting_nfa.next_on_desc nfa s else s in
+  let s = if c.desc then Selecting_nfa.next_on_desc_set nfa s else s in
   match c.nav with
-  | Norm.N_label l -> Selecting_nfa.next_on_label nfa s l
-  | Norm.N_wild -> Selecting_nfa.next_on_any nfa s
+  | Norm.N_label l -> Selecting_nfa.next_on_label_set nfa s (Sym.intern l)
+  | Norm.N_wild -> Selecting_nfa.next_on_any_set nfa s
   | Norm.N_desc -> assert false
 
 (* States reachable at strict descendants of a node holding [s]. *)
-let below nfa s = Selecting_nfa.next_on_desc nfa (Selecting_nfa.next_on_any nfa s)
+let below nfa s = Selecting_nfa.next_on_desc_set nfa (Selecting_nfa.next_on_any_set nfa s)
 
 (* Can the update touch a strict descendant of a node holding [s]?
    (For insert, matching [s] itself also changes the subtree.) *)
 let subtree_affected nfa update s =
-  Selecting_nfa.accepts nfa (below nfa s)
+  Selecting_nfa.accepts_set nfa (below nfa s)
   || (match update with
-     | Transform_ast.Insert _ | Transform_ast.Insert_first _ -> Selecting_nfa.accepts nfa s
+     | Transform_ast.Insert _ | Transform_ast.Insert_first _ -> Selecting_nfa.accepts_set nfa s
      | _ -> false)
 
 (* The state set after navigating [path] from [s] (delta', unchecked). *)
@@ -62,8 +62,8 @@ let end_set nfa s (path : Ast.path) =
     (fun s ({ Ast.nav; _ } : Ast.step) ->
       match nav with
       | Ast.Self -> s
-      | Ast.Label l -> Selecting_nfa.next_on_label nfa s l
-      | Ast.Wildcard -> Selecting_nfa.next_on_any nfa s
+      | Ast.Label l -> Selecting_nfa.next_on_label_set nfa s (Sym.intern l)
+      | Ast.Wildcard -> Selecting_nfa.next_on_any_set nfa s
       | Ast.Descendant -> below nfa s)
     s path
 
@@ -86,18 +86,18 @@ let rec path_affected nfa update s (path : Ast.path) =
     | [] -> false
     | ({ Ast.nav; quals } : Ast.step) :: rest ->
       (* an insert at the current node can add content the next step matches *)
-      if insert && Selecting_nfa.accepts nfa s then true
+      if insert && Selecting_nfa.accepts_set nfa s then true
       else begin
         let s' =
           match nav with
           | Ast.Self -> s
           | Ast.Label l ->
-            if widen then Selecting_nfa.next_on_any nfa s
-            else Selecting_nfa.next_on_label nfa s l
-          | Ast.Wildcard -> Selecting_nfa.next_on_any nfa s
+            if widen then Selecting_nfa.next_on_any_set nfa s
+            else Selecting_nfa.next_on_label_set nfa s (Sym.intern l)
+          | Ast.Wildcard -> Selecting_nfa.next_on_any_set nfa s
           | Ast.Descendant -> below nfa s
         in
-        if Selecting_nfa.accepts nfa s' && nav <> Ast.Self then true
+        if Selecting_nfa.accepts_set nfa s' && nav <> Ast.Self then true
         else if List.exists (qual_affected nfa update s') quals then true
         else go s' rest
       end
@@ -113,7 +113,7 @@ and qual_affected nfa update s (q : Ast.qual) =
   | Ast.Q_exists { spath; sattr = _ } | Ast.Q_cmp ({ spath; sattr = _ }, _, _) -> (
     match update, spath with
     | (Transform_ast.Insert _ | Transform_ast.Insert_first _), _ :: _
-      when Selecting_nfa.accepts nfa s ->
+      when Selecting_nfa.accepts_set nfa s ->
       true
     | _ -> path_affected nfa update s spath)
 
@@ -131,7 +131,7 @@ and qual_affected nfa update s (q : Ast.qual) =
 type runtime = {
   nfa : Selecting_nfa.t;
   update : Transform_ast.update;
-  state_tbl : (int, int list) Hashtbl.t;
+  state_tbl : (int, Selecting_nfa.set) Hashtbl.t;
   (* transforming the same node twice must yield the same physical
      result, so that duplicate bindings reached along different '//'
      routes stay identity-equal (and get deduplicated) *)
@@ -179,7 +179,7 @@ let scan_const_tree (c : chunk) (quals_ok : Node.element -> bool) (root : Node.e
 (* Where a nav native finds the exact state set of its anchor: a static
    hint (sound until the first '//' chunk, with anchor qualifiers checked
    at run time) or the table filled by an upstream native. *)
-type anchor_source = Src_hint of int list | Src_table
+type anchor_source = Src_hint of Selecting_nfa.set | Src_table
 
 let nav_chunk rt (c : chunk) ~(src : anchor_source) (anchor : Xq_value.item) : Xq_value.t =
   let out = ref [] in
@@ -202,11 +202,11 @@ let nav_chunk rt (c : chunk) ~(src : anchor_source) (anchor : Xq_value.item) : X
   (* visit a child [child] whose parent holds exact set [s] *)
   let rec visit s child =
     let sc =
-      Selecting_nfa.next_states rt.nfa
+      Selecting_nfa.next rt.nfa
         ~checkp:(fun st -> checkp_direct rt st child)
-        s (Node.name child)
+        s (Node.sym child)
     in
-    let matched = Selecting_nfa.accepts rt.nfa sc in
+    let matched = Selecting_nfa.accepts_set rt.nfa sc in
     let is_candidate = chunk_matches c (Node.name child) in
     match rt.update, matched with
     | Transform_ast.Delete _, true -> ()  (* the region is gone *)
@@ -263,11 +263,12 @@ let nav_chunk rt (c : chunk) ~(src : anchor_source) (anchor : Xq_value.item) : X
     | (Transform_ast.Delete _ | Transform_ast.Insert _ | Transform_ast.Insert_first _
       | Transform_ast.Replace _ | Transform_ast.Rename _), false ->
       if is_candidate && quals_hold rt sc c.quals child then begin
-        if Selecting_nfa.accepts rt.nfa (below rt.nfa sc) || sc <> [] then
-          Hashtbl.replace rt.state_tbl (Node.id child) sc;
+        if Selecting_nfa.accepts_set rt.nfa (below rt.nfa sc) || not (Selecting_nfa.set_is_empty sc)
+        then Hashtbl.replace rt.state_tbl (Node.id child) sc;
         emit (Node.Element child)
       end;
-      if c.desc && sc <> [] then List.iter (visit sc) (Node.child_elements child)
+      if c.desc && not (Selecting_nfa.set_is_empty sc) then
+        List.iter (visit sc) (Node.child_elements child)
       else if c.desc then plain_descend child
   and plain_descend e =
     (* no live states below: pure navigation *)
@@ -289,17 +290,21 @@ let nav_chunk rt (c : chunk) ~(src : anchor_source) (anchor : Xq_value.item) : X
     (* static hints have unchecked labels/qualifiers: settle them at the
        anchor *)
     let alive =
-      List.filter
-        (fun s ->
-          Selecting_nfa.consistent_at rt.nfa s (Node.name e)
-          && ((not (Selecting_nfa.has_qual rt.nfa s)) || checkp_direct rt s e))
-        states
+      Selecting_nfa.set_of_list rt.nfa
+        (Selecting_nfa.set_fold
+           (fun s acc ->
+             if
+               Selecting_nfa.consistent_at_sym rt.nfa s (Node.sym e)
+               && ((not (Selecting_nfa.has_qual rt.nfa s)) || checkp_direct rt s e)
+             then s :: acc
+             else acc)
+           states [])
     in
-    if alive = [] then if c.desc then plain_descend e else plain_children e
+    if Selecting_nfa.set_is_empty alive then if c.desc then plain_descend e else plain_children e
     else List.iter (visit alive) (Node.child_elements e)
   in
   (match anchor with
-  | Xq_value.D root -> visit (Selecting_nfa.start_set rt.nfa) root
+  | Xq_value.D root -> visit (Selecting_nfa.start rt.nfa) root
   | Xq_value.N (Node.Element e) -> (
     match src with
     | Src_hint states -> from_states e states
@@ -319,7 +324,7 @@ let nav_chunk rt (c : chunk) ~(src : anchor_source) (anchor : Xq_value.item) : X
    Instead, one native runs the {e product} of the user-suffix NFA and
    the update NFA in a single pre-order walk: bindings come out exactly
    once, in document order, transformed where the update touches them. *)
-let pipe_chunks rt (chunks : chunk list) (start_states : int list option)
+let pipe_chunks rt (chunks : chunk list) (start_states : Selecting_nfa.set option)
     (root_children : Node.t list) emit =
   let suffix_path = List.concat_map (fun c -> chunk_path c ~quals:c.quals) chunks in
   let unfa = Selecting_nfa.of_path suffix_path in
@@ -332,12 +337,12 @@ let pipe_chunks rt (chunks : chunk list) (start_states : int list option)
           match child with
           | Node.Element ce ->
             let uc' =
-              Selecting_nfa.next_states unfa
+              Selecting_nfa.next unfa
                 ~checkp:(fun s -> Eval.check_qual ce (Selecting_nfa.state_qual unfa s))
-                uc (Node.name ce)
+                uc (Node.sym ce)
             in
-            if Selecting_nfa.accepts unfa uc' then emit (Node.Element ce);
-            if uc' <> [] then walk_const uc' child
+            if Selecting_nfa.accepts_set unfa uc' then emit (Node.Element ce);
+            if not (Selecting_nfa.set_is_empty uc') then walk_const uc' child
           | Node.Text _ | Node.Comment _ | Node.Pi _ -> ())
         (Node.children e)
     | Node.Text _ | Node.Comment _ | Node.Pi _ -> ()
@@ -353,12 +358,12 @@ let pipe_chunks rt (chunks : chunk list) (start_states : int list option)
             | None -> None
             | Some s ->
               Some
-                (Selecting_nfa.next_states rt.nfa
+                (Selecting_nfa.next rt.nfa
                    ~checkp:(fun st -> checkp_direct rt st ce)
-                   s (Node.name ce))
+                   s (Node.sym ce))
           in
           let matched =
-            match sc with Some s -> Selecting_nfa.accepts rt.nfa s | None -> false
+            match sc with Some s -> Selecting_nfa.accepts_set rt.nfa s | None -> false
           in
           match rt.update, matched with
           | Transform_ast.Delete _, true -> ()  (* region gone: no bindings inside *)
@@ -370,12 +375,12 @@ let pipe_chunks rt (chunks : chunk list) (start_states : int list option)
                 match t with
                 | Node.Element te ->
                   let uct =
-                    Selecting_nfa.next_states unfa
+                    Selecting_nfa.next unfa
                       ~checkp:(fun s -> Eval.check_qual te (Selecting_nfa.state_qual unfa s))
-                      ustates (Node.name te)
+                      ustates (Node.sym te)
                   in
-                  if Selecting_nfa.accepts unfa uct then emit t;
-                  if uct <> [] then walk_const uct t
+                  if Selecting_nfa.accepts_set unfa uct then emit t;
+                  if not (Selecting_nfa.set_is_empty uct) then walk_const uct t
                 | Node.Text _ | Node.Comment _ | Node.Pi _ -> ())
               (transformed_view rt (Option.get sc) ce)
           | _ ->
@@ -392,28 +397,29 @@ let pipe_chunks rt (chunks : chunk list) (start_states : int list option)
                 | _ -> false
               else Eval.check_qual ce q
             in
-            let uc = Selecting_nfa.next_states unfa ~checkp:user_checkp ustates (Node.name ce) in
+            let uc = Selecting_nfa.next unfa ~checkp:user_checkp ustates (Node.sym ce) in
             if matched then begin
               (* insert (delete and relabeling were handled above): the
                  content changes but the node keeps its place *)
-              if uc <> [] then begin
+              if not (Selecting_nfa.set_is_empty uc) then begin
                 let ts = transformed_view rt (Option.get sc) ce in
-                if Selecting_nfa.accepts unfa uc then List.iter emit ts;
+                if Selecting_nfa.accepts_set unfa uc then List.iter emit ts;
                 List.iter (walk_const uc) ts
               end
             end
             else begin
-              if Selecting_nfa.accepts unfa uc then begin
+              if Selecting_nfa.accepts_set unfa uc then begin
                 (match sc with
-                | Some s when s <> [] -> Hashtbl.replace rt.state_tbl (Node.id ce) s
+                | Some s when not (Selecting_nfa.set_is_empty s) ->
+                  Hashtbl.replace rt.state_tbl (Node.id ce) s
                 | _ -> ());
                 emit (Node.Element ce)
               end;
-              if uc <> [] then walk uc sc (Node.children ce)
+              if not (Selecting_nfa.set_is_empty uc) then walk uc sc (Node.children ce)
             end))
       children
   in
-  walk (Selecting_nfa.start_set unfa) start_states root_children
+  walk (Selecting_nfa.start unfa) start_states root_children
 
 (* ---------------- composition ---------------- *)
 
@@ -462,20 +468,24 @@ let compose update (uq : User_query.t) : (composed, string) result =
                 (match anchor with
                 | Xq_value.D root ->
                   pipe_chunks rt chunks
-                    (Some (Selecting_nfa.start_set nfa))
+                    (Some (Selecting_nfa.start nfa))
                     [ Node.Element root ] emit
                 | Xq_value.N (Node.Element e) ->
                   let states =
                     match src with
                     | Src_hint s ->
                       let alive =
-                        List.filter
-                          (fun st ->
-                            Selecting_nfa.consistent_at nfa st (Node.name e)
-                            && ((not (Selecting_nfa.has_qual nfa st)) || checkp_direct rt st e))
-                          s
+                        Selecting_nfa.set_of_list nfa
+                          (Selecting_nfa.set_fold
+                             (fun st acc ->
+                               if
+                                 Selecting_nfa.consistent_at_sym nfa st (Node.sym e)
+                                 && ((not (Selecting_nfa.has_qual nfa st)) || checkp_direct rt st e)
+                               then st :: acc
+                               else acc)
+                             s [])
                       in
-                      if alive = [] then None else Some alive
+                      if Selecting_nfa.set_is_empty alive then None else Some alive
                     | Src_table -> Hashtbl.find_opt rt.state_tbl (Node.id e)
                   in
                   pipe_chunks rt chunks states (Node.children e) emit
@@ -507,7 +517,7 @@ let compose update (uq : User_query.t) : (composed, string) result =
               | User_query.Rel (p, _) -> (
                 match update, p with
                 | (Transform_ast.Insert _ | Transform_ast.Insert_first _), _ :: _
-                  when Selecting_nfa.accepts nfa s ->
+                  when Selecting_nfa.accepts_set nfa s ->
                   true
                 | _ -> path_affected nfa update s p)
             in
@@ -521,7 +531,7 @@ let compose update (uq : User_query.t) : (composed, string) result =
               | User_query.T_hole ([], None) -> subtree_affected nfa update s
               | User_query.T_hole (p, attr) -> (
                 match update, p with
-                | Transform_ast.Insert _, _ :: _ when Selecting_nfa.accepts nfa s -> true
+                | Transform_ast.Insert _, _ :: _ when Selecting_nfa.accepts_set nfa s -> true
                 | _ ->
                   path_affected nfa update s p
                   || (attr = None && subtree_affected nfa update (end_set nfa s p)))
@@ -535,16 +545,16 @@ let compose update (uq : User_query.t) : (composed, string) result =
              label transition is blind to it, so widen to any-label *)
           let matched_possible s (chunk : chunk) =
             relabels update
-            && Selecting_nfa.accepts nfa
-                 (Selecting_nfa.next_on_any nfa
-                    (if chunk.desc then Selecting_nfa.next_on_desc nfa s else s))
+            && Selecting_nfa.accepts_set nfa
+                 (Selecting_nfa.next_on_any_set nfa
+                    (if chunk.desc then Selecting_nfa.next_on_desc_set nfa s else s))
           in
           let rec downstream_need s = function
             | [] -> output_affected s
             | (chunk : chunk) :: rest ->
               let si = step_sim nfa s chunk in
-              Selecting_nfa.accepts nfa si
-              || (chunk.desc && Selecting_nfa.accepts nfa (below nfa s))
+              Selecting_nfa.accepts_set nfa si
+              || (chunk.desc && Selecting_nfa.accepts_set nfa (below nfa s))
               || List.exists (qual_affected nfa update si) chunk.quals
               || matched_possible s chunk
               || downstream_need si rest
@@ -582,8 +592,8 @@ let compose update (uq : User_query.t) : (composed, string) result =
               | `Hint s | `Tracked s -> (
                 let si = step_sim nfa s chunk in
                 let acts =
-                  Selecting_nfa.accepts nfa si
-                  || (chunk.desc && Selecting_nfa.accepts nfa (below nfa s))
+                  Selecting_nfa.accepts_set nfa si
+                  || (chunk.desc && Selecting_nfa.accepts_set nfa (below nfa s))
                   || List.exists (qual_affected nfa update si) chunk.quals
                   || matched_possible s chunk
                 in
@@ -618,7 +628,7 @@ let compose update (uq : User_query.t) : (composed, string) result =
           let doc_var = fresh_var "d" in
           add_clause (Xq_ast.LetC (doc_var, Xq_ast.Context));
           let xvar, final_mode =
-            emit doc_var (`Hint (Selecting_nfa.start_set nfa)) chunks
+            emit doc_var (`Hint (Selecting_nfa.start nfa)) chunks
           in
           let xvar =
             match final_mode with

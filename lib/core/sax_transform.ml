@@ -22,7 +22,7 @@ end
 (* ---------------- pass 1: SAX bottomUp ---------------- *)
 
 type p1_frame = {
-  states : int list;  (* unfiltered NFA states after this start-tag *)
+  states : Selecting_nfa.set;  (* unfiltered NFA states after this start-tag *)
   all_seeds : int list;
   candidates : int list;  (* child-seed candidates *)
   csat : bool array;
@@ -47,23 +47,24 @@ let pass1 nfa source truth =
       else begin
         let parent_states, parent_candidates =
           match !stack with
-          | [] -> Selecting_nfa.start_set nfa, []
+          | [] -> Selecting_nfa.start nfa, []
           | f :: _ -> f.states, f.candidates
         in
-        let states = Selecting_nfa.next_states_unchecked nfa parent_states name in
+        let states = Selecting_nfa.next_unchecked nfa parent_states (Sym.intern name) in
         let kid_seeds =
           List.filter (fun p -> not (Lq.label_blocked lq p name)) parent_candidates
         in
         let top_quals =
-          List.filter_map
-            (fun s ->
-              if Selecting_nfa.has_qual nfa s then Some (Selecting_nfa.state_lq nfa s) else None)
-            states
+          let qs = Selecting_nfa.set_inter states (Selecting_nfa.qual_states nfa) in
+          if Selecting_nfa.set_is_empty qs then []
+          else Selecting_nfa.set_fold (fun s acc -> Selecting_nfa.state_lq nfa s :: acc) qs []
         in
         let all_seeds = List.sort_uniq compare (kid_seeds @ top_quals) in
-        if states = [] && all_seeds = [] then skip := 1
+        if Selecting_nfa.set_is_empty states && all_seeds = [] then skip := 1
         else begin
-          let _, candidates = Annotator.expand lq ~name all_seeds in
+          let candidates =
+            if all_seeds = [] then [] else snd (Annotator.expand lq ~name all_seeds)
+          in
           stack :=
             { states; all_seeds; candidates; csat = Array.make nlq false;
               text = Buffer.create 16; attrs; name; seq = !seq }
@@ -81,23 +82,23 @@ let pass1 nfa source truth =
         | [] -> ()
         | f :: rest ->
           stack := rest;
-          let sat =
-            Lq.eval_at lq ~name:f.name ~attrs:f.attrs ~text:(Buffer.contents f.text)
-              ~csat:(fun i -> f.csat.(i)) ~wanted:f.all_seeds
-          in
-          List.iter
-            (fun s ->
-              if Selecting_nfa.has_qual nfa s then begin
+          if f.all_seeds <> [] then begin
+            let sat =
+              Lq.eval_at lq ~name:f.name ~attrs:f.attrs ~text:(Buffer.contents f.text)
+                ~csat:(fun i -> f.csat.(i)) ~wanted:f.all_seeds
+            in
+            Selecting_nfa.set_iter
+              (fun s ->
                 let i = Selecting_nfa.state_lq nfa s in
-                Truth.set truth f.seq i sat.(i)
-              end)
-            f.states;
-          (match rest with
-          | parent :: _ ->
-            for i = 0 to nlq - 1 do
-              if sat.(i) then parent.csat.(i) <- true
-            done
-          | [] -> ())
+                Truth.set truth f.seq i sat.(i))
+              (Selecting_nfa.set_inter f.states (Selecting_nfa.qual_states nfa));
+            match rest with
+            | parent :: _ ->
+              for i = 0 to nlq - 1 do
+                if sat.(i) then parent.csat.(i) <- true
+              done
+            | [] -> ()
+          end
       end
   in
   source handle;
@@ -105,7 +106,7 @@ let pass1 nfa source truth =
 
 (* ---------------- pass 2: SAX topDown ---------------- *)
 
-type p2_frame = { fstates : int list; out_name : string; matched : bool }
+type p2_frame = { fstates : Selecting_nfa.set; out_name : string; matched : bool }
 
 let emit_node sink node =
   let rec go = function
@@ -140,11 +141,11 @@ let pass2 nfa update source truth sink =
       else begin
         let at_root = !stack = [] in
         let parent_states =
-          match !stack with [] -> Selecting_nfa.start_set nfa | f :: _ -> f.fstates
+          match !stack with [] -> Selecting_nfa.start nfa | f :: _ -> f.fstates
         in
         let checkp s = Truth.get truth !seq (Selecting_nfa.state_lq nfa s) in
-        let fstates = Selecting_nfa.next_states nfa ~checkp parent_states name in
-        let matched = Selecting_nfa.accepts nfa fstates || (at_root && root_matched) in
+        let fstates = Selecting_nfa.next nfa ~checkp parent_states (Sym.intern name) in
+        let matched = Selecting_nfa.accepts_set nfa fstates || (at_root && root_matched) in
         let push out_name =
           if at_root then produced_root := true;
           stack := { fstates; out_name; matched } :: !stack

@@ -22,14 +22,14 @@ let make_go ~checkp nfa update =
   let rec go (e : Node.element) states : Node.t list =
       Stats.visit ();
       let states' =
-        Selecting_nfa.next_states nfa ~checkp:(fun s -> checkp s e) states (Node.name e)
+        Selecting_nfa.next nfa ~checkp:(fun s -> checkp s e) states (Node.sym e)
       in
-      if states' = [] then begin
+      if Selecting_nfa.set_is_empty states' then begin
         Stats.share ();
         [ Node.Element e ]
       end
       else begin
-        let matched = Selecting_nfa.accepts nfa states' in
+        let matched = Selecting_nfa.accepts_set nfa states' in
         match update, matched with
         | Transform_ast.Delete _, true -> []
         | Transform_ast.Replace (_, enew), true ->
@@ -56,7 +56,7 @@ let run ?checkp nfa update root =
   else if Selecting_nfa.selects_context nfa then Semantics.apply_at_root update root
   else begin
     let go = make_go ~checkp nfa update in
-    match go root (Selecting_nfa.start_set nfa) with
+    match go root (Selecting_nfa.start nfa) with
     | [ Node.Element e ] -> e
     | [] -> raise (Transform_ast.Invalid_update "update deletes the document element")
     | [ _ ] | _ :: _ ->
@@ -70,15 +70,19 @@ let transform_at ?checkp nfa update ~states (e : Node.element) : Node.t list =
      Method: label consistency and qualifiers have not been checked yet,
      so settle both at [e] before deciding anything. *)
   let alive =
-    List.filter
-      (fun s ->
-        Selecting_nfa.consistent_at nfa s (Node.name e)
-        && ((not (Selecting_nfa.has_qual nfa s)) || checkp s e))
-      states
+    Selecting_nfa.set_of_list nfa
+      (Selecting_nfa.set_fold
+         (fun s acc ->
+           if
+             Selecting_nfa.consistent_at_sym nfa s (Node.sym e)
+             && ((not (Selecting_nfa.has_qual nfa s)) || checkp s e)
+           then s :: acc
+           else acc)
+         states [])
   in
-  if alive = [] then [ Node.Element e ]
+  if Selecting_nfa.set_is_empty alive then [ Node.Element e ]
   else begin
-    let matched = Selecting_nfa.accepts nfa alive in
+    let matched = Selecting_nfa.accepts_set nfa alive in
     match update, matched with
     | Transform_ast.Delete _, true -> []
     | Transform_ast.Replace (_, enew), true -> [ Node.refresh_ids enew ]

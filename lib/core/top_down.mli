@@ -29,7 +29,7 @@ val transform_at :
   ?checkp:checkp ->
   Selecting_nfa.t ->
   Transform_ast.update ->
-  states:int list ->
+  states:Selecting_nfa.set ->
   Node.element ->
   Node.t list
 (** The runtime [topDown(Mp, S, Qt, $z)] helper of the Compose Method

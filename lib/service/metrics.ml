@@ -99,6 +99,12 @@ let reset m =
   Atomic.set m.count 0;
   Atomic.set m.max_latency_ns 0
 
+(* Hot-path counters from the automata/xml layers (transition memo, symbol
+   table).  Process-wide, not per-service, and unsynchronized on the hot
+   path, so the values are approximate under concurrent domains. *)
+let nfa_memo_stats () = Xut_automata.Selecting_nfa.global_memo_stats ()
+let sym_stats () = (Xut_xml.Sym.count (), Xut_xml.Sym.interns ())
+
 let dump m =
   let b = Buffer.create 256 in
   let ms v = v *. 1e3 in
@@ -111,5 +117,13 @@ let dump m =
   Printf.bprintf b "latency_count %d\n" (latency_count m);
   Printf.bprintf b "latency_p50_ms %.3f\n" (ms (quantile m 0.50));
   Printf.bprintf b "latency_p95_ms %.3f\n" (ms (quantile m 0.95));
-  Printf.bprintf b "latency_max_ms %.3f" (ms (max_latency m));
+  Printf.bprintf b "latency_max_ms %.3f\n" (ms (max_latency m));
+  let hits, misses = nfa_memo_stats () in
+  let rate = if hits + misses = 0 then 0. else float_of_int hits /. float_of_int (hits + misses) in
+  Printf.bprintf b "nfa_memo_hits %d\n" hits;
+  Printf.bprintf b "nfa_memo_misses %d\n" misses;
+  Printf.bprintf b "nfa_memo_hit_rate %.3f\n" rate;
+  let symbols, interns = sym_stats () in
+  Printf.bprintf b "sym_symbols %d\n" symbols;
+  Printf.bprintf b "sym_interns %d" interns;
   Buffer.contents b

@@ -49,5 +49,14 @@ val max_latency : t -> float
 
 val reset : t -> unit
 
+val nfa_memo_stats : unit -> int * int
+(** Process-wide selecting-NFA transition-memo [(hits, misses)]
+    (approximate under concurrent domains). *)
+
+val sym_stats : unit -> int * int
+(** [(distinct symbols, intern calls)] of the global element-name symbol
+    table; the gap between the two is the hit count. *)
+
 val dump : t -> string
-(** Multi-line text rendering of every metric (the [STATS] payload). *)
+(** Multi-line text rendering of every metric (the [STATS] payload),
+    including the transition-memo and symbol-table counters above. *)

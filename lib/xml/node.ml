@@ -7,6 +7,7 @@ type t =
 and element = {
   id : int;
   name : string;
+  sym : Sym.t;
   attrs : (string * string) list;
   children : t list;
 }
@@ -15,16 +16,19 @@ let counter = Atomic.make 0
 
 let fresh_id () = Atomic.fetch_and_add counter 1 + 1
 
-let element ?(attrs = []) name children = { id = fresh_id (); name; attrs; children }
+let element ?(attrs = []) name children =
+  { id = fresh_id (); name; sym = Sym.intern name; attrs; children }
+
 let elem ?attrs name children = Element (element ?attrs name children)
 let text s = Text s
 let comment s = Comment s
 let pi target content = Pi (target, content)
 
 let with_children e children = { e with id = fresh_id (); children }
-let with_name e name = { e with id = fresh_id (); name }
+let with_name e name = { e with id = fresh_id (); name; sym = Sym.intern name }
 
 let name e = e.name
+let sym e = e.sym
 let id e = e.id
 let children e = e.children
 let attrs e = e.attrs

@@ -17,6 +17,7 @@ type t =
 and element = private {
   id : int;
   name : string;
+  sym : Sym.t;  (** interned {!name} (see {!Sym}), assigned at build time *)
   attrs : (string * string) list;
   children : t list;
 }
@@ -38,6 +39,10 @@ val with_name : element -> string -> element
 (** Rename, keeping attrs/children and allocating a fresh id. *)
 
 val name : element -> string
+
+val sym : element -> Sym.t
+(** The interned element name, the automata's transition alphabet. *)
+
 val id : element -> int
 val children : element -> t list
 val attrs : element -> (string * string) list

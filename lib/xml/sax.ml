@@ -250,6 +250,9 @@ let parse_events ~keep_ws r handler =
         | [] -> error r (Printf.sprintf "closing tag </%s> with no open element" name))
       | _ ->
         let name = read_name r in
+        (* warm the global symbol table: every consumer that runs an
+           automaton over these events interns again and hits *)
+        ignore (Sym.intern name : Sym.t);
         let attrs = read_attributes r in
         skip_ws r;
         if Reader.peek r = '/' then begin

@@ -1,0 +1,101 @@
+type t = int
+
+let none = -1
+
+(* Open-addressing hash table published as an immutable snapshot: readers
+   probe the current snapshot without synchronization (arrays are never
+   mutated after publication), writers copy-insert-republish under a
+   mutex.  Element-name alphabets are tiny (tens of symbols), so the
+   O(capacity) copy per new symbol is irrelevant. *)
+
+type table = {
+  mask : int;  (* capacity - 1; capacity is a power of two *)
+  keys : string array;  (* physically [absent] where empty *)
+  vals : int array;
+  names : string array;  (* symbol -> name; length = count *)
+  count : int;
+}
+
+(* Physical sentinel: occupied slots always hold a different object, even
+   if some interned name happens to equal its contents. *)
+let absent = String.init 1 (fun _ -> '\000')
+
+let make_table capacity count names =
+  { mask = capacity - 1; keys = Array.make capacity absent; vals = Array.make capacity (-1);
+    names; count }
+
+let table = Atomic.make (make_table 64 0 [||])
+let mu = Mutex.create ()
+
+(* Approximate under concurrent interning (can only undercount). *)
+let intern_calls = ref 0
+
+(* FNV-1a: names are short ASCII, and we need the same hash on every
+   domain and snapshot. *)
+let hash s =
+  let h = ref 0x811c9dc5 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x01000193 land max_int) s;
+  !h
+
+let probe t s =
+  let h = hash s in
+  let rec go i =
+    let j = (h + i) land t.mask in
+    let k = t.keys.(j) in
+    if k == absent then -1 else if String.equal k s then t.vals.(j) else go (i + 1)
+  in
+  go 0
+
+let insert_slot t s v =
+  let h = hash s in
+  let rec go i =
+    let j = (h + i) land t.mask in
+    if t.keys.(j) == absent then begin
+      t.keys.(j) <- s;
+      t.vals.(j) <- v
+    end
+    else go (i + 1)
+  in
+  go 0
+
+(* Rebuild a snapshot with one more name; grow when half full. *)
+let with_name (t : table) s =
+  let count = t.count + 1 in
+  let capacity =
+    let c = t.mask + 1 in
+    if 2 * count > c then 2 * c else c
+  in
+  let names = Array.make count s in
+  Array.blit t.names 0 names 0 t.count;
+  let nt = make_table capacity count names in
+  Array.iteri (fun v n -> insert_slot nt n v) names;
+  nt
+
+let find s = probe (Atomic.get table) s
+
+let intern s =
+  incr intern_calls;
+  match probe (Atomic.get table) s with
+  | -1 ->
+    Mutex.lock mu;
+    let v =
+      (* somebody may have inserted it while we were acquiring the lock *)
+      match probe (Atomic.get table) s with
+      | -1 ->
+        let t = Atomic.get table in
+        Atomic.set table (with_name t s);
+        t.count
+      | v -> v
+    in
+    Mutex.unlock mu;
+    v
+  | v -> v
+
+let name v =
+  let t = Atomic.get table in
+  if v < 0 || v >= t.count then invalid_arg (Printf.sprintf "Sym.name: unknown symbol %d" v)
+  else t.names.(v)
+
+let count () = (Atomic.get table).count
+
+let interns () = !intern_calls

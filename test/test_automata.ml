@@ -130,6 +130,107 @@ let test_nfa_construction_linear () =
   let nfa = nfa_of "a/b/c/d/e/f/g/h" in
   Alcotest.(check int) "9 states for 8 steps" 9 (Selecting_nfa.size nfa)
 
+(* ---------------- bitset core vs. list reference ----------------
+
+   The list-based transition functions are retained in
+   [Selecting_nfa.Reference] as the oracle; the bitset implementation
+   (both the inline-int representation used up to 62 states and the
+   Bytes-backed one above) must agree with it on random automata and
+   random label sequences, for every exported transition. *)
+
+let gen_run_label =
+  (* the path alphabet plus a label no path step uses *)
+  QCheck2.Gen.oneofa [| "a"; "b"; "c"; "d"; "e"; "zz" |]
+
+let gen_nfa_path min_steps max_steps : Xut_xpath.Ast.path QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let gen_label = oneofa [| "a"; "b"; "c"; "d"; "e" |] in
+  let gen_chunk =
+    frequency
+      [ (4, map (fun l -> [ Ast.step (Ast.Label l) ]) gen_label);
+        (2, return [ Ast.step Ast.Wildcard ]);
+        (2,
+         let* l = gen_label in
+         return [ Ast.step Ast.Descendant; Ast.step (Ast.Label l) ]) ]
+  in
+  let add_qual (s : Ast.step) =
+    if s.Ast.nav = Ast.Descendant then return s
+    else
+      frequency
+        [ (2, return s);
+          (1,
+           let* l = gen_label in
+           return { s with Ast.quals = [ Ast.Q_label l ] }) ]
+  in
+  let* n = int_range min_steps max_steps in
+  let* chunks = flatten_l (List.init n (fun _ -> gen_chunk)) in
+  flatten_l (List.map add_qual (List.concat chunks))
+
+let prop_bitset_equals_reference ~name ~min_steps ~max_steps ~wide =
+  QCheck2.Test.make ~name ~count:150
+    QCheck2.Gen.(
+      triple (gen_nfa_path min_steps max_steps) (list_size (int_range 0 15) gen_run_label) int)
+    (fun (path, run, salt) ->
+      let nfa = Selecting_nfa.of_path path in
+      if wide && Selecting_nfa.size nfa <= 62 then false
+      else begin
+        (* arbitrary but deterministic qualifier verdicts, shared by both
+           implementations *)
+        let checkp s = (s * 31 + salt) land 7 <> 0 in
+        let agree cur lbl =
+          Selecting_nfa.next_states_unchecked nfa cur lbl
+          = Selecting_nfa.Reference.next_states_unchecked nfa cur lbl
+          && Selecting_nfa.next_states nfa ~checkp cur lbl
+             = Selecting_nfa.Reference.next_states nfa ~checkp cur lbl
+          && Selecting_nfa.next_on_label nfa cur lbl
+             = Selecting_nfa.Reference.next_on_label nfa cur lbl
+          && Selecting_nfa.next_on_any nfa cur = Selecting_nfa.Reference.next_on_any nfa cur
+          && Selecting_nfa.next_on_desc nfa cur = Selecting_nfa.Reference.next_on_desc nfa cur
+          && Selecting_nfa.accepts nfa cur = Selecting_nfa.Reference.accepts nfa cur
+        in
+        let ok = ref (Selecting_nfa.start_set nfa = Selecting_nfa.Reference.start_set nfa) in
+        let cur = ref (Selecting_nfa.start_set nfa) in
+        List.iter
+          (fun lbl ->
+            if not (agree !cur lbl) then ok := false;
+            cur := Selecting_nfa.next_states nfa ~checkp !cur lbl)
+          run;
+        !ok
+      end)
+
+let prop_bitset_small =
+  prop_bitset_equals_reference ~name:"bitset NFA = list reference (inline int)" ~min_steps:1
+    ~max_steps:8 ~wide:false
+
+let prop_bitset_wide =
+  prop_bitset_equals_reference ~name:"bitset NFA = list reference (Bytes-backed)" ~min_steps:63
+    ~max_steps:70 ~wide:true
+
+(* Interning must assign each name the same symbol on every domain, and
+   symbols must survive the table's copy-on-grow republication. *)
+let test_sym_domains () =
+  let names = List.init 64 (fun i -> Printf.sprintf "dsym%d" i) in
+  let doms =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () -> List.map (fun n -> (n, Xut_xml.Sym.intern n)) names))
+  in
+  let results = List.map Domain.join doms in
+  List.iter
+    (List.iter (fun (n, v) ->
+         Alcotest.(check int) ("stable across domains: " ^ n) (Xut_xml.Sym.intern n) v;
+         Alcotest.(check string) ("name roundtrip: " ^ n) n (Xut_xml.Sym.name v)))
+    results
+
+let test_memo_counts () =
+  let nfa = nfa_of "//part[pname = \"keyboard\"]" in
+  let s0 = Selecting_nfa.start nfa in
+  let sym = Xut_xml.Sym.intern "part" in
+  ignore (Selecting_nfa.next_unchecked nfa s0 sym);
+  ignore (Selecting_nfa.next_unchecked nfa s0 sym);
+  let hits, misses = Selecting_nfa.memo_stats nfa in
+  Alcotest.(check bool) "second transition hits" true (hits >= 1);
+  Alcotest.(check bool) "first transition misses" true (misses >= 1)
+
 let suite =
   [ Alcotest.test_case "NFA select = direct eval" `Quick test_nfa_matches_eval;
     Alcotest.test_case "annotated NFA select = direct eval" `Quick test_nfa_annotated_matches_eval;
@@ -139,4 +240,8 @@ let suite =
     Alcotest.test_case "static delta' (compose)" `Quick test_static_simulation;
     Alcotest.test_case "empty path" `Quick test_empty_path;
     Alcotest.test_case "annotator pruning" `Quick test_annotator_prunes;
-    Alcotest.test_case "construction size" `Quick test_nfa_construction_linear ]
+    Alcotest.test_case "construction size" `Quick test_nfa_construction_linear;
+    QCheck_alcotest.to_alcotest prop_bitset_small;
+    QCheck_alcotest.to_alcotest prop_bitset_wide;
+    Alcotest.test_case "interning stable across 4 domains" `Quick test_sym_domains;
+    Alcotest.test_case "transition memo counts" `Quick test_memo_counts ]
