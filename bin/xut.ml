@@ -6,8 +6,11 @@
      rewrite      print the standard-XQuery rewriting (Fig. 2)
      query        evaluate an XQuery (subset) against a document
      xmark        generate an XMark-style document
-     serve        line-delimited request loop over the xut_service layer
-     bench-serve  closed-loop load driver for the service layer *)
+     serve        request loop over the xut_service layer: stdin lines, or the
+                  framed binary protocol on a Unix socket / TCP port
+     client       send framed requests to a running socket server
+     bench-serve  closed-loop load driver for the service layer
+                  (in-process or through the socket transport) *)
 
 open Cmdliner
 open Core
@@ -195,38 +198,70 @@ let xmark_cmd =
 
 (* ---------------- serve ---------------- *)
 
+let stdin_serve_loop svc =
+  let rec loop () =
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line when String.trim line = "" -> loop ()
+    | Some line ->
+      (match Xut_transport.Wire.Line.decode_request line with
+      | Error msg -> Printf.printf "ERR %s\n%!" msg
+      | Ok req ->
+        let resp = Xut_service.Service.call svc req in
+        Printf.printf "%s\n%!" (Xut_transport.Wire.Line.render_response resp));
+      loop ()
+  in
+  loop ()
+
+let socket_serve_loop svc addr max_conns read_timeout max_frame =
+  let config =
+    {
+      Xut_transport.Server.max_frame;
+      max_connections = max_conns;
+      read_timeout;
+    }
+  in
+  let server = Xut_transport.Server.start ~config ~service:svc addr in
+  Printf.eprintf "xut serve: listening on %s\n%!"
+    (Xut_transport.Addr.to_string (Xut_transport.Server.address server));
+  let stop_requested = Atomic.make false in
+  let request_stop _ = Atomic.set stop_requested true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  while not (Atomic.get stop_requested) do
+    Thread.delay 0.2
+  done;
+  Printf.eprintf "xut serve: draining and shutting down\n%!";
+  Xut_transport.Server.stop server
+
 let serve_cmd =
-  let run domains cache_capacity queue_capacity =
+  let run domains cache_capacity queue_capacity socket_opt tcp_opt max_conns read_timeout
+      max_frame_mib =
     if domains < 1 || cache_capacity < 0 || queue_capacity < 1 then begin
       Printf.eprintf "xut serve: need --domains >= 1, --cache >= 0, --queue >= 1\n";
       exit 2
     end;
+    let addr_opt =
+      match (socket_opt, tcp_opt) with
+      | Some _, Some _ ->
+        Printf.eprintf "xut serve: give --socket or --tcp, not both\n";
+        exit 2
+      | Some path, None -> Some (Xut_transport.Addr.Unix_socket path)
+      | None, Some port -> Some (Xut_transport.Addr.Tcp { host = "0.0.0.0"; port })
+      | None, None -> None
+    in
     let svc =
       Xut_service.Service.create ~domains ~cache_capacity ~queue_capacity ()
     in
-    Printf.eprintf
-      "xut serve: %d domain%s, plan cache %d, queue %d — LOAD / UNLOAD / TRANSFORM / STATS on stdin\n%!"
-      domains (if domains = 1 then "" else "s") cache_capacity queue_capacity;
-    let rec loop () =
-      match In_channel.input_line stdin with
-      | None -> ()
-      | Some line when String.trim line = "" -> loop ()
-      | Some line ->
-        (match Xut_service.Service.parse_request line with
-        | Error msg -> Printf.printf "ERR %s\n%!" msg
-        | Ok Xut_service.Service.Stats -> begin
-          match Xut_service.Service.call svc Xut_service.Service.Stats with
-          | Ok payload -> Printf.printf "%s\nOK\n%!" payload
-          | Error msg -> Printf.printf "ERR %s\n%!" msg
-        end
-        | Ok req -> begin
-          match Xut_service.Service.call svc req with
-          | Ok payload -> Printf.printf "OK %s\n%!" payload
-          | Error msg -> Printf.printf "ERR %s\n%!" msg
-        end);
-        loop ()
-    in
-    loop ();
+    Printf.eprintf "xut serve: %d domain%s, plan cache %d, queue %d\n%!" domains
+      (if domains = 1 then "" else "s")
+      cache_capacity queue_capacity;
+    (match addr_opt with
+    | Some addr ->
+      socket_serve_loop svc addr max_conns read_timeout (max_frame_mib * 1024 * 1024)
+    | None ->
+      Printf.eprintf "LOAD / UNLOAD / TRANSFORM / COUNT / STATS on stdin\n%!";
+      stdin_serve_loop svc);
     Xut_service.Service.shutdown svc;
     0
   in
@@ -240,15 +275,138 @@ let serve_cmd =
   let queue =
     Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc:"Request-queue capacity.")
   in
+  let socket_opt =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on a Unix socket at PATH.")
+  in
+  let tcp_opt =
+    Arg.(value & opt (some int) None
+         & info [ "tcp" ] ~docv:"PORT" ~doc:"Listen on TCP port PORT (all interfaces).")
+  in
+  let max_conns =
+    Arg.(value & opt int 64
+         & info [ "max-conns" ] ~docv:"N"
+             ~doc:"Connection limit; further clients get a BUSY error frame.")
+  in
+  let read_timeout =
+    Arg.(value & opt float 30.
+         & info [ "read-timeout" ] ~docv:"SECONDS"
+             ~doc:"Drop a connection whose read stalls this long.")
+  in
+  let max_frame =
+    Arg.(value & opt int 16
+         & info [ "max-frame" ] ~docv:"MIB" ~doc:"Largest accepted frame payload, MiB.")
+  in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Serve transform queries over stdin (LOAD / UNLOAD / TRANSFORM / STATS, one per line).")
-    Term.(const run $ domains $ cache $ queue)
+       ~doc:"Serve transform queries: stdin line protocol by default, or the framed binary \
+             protocol on a Unix socket (--socket) / TCP port (--tcp).")
+    Term.(
+      const run $ domains $ cache $ queue $ socket_opt $ tcp_opt $ max_conns $ read_timeout
+      $ max_frame)
+
+(* ---------------- client ---------------- *)
+
+let client_cmd =
+  let run socket_opt tcp_opt batch timeout requests =
+    let addr =
+      match (socket_opt, tcp_opt) with
+      | Some _, Some _ | None, None ->
+        Printf.eprintf "xut client: give exactly one of --socket PATH or --tcp HOST:PORT\n";
+        exit 2
+      | Some path, None -> Xut_transport.Addr.Unix_socket path
+      | None, Some spec -> begin
+        match Xut_transport.Addr.parse_tcp spec with
+        | Ok addr -> addr
+        | Error msg ->
+          Printf.eprintf "xut client: %s\n" msg;
+          exit 2
+      end
+    in
+    (* requests from the command line, or lines from stdin *)
+    let lines =
+      if requests <> [] then requests
+      else
+        let rec slurp acc =
+          match In_channel.input_line stdin with
+          | None -> List.rev acc
+          | Some l when String.trim l = "" -> slurp acc
+          | Some l -> slurp (l :: acc)
+        in
+        slurp []
+    in
+    let parsed =
+      List.map
+        (fun line ->
+          match Xut_transport.Wire.Line.decode_request line with
+          | Ok req -> req
+          | Error msg ->
+            Printf.eprintf "xut client: %s\n" msg;
+            exit 2)
+        lines
+    in
+    if parsed = [] then begin
+      Printf.eprintf "xut client: nothing to send\n";
+      exit 2
+    end;
+    let cli =
+      try Xut_transport.Client.connect ~timeout addr with
+      | Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "xut client: cannot connect to %s: %s\n"
+          (Xut_transport.Addr.to_string addr) (Unix.error_message e);
+        exit 3
+      | Xut_transport.Client.Transport_error msg ->
+        Printf.eprintf "xut client: %s\n" msg;
+        exit 3
+    in
+    let failed = ref false in
+    let print_resp resp =
+      (match resp with Xut_service.Service.Error _ -> failed := true | _ -> ());
+      print_endline (Xut_transport.Wire.Line.render_response resp)
+    in
+    (try
+       if batch then List.iter print_resp (Xut_transport.Client.call_batch cli parsed)
+       else List.iter (fun req -> print_resp (Xut_transport.Client.call cli req)) parsed
+     with Xut_transport.Client.Transport_error msg ->
+       Printf.eprintf "xut client: %s\n" msg;
+       Xut_transport.Client.close cli;
+       exit 3);
+    Xut_transport.Client.close cli;
+    if !failed then 1 else 0
+  in
+  let socket_opt =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH" ~doc:"Connect to the Unix socket at PATH.")
+  in
+  let tcp_opt =
+    Arg.(value & opt (some string) None
+         & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Connect over TCP (HOST:PORT, or bare PORT).")
+  in
+  let batch =
+    Arg.(value & flag
+         & info [ "batch" ]
+             ~doc:"Send all requests as one BATCH frame (one response frame back).")
+  in
+  let timeout =
+    Arg.(value & opt float 30.
+         & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Read timeout waiting for responses.")
+  in
+  let requests =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"REQUEST"
+             ~doc:"Requests in the line syntax (e.g. 'STATS', 'TRANSFORM d td-bu ...'); \
+                   read from stdin when none are given.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send requests to a running xut socket server and print the replies (exit 0 when \
+             all succeed, 1 on any ERR).")
+    Term.(const run $ socket_opt $ tcp_opt $ batch $ timeout $ requests)
 
 (* ---------------- bench-serve ---------------- *)
 
 let bench_serve_cmd =
-  let run doc_opt factor requests domains_list engine query_opt payload json_opt =
+  let run doc_opt factor requests domains_list engine query_opt payload json_opt socket batch =
     (* Document: the given file, or a generated XMark one. *)
     let doc_file, cleanup =
       match doc_opt with
@@ -274,9 +432,14 @@ let bench_serve_cmd =
              | _ -> None)
     in
     let domain_counts = if domain_counts = [] then [ 1; 2; 4 ] else domain_counts in
-    Printf.printf "bench-serve: doc=%s requests=%d engine=%s reply=%s cores=%d\nquery: %s\n\n"
+    let batch = max 1 batch in
+    Printf.printf
+      "bench-serve: doc=%s requests=%d engine=%s reply=%s transport=%s batch=%d cores=%d\n\
+       query: %s\n\n"
       doc_file requests (Engine.name engine)
       (if payload then "payload" else "count")
+      (if socket then "unix-socket" else "in-process")
+      batch
       (Domain.recommended_domain_count ())
       query;
     Printf.printf "%-8s %-6s %10s %12s %10s %10s\n" "domains" "cache" "wall(s)" "req/s" "p95(ms)" "hits";
@@ -291,33 +454,74 @@ let bench_serve_cmd =
          Xut_service.Service.call svc
            (Xut_service.Service.Load { name = "d"; file = doc_file })
        with
-      | Ok _ -> ()
-      | Error msg -> failwith ("bench-serve: " ^ msg));
+      | Xut_service.Service.Ok _ -> ()
+      | Xut_service.Service.Error { message; _ } -> failwith ("bench-serve: " ^ message));
       Xut_service.Metrics.reset (Xut_service.Service.metrics svc);
       let req =
         if payload then Xut_service.Service.Transform { doc = "d"; engine; query }
         else Xut_service.Service.Count { doc = "d"; engine; query }
       in
-      (* Closed loop: keep a window of in-flight requests, twice the
+      (* One "unit" is a frame's worth of work: a single request, or a
+         BATCH of [batch] of them. *)
+      let unit_req =
+        if batch = 1 then req
+        else Xut_service.Service.Batch (List.init batch (fun _ -> req))
+      in
+      let units = (requests + batch - 1) / batch in
+      let total = units * batch in
+      (* Closed loop: keep a window of in-flight units, twice the
          worker count, so every domain always has work without the
          driver outrunning the queue. *)
-      let window = 2 * domains in
-      let in_flight = Queue.create () in
-      let t0 = Unix.gettimeofday () in
-      for _ = 1 to requests do
-        if Queue.length in_flight >= window then
-          ignore (Xut_service.Service.await (Queue.pop in_flight));
-        Queue.push (Xut_service.Service.submit svc req) in_flight
-      done;
-      Queue.iter (fun fut -> ignore (Xut_service.Service.await fut)) in_flight;
-      let dt = Unix.gettimeofday () -. t0 in
+      let window = max 2 (2 * domains) in
+      let dt =
+        if not socket then begin
+          let in_flight = Queue.create () in
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to units do
+            if Queue.length in_flight >= window then
+              ignore (Xut_service.Service.await (Queue.pop in_flight));
+            Queue.push (Xut_service.Service.submit svc unit_req) in_flight
+          done;
+          Queue.iter (fun fut -> ignore (Xut_service.Service.await fut)) in_flight;
+          Unix.gettimeofday () -. t0
+        end
+        else begin
+          (* The real transport: frames over a Unix socket, pipelined
+             [window] deep. *)
+          let sock_path = Filename.temp_file "xut_bench" ".sock" in
+          Sys.remove sock_path;
+          let server =
+            Xut_transport.Server.start ~service:svc
+              (Xut_transport.Addr.Unix_socket sock_path)
+          in
+          let cli = Xut_transport.Client.connect (Xut_transport.Addr.Unix_socket sock_path) in
+          let in_flight = ref 0 in
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to units do
+            if !in_flight >= window then begin
+              ignore (Xut_transport.Client.recv cli);
+              decr in_flight
+            end;
+            ignore (Xut_transport.Client.send cli unit_req);
+            incr in_flight
+          done;
+          while !in_flight > 0 do
+            ignore (Xut_transport.Client.recv cli);
+            decr in_flight
+          done;
+          let dt = Unix.gettimeofday () -. t0 in
+          Xut_transport.Client.close cli;
+          Xut_transport.Server.stop server;
+          dt
+        end
+      in
       let m = Xut_service.Service.metrics svc in
       let p95 = Xut_service.Metrics.quantile m 0.95 *. 1e3 in
       let hits = Xut_service.Metrics.cache_hits m in
       let errors = Xut_service.Metrics.errors m in
       Xut_service.Service.shutdown svc;
       if errors > 0 then failwith (Printf.sprintf "bench-serve: %d errors" errors);
-      let rps = float_of_int requests /. dt in
+      let rps = float_of_int total /. dt in
       Printf.printf "%-8d %-6s %10.3f %12.1f %10.2f %10d\n%!" domains
         (if cache_on then "on" else "off") dt rps p95 hits;
       rps
@@ -340,6 +544,9 @@ let bench_serve_cmd =
           Printf.fprintf oc "  \"engine\": \"%s\",\n" (Engine.name engine);
           Printf.fprintf oc "  \"requests\": %d,\n" requests;
           Printf.fprintf oc "  \"reply\": \"%s\",\n" (if payload then "payload" else "count");
+          Printf.fprintf oc "  \"transport\": \"%s\",\n"
+            (if socket then "unix-socket" else "in-process");
+          Printf.fprintf oc "  \"batch\": %d,\n" batch;
           Printf.fprintf oc "  \"rows\": [\n";
           List.iteri
             (fun i (d, off, on) ->
@@ -391,6 +598,18 @@ let bench_serve_cmd =
     Arg.(value & opt (some string) None
          & info [ "json" ] ~docv:"FILE" ~doc:"Also write the result grid as JSON to FILE.")
   in
+  let socket =
+    Arg.(value & flag
+         & info [ "socket" ]
+             ~doc:"Drive the requests through the real transport: a Unix-socket server and a \
+                   pipelining binary-protocol client, instead of in-process submit/await.")
+  in
+  let batch =
+    Arg.(value & opt int 1
+         & info [ "batch" ] ~docv:"N"
+             ~doc:"Send requests as BATCH units of N (amortizes queue/future and frame \
+                   overhead; 1 = plain requests).")
+  in
   let bench_engine =
     let parse s =
       match Engine.of_string s with
@@ -407,11 +626,12 @@ let bench_serve_cmd =
   Cmd.v
     (Cmd.info "bench-serve"
        ~doc:"Closed-loop load benchmark of the service layer: domains 1..N, plan cache on/off.")
-    Term.(const run $ doc_opt $ factor $ requests $ domains_list $ bench_engine $ query_opt $ payload $ json_opt)
+    Term.(const run $ doc_opt $ factor $ requests $ domains_list $ bench_engine $ query_opt $ payload $ json_opt $ socket $ batch)
 
 let main =
   let info = Cmd.info "xut" ~version:"1.0.0" ~doc:"Querying XML with update syntax (SIGMOD 2007)." in
   Cmd.group info
-    [ transform_cmd; compose_cmd; rewrite_cmd; query_cmd; xmark_cmd; serve_cmd; bench_serve_cmd ]
+    [ transform_cmd; compose_cmd; rewrite_cmd; query_cmd; xmark_cmd; serve_cmd; client_cmd;
+      bench_serve_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -14,6 +14,14 @@ type t = {
   buckets : int Atomic.t array;
   count : int Atomic.t;
   max_latency_ns : int Atomic.t;
+  conns_accepted : int Atomic.t;
+  conns_active : int Atomic.t;
+  conns_rejected : int Atomic.t;
+  frames_in : int Atomic.t;
+  frames_out : int Atomic.t;
+  frames_malformed : int Atomic.t;
+  bytes_in : int Atomic.t;
+  bytes_out : int Atomic.t;
 }
 
 let create () =
@@ -27,6 +35,14 @@ let create () =
     buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
     count = Atomic.make 0;
     max_latency_ns = Atomic.make 0;
+    conns_accepted = Atomic.make 0;
+    conns_active = Atomic.make 0;
+    conns_rejected = Atomic.make 0;
+    frames_in = Atomic.make 0;
+    frames_out = Atomic.make 0;
+    frames_malformed = Atomic.make 0;
+    bytes_in = Atomic.make 0;
+    bytes_out = Atomic.make 0;
   }
 
 let incr_requests m = Atomic.incr m.requests
@@ -66,6 +82,32 @@ let record_latency m seconds =
 
 let latency_count m = Atomic.get m.count
 
+let conn_accepted m =
+  Atomic.incr m.conns_accepted;
+  Atomic.incr m.conns_active
+
+let conn_closed m = Atomic.decr m.conns_active
+let conn_rejected m = Atomic.incr m.conns_rejected
+
+let frame_in m bytes =
+  Atomic.incr m.frames_in;
+  ignore (Atomic.fetch_and_add m.bytes_in bytes)
+
+let frame_out m bytes =
+  Atomic.incr m.frames_out;
+  ignore (Atomic.fetch_and_add m.bytes_out bytes)
+
+let frame_malformed m = Atomic.incr m.frames_malformed
+
+let conns_accepted m = Atomic.get m.conns_accepted
+let conns_active m = Atomic.get m.conns_active
+let conns_rejected m = Atomic.get m.conns_rejected
+let frames_in m = Atomic.get m.frames_in
+let frames_out m = Atomic.get m.frames_out
+let frames_malformed m = Atomic.get m.frames_malformed
+let bytes_in m = Atomic.get m.bytes_in
+let bytes_out m = Atomic.get m.bytes_out
+
 (* Representative latency of bucket i: its geometric middle, 2^i*sqrt(2) us. *)
 let bucket_value i = float_of_int (1 lsl i) *. 1.4142 *. 1e-6
 
@@ -97,7 +139,15 @@ let reset m =
   Atomic.set m.max_depth (Atomic.get m.depth);
   Array.iter (fun b -> Atomic.set b 0) m.buckets;
   Atomic.set m.count 0;
-  Atomic.set m.max_latency_ns 0
+  Atomic.set m.max_latency_ns 0;
+  (* the active-connection gauge survives a reset (connections do) *)
+  Atomic.set m.conns_accepted 0;
+  Atomic.set m.conns_rejected 0;
+  Atomic.set m.frames_in 0;
+  Atomic.set m.frames_out 0;
+  Atomic.set m.frames_malformed 0;
+  Atomic.set m.bytes_in 0;
+  Atomic.set m.bytes_out 0
 
 (* Hot-path counters from the automata/xml layers (transition memo, symbol
    table).  Process-wide, not per-service, and unsynchronized on the hot
@@ -118,6 +168,14 @@ let dump m =
   Printf.bprintf b "latency_p50_ms %.3f\n" (ms (quantile m 0.50));
   Printf.bprintf b "latency_p95_ms %.3f\n" (ms (quantile m 0.95));
   Printf.bprintf b "latency_max_ms %.3f\n" (ms (max_latency m));
+  Printf.bprintf b "conns_accepted %d\n" (conns_accepted m);
+  Printf.bprintf b "conns_active %d\n" (conns_active m);
+  Printf.bprintf b "conns_rejected %d\n" (conns_rejected m);
+  Printf.bprintf b "frames_in %d\n" (frames_in m);
+  Printf.bprintf b "frames_out %d\n" (frames_out m);
+  Printf.bprintf b "frames_malformed %d\n" (frames_malformed m);
+  Printf.bprintf b "bytes_in %d\n" (bytes_in m);
+  Printf.bprintf b "bytes_out %d\n" (bytes_out m);
   let hits, misses = nfa_memo_stats () in
   let rate = if hits + misses = 0 then 0. else float_of_int hits /. float_of_int (hits + misses) in
   Printf.bprintf b "nfa_memo_hits %d\n" hits;

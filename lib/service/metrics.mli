@@ -38,6 +38,43 @@ val max_queue_depth : t -> int
 val record_latency : t -> float -> unit
 (** [record_latency m seconds] adds one observation. *)
 
+(** {2 Transport counters}
+
+    Maintained by the socket server ({!Xut_transport.Server}): accepted
+    / rejected connections, the active-connection gauge, and framed
+    traffic in both directions.  They live here rather than in the
+    transport so one [STATS] request reports the whole serving path. *)
+
+val conn_accepted : t -> unit
+(** One accepted connection: bumps the accepted total and the active
+    gauge. *)
+
+val conn_closed : t -> unit
+(** The accepted connection ended: drops the active gauge. *)
+
+val conn_rejected : t -> unit
+(** A connection was turned away at the limit (BUSY). *)
+
+val frame_in : t -> int -> unit
+(** One well-framed request of the given total size (header + payload)
+    was read. *)
+
+val frame_out : t -> int -> unit
+(** One response frame of the given total size was written. *)
+
+val frame_malformed : t -> unit
+(** A frame failed header validation, payload decoding, or was
+    truncated by a disconnect/timeout. *)
+
+val conns_accepted : t -> int
+val conns_active : t -> int
+val conns_rejected : t -> int
+val frames_in : t -> int
+val frames_out : t -> int
+val frames_malformed : t -> int
+val bytes_in : t -> int
+val bytes_out : t -> int
+
 val latency_count : t -> int
 
 val quantile : t -> float -> float

@@ -6,14 +6,69 @@ type request =
   | Transform of { doc : string; engine : Engine.algo; query : string }
   | Count of { doc : string; engine : Engine.algo; query : string }
   | Stats
+  | Batch of request list
 
-type response = (string, string) result
+type err_code =
+  | Unknown_document
+  | Query_parse_error
+  | Eval_error
+  | Overloaded
+  | Bad_request
+
+type payload =
+  | Doc_loaded of { name : string; elements : int }
+  | Doc_unloaded of { name : string }
+  | Tree of string
+  | Element_count of int
+  | Stats_dump of string
+  | Batch_results of response list
+
+and response =
+  | Ok of payload
+  | Error of { code : err_code; message : string }
+
+let err_code_name = function
+  | Unknown_document -> "unknown-document"
+  | Query_parse_error -> "query-parse-error"
+  | Eval_error -> "eval-error"
+  | Overloaded -> "overloaded"
+  | Bad_request -> "bad-request"
+
+let err_code_of_name = function
+  | "unknown-document" -> Some Unknown_document
+  | "query-parse-error" -> Some Query_parse_error
+  | "eval-error" -> Some Eval_error
+  | "overloaded" -> Some Overloaded
+  | "bad-request" -> Some Bad_request
+  | _ -> None
+
+let error code fmt = Printf.ksprintf (fun message -> Error { code; message }) fmt
+
+let rec render_response = function
+  | Ok p -> Stdlib.Ok (render_payload p)
+  | Error { code; message } ->
+    Stdlib.Error (Printf.sprintf "%s: %s" (err_code_name code) message)
+
+and render_payload = function
+  | Doc_loaded { name; elements } -> Printf.sprintf "loaded %s elements=%d" name elements
+  | Doc_unloaded { name } -> Printf.sprintf "unloaded %s" name
+  | Tree s -> s
+  | Element_count n -> Printf.sprintf "elements=%d" n
+  | Stats_dump s -> s
+  | Batch_results rs ->
+    String.concat "\n"
+      (List.map
+         (fun r ->
+           match render_response r with
+           | Stdlib.Ok s -> "OK " ^ s
+           | Stdlib.Error e -> "ERR " ^ e)
+         rs)
 
 type t = {
   store : Doc_store.t;
   cache : Plan_cache.t;
   metrics : Metrics.t;
-  pool : (request, string) Worker_pool.t;
+  pool : (request, response) Worker_pool.t;
 }
 
 (* Engines that consume the selecting NFA take the precompiled one from
@@ -33,30 +88,46 @@ let run_plan (plan : Plan_cache.plan) engine root =
 
 let evaluate ~store ~cache ~metrics ~doc ~engine ~query =
   match Doc_store.find store doc with
-  | None -> failwith (Printf.sprintf "no document %S (LOAD it first)" doc)
-  | Some root ->
-    let plan, outcome = Plan_cache.find_or_compile cache query in
-    (match outcome with
-    | Plan_cache.Hit -> Metrics.incr_cache_hits metrics
-    | Plan_cache.Miss -> Metrics.incr_cache_misses metrics);
-    run_plan plan engine root
+  | None -> Stdlib.Error (error Unknown_document "no document %S (LOAD it first)" doc)
+  | Some root -> begin
+    match Plan_cache.find_or_compile cache query with
+    | exception Transform_parser.Parse_error msg ->
+      Stdlib.Error (error Query_parse_error "%s" msg)
+    | exception e -> Stdlib.Error (error Query_parse_error "%s" (Printexc.to_string e))
+    | plan, outcome ->
+      (match outcome with
+      | Plan_cache.Hit -> Metrics.incr_cache_hits metrics
+      | Plan_cache.Miss -> Metrics.incr_cache_misses metrics);
+      (match run_plan plan engine root with
+      | out -> Stdlib.Ok out
+      | exception Failure msg -> Stdlib.Error (error Eval_error "%s" msg)
+      | exception e -> Stdlib.Error (error Eval_error "%s" (Printexc.to_string e)))
+  end
 
-let handle ~store ~cache ~metrics = function
+(* [depth] guards against nested batches; every arm returns a
+   [response], so a worker can only die to a runtime error (and even
+   that the pool turns into an [Error] future). *)
+let rec handle ~store ~cache ~metrics ~depth = function
   | Load { name; file } -> begin
     match Doc_store.load_file store ~name file with
-    | Ok info ->
-      Printf.sprintf "loaded %s elements=%d" info.Doc_store.name info.Doc_store.elements
-    | Error msg -> failwith msg
+    | Stdlib.Ok info ->
+      Ok (Doc_loaded { name = info.Doc_store.name; elements = info.Doc_store.elements })
+    | Stdlib.Error msg -> error Bad_request "%s" msg
   end
   | Unload { name } ->
-    if Doc_store.evict store name then Printf.sprintf "unloaded %s" name
-    else failwith (Printf.sprintf "no document %S" name)
-  | Transform { doc; engine; query } ->
-    Xut_xml.Serialize.element_to_string (evaluate ~store ~cache ~metrics ~doc ~engine ~query)
-  | Count { doc; engine; query } ->
-    Printf.sprintf "elements=%d"
-      (Xut_xml.Node.element_count
-         (Xut_xml.Node.Element (evaluate ~store ~cache ~metrics ~doc ~engine ~query)))
+    if Doc_store.evict store name then Ok (Doc_unloaded { name })
+    else error Unknown_document "no document %S" name
+  | Transform { doc; engine; query } -> begin
+    match evaluate ~store ~cache ~metrics ~doc ~engine ~query with
+    | Stdlib.Ok out -> Ok (Tree (Xut_xml.Serialize.element_to_string out))
+    | Stdlib.Error e -> e
+  end
+  | Count { doc; engine; query } -> begin
+    match evaluate ~store ~cache ~metrics ~doc ~engine ~query with
+    | Stdlib.Ok out ->
+      Ok (Element_count (Xut_xml.Node.element_count (Xut_xml.Node.Element out)))
+    | Stdlib.Error e -> e
+  end
   | Stats ->
     let b = Buffer.create 512 in
     Buffer.add_string b (Metrics.dump metrics);
@@ -69,7 +140,18 @@ let handle ~store ~cache ~metrics = function
         | Some i -> Printf.bprintf b "\ndoc %s elements=%d" i.Doc_store.name i.Doc_store.elements
         | None -> ())
       (Doc_store.names store);
-    Buffer.contents b
+    Ok (Stats_dump (Buffer.contents b))
+  | Batch reqs ->
+    if depth > 0 then error Bad_request "nested batch"
+    else
+      Ok
+        (Batch_results
+           (List.map (handle ~store ~cache ~metrics ~depth:(depth + 1)) reqs))
+
+let rec count_errors = function
+  | Error _ -> 1
+  | Ok (Batch_results rs) -> List.fold_left (fun n r -> n + count_errors r) 0 rs
+  | Ok _ -> 0
 
 let create ?(domains = 1) ?(cache_capacity = 128) ?(queue_capacity = 64) () =
   let store = Doc_store.create () in
@@ -78,15 +160,12 @@ let create ?(domains = 1) ?(cache_capacity = 128) ?(queue_capacity = 64) () =
   let handler req =
     Metrics.incr_requests metrics;
     let t0 = Unix.gettimeofday () in
-    let finish () = Metrics.record_latency metrics (Unix.gettimeofday () -. t0) in
-    match handle ~store ~cache ~metrics req with
-    | payload ->
-      finish ();
-      payload
-    | exception e ->
-      finish ();
-      Metrics.incr_errors metrics;
-      raise e
+    let resp = handle ~store ~cache ~metrics ~depth:0 req in
+    Metrics.record_latency metrics (Unix.gettimeofday () -. t0);
+    for _ = 1 to count_errors resp do
+      Metrics.incr_errors metrics
+    done;
+    resp
   in
   let pool =
     Worker_pool.create
@@ -96,47 +175,33 @@ let create ?(domains = 1) ?(cache_capacity = 128) ?(queue_capacity = 64) () =
   in
   { store; cache; metrics; pool }
 
-let submit t req = Worker_pool.submit t.pool req
-let await = Worker_pool.await
-let call t req = Worker_pool.call t.pool req
+(* The pool's own error channel ([('b, string) result]) only fires when
+   an exception escapes the handler — the handler catches everything it
+   expects, so this is the backstop mapping, plus the shut-down case. *)
+type future =
+  | Ready of response
+  | Pending of (response, string) Stdlib.result Worker_pool.future
+
+let submit t req =
+  match Worker_pool.submit t.pool req with
+  | fut -> Pending fut
+  | exception Invalid_argument _ ->
+    Ready (error Overloaded "service is shut down")
+
+let flatten = function
+  | Stdlib.Ok r -> r
+  | Stdlib.Error msg -> error Eval_error "%s" msg
+
+let await = function
+  | Ready r -> r
+  | Pending fut -> flatten (Worker_pool.await fut)
+
+let peek = function
+  | Ready r -> Some r
+  | Pending fut -> Option.map flatten (Worker_pool.peek fut)
+
+let call t req = await (submit t req)
 let metrics t = t.metrics
 let cache_stats t = Plan_cache.stats t.cache
 let store t = t.store
 let shutdown t = Worker_pool.shutdown t.pool
-
-(* ---- the line protocol of [xut serve] ---- *)
-
-let parse_request line =
-  let line = String.trim line in
-  let split2 s =
-    match String.index_opt s ' ' with
-    | None -> (s, "")
-    | Some i ->
-      (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
-  in
-  let verb, rest = split2 line in
-  match String.uppercase_ascii verb with
-  | "LOAD" -> begin
-    match split2 rest with
-    | "", _ -> Error "usage: LOAD <name> <file>"
-    | name, file when file <> "" -> Ok (Load { name; file })
-    | _ -> Error "usage: LOAD <name> <file>"
-  end
-  | "UNLOAD" ->
-    if rest = "" then Error "usage: UNLOAD <name>" else Ok (Unload { name = rest })
-  | ("TRANSFORM" | "COUNT") as verb -> begin
-    match split2 rest with
-    | name, rest' when name <> "" && rest' <> "" -> begin
-      let engine_s, query = split2 rest' in
-      match Engine.of_string engine_s with
-      | None -> Error (Printf.sprintf "unknown engine %S" engine_s)
-      | Some engine ->
-        if query = "" then Error (Printf.sprintf "usage: %s <name> <engine> <query>" verb)
-        else if verb = "COUNT" then Ok (Count { doc = name; engine; query })
-        else Ok (Transform { doc = name; engine; query })
-    end
-    | _ -> Error (Printf.sprintf "usage: %s <name> <engine> <query>" verb)
-  end
-  | "STATS" -> Ok Stats
-  | "" -> Error "empty request"
-  | v -> Error (Printf.sprintf "unknown request %S (LOAD|UNLOAD|TRANSFORM|COUNT|STATS)" v)

@@ -5,8 +5,11 @@
     needs: documents are parsed once, query front ends are compiled once
     and cached, evaluation fans out over OCaml 5 domains, and every
     request is isolated — a bad query is an [Error] response, never a
-    dead worker.  [xut serve] speaks exactly this request type over
-    stdin; a socket transport can reuse it unchanged (ROADMAP). *)
+    dead worker.  The request/response types here are the service API
+    proper; rendering them to bytes is a transport concern
+    ({!Xut_transport.Wire} speaks both the [xut serve] stdin line
+    protocol and the length-prefixed binary framing of the socket
+    server). *)
 
 type request =
   | Load of { name : string; file : string }
@@ -16,16 +19,54 @@ type request =
       (** Evaluate a transform query against stored document [doc];
           the payload is the serialized result tree. *)
   | Count of { doc : string; engine : Core.Engine.algo; query : string }
-      (** Like [Transform] but reply only [elements=N], the element
-          count of the result — the lean reply for what-if analytics
-          and validation traffic, where the client doesn't want the
-          (possibly multi-MB) result document back. *)
+      (** Like [Transform] but reply only the element count of the
+          result — the lean reply for what-if analytics and validation
+          traffic, where the client doesn't want the (possibly
+          multi-MB) result document back. *)
   | Stats
       (** Metrics dump + cache stats + stored-document listing. *)
+  | Batch of request list
+      (** Execute the sub-requests in order on one worker and reply
+          with one {!Batch_results} holding a response per item — one
+          frame in, one frame out, amortizing queue/future (and wire)
+          overhead for small-document traffic.  Batches must not nest:
+          a [Batch] inside a [Batch] is answered with [Bad_request]. *)
 
-type response = (string, string) result
-(** [Ok payload] or [Error message]; errors cover unknown documents,
-    parse failures, invalid updates — anything the request raised. *)
+(** Machine-readable failure classification, so transports and tests
+    branch on codes instead of grepping message strings. *)
+type err_code =
+  | Unknown_document  (** the named document is not in the store *)
+  | Query_parse_error (** the query text failed the front end (parse/normalize/NFA) *)
+  | Eval_error        (** the engine failed while evaluating *)
+  | Overloaded        (** connection/queue limits hit, or shutting down *)
+  | Bad_request       (** malformed request (bad file, nested batch, bad frame) *)
+
+type payload =
+  | Doc_loaded of { name : string; elements : int }
+  | Doc_unloaded of { name : string }
+  | Tree of string         (** serialized result document of a [Transform] *)
+  | Element_count of int   (** reply to a [Count] *)
+  | Stats_dump of string
+  | Batch_results of response list
+      (** One response per [Batch] item, in request order. *)
+
+and response =
+  | Ok of payload
+  | Error of { code : err_code; message : string }
+
+val err_code_name : err_code -> string
+(** Stable lower-kebab name ("unknown-document", "query-parse-error",
+    "eval-error", "overloaded", "bad-request"), used by the line
+    protocol and logs. *)
+
+val err_code_of_name : string -> err_code option
+
+val render_response : response -> (string, string) Stdlib.result
+(** Compatibility rendering to the flat [(payload, message) result]
+    shape of the original stdin protocol: [Ok] payloads become the
+    exact strings the pre-redesign service produced ("loaded d
+    elements=18", the serialized tree, "elements=16", …); [Error]
+    becomes ["<code-name>: <message>"]. *)
 
 type t
 
@@ -35,11 +76,20 @@ val create : ?domains:int -> ?cache_capacity:int -> ?queue_capacity:int -> unit 
     cache), [queue_capacity = 64] pending requests (backpressure
     threshold). *)
 
-val submit : t -> request -> response Worker_pool.future
-(** Asynchronous entry: enqueue, return a future.  Blocks when the
-    queue is full. *)
+type future
 
-val await : response Worker_pool.future -> response
+val submit : t -> request -> future
+(** Asynchronous entry: enqueue, return a future.  Blocks when the
+    queue is full.  After {!shutdown}, returns a future already
+    fulfilled with an [Overloaded] error. *)
+
+val await : future -> response
+(** Block until the request has been served.  A handler can not kill
+    its worker: any outcome, including an escaped exception, arrives
+    here as a [response]. *)
+
+val peek : future -> response option
+(** Non-blocking: [None] while the request is still pending. *)
 
 val call : t -> request -> response
 (** Synchronous round trip. *)
@@ -50,13 +100,3 @@ val store : t -> Doc_store.t
 
 val shutdown : t -> unit
 (** Drain and join the worker domains.  Idempotent. *)
-
-val parse_request : string -> (request, string) result
-(** Parse one line of the [xut serve] protocol:
-    {v
-    LOAD <name> <file>
-    UNLOAD <name>
-    TRANSFORM <name> <engine> <query text...>
-    COUNT <name> <engine> <query text...>
-    STATS
-    v} *)

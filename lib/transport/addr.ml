@@ -1,0 +1,38 @@
+type t =
+  | Unix_socket of string
+  | Tcp of { host : string; port : int }
+
+let to_string = function
+  | Unix_socket path -> "unix:" ^ path
+  | Tcp { host; port } -> Printf.sprintf "tcp:%s:%d" host port
+
+let parse_tcp s =
+  match String.rindex_opt s ':' with
+  | None -> begin
+    match int_of_string_opt s with
+    | Some port when port >= 0 && port < 65536 ->
+      Ok (Tcp { host = "127.0.0.1"; port })
+    | _ -> Error (Printf.sprintf "bad TCP address %S (want HOST:PORT or PORT)" s)
+  end
+  | Some i -> begin
+    let host = String.sub s 0 i in
+    let port_s = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port_s with
+    | Some port when host <> "" && port >= 0 && port < 65536 -> Ok (Tcp { host; port })
+    | _ -> Error (Printf.sprintf "bad TCP address %S (want HOST:PORT or PORT)" s)
+  end
+
+let sockaddr = function
+  | Unix_socket path -> Unix.ADDR_UNIX path
+  | Tcp { host; port } ->
+    let ip =
+      match Unix.inet_addr_of_string host with
+      | ip -> ip
+      | exception _ -> begin
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+          failwith (Printf.sprintf "cannot resolve host %S" host)
+        | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+      end
+    in
+    Unix.ADDR_INET (ip, port)

@@ -1,0 +1,16 @@
+(** Transport endpoints: where a {!Server} listens and a {!Client}
+    connects. *)
+
+type t =
+  | Unix_socket of string  (** filesystem path *)
+  | Tcp of { host : string; port : int }
+
+val to_string : t -> string
+(** ["unix:PATH"] or ["tcp:HOST:PORT"]. *)
+
+val parse_tcp : string -> (t, string) result
+(** ["HOST:PORT"] or bare ["PORT"] (host defaults to 127.0.0.1). *)
+
+val sockaddr : t -> Unix.sockaddr
+(** Resolve to a [Unix.sockaddr].  For TCP the host may be a dotted
+    quad or a name; @raise Failure when it does not resolve. *)

@@ -1,0 +1,99 @@
+open Xut_service
+
+exception Transport_error of string
+
+type t = {
+  fd : Unix.file_descr;
+  mutable next_id : int64;
+  stash : (int64, Service.response) Hashtbl.t;
+  hdr : Bytes.t;
+}
+
+let connect ?(timeout = 30.) addr =
+  let domain =
+    match addr with Addr.Unix_socket _ -> Unix.PF_UNIX | Addr.Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Addr.sockaddr addr) with
+  | () -> ()
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e);
+  if timeout > 0. then Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  { fd; next_id = 1L; stash = Hashtbl.create 8; hdr = Bytes.create Wire.Binary.header_size }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let write_all t s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      match Unix.write t.fd b off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) ->
+        raise (Transport_error ("write failed: " ^ Unix.error_message e))
+  in
+  go 0
+
+let rec read_exact t buf off len =
+  if len > 0 then
+    match Unix.read t.fd buf off len with
+    | 0 -> raise (Transport_error "connection closed by server")
+    | n -> read_exact t buf (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_exact t buf off len
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      raise (Transport_error "timed out waiting for the server")
+    | exception Unix.Unix_error (e, _, _) ->
+      raise (Transport_error ("read failed: " ^ Unix.error_message e))
+
+let send t req =
+  let id = t.next_id in
+  t.next_id <- Int64.add id 1L;
+  write_all t (Wire.Binary.request_frame ~id req);
+  id
+
+let read_frame t =
+  read_exact t t.hdr 0 Wire.Binary.header_size;
+  match Wire.Binary.decode_header t.hdr with
+  | Error msg -> raise (Transport_error ("bad frame from server: " ^ msg))
+  | Ok { Wire.Binary.kind = Wire.Binary.Request; _ } ->
+    raise (Transport_error "server sent a request frame")
+  | Ok { Wire.Binary.id; length; _ } -> begin
+    let payload = Bytes.create length in
+    read_exact t payload 0 length;
+    match Wire.Binary.decode_response (Bytes.unsafe_to_string payload) with
+    | Error msg -> raise (Transport_error ("bad response payload: " ^ msg))
+    | Ok resp -> (id, resp)
+  end
+
+let recv t =
+  match Hashtbl.fold (fun id resp _ -> Some (id, resp)) t.stash None with
+  | Some (id, resp) ->
+    Hashtbl.remove t.stash id;
+    (id, resp)
+  | None -> read_frame t
+
+let call t req =
+  let id = send t req in
+  match Hashtbl.find_opt t.stash id with
+  | Some resp ->
+    Hashtbl.remove t.stash id;
+    resp
+  | None ->
+    let rec wait () =
+      let rid, resp = read_frame t in
+      if rid = id || rid = 0L (* server notice, e.g. BUSY *) then resp
+      else begin
+        Hashtbl.replace t.stash rid resp;
+        wait ()
+      end
+    in
+    wait ()
+
+let call_batch t reqs =
+  match call t (Service.Batch reqs) with
+  | Service.Ok (Service.Batch_results rs) -> rs
+  | other -> [ other ]

@@ -1,0 +1,43 @@
+(** Blocking client for the binary socket protocol — the library under
+    [xut client], the transport tests, and the socket mode of
+    [xut bench-serve].
+
+    Requests are framed with fresh ids starting at 1; the server may
+    complete them out of order.  {!call} is the simple synchronous
+    round trip; {!send}/{!recv} expose pipelining (keep several frames
+    in flight, collect completions as they arrive).
+
+    A server notice — a frame with request id 0, e.g. the [Overloaded]
+    BUSY rejection at the connection limit — is returned by {!call} as
+    if it answered the call, and by {!recv} with id 0. *)
+
+open Xut_service
+
+exception Transport_error of string
+(** Connection lost, stream ended mid-frame, or an undecodable frame
+    from the server. *)
+
+type t
+
+val connect : ?timeout:float -> Addr.t -> t
+(** Connect; [timeout] (default 30 s) bounds every read.
+    @raise Unix.Unix_error when the endpoint does not accept. *)
+
+val close : t -> unit
+
+val call : t -> Service.request -> Service.response
+(** Send one request and wait for its response (or a server notice).
+    Responses to other in-flight ids arriving first are stashed and
+    later delivered by {!recv}. *)
+
+val send : t -> Service.request -> int64
+(** Frame and write the request, returning its id.  Does not wait. *)
+
+val recv : t -> int64 * Service.response
+(** Next available response: a stashed one if any, else the next frame
+    off the wire. *)
+
+val call_batch : t -> Service.request list -> Service.response list
+(** Wrap the requests in one [Batch] frame; returns the per-item
+    responses.  A non-batch reply (e.g. a BUSY notice or an error for
+    the batch itself) is returned as a single-element list. *)

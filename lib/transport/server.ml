@@ -1,0 +1,295 @@
+open Xut_service
+
+type config = {
+  max_frame : int;
+  max_connections : int;
+  read_timeout : float;
+}
+
+let default_config =
+  { max_frame = Wire.Binary.default_max_frame; max_connections = 64; read_timeout = 30. }
+
+type conn = {
+  fd : Unix.file_descr;
+  wmu : Mutex.t;  (* serializes frame writes (responses interleave) *)
+  cmu : Mutex.t;
+  drained : Condition.t;
+  mutable in_flight : int;  (* submitted requests whose response is not yet written *)
+}
+
+type t = {
+  svc : Service.t;
+  cfg : config;
+  addr : Addr.t;
+  listen_fd : Unix.file_descr;
+  mu : Mutex.t;
+  conns : (int, conn) Hashtbl.t;
+  threads : (int, Thread.t) Hashtbl.t;
+  mutable next_key : int;
+  mutable stopping : bool;
+  mutable accept_thread : Thread.t option;
+}
+
+(* ---- low-level IO ---- *)
+
+type read_outcome = Complete | Eof | Stalled
+
+let rec read_exact fd buf off len =
+  if len = 0 then Complete
+  else
+    match Unix.read fd buf off len with
+    | 0 -> Eof
+    | n -> read_exact fd buf (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_exact fd buf off len
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> Stalled
+    | exception Unix.Unix_error (_, _, _) -> Eof
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off >= len then true
+    else
+      match Unix.write fd b off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (_, _, _) -> false
+  in
+  go 0
+
+(* Write one response frame; returns whether the client got it. *)
+let write_frame t conn ~id resp =
+  let s = Wire.Binary.response_frame ~id resp in
+  Mutex.lock conn.wmu;
+  let ok = write_all conn.fd s in
+  Mutex.unlock conn.wmu;
+  if ok then Metrics.frame_out (Service.metrics t.svc) (String.length s);
+  ok
+
+let error_response code message = Service.Error { code; message }
+
+(* ---- per-request completion ---- *)
+
+let dispatch t conn ~id req =
+  (* submit blocks when the pool queue is full: backpressure lands on
+     this connection's reader, which stops consuming frames. *)
+  let fut = Service.submit t.svc req in
+  Mutex.lock conn.cmu;
+  conn.in_flight <- conn.in_flight + 1;
+  Mutex.unlock conn.cmu;
+  let complete () =
+    let resp = Service.await fut in
+    ignore (write_frame t conn ~id resp);
+    Mutex.lock conn.cmu;
+    conn.in_flight <- conn.in_flight - 1;
+    if conn.in_flight = 0 then Condition.broadcast conn.drained;
+    Mutex.unlock conn.cmu
+  in
+  match Thread.create complete () with
+  | (_ : Thread.t) -> ()
+  | exception _ -> complete () (* out of threads: finish synchronously *)
+
+(* ---- connection reader ---- *)
+
+let serve_conn t conn =
+  let m = Service.metrics t.svc in
+  let hdr = Bytes.create Wire.Binary.header_size in
+  let rec loop () =
+    match read_exact conn.fd hdr 0 Wire.Binary.header_size with
+    | Eof | Stalled -> () (* clean close, or idle past the read timeout *)
+    | Complete -> begin
+      match Wire.Binary.decode_header ~max_frame:t.cfg.max_frame hdr with
+      | Error msg ->
+        (* bad magic / version / oversized: after this the byte stream
+           can't be re-synchronized, so answer and drop the connection *)
+        Metrics.frame_malformed m;
+        ignore (write_frame t conn ~id:0L (error_response Service.Bad_request msg))
+      | Ok { Wire.Binary.kind = Wire.Binary.Response; id; _ } ->
+        Metrics.frame_malformed m;
+        ignore
+          (write_frame t conn ~id
+             (error_response Service.Bad_request "clients must send request frames"))
+      | Ok { Wire.Binary.id; length; _ } -> begin
+        let payload = Bytes.create length in
+        match read_exact conn.fd payload 0 length with
+        | Eof | Stalled ->
+          (* disconnected or stalled mid-frame *)
+          Metrics.frame_malformed m
+        | Complete -> begin
+          Metrics.frame_in m (Wire.Binary.header_size + length);
+          match Wire.Binary.decode_request (Bytes.unsafe_to_string payload) with
+          | Error msg ->
+            (* well-framed but undecodable: the framing is still in
+               sync, so answer and keep serving this connection *)
+            Metrics.frame_malformed m;
+            ignore (write_frame t conn ~id (error_response Service.Bad_request msg));
+            loop ()
+          | Ok req ->
+            dispatch t conn ~id req;
+            loop ()
+        end
+      end
+    end
+  in
+  loop ()
+
+let conn_main t key conn =
+  (try serve_conn t conn with _ -> ());
+  (* responses of already-submitted requests still go out *)
+  Mutex.lock conn.cmu;
+  while conn.in_flight > 0 do
+    Condition.wait conn.drained conn.cmu
+  done;
+  Mutex.unlock conn.cmu;
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  Metrics.conn_closed (Service.metrics t.svc);
+  Mutex.lock t.mu;
+  Hashtbl.remove t.conns key;
+  Hashtbl.remove t.threads key;
+  Mutex.unlock t.mu
+
+(* ---- accept loop ---- *)
+
+let accept_loop t =
+  let m = Service.metrics t.svc in
+  let running = ref true in
+  while !running do
+    if t.stopping then running := false
+    else begin
+      match Unix.accept ~cloexec:true t.listen_fd with
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ETIMEDOUT), _, _)
+        ->
+        () (* the listen socket has a short receive timeout: this is the
+              periodic stopping-flag check *)
+      | exception Unix.Unix_error (_, _, _) -> running := false
+      | exception _ -> running := false
+      | fd, _peer ->
+        if t.stopping then begin
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          running := false
+        end
+        else begin
+          Mutex.lock t.mu;
+          let active = Hashtbl.length t.conns in
+          Mutex.unlock t.mu;
+          if active >= t.cfg.max_connections then begin
+            Metrics.conn_rejected m;
+            ignore
+              (write_all fd
+                 (Wire.Binary.response_frame ~id:0L
+                    (error_response Service.Overloaded
+                       (Printf.sprintf "connection limit reached (%d active)" active))));
+            try Unix.close fd with Unix.Unix_error _ -> ()
+          end
+          else begin
+            Metrics.conn_accepted m;
+            Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.read_timeout;
+            Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.read_timeout;
+            (try Unix.setsockopt fd Unix.TCP_NODELAY true
+             with Unix.Unix_error _ -> () (* Unix sockets have no Nagle *));
+            let conn =
+              {
+                fd;
+                wmu = Mutex.create ();
+                cmu = Mutex.create ();
+                drained = Condition.create ();
+                in_flight = 0;
+              }
+            in
+            Mutex.lock t.mu;
+            let key = t.next_key in
+            t.next_key <- key + 1;
+            Hashtbl.replace t.conns key conn;
+            (match Thread.create (fun () -> conn_main t key conn) () with
+            | th -> Hashtbl.replace t.threads key th
+            | exception _ ->
+              (* could not spawn a reader: give the client a BUSY *)
+              Hashtbl.remove t.conns key;
+              ignore
+                (write_all fd
+                   (Wire.Binary.response_frame ~id:0L
+                      (error_response Service.Overloaded "out of threads")));
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              Metrics.conn_closed m);
+            Mutex.unlock t.mu
+          end
+        end
+    end
+  done
+
+(* ---- lifecycle ---- *)
+
+let start ?(config = default_config) ~service addr =
+  (* a client disappearing mid-write must be an EPIPE, not a process kill *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let domain, sockaddr =
+    match addr with
+    | Addr.Unix_socket path ->
+      if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error _ -> ());
+      (Unix.PF_UNIX, Addr.sockaddr addr)
+    | Addr.Tcp _ -> (Unix.PF_INET, Addr.sockaddr addr)
+  in
+  let listen_fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (match
+     (try Unix.setsockopt listen_fd Unix.SO_REUSEADDR true with Unix.Unix_error _ -> ());
+     Unix.bind listen_fd sockaddr;
+     Unix.listen listen_fd 128
+   with
+  | () -> ()
+  | exception e ->
+    (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+    raise e);
+  (* short accept timeout = how often the loop notices [stop] *)
+  Unix.setsockopt_float listen_fd Unix.SO_RCVTIMEO 0.2;
+  let addr =
+    match addr with
+    | Addr.Tcp { host; port = 0 } -> begin
+      match Unix.getsockname listen_fd with
+      | Unix.ADDR_INET (_, port) -> Addr.Tcp { host; port }
+      | _ -> addr
+    end
+    | _ -> addr
+  in
+  let t =
+    {
+      svc = service;
+      cfg = config;
+      addr;
+      listen_fd;
+      mu = Mutex.create ();
+      conns = Hashtbl.create 16;
+      threads = Hashtbl.create 16;
+      next_key = 0;
+      stopping = false;
+      accept_thread = None;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let address t = t.addr
+
+let stop t =
+  Mutex.lock t.mu;
+  let already = t.stopping in
+  t.stopping <- true;
+  Mutex.unlock t.mu;
+  if not already then begin
+    (match t.accept_thread with
+    | Some th -> Thread.join th
+    | None -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (* stop reading everywhere; readers see EOF, drain, close *)
+    Mutex.lock t.mu;
+    let conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+    let threads = Hashtbl.fold (fun _ th acc -> th :: acc) t.threads [] in
+    Mutex.unlock t.mu;
+    List.iter
+      (fun c -> try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+      conns;
+    List.iter Thread.join threads;
+    match t.addr with
+    | Addr.Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Addr.Tcp _ -> ()
+  end

@@ -1,0 +1,55 @@
+(** TCP / Unix-socket front end over {!Xut_service.Service}.
+
+    One accept thread plus one reader thread per connection; each
+    decoded request is dispatched through [Service.submit] (the
+    existing domain worker pool), and a per-request completion thread
+    writes the framed response back under the connection's write lock —
+    responses may complete out of order, which is fine because frames
+    carry the request id.
+
+    Robustness over features:
+    - a per-connection read timeout closes idle or stalled clients;
+    - frames above [max_frame], bad magic and unsupported versions get
+      a [Bad_request] error frame and a connection close (the stream
+      can no longer be trusted); a well-framed but undecodable payload
+      gets an error frame and the connection stays up;
+    - at [max_connections] live connections, new clients receive one
+      [Overloaded] error frame (request id 0) and are closed;
+    - nothing a client sends can raise out of the accept loop or a
+      connection thread;
+    - {!stop} stops accepting, stops reading, waits for every in-flight
+      request's response to be written, then closes and joins.
+
+    Frame and connection counters are recorded in the service's
+    {!Xut_service.Metrics}, so [STATS] reports the whole path. *)
+
+open Xut_service
+
+type config = {
+  max_frame : int;        (** largest accepted payload, bytes (default 16 MiB) *)
+  max_connections : int;  (** live-connection cap before BUSY (default 64) *)
+  read_timeout : float;   (** seconds a read may stall before the
+                              connection is dropped (default 30) *)
+}
+
+val default_config : config
+
+type t
+
+val start : ?config:config -> service:Service.t -> Addr.t -> t
+(** Bind, listen and start accepting.  A Unix-socket path that already
+    exists is unlinked first (stale socket of a dead server).  TCP port
+    0 binds an ephemeral port — read it back with {!address}.
+    Installs [Signal_ignore] on SIGPIPE (a dead client must surface as
+    a write error, not kill the process).
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val address : t -> Addr.t
+(** The bound address, with the actual port for TCP port 0. *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, shut down the read side of every
+    connection, drain in-flight requests (their responses are still
+    written), close everything, join all threads, and unlink the Unix
+    socket path.  Idempotent.  The underlying service is NOT shut down
+    — it belongs to the caller. *)

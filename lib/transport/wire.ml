@@ -1,0 +1,308 @@
+open Xut_service
+
+module Line = struct
+  let decode_request line =
+    let line = String.trim line in
+    let split2 s =
+      match String.index_opt s ' ' with
+      | None -> (s, "")
+      | Some i ->
+        (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
+    in
+    let verb, rest = split2 line in
+    match String.uppercase_ascii verb with
+    | "LOAD" -> begin
+      match split2 rest with
+      | "", _ -> Error "usage: LOAD <name> <file>"
+      | name, file when file <> "" -> Ok (Service.Load { name; file })
+      | _ -> Error "usage: LOAD <name> <file>"
+    end
+    | "UNLOAD" ->
+      if rest = "" then Error "usage: UNLOAD <name>"
+      else Ok (Service.Unload { name = rest })
+    | ("TRANSFORM" | "COUNT") as verb -> begin
+      match split2 rest with
+      | name, rest' when name <> "" && rest' <> "" -> begin
+        let engine_s, query = split2 rest' in
+        match Core.Engine.of_string engine_s with
+        | None -> Error (Printf.sprintf "unknown engine %S" engine_s)
+        | Some engine ->
+          if query = "" then Error (Printf.sprintf "usage: %s <name> <engine> <query>" verb)
+          else if verb = "COUNT" then Ok (Service.Count { doc = name; engine; query })
+          else Ok (Service.Transform { doc = name; engine; query })
+      end
+      | _ -> Error (Printf.sprintf "usage: %s <name> <engine> <query>" verb)
+    end
+    | "STATS" -> Ok Service.Stats
+    | "" -> Error "empty request"
+    | v -> Error (Printf.sprintf "unknown request %S (LOAD|UNLOAD|TRANSFORM|COUNT|STATS)" v)
+
+  let plain_word s =
+    s <> "" && not (String.exists (fun c -> c = ' ' || c = '\n' || c = '\r' || c = '\t') s)
+
+  let one_line s = not (String.exists (fun c -> c = '\n' || c = '\r') s)
+
+  let encode_request = function
+    | Service.Load { name; file } ->
+      if plain_word name && plain_word file then Ok (Printf.sprintf "LOAD %s %s" name file)
+      else Error "LOAD name/file with whitespace is not expressible on one line"
+    | Service.Unload { name } ->
+      if plain_word name then Ok ("UNLOAD " ^ name)
+      else Error "UNLOAD name with whitespace is not expressible on one line"
+    | Service.Transform { doc; engine; query } ->
+      if plain_word doc && one_line query then
+        Ok (Printf.sprintf "TRANSFORM %s %s %s" doc (Core.Engine.name engine) query)
+      else Error "TRANSFORM with a multi-line query is not expressible on one line"
+    | Service.Count { doc; engine; query } ->
+      if plain_word doc && one_line query then
+        Ok (Printf.sprintf "COUNT %s %s %s" doc (Core.Engine.name engine) query)
+      else Error "COUNT with a multi-line query is not expressible on one line"
+    | Service.Stats -> Ok "STATS"
+    | Service.Batch _ -> Error "batches exist only in the binary protocol"
+
+  let render_response resp =
+    match resp with
+    | Service.Ok (Service.Stats_dump dump) -> dump ^ "\nOK"
+    | _ -> begin
+      match Service.render_response resp with
+      | Ok payload -> "OK " ^ payload
+      | Error message -> "ERR " ^ message
+    end
+end
+
+module Binary = struct
+  let protocol_version = 1
+  let magic = "XU"
+  let header_size = 16
+  let default_max_frame = 16 * 1024 * 1024
+
+  type kind = Request | Response
+
+  type header = { version : int; kind : kind; id : int64; length : int }
+
+  let encode_header { version; kind; id; length } =
+    let b = Bytes.create header_size in
+    Bytes.set b 0 magic.[0];
+    Bytes.set b 1 magic.[1];
+    Bytes.set b 2 (Char.chr (version land 0xff));
+    Bytes.set b 3 (match kind with Request -> '\001' | Response -> '\002');
+    Bytes.set_int64_be b 4 id;
+    Bytes.set_int32_be b 12 (Int32.of_int length);
+    b
+
+  let decode_header ?(max_frame = default_max_frame) b =
+    if Bytes.length b <> header_size then
+      Error (Printf.sprintf "short header (%d bytes, want %d)" (Bytes.length b) header_size)
+    else if Bytes.get b 0 <> magic.[0] || Bytes.get b 1 <> magic.[1] then
+      Error "bad magic (not an xut frame)"
+    else begin
+      let version = Char.code (Bytes.get b 2) in
+      if version <> protocol_version then
+        Error
+          (Printf.sprintf "unsupported protocol version %d (this side speaks %d)" version
+             protocol_version)
+      else begin
+        match Bytes.get b 3 with
+        | ('\001' | '\002') as k ->
+          let id = Bytes.get_int64_be b 4 in
+          let length = Int32.to_int (Bytes.get_int32_be b 12) in
+          if length < 0 || length > max_frame then
+            Error (Printf.sprintf "oversized frame (%d bytes > max %d)" length max_frame)
+          else Ok { version; kind = (if k = '\001' then Request else Response); id; length }
+        | c -> Error (Printf.sprintf "bad frame kind 0x%02x" (Char.code c))
+      end
+    end
+
+  (* ---- payload encoding: tag byte + length-prefixed fields ---- *)
+
+  let put_u8 b n = Buffer.add_char b (Char.chr (n land 0xff))
+  let put_u32 b n = Buffer.add_int32_be b (Int32.of_int n)
+
+  let put_str b s =
+    put_u32 b (String.length s);
+    Buffer.add_string b s
+
+  let rec put_request b = function
+    | Service.Load { name; file } ->
+      put_u8 b 1;
+      put_str b name;
+      put_str b file
+    | Service.Unload { name } ->
+      put_u8 b 2;
+      put_str b name
+    | Service.Transform { doc; engine; query } ->
+      put_u8 b 3;
+      put_str b doc;
+      put_str b (Core.Engine.name engine);
+      put_str b query
+    | Service.Count { doc; engine; query } ->
+      put_u8 b 4;
+      put_str b doc;
+      put_str b (Core.Engine.name engine);
+      put_str b query
+    | Service.Stats -> put_u8 b 5
+    | Service.Batch reqs ->
+      put_u8 b 6;
+      put_u32 b (List.length reqs);
+      List.iter (put_request b) reqs
+
+  let err_code_byte = function
+    | Service.Unknown_document -> 1
+    | Service.Query_parse_error -> 2
+    | Service.Eval_error -> 3
+    | Service.Overloaded -> 4
+    | Service.Bad_request -> 5
+
+  let err_code_of_byte = function
+    | 1 -> Some Service.Unknown_document
+    | 2 -> Some Service.Query_parse_error
+    | 3 -> Some Service.Eval_error
+    | 4 -> Some Service.Overloaded
+    | 5 -> Some Service.Bad_request
+    | _ -> None
+
+  let rec put_response b = function
+    | Service.Ok (Service.Doc_loaded { name; elements }) ->
+      put_u8 b 1;
+      put_str b name;
+      put_u32 b elements
+    | Service.Ok (Service.Doc_unloaded { name }) ->
+      put_u8 b 2;
+      put_str b name
+    | Service.Ok (Service.Tree s) ->
+      put_u8 b 3;
+      put_str b s
+    | Service.Ok (Service.Element_count n) ->
+      put_u8 b 4;
+      put_u32 b n
+    | Service.Ok (Service.Stats_dump s) ->
+      put_u8 b 5;
+      put_str b s
+    | Service.Error { code; message } ->
+      put_u8 b 6;
+      put_u8 b (err_code_byte code);
+      put_str b message
+    | Service.Ok (Service.Batch_results rs) ->
+      put_u8 b 7;
+      put_u32 b (List.length rs);
+      List.iter (put_response b) rs
+
+  let encode_request req =
+    let b = Buffer.create 128 in
+    put_request b req;
+    Buffer.contents b
+
+  let encode_response resp =
+    let b = Buffer.create 128 in
+    put_response b resp;
+    Buffer.contents b
+
+  (* ---- payload decoding: a cursor that raises on malformed input,
+     caught at the [decode_*] boundary ---- *)
+
+  exception Malformed of string
+
+  type cursor = { s : string; mutable pos : int }
+
+  let need c n =
+    if n < 0 || c.pos + n > String.length c.s then raise (Malformed "truncated payload")
+
+  let get_u8 c =
+    need c 1;
+    let v = Char.code c.s.[c.pos] in
+    c.pos <- c.pos + 1;
+    v
+
+  let get_u32 c =
+    need c 4;
+    let v = Int32.to_int (String.get_int32_be c.s c.pos) in
+    c.pos <- c.pos + 4;
+    if v < 0 then raise (Malformed "negative length");
+    v
+
+  let get_str c =
+    let n = get_u32 c in
+    need c n;
+    let s = String.sub c.s c.pos n in
+    c.pos <- c.pos + n;
+    s
+
+  let get_engine c =
+    let s = get_str c in
+    match Core.Engine.of_string s with
+    | Some e -> e
+    | None -> raise (Malformed (Printf.sprintf "unknown engine %S" s))
+
+  (* Every list element consumes at least one byte, so bounding the
+     count by the remaining bytes rejects absurd lengths before any
+     allocation. *)
+  let get_count c =
+    let n = get_u32 c in
+    need c n;
+    n
+
+  let rec get_request c =
+    match get_u8 c with
+    | 1 ->
+      let name = get_str c in
+      let file = get_str c in
+      Service.Load { name; file }
+    | 2 -> Service.Unload { name = get_str c }
+    | 3 ->
+      let doc = get_str c in
+      let engine = get_engine c in
+      let query = get_str c in
+      Service.Transform { doc; engine; query }
+    | 4 ->
+      let doc = get_str c in
+      let engine = get_engine c in
+      let query = get_str c in
+      Service.Count { doc; engine; query }
+    | 5 -> Service.Stats
+    | 6 ->
+      let n = get_count c in
+      Service.Batch (List.init n (fun _ -> get_request c))
+    | t -> raise (Malformed (Printf.sprintf "unknown request tag %d" t))
+
+  let rec get_response c =
+    match get_u8 c with
+    | 1 ->
+      let name = get_str c in
+      let elements = get_u32 c in
+      Service.Ok (Service.Doc_loaded { name; elements })
+    | 2 -> Service.Ok (Service.Doc_unloaded { name = get_str c })
+    | 3 -> Service.Ok (Service.Tree (get_str c))
+    | 4 -> Service.Ok (Service.Element_count (get_u32 c))
+    | 5 -> Service.Ok (Service.Stats_dump (get_str c))
+    | 6 -> begin
+      let code_byte = get_u8 c in
+      match err_code_of_byte code_byte with
+      | None -> raise (Malformed (Printf.sprintf "unknown error code %d" code_byte))
+      | Some code -> Service.Error { code; message = get_str c }
+    end
+    | 7 ->
+      let n = get_count c in
+      Service.Ok (Service.Batch_results (List.init n (fun _ -> get_response c)))
+    | t -> raise (Malformed (Printf.sprintf "unknown response tag %d" t))
+
+  let decode_with get s =
+    let c = { s; pos = 0 } in
+    match get c with
+    | v ->
+      if c.pos <> String.length s then
+        Error (Printf.sprintf "%d trailing bytes after payload" (String.length s - c.pos))
+      else Ok v
+    | exception Malformed msg -> Error msg
+
+  let decode_request s = decode_with get_request s
+  let decode_response s = decode_with get_response s
+
+  let frame ~kind ~id payload =
+    let header =
+      encode_header { version = protocol_version; kind; id; length = String.length payload }
+    in
+    Bytes.unsafe_to_string header ^ payload
+
+  let request_frame ~id req = frame ~kind:Request ~id (encode_request req)
+  let response_frame ~id resp = frame ~kind:Response ~id (encode_response resp)
+end

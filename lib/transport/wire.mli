@@ -1,0 +1,78 @@
+(** Codec between {!Xut_service.Service} requests/responses and bytes.
+
+    Two renderings of the same typed API:
+
+    - {!Line}: the human-typeable protocol of [xut serve] over stdin —
+      one request per line, so queries with embedded newlines are not
+      expressible (that limitation is why the socket transport exists).
+    - {!Binary}: the length-prefixed framing of the socket transport —
+      every request is expressible, frames carry a request id so
+      responses may complete out of order, and a version byte leaves
+      room for protocol evolution.
+
+    Both decoders are total: malformed input is an [Error _], never an
+    exception. *)
+
+open Xut_service
+
+module Line : sig
+  val decode_request : string -> (Service.request, string) result
+  (** Parse one line:
+      {v
+      LOAD <name> <file>
+      UNLOAD <name>
+      TRANSFORM <name> <engine> <query text...>
+      COUNT <name> <engine> <query text...>
+      STATS
+      v} *)
+
+  val encode_request : Service.request -> (string, string) result
+  (** Render a request back to one line.  [Error _] when the request is
+      not expressible in the line protocol: a [Batch], a name
+      containing whitespace, or a query containing a newline. *)
+
+  val render_response : Service.response -> string
+  (** The reply text of the stdin protocol: ["OK <payload>"],
+      ["ERR <code>: <message>"], or for a stats dump the dump followed
+      by a line reading [OK]. *)
+end
+
+module Binary : sig
+  val protocol_version : int
+  (** This codec speaks version 1. *)
+
+  val magic : string
+  (** Two bytes, ["XU"]. *)
+
+  val header_size : int
+  (** 16 bytes: magic (2) + version (1) + kind (1) + request id (8,
+      big-endian) + payload length (4, big-endian). *)
+
+  val default_max_frame : int
+  (** 16 MiB. *)
+
+  type kind = Request | Response
+
+  type header = { version : int; kind : kind; id : int64; length : int }
+
+  val encode_header : header -> Bytes.t
+
+  val decode_header : ?max_frame:int -> Bytes.t -> (header, string) result
+  (** Validates magic, version, kind and payload length (rejecting
+      anything above [max_frame], default {!default_max_frame}). *)
+
+  (** {2 Payload codecs}
+
+      Tag byte + fields; strings are 4-byte big-endian length-prefixed
+      bytes, so any query text round-trips. *)
+
+  val encode_request : Service.request -> string
+  val decode_request : string -> (Service.request, string) result
+  val encode_response : Service.response -> string
+  val decode_response : string -> (Service.response, string) result
+
+  (** {2 Whole frames} *)
+
+  val request_frame : id:int64 -> Service.request -> string
+  val response_frame : id:int64 -> Service.response -> string
+end

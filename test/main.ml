@@ -12,4 +12,5 @@ let () =
       ("reader", Test_reader.suite);
       ("security-view", Test_security_view.suite);
       ("service", Test_service.suite);
+      ("transport", Test_transport.suite);
       ("misc", Test_misc.suite) ]

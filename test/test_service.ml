@@ -115,8 +115,9 @@ let with_service ?(domains = 1) ?(cache_capacity = 128) f =
 
 let load_doc svc path =
   match Service.call svc (Service.Load { name = "d"; file = path }) with
-  | Ok _ -> ()
-  | Error e -> Alcotest.fail e
+  | Service.Ok (Service.Doc_loaded { name = "d"; elements = 18 }) -> ()
+  | Service.Ok _ -> Alcotest.fail "LOAD answered with the wrong payload"
+  | Service.Error { message; _ } -> Alcotest.fail message
 
 let test_service_matches_engine_run () =
   with_doc_file (fun path ->
@@ -127,21 +128,64 @@ let test_service_matches_engine_run () =
               List.iter
                 (fun q ->
                   match Service.call svc (Service.Transform { doc = "d"; engine; query = q }) with
-                  | Ok payload ->
+                  | Service.Ok (Service.Tree payload) ->
                     Alcotest.(check string)
                       (Core.Engine.name engine ^ " matches Engine.run")
                       (reference_answer engine q) payload
-                  | Error e -> Alcotest.fail e)
+                  | Service.Ok _ -> Alcotest.fail "TRANSFORM must answer with a Tree"
+                  | Service.Error { message; _ } -> Alcotest.fail message)
                 queries)
             [ Core.Engine.Td_bu; Core.Engine.Gentop; Core.Engine.Naive ];
           match
             Service.call svc
               (Service.Count { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
           with
-          | Ok payload ->
+          | Service.Ok (Service.Element_count n) ->
             (* 18 elements minus the two deleted price elements *)
-            Alcotest.(check string) "COUNT reply" "elements=16" payload
-          | Error e -> Alcotest.fail e))
+            Alcotest.(check int) "COUNT reply" 16 n
+          | Service.Ok _ -> Alcotest.fail "COUNT must answer with an Element_count"
+          | Service.Error { message; _ } -> Alcotest.fail message))
+
+let test_service_batch () =
+  with_doc_file (fun path ->
+      with_service (fun svc ->
+          load_doc svc path;
+          let count = Service.Count { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices } in
+          let bad = Service.Count { doc = "d"; engine = Core.Engine.Td_bu; query = "nonsense" } in
+          (match Service.call svc (Service.Batch [ count; bad; count; Service.Stats ]) with
+          | Service.Ok (Service.Batch_results
+              [ Service.Ok (Service.Element_count 16);
+                Service.Error { code = Service.Query_parse_error; _ };
+                Service.Ok (Service.Element_count 16);
+                Service.Ok (Service.Stats_dump _)
+              ]) -> ()
+          | _ -> Alcotest.fail "batch must answer item-by-item, in order");
+          (* a failing item inside a batch counts as an error *)
+          Alcotest.(check int) "batch errors counted" 1 (Metrics.errors (Service.metrics svc));
+          (* batches must not nest *)
+          match Service.call svc (Service.Batch [ Service.Batch [ count ] ]) with
+          | Service.Ok (Service.Batch_results
+              [ Service.Error { code = Service.Bad_request; _ } ]) -> ()
+          | _ -> Alcotest.fail "nested batch must be rejected with bad-request"))
+
+let test_render_response_compat () =
+  (* the flat stdin-protocol strings of the pre-redesign service *)
+  let check name expect resp =
+    match Service.render_response resp with
+    | Stdlib.Ok s -> Alcotest.(check string) name expect s
+    | Stdlib.Error e -> Alcotest.fail e
+  in
+  check "loaded" "loaded d elements=18" (Service.Ok (Service.Doc_loaded { name = "d"; elements = 18 }));
+  check "unloaded" "unloaded d" (Service.Ok (Service.Doc_unloaded { name = "d" }));
+  check "tree" "<a/>" (Service.Ok (Service.Tree "<a/>"));
+  check "count" "elements=16" (Service.Ok (Service.Element_count 16));
+  match
+    Service.render_response
+      (Service.Error { code = Service.Unknown_document; message = "no document \"x\"" })
+  with
+  | Stdlib.Error s ->
+    Alcotest.(check string) "error keeps its code" "unknown-document: no document \"x\"" s
+  | Stdlib.Ok _ -> Alcotest.fail "Error must render to Error"
 
 let test_service_concurrent_4_domains () =
   with_doc_file (fun path ->
@@ -160,11 +204,12 @@ let test_service_concurrent_4_domains () =
           List.iter
             (fun (which, fut) ->
               match Service.await fut with
-              | Ok payload ->
+              | Service.Ok (Service.Tree payload) ->
                 Alcotest.(check string)
                   "parallel output byte-identical to single-threaded run"
                   (List.nth expected which) payload
-              | Error e -> Alcotest.fail e)
+              | Service.Ok _ -> Alcotest.fail "TRANSFORM must answer with a Tree"
+              | Service.Error { message; _ } -> Alcotest.fail message)
             futures;
           let m = Service.metrics svc in
           Alcotest.(check int) "no errors" 0 (Metrics.errors m);
@@ -174,32 +219,37 @@ let test_service_error_isolation () =
   with_doc_file (fun path ->
       with_service (fun svc ->
           load_doc svc path;
-          (* malformed query *)
+          (* malformed query: classified as a parse error *)
           (match
              Service.call svc
                (Service.Transform
                   { doc = "d"; engine = Core.Engine.Td_bu; query = "delete everything please" })
            with
-          | Ok _ -> Alcotest.fail "expected an error response"
-          | Error _ -> ());
-          (* unknown document *)
+          | Service.Error { code = Service.Query_parse_error; _ } -> ()
+          | Service.Error { code; _ } ->
+            Alcotest.fail ("wrong error code: " ^ Service.err_code_name code)
+          | Service.Ok _ -> Alcotest.fail "expected an error response");
+          (* unknown document: its own code *)
           (match
              Service.call svc
                (Service.Transform
                   { doc = "nope"; engine = Core.Engine.Td_bu; query = q_del_prices })
            with
-          | Ok _ -> Alcotest.fail "expected an error response"
-          | Error _ -> ());
+          | Service.Error { code = Service.Unknown_document; _ } -> ()
+          | Service.Error { code; _ } ->
+            Alcotest.fail ("wrong error code: " ^ Service.err_code_name code)
+          | Service.Ok _ -> Alcotest.fail "expected an error response");
           (* the single worker survived both and still serves *)
           (match
              Service.call svc
                (Service.Transform { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
            with
-          | Ok payload ->
+          | Service.Ok (Service.Tree payload) ->
             Alcotest.(check string) "pool keeps serving after errors"
               (reference_answer Core.Engine.Td_bu q_del_prices)
               payload
-          | Error e -> Alcotest.fail e);
+          | Service.Ok _ -> Alcotest.fail "TRANSFORM must answer with a Tree"
+          | Service.Error { message; _ } -> Alcotest.fail message);
           Alcotest.(check int) "errors counted" 2 (Metrics.errors (Service.metrics svc))))
 
 let test_service_stats_and_unload () =
@@ -207,41 +257,22 @@ let test_service_stats_and_unload () =
       with_service (fun svc ->
           load_doc svc path;
           (match Service.call svc Service.Stats with
-          | Ok payload ->
+          | Service.Ok (Service.Stats_dump payload) ->
             Alcotest.(check bool) "stats mentions the doc" true
               (String.length payload > 0
               && String.split_on_char '\n' payload
                  |> List.exists (fun l -> l = "doc d elements=18"))
-          | Error e -> Alcotest.fail e);
+          | Service.Ok _ -> Alcotest.fail "STATS must answer with a Stats_dump"
+          | Service.Error { message; _ } -> Alcotest.fail message);
           (match Service.call svc (Service.Unload { name = "d" }) with
-          | Ok _ -> ()
-          | Error e -> Alcotest.fail e);
+          | Service.Ok (Service.Doc_unloaded { name = "d" }) -> ()
+          | Service.Ok _ -> Alcotest.fail "UNLOAD must answer with a Doc_unloaded"
+          | Service.Error { message; _ } -> Alcotest.fail message);
           match Service.call svc (Service.Unload { name = "d" }) with
-          | Ok _ -> Alcotest.fail "expected an error for a double unload"
-          | Error _ -> ()))
-
-let test_parse_request () =
-  let ok = function Ok r -> r | Error e -> Alcotest.fail e in
-  (match ok (Service.parse_request "LOAD d /tmp/x.xml") with
-  | Service.Load { name = "d"; file = "/tmp/x.xml" } -> ()
-  | _ -> Alcotest.fail "LOAD parse");
-  (match ok (Service.parse_request "TRANSFORM d td-bu transform copy $a := doc(\"d\") modify do delete $a//x return $a") with
-  | Service.Transform { doc = "d"; engine = Core.Engine.Td_bu; query } ->
-    Alcotest.(check bool) "query text survives" true
-      (String.length query > 0 && String.sub query 0 9 = "transform")
-  | _ -> Alcotest.fail "TRANSFORM parse");
-  (match ok (Service.parse_request "stats") with
-  | Service.Stats -> ()
-  | _ -> Alcotest.fail "STATS parse (case-insensitive verb)");
-  (match ok (Service.parse_request "COUNT d gentop transform copy $a := doc(\"d\") modify do delete $a//x return $a") with
-  | Service.Count { doc = "d"; engine = Core.Engine.Gentop; _ } -> ()
-  | _ -> Alcotest.fail "COUNT parse");
-  List.iter
-    (fun line ->
-      match Service.parse_request line with
-      | Ok _ -> Alcotest.fail ("should not parse: " ^ line)
-      | Error _ -> ())
-    [ ""; "LOAD d"; "TRANSFORM d"; "TRANSFORM d bogus-engine q"; "FROBNICATE x" ]
+          | Service.Ok _ -> Alcotest.fail "expected an error for a double unload"
+          | Service.Error { code = Service.Unknown_document; _ } -> ()
+          | Service.Error { code; _ } ->
+            Alcotest.fail ("wrong error code: " ^ Service.err_code_name code)))
 
 (* ---- worker pool and metrics ---- *)
 
@@ -305,9 +336,11 @@ let suite =
     Alcotest.test_case "service: output matches Engine.run" `Quick test_service_matches_engine_run;
     Alcotest.test_case "service: 4-domain output byte-identical" `Quick
       test_service_concurrent_4_domains;
-    Alcotest.test_case "service: error isolation" `Quick test_service_error_isolation;
+    Alcotest.test_case "service: error isolation and codes" `Quick test_service_error_isolation;
     Alcotest.test_case "service: stats and unload" `Quick test_service_stats_and_unload;
-    Alcotest.test_case "protocol: parse_request" `Quick test_parse_request;
+    Alcotest.test_case "service: batch requests" `Quick test_service_batch;
+    Alcotest.test_case "service: render_response compatibility" `Quick
+      test_render_response_compat;
     Alcotest.test_case "pool: parallel fan-out" `Quick test_pool_parallel_sum;
     Alcotest.test_case "pool: failure isolation" `Quick test_pool_failure_isolation;
     Alcotest.test_case "metrics: histogram and queue depth" `Quick test_metrics_histogram;

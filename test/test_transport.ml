@@ -1,0 +1,629 @@
+(* The socket transport: Wire codecs (line + binary, with a qcheck
+   round-trip property), the server's robustness against malformed /
+   oversized / truncated frames, concurrency, error-code mapping, and
+   the BUSY connection limit. *)
+
+open Xut_service
+open Xut_transport
+
+let doc_xml =
+  {|<site><people>
+      <person id="p1"><name>Alice</name><age>30</age></person>
+      <person id="p2"><name>Bob</name><age>17</age></person>
+      <person id="p3"><name>Carol</name><age>45</age></person>
+    </people><items>
+      <item><name>kettle</name><price>12</price></item>
+      <item><name>lamp</name><price>40</price></item>
+    </items></site>|}
+
+let q_del_adult_names =
+  {|transform copy $a := doc("d") modify do delete $a/site/people/person[age > 20]/name return $a|}
+
+let q_del_prices =
+  {|transform copy $a := doc("d") modify do delete $a//price return $a|}
+
+let q_rename_items =
+  {|transform copy $a := doc("d") modify do rename $a/site/items/item as product return $a|}
+
+let queries = [ q_del_adult_names; q_del_prices; q_rename_items ]
+
+let reference_answer engine q =
+  let root = Xut_xml.Dom.parse_string doc_xml in
+  let query = Core.Transform_parser.parse q in
+  Xut_xml.Serialize.element_to_string (Core.Engine.run engine query ~doc:root)
+
+let with_doc_file f =
+  let path = Filename.temp_file "xut_transport_test" ".xml" in
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc doc_xml);
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let with_server ?config ?(domains = 1) f =
+  let svc = Service.create ~domains () in
+  let sock = Filename.temp_file "xut_transport_test" ".sock" in
+  Sys.remove sock;
+  let server = Server.start ?config ~service:svc (Addr.Unix_socket sock) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Service.shutdown svc)
+    (fun () -> f svc sock)
+
+let eventually ?(timeout = 5.) pred =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    pred ()
+    || (Unix.gettimeofday () -. t0 < timeout
+       &&
+       (Thread.delay 0.01;
+        go ()))
+  in
+  go ()
+
+(* raw socket access, for sending deliberately broken bytes *)
+
+let raw_connect sock_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock_path);
+  fd
+
+let raw_write fd s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < Bytes.length b then go (off + Unix.write fd b off (Bytes.length b - off))
+  in
+  go 0
+
+let raw_read_all ?(timeout = 5.) fd =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 4096 with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNRESET), _, _) -> ()
+  in
+  go ();
+  Buffer.contents buf
+
+(* Decode the single error frame a misbehaving client is sent. *)
+let decode_error_frame bytes =
+  if String.length bytes < Wire.Binary.header_size then
+    Alcotest.fail "server reply shorter than a frame header";
+  match
+    Wire.Binary.decode_header (Bytes.of_string (String.sub bytes 0 Wire.Binary.header_size))
+  with
+  | Error msg -> Alcotest.fail ("server reply header: " ^ msg)
+  | Ok { Wire.Binary.length; id; _ } -> begin
+    if String.length bytes <> Wire.Binary.header_size + length then
+      Alcotest.fail "server reply is not exactly one frame before close";
+    match Wire.Binary.decode_response (String.sub bytes Wire.Binary.header_size length) with
+    | Error msg -> Alcotest.fail ("server reply payload: " ^ msg)
+    | Ok resp -> (id, resp)
+  end
+
+(* ---- line protocol ---- *)
+
+let test_line_protocol () =
+  let ok = function Ok r -> r | Error e -> Alcotest.fail e in
+  (match ok (Wire.Line.decode_request "LOAD d /tmp/x.xml") with
+  | Service.Load { name = "d"; file = "/tmp/x.xml" } -> ()
+  | _ -> Alcotest.fail "LOAD parse");
+  (match
+     ok
+       (Wire.Line.decode_request
+          "TRANSFORM d td-bu transform copy $a := doc(\"d\") modify do delete $a//x return $a")
+   with
+  | Service.Transform { doc = "d"; engine = Core.Engine.Td_bu; query } ->
+    Alcotest.(check bool) "query text survives" true
+      (String.length query > 0 && String.sub query 0 9 = "transform")
+  | _ -> Alcotest.fail "TRANSFORM parse");
+  (match ok (Wire.Line.decode_request "stats") with
+  | Service.Stats -> ()
+  | _ -> Alcotest.fail "STATS parse (case-insensitive verb)");
+  (match
+     ok
+       (Wire.Line.decode_request
+          "COUNT d gentop transform copy $a := doc(\"d\") modify do delete $a//x return $a")
+   with
+  | Service.Count { doc = "d"; engine = Core.Engine.Gentop; _ } -> ()
+  | _ -> Alcotest.fail "COUNT parse");
+  List.iter
+    (fun line ->
+      match Wire.Line.decode_request line with
+      | Ok _ -> Alcotest.fail ("should not parse: " ^ line)
+      | Error _ -> ())
+    [ ""; "LOAD d"; "TRANSFORM d"; "TRANSFORM d bogus-engine q"; "FROBNICATE x" ];
+  (* encode/decode round trip for a representable request *)
+  let req = Service.Count { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices } in
+  (match Wire.Line.encode_request req with
+  | Error e -> Alcotest.fail e
+  | Ok line ->
+    Alcotest.(check bool) "line round trip" true (Wire.Line.decode_request line = Ok req));
+  (* the line protocol's blind spots: exactly what the binary frames fix *)
+  (match
+     Wire.Line.encode_request
+       (Service.Transform { doc = "d"; engine = Core.Engine.Td_bu; query = "a\nb" })
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a multi-line query must not be expressible on one line");
+  match Wire.Line.encode_request (Service.Batch [ Service.Stats ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a batch must not be expressible on one line"
+
+(* ---- binary codec: qcheck round trip ---- *)
+
+let gen_text =
+  (* names and query texts with embedded spaces and newlines — the
+     inputs the line protocol cannot carry *)
+  QCheck.Gen.(
+    string_size
+      ~gen:(oneof [ printable; return '\n'; return ' '; return '"' ])
+      (int_range 0 40))
+
+let gen_engine = QCheck.Gen.oneofl Core.Engine.all
+
+let gen_simple_request =
+  QCheck.Gen.(
+    oneof
+      [
+        map2 (fun name file -> Service.Load { name; file }) gen_text gen_text;
+        map (fun name -> Service.Unload { name }) gen_text;
+        map3 (fun doc engine query -> Service.Transform { doc; engine; query }) gen_text
+          gen_engine gen_text;
+        map3 (fun doc engine query -> Service.Count { doc; engine; query }) gen_text gen_engine
+          gen_text;
+        return Service.Stats;
+      ])
+
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        gen_simple_request;
+        map (fun l -> Service.Batch l) (list_size (int_range 0 5) gen_simple_request);
+      ])
+
+let gen_err_code =
+  QCheck.Gen.oneofl
+    [
+      Service.Unknown_document;
+      Service.Query_parse_error;
+      Service.Eval_error;
+      Service.Overloaded;
+      Service.Bad_request;
+    ]
+
+let gen_simple_response =
+  QCheck.Gen.(
+    oneof
+      [
+        map2
+          (fun name elements -> Service.Ok (Service.Doc_loaded { name; elements }))
+          gen_text small_nat;
+        map (fun name -> Service.Ok (Service.Doc_unloaded { name })) gen_text;
+        map (fun s -> Service.Ok (Service.Tree s)) gen_text;
+        map (fun n -> Service.Ok (Service.Element_count n)) small_nat;
+        map (fun s -> Service.Ok (Service.Stats_dump s)) gen_text;
+        map2 (fun code message -> Service.Error { code; message }) gen_err_code gen_text;
+      ])
+
+let gen_response =
+  QCheck.Gen.(
+    oneof
+      [
+        gen_simple_response;
+        map
+          (fun l -> Service.Ok (Service.Batch_results l))
+          (list_size (int_range 0 5) gen_simple_response);
+      ])
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"binary: decode (encode request) = Ok request"
+    (QCheck.make gen_request) (fun r ->
+      Wire.Binary.decode_request (Wire.Binary.encode_request r) = Ok r)
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"binary: decode (encode response) = Ok response"
+    (QCheck.make gen_response) (fun r ->
+      Wire.Binary.decode_response (Wire.Binary.encode_response r) = Ok r)
+
+let prop_header_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"binary: header round trip"
+    QCheck.(pair (map Int64.of_int small_nat) small_nat)
+    (fun (id, length) ->
+      let h =
+        { Wire.Binary.version = Wire.Binary.protocol_version; kind = Wire.Binary.Request; id;
+          length }
+      in
+      Wire.Binary.decode_header (Wire.Binary.encode_header h) = Ok h)
+
+let test_header_validation () =
+  let mk ?(version = Wire.Binary.protocol_version) ?(length = 0) () =
+    Wire.Binary.encode_header
+      { Wire.Binary.version; kind = Wire.Binary.Request; id = 9L; length }
+  in
+  (match Wire.Binary.decode_header (Bytes.of_string "0123456789abcdef") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad magic must be rejected");
+  (match Wire.Binary.decode_header (mk ~version:2 ()) with
+  | Error msg ->
+    Alcotest.(check bool) "version error names both versions" true
+      (String.length msg > 0
+      && String.split_on_char ' ' msg |> List.exists (fun w -> w = "version"))
+  | Ok _ -> Alcotest.fail "a future protocol version must be rejected");
+  (match Wire.Binary.decode_header ~max_frame:1024 (mk ~length:2048 ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a frame above max_frame must be rejected");
+  match Wire.Binary.decode_header (Bytes.of_string "XU") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a short header must be rejected"
+
+(* ---- socket round trips ---- *)
+
+let load_over t path =
+  match Client.call t (Service.Load { name = "d"; file = path }) with
+  | Service.Ok (Service.Doc_loaded { name = "d"; elements = 18 }) -> ()
+  | Service.Ok _ -> Alcotest.fail "LOAD over the socket: wrong payload"
+  | Service.Error { message; _ } -> Alcotest.fail message
+
+let test_socket_matches_in_process () =
+  with_doc_file (fun doc ->
+      with_server (fun svc sock ->
+          let cli = Client.connect (Addr.Unix_socket sock) in
+          Fun.protect
+            ~finally:(fun () -> Client.close cli)
+            (fun () ->
+              load_over cli doc;
+              List.iter
+                (fun q ->
+                  let req =
+                    Service.Transform { doc = "d"; engine = Core.Engine.Td_bu; query = q }
+                  in
+                  let over_socket = Client.call cli req in
+                  let in_process = Service.call svc req in
+                  Alcotest.(check bool)
+                    "socket response structurally equal to Service.call" true
+                    (over_socket = in_process);
+                  match over_socket with
+                  | Service.Ok (Service.Tree t) ->
+                    Alcotest.(check string) "payload byte-identical to the engine"
+                      (reference_answer Core.Engine.Td_bu q)
+                      t
+                  | _ -> Alcotest.fail "expected a Tree")
+                queries;
+              (match
+                 Client.call cli
+                   (Service.Count { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
+               with
+              | Service.Ok (Service.Element_count 16) -> ()
+              | _ -> Alcotest.fail "COUNT over the socket");
+              (* transport counters flowed into the service metrics *)
+              let m = Service.metrics svc in
+              Alcotest.(check bool) "frames_in counted" true (Metrics.frames_in m >= 5);
+              Alcotest.(check bool) "frames_out counted" true (Metrics.frames_out m >= 5);
+              Alcotest.(check bool) "bytes flow both ways" true
+                (Metrics.bytes_in m > 0 && Metrics.bytes_out m > 0);
+              Alcotest.(check int) "one connection accepted" 1 (Metrics.conns_accepted m);
+              match Service.call svc Service.Stats with
+              | Service.Ok (Service.Stats_dump dump) ->
+                Alcotest.(check bool) "STATS surfaces transport counters" true
+                  (String.split_on_char '\n' dump
+                  |> List.exists (fun l ->
+                         String.length l >= 10 && String.sub l 0 10 = "frames_in "))
+              | _ -> Alcotest.fail "STATS")))
+
+let test_socket_concurrent_clients () =
+  with_doc_file (fun doc ->
+      with_server ~domains:2 (fun _svc sock ->
+          let cli0 = Client.connect (Addr.Unix_socket sock) in
+          load_over cli0 doc;
+          Client.close cli0;
+          let expected = List.map (reference_answer Core.Engine.Td_bu) queries in
+          let n_clients = 4 and per_client = 12 in
+          let failures = Array.make n_clients None in
+          let worker k () =
+            try
+              let cli = Client.connect (Addr.Unix_socket sock) in
+              Fun.protect
+                ~finally:(fun () -> Client.close cli)
+                (fun () ->
+                  for i = 0 to per_client - 1 do
+                    let which = (k + i) mod 3 in
+                    match
+                      Client.call cli
+                        (Service.Transform
+                           { doc = "d";
+                             engine = Core.Engine.Td_bu;
+                             query = List.nth queries which
+                           })
+                    with
+                    | Service.Ok (Service.Tree t) ->
+                      if t <> List.nth expected which then
+                        failwith "socket payload differs from single-threaded run"
+                    | Service.Ok _ -> failwith "expected a Tree"
+                    | Service.Error { message; _ } -> failwith message
+                  done)
+            with e -> failures.(k) <- Some (Printexc.to_string e)
+          in
+          let threads = List.init n_clients (fun k -> Thread.create (worker k) ()) in
+          List.iter Thread.join threads;
+          Array.iter (function Some e -> Alcotest.fail e | None -> ()) failures))
+
+(* ---- abuse: malformed, oversized, truncated ---- *)
+
+let assert_still_serving sock doc =
+  let cli = Client.connect (Addr.Unix_socket sock) in
+  Fun.protect
+    ~finally:(fun () -> Client.close cli)
+    (fun () ->
+      load_over cli doc;
+      match
+        Client.call cli
+          (Service.Count { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
+      with
+      | Service.Ok (Service.Element_count 16) -> ()
+      | _ -> Alcotest.fail "server no longer serves after an abusive client")
+
+let test_malformed_frame () =
+  with_doc_file (fun doc ->
+      with_server (fun svc sock ->
+          let fd = raw_connect sock in
+          raw_write fd "GARBAGE!NONSENSE";
+          let reply = raw_read_all fd in
+          Unix.close fd;
+          let id, resp = decode_error_frame reply in
+          Alcotest.(check bool) "protocol error frames carry id 0" true (id = 0L);
+          (match resp with
+          | Service.Error { code = Service.Bad_request; _ } -> ()
+          | _ -> Alcotest.fail "malformed frame must answer bad-request");
+          Alcotest.(check bool) "malformed counter" true
+            (Metrics.frames_malformed (Service.metrics svc) >= 1);
+          assert_still_serving sock doc))
+
+let test_oversized_frame () =
+  with_doc_file (fun doc ->
+      with_server
+        ~config:{ Server.default_config with Server.max_frame = 1024 }
+        (fun svc sock ->
+          let fd = raw_connect sock in
+          let header =
+            Wire.Binary.encode_header
+              { Wire.Binary.version = Wire.Binary.protocol_version;
+                kind = Wire.Binary.Request;
+                id = 7L;
+                length = 1024 * 1024
+              }
+          in
+          raw_write fd (Bytes.to_string header);
+          let reply = raw_read_all fd in
+          Unix.close fd;
+          let _id, resp = decode_error_frame reply in
+          (match resp with
+          | Service.Error { code = Service.Bad_request; message } ->
+            Alcotest.(check bool) "mentions the size" true
+              (String.split_on_char ' ' message |> List.exists (fun w -> w = "oversized"))
+          | _ -> Alcotest.fail "oversized frame must answer bad-request");
+          Alcotest.(check bool) "malformed counter" true
+            (Metrics.frames_malformed (Service.metrics svc) >= 1);
+          assert_still_serving sock doc))
+
+let test_truncated_frame () =
+  with_doc_file (fun doc ->
+      with_server (fun svc sock ->
+          let fd = raw_connect sock in
+          let header =
+            Wire.Binary.encode_header
+              { Wire.Binary.version = Wire.Binary.protocol_version;
+                kind = Wire.Binary.Request;
+                id = 3L;
+                length = 100
+              }
+          in
+          raw_write fd (Bytes.to_string header);
+          raw_write fd "only ten b";
+          Unix.close fd;
+          (* mid-frame disconnect: the server counts it and carries on *)
+          Alcotest.(check bool) "malformed counter incremented" true
+            (eventually (fun () -> Metrics.frames_malformed (Service.metrics svc) >= 1));
+          assert_still_serving sock doc))
+
+let test_bad_payload_keeps_connection () =
+  with_doc_file (fun doc ->
+      with_server (fun svc sock ->
+          let cli = Client.connect (Addr.Unix_socket sock) in
+          Fun.protect
+            ~finally:(fun () -> Client.close cli)
+            (fun () ->
+              load_over cli doc;
+              (* a well-framed TRANSFORM naming an engine this build
+                 does not have: decodable header, undecodable payload *)
+              let fd = raw_connect sock in
+              let payload = "\003" ^ "\000\000\000\001d" ^ "\000\000\000\004warp" ^ "\000\000\000\001q" in
+              let header =
+                Wire.Binary.encode_header
+                  { Wire.Binary.version = Wire.Binary.protocol_version;
+                    kind = Wire.Binary.Request;
+                    id = 11L;
+                    length = String.length payload
+                  }
+              in
+              raw_write fd (Bytes.to_string header ^ payload);
+              (* the error frame must name our request id, and the
+                 connection must survive for a follow-up request *)
+              Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.;
+              let hdr = Bytes.create Wire.Binary.header_size in
+              let rec read_exact off len =
+                if len > 0 then begin
+                  let n = Unix.read fd hdr off len in
+                  if n = 0 then Alcotest.fail "connection closed on a bad payload";
+                  read_exact (off + n) (len - n)
+                end
+              in
+              read_exact 0 Wire.Binary.header_size;
+              (match Wire.Binary.decode_header hdr with
+              | Ok { Wire.Binary.id = 11L; length; _ } ->
+                let p = Bytes.create length in
+                let rec read_p off len =
+                  if len > 0 then begin
+                    let n = Unix.read fd p off len in
+                    if n = 0 then Alcotest.fail "truncated error frame";
+                    read_p (off + n) (len - n)
+                  end
+                in
+                read_p 0 length;
+                (match Wire.Binary.decode_response (Bytes.to_string p) with
+                | Ok (Service.Error { code = Service.Bad_request; _ }) -> ()
+                | _ -> Alcotest.fail "bad payload must answer bad-request")
+              | _ -> Alcotest.fail "expected an error frame for id 11");
+              (* same raw connection still answers a valid frame *)
+              raw_write fd
+                (Wire.Binary.request_frame ~id:12L Service.Stats);
+              read_exact 0 Wire.Binary.header_size;
+              (match Wire.Binary.decode_header ~max_frame:Wire.Binary.default_max_frame hdr with
+              | Ok { Wire.Binary.id = 12L; length; _ } ->
+                let p = Bytes.create length in
+                let rec read_p off len =
+                  if len > 0 then begin
+                    let n = Unix.read fd p off len in
+                    if n = 0 then Alcotest.fail "truncated STATS frame";
+                    read_p (off + n) (len - n)
+                  end
+                in
+                read_p 0 length
+              | _ -> Alcotest.fail "connection must keep serving after a bad payload");
+              Unix.close fd;
+              Alcotest.(check bool) "malformed counter" true
+                (Metrics.frames_malformed (Service.metrics svc) >= 1))))
+
+(* ---- error codes over the wire ---- *)
+
+let test_error_codes_over_socket () =
+  with_doc_file (fun doc ->
+      with_server (fun _svc sock ->
+          let cli = Client.connect (Addr.Unix_socket sock) in
+          Fun.protect
+            ~finally:(fun () -> Client.close cli)
+            (fun () ->
+              load_over cli doc;
+              (match
+                 Client.call cli
+                   (Service.Transform
+                      { doc = "nope"; engine = Core.Engine.Td_bu; query = q_del_prices })
+               with
+              | Service.Error { code = Service.Unknown_document; _ } -> ()
+              | _ -> Alcotest.fail "unknown document must map to unknown-document");
+              (match
+                 Client.call cli
+                   (Service.Transform
+                      { doc = "d"; engine = Core.Engine.Td_bu; query = "not a query" })
+               with
+              | Service.Error { code = Service.Query_parse_error; _ } -> ()
+              | _ -> Alcotest.fail "bad query must map to query-parse-error");
+              match Client.call cli (Service.Batch [ Service.Batch [ Service.Stats ] ]) with
+              | Service.Ok
+                  (Service.Batch_results [ Service.Error { code = Service.Bad_request; _ } ]) ->
+                ()
+              | _ -> Alcotest.fail "nested batch must map to bad-request")))
+
+let test_batch_over_socket () =
+  with_doc_file (fun doc ->
+      with_server (fun _svc sock ->
+          let cli = Client.connect (Addr.Unix_socket sock) in
+          Fun.protect
+            ~finally:(fun () -> Client.close cli)
+            (fun () ->
+              load_over cli doc;
+              let count =
+                Service.Count { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices }
+              in
+              match Client.call_batch cli [ count; count; count ] with
+              | [ Service.Ok (Service.Element_count 16);
+                  Service.Ok (Service.Element_count 16);
+                  Service.Ok (Service.Element_count 16)
+                ] -> ()
+              | _ -> Alcotest.fail "batch over the socket")))
+
+(* ---- connection limit ---- *)
+
+let test_busy_rejection () =
+  with_doc_file (fun doc ->
+      with_server
+        ~config:{ Server.default_config with Server.max_connections = 1 }
+        (fun svc sock ->
+          let cli1 = Client.connect (Addr.Unix_socket sock) in
+          Fun.protect
+            ~finally:(fun () -> Client.close cli1)
+            (fun () ->
+              load_over cli1 doc;
+              (* the slot is taken: the next client gets one BUSY frame *)
+              let cli2 = Client.connect (Addr.Unix_socket sock) in
+              (match Client.call cli2 Service.Stats with
+              | Service.Error { code = Service.Overloaded; _ } -> ()
+              | _ -> Alcotest.fail "expected an overloaded rejection"
+              | exception Client.Transport_error _ ->
+                (* the BUSY frame races the close; either is a rejection,
+                   but the counter below must agree *)
+                ());
+              Client.close cli2;
+              Alcotest.(check bool) "rejection counted" true
+                (eventually (fun () -> Metrics.conns_rejected (Service.metrics svc) = 1));
+              (* the first connection is unaffected *)
+              match
+                Client.call cli1
+                  (Service.Count { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
+              with
+              | Service.Ok (Service.Element_count 16) -> ()
+              | _ -> Alcotest.fail "the admitted connection must keep working")))
+
+(* ---- TCP ---- *)
+
+let test_tcp_roundtrip () =
+  with_doc_file (fun doc ->
+      let svc = Service.create () in
+      let server =
+        Server.start ~service:svc (Addr.Tcp { host = "127.0.0.1"; port = 0 })
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.stop server;
+          Service.shutdown svc)
+        (fun () ->
+          let addr = Server.address server in
+          (match addr with
+          | Addr.Tcp { port; _ } -> Alcotest.(check bool) "ephemeral port bound" true (port > 0)
+          | _ -> Alcotest.fail "expected a TCP address");
+          let cli = Client.connect addr in
+          Fun.protect
+            ~finally:(fun () -> Client.close cli)
+            (fun () ->
+              load_over cli doc;
+              match
+                Client.call cli
+                  (Service.Count { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
+              with
+              | Service.Ok (Service.Element_count 16) -> ()
+              | _ -> Alcotest.fail "COUNT over TCP")))
+
+let suite =
+  [
+    Alcotest.test_case "wire: line protocol" `Quick test_line_protocol;
+    QCheck_alcotest.to_alcotest prop_request_roundtrip;
+    QCheck_alcotest.to_alcotest prop_response_roundtrip;
+    QCheck_alcotest.to_alcotest prop_header_roundtrip;
+    Alcotest.test_case "wire: header validation" `Quick test_header_validation;
+    Alcotest.test_case "socket: round trip matches in-process" `Quick
+      test_socket_matches_in_process;
+    Alcotest.test_case "socket: 4 concurrent clients" `Quick test_socket_concurrent_clients;
+    Alcotest.test_case "socket: malformed frame" `Quick test_malformed_frame;
+    Alcotest.test_case "socket: oversized frame" `Quick test_oversized_frame;
+    Alcotest.test_case "socket: truncated frame" `Quick test_truncated_frame;
+    Alcotest.test_case "socket: bad payload keeps the connection" `Quick
+      test_bad_payload_keeps_connection;
+    Alcotest.test_case "socket: error-code mapping" `Quick test_error_codes_over_socket;
+    Alcotest.test_case "socket: batch round trip" `Quick test_batch_over_socket;
+    Alcotest.test_case "socket: BUSY at the connection limit" `Quick test_busy_rejection;
+    Alcotest.test_case "tcp: round trip on an ephemeral port" `Quick test_tcp_roundtrip;
+  ]
