@@ -40,7 +40,24 @@ let tests () =
     Test.make ~name:"SAX parse (50 KB doc)"
       (Staged.stage (fun () -> Xut_xml.Sax.parse_string doc_text (fun _ -> ())));
     Test.make ~name:"DOM parse (50 KB doc)"
-      (Staged.stage (fun () -> Xut_xml.Dom.parse_string doc_text)) ]
+      (Staged.stage (fun () -> Xut_xml.Dom.parse_string doc_text));
+    (* the escape fast path: almost all of XMark text is escape-free, so
+       serialization time is dominated by run scanning + whole-run blits *)
+    Test.make ~name:"serialize to string (50 KB doc)"
+      (Staged.stage (fun () -> Xut_xml.Serialize.element_to_string doc));
+    Test.make ~name:"serialize via sink (50 KB doc)"
+      (Staged.stage (fun () ->
+           let sink = Xut_xml.Serialize.Sink.create (fun _ -> ()) in
+           Xut_xml.Serialize.Sink.element sink doc;
+           Xut_xml.Serialize.Sink.close sink));
+    (let plain = String.concat " " (List.init 400 (fun _ -> "no escapes here")) in
+     Test.make ~name:"escape plain text (6 KB)"
+       (Staged.stage (fun () -> Xut_xml.Serialize.to_string (Xut_xml.Node.Text plain))));
+    (let spicy =
+       String.concat " " (List.init 400 (fun i -> if i mod 4 = 0 then "a<b&c" else "plain"))
+     in
+     Test.make ~name:"escape 25% spicy text (2.5 KB)"
+       (Staged.stage (fun () -> Xut_xml.Serialize.to_string (Xut_xml.Node.Text spicy)))) ]
 
 (* ---- end-to-end ns/node: TD-BU over XMark, qualifier-heavy queries ---- *)
 

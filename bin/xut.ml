@@ -308,7 +308,11 @@ let serve_cmd =
 (* ---------------- client ---------------- *)
 
 let client_cmd =
-  let run socket_opt tcp_opt batch timeout requests =
+  let run socket_opt tcp_opt batch stream chunk_size timeout requests =
+    if batch && stream then begin
+      Printf.eprintf "xut client: --batch and --stream do not combine\n";
+      exit 2
+    end;
     let addr =
       match (socket_opt, tcp_opt) with
       | Some _, Some _ | None, None ->
@@ -364,8 +368,30 @@ let client_cmd =
       (match resp with Xut_service.Service.Error _ -> failed := true | _ -> ());
       print_endline (Xut_transport.Wire.Line.render_response resp)
     in
+    (* A streamed TRANSFORM writes raw result bytes to stdout as the
+       chunk frames arrive (plus a final newline), instead of buffering
+       the whole document in a response frame. *)
+    let stream_one req =
+      match req with
+      | Xut_service.Service.Transform { doc; engine; query } -> begin
+        match
+          Xut_transport.Client.transform_stream cli ~doc ~engine ~query ~chunk_size
+            (fun chunk -> print_string chunk)
+        with
+        | Xut_service.Service.Ok (Xut_service.Service.Stream_done _) ->
+          print_newline ();
+          flush stdout
+        | other ->
+          flush stdout;
+          print_resp other
+      end
+      | _ ->
+        Printf.eprintf "xut client: --stream applies only to TRANSFORM requests\n";
+        failed := true
+    in
     (try
-       if batch then List.iter print_resp (Xut_transport.Client.call_batch cli parsed)
+       if stream then List.iter stream_one parsed
+       else if batch then List.iter print_resp (Xut_transport.Client.call_batch cli parsed)
        else List.iter (fun req -> print_resp (Xut_transport.Client.call cli req)) parsed
      with Xut_transport.Client.Transport_error msg ->
        Printf.eprintf "xut client: %s\n" msg;
@@ -387,6 +413,18 @@ let client_cmd =
          & info [ "batch" ]
              ~doc:"Send all requests as one BATCH frame (one response frame back).")
   in
+  let stream =
+    Arg.(value & flag
+         & info [ "stream" ]
+             ~doc:"Stream TRANSFORM results: the server sends the serialized document as \
+                   chunked frames (protocol v2) written to stdout as they arrive, never \
+                   holding the whole result in one frame.")
+  in
+  let chunk_size =
+    Arg.(value & opt int Xut_service.Service.default_chunk_size
+         & info [ "chunk-size" ] ~docv:"BYTES"
+             ~doc:"Requested stream chunk size (with --stream).")
+  in
   let timeout =
     Arg.(value & opt float 30.
          & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Read timeout waiting for responses.")
@@ -401,12 +439,17 @@ let client_cmd =
     (Cmd.info "client"
        ~doc:"Send requests to a running xut socket server and print the replies (exit 0 when \
              all succeed, 1 on any ERR).")
-    Term.(const run $ socket_opt $ tcp_opt $ batch $ timeout $ requests)
+    Term.(const run $ socket_opt $ tcp_opt $ batch $ stream $ chunk_size $ timeout $ requests)
 
 (* ---------------- bench-serve ---------------- *)
 
 let bench_serve_cmd =
-  let run doc_opt factor requests domains_list engine query_opt payload json_opt socket batch =
+  let run doc_opt factor requests domains_list engine query_opt payload stream chunk_size
+      json_opt socket batch =
+    (* Streaming is a payload-mode variant; batching does not apply (a
+       stream is one transform per exchange). *)
+    let payload = payload || stream in
+    let batch = if stream then 1 else max 1 batch in
     (* Document: the given file, or a generated XMark one. *)
     let doc_file, cleanup =
       match doc_opt with
@@ -432,17 +475,17 @@ let bench_serve_cmd =
              | _ -> None)
     in
     let domain_counts = if domain_counts = [] then [ 1; 2; 4 ] else domain_counts in
-    let batch = max 1 batch in
     Printf.printf
       "bench-serve: doc=%s requests=%d engine=%s reply=%s transport=%s batch=%d cores=%d\n\
        query: %s\n\n"
       doc_file requests (Engine.name engine)
-      (if payload then "payload" else "count")
+      (if stream then "stream" else if payload then "payload" else "count")
       (if socket then "unix-socket" else "in-process")
       batch
       (Domain.recommended_domain_count ())
       query;
-    Printf.printf "%-8s %-6s %10s %12s %10s %10s\n" "domains" "cache" "wall(s)" "req/s" "p95(ms)" "hits";
+    Printf.printf "%-8s %-6s %10s %12s %10s %10s %10s %10s\n" "domains" "cache" "wall(s)"
+      "req/s" "p95(ms)" "hits" "MB/s" "kw/req";
     let measure ~domains ~cache_on =
       let svc =
         Xut_service.Service.create ~domains
@@ -473,21 +516,41 @@ let bench_serve_cmd =
          worker count, so every domain always has work without the
          driver outrunning the queue. *)
       let window = max 2 (2 * domains) in
+      (* Result-payload bytes: streamed chunks are counted in [emit]
+         (worker domains, hence atomic); materialized payloads by
+         walking the responses. *)
+      let payload_bytes = Atomic.make 0 in
+      let add_bytes n = ignore (Atomic.fetch_and_add payload_bytes n) in
+      let rec note = function
+        | Xut_service.Service.Ok (Xut_service.Service.Tree s) -> add_bytes (String.length s)
+        | Xut_service.Service.Ok (Xut_service.Service.Batch_results rs) -> List.iter note rs
+        | _ -> ()
+      in
+      let emit chunk = add_bytes (String.length chunk) in
+      (* Gc.stat aggregates across domains, so the minor-words delta
+         covers the workers where the per-request allocation happens. *)
+      let gc0 = Gc.stat () in
       let dt =
         if not socket then begin
+          let submit_unit () =
+            if stream then
+              Xut_service.Service.submit_stream svc ~doc:"d" ~engine ~query ~chunk_size emit
+            else Xut_service.Service.submit svc unit_req
+          in
           let in_flight = Queue.create () in
           let t0 = Unix.gettimeofday () in
           for _ = 1 to units do
             if Queue.length in_flight >= window then
-              ignore (Xut_service.Service.await (Queue.pop in_flight));
-            Queue.push (Xut_service.Service.submit svc unit_req) in_flight
+              note (Xut_service.Service.await (Queue.pop in_flight));
+            Queue.push (submit_unit ()) in_flight
           done;
-          Queue.iter (fun fut -> ignore (Xut_service.Service.await fut)) in_flight;
+          Queue.iter (fun fut -> note (Xut_service.Service.await fut)) in_flight;
           Unix.gettimeofday () -. t0
         end
         else begin
           (* The real transport: frames over a Unix socket, pipelined
-             [window] deep. *)
+             [window] deep (streams go one at a time: a stream owns the
+             connection until its END frame). *)
           let sock_path = Filename.temp_file "xut_bench" ".sock" in
           Sys.remove sock_path;
           let server =
@@ -495,26 +558,39 @@ let bench_serve_cmd =
               (Xut_transport.Addr.Unix_socket sock_path)
           in
           let cli = Xut_transport.Client.connect (Xut_transport.Addr.Unix_socket sock_path) in
-          let in_flight = ref 0 in
           let t0 = Unix.gettimeofday () in
-          for _ = 1 to units do
-            if !in_flight >= window then begin
-              ignore (Xut_transport.Client.recv cli);
+          if stream then
+            for _ = 1 to units do
+              match
+                Xut_transport.Client.transform_stream cli ~doc:"d" ~engine ~query ~chunk_size
+                  emit
+              with
+              | Xut_service.Service.Ok _ -> ()
+              | Xut_service.Service.Error { message; _ } ->
+                failwith ("bench-serve: " ^ message)
+            done
+          else begin
+            let in_flight = ref 0 in
+            for _ = 1 to units do
+              if !in_flight >= window then begin
+                note (snd (Xut_transport.Client.recv cli));
+                decr in_flight
+              end;
+              ignore (Xut_transport.Client.send cli unit_req);
+              incr in_flight
+            done;
+            while !in_flight > 0 do
+              note (snd (Xut_transport.Client.recv cli));
               decr in_flight
-            end;
-            ignore (Xut_transport.Client.send cli unit_req);
-            incr in_flight
-          done;
-          while !in_flight > 0 do
-            ignore (Xut_transport.Client.recv cli);
-            decr in_flight
-          done;
+            done
+          end;
           let dt = Unix.gettimeofday () -. t0 in
           Xut_transport.Client.close cli;
           Xut_transport.Server.stop server;
           dt
         end
       in
+      let gc1 = Gc.stat () in
       let m = Xut_service.Service.metrics svc in
       let p95 = Xut_service.Metrics.quantile m 0.95 *. 1e3 in
       let hits = Xut_service.Metrics.cache_hits m in
@@ -522,9 +598,13 @@ let bench_serve_cmd =
       Xut_service.Service.shutdown svc;
       if errors > 0 then failwith (Printf.sprintf "bench-serve: %d errors" errors);
       let rps = float_of_int total /. dt in
-      Printf.printf "%-8d %-6s %10.3f %12.1f %10.2f %10d\n%!" domains
-        (if cache_on then "on" else "off") dt rps p95 hits;
-      rps
+      let mb_s = float_of_int (Atomic.get payload_bytes) /. dt /. 1e6 in
+      let kw_req =
+        (gc1.Gc.minor_words -. gc0.Gc.minor_words) /. float_of_int total /. 1e3
+      in
+      Printf.printf "%-8d %-6s %10.3f %12.1f %10.2f %10d %10.2f %10.1f\n%!" domains
+        (if cache_on then "on" else "off") dt rps p95 hits mb_s kw_req;
+      (rps, mb_s, kw_req)
     in
     let results =
       List.map
@@ -543,27 +623,32 @@ let bench_serve_cmd =
           Printf.fprintf oc "  \"bench\": \"bench-serve\",\n";
           Printf.fprintf oc "  \"engine\": \"%s\",\n" (Engine.name engine);
           Printf.fprintf oc "  \"requests\": %d,\n" requests;
-          Printf.fprintf oc "  \"reply\": \"%s\",\n" (if payload then "payload" else "count");
+          Printf.fprintf oc "  \"reply\": \"%s\",\n"
+            (if stream then "stream" else if payload then "payload" else "count");
+          Printf.fprintf oc "  \"chunk_size\": %d,\n" chunk_size;
           Printf.fprintf oc "  \"transport\": \"%s\",\n"
             (if socket then "unix-socket" else "in-process");
           Printf.fprintf oc "  \"batch\": %d,\n" batch;
           Printf.fprintf oc "  \"rows\": [\n";
           List.iteri
-            (fun i (d, off, on) ->
+            (fun i (d, (off, off_mb, off_kw), (on, on_mb, on_kw)) ->
               Printf.fprintf oc
-                "    { \"domains\": %d, \"req_s_cache_off\": %.1f, \"req_s_cache_on\": %.1f }%s\n"
-                d off on
+                "    { \"domains\": %d, \"req_s_cache_off\": %.1f, \"req_s_cache_on\": %.1f, \
+                 \"payload_mb_s_cache_off\": %.2f, \"payload_mb_s_cache_on\": %.2f, \
+                 \"minor_kwords_per_req_cache_off\": %.1f, \
+                 \"minor_kwords_per_req_cache_on\": %.1f }%s\n"
+                d off on off_mb on_mb off_kw on_kw
                 (if i = List.length results - 1 then "" else ","))
             results;
           Printf.fprintf oc "  ]\n}\n");
       Printf.printf "[json: %s]\n" path);
     (match (List.nth_opt results 0, List.rev results) with
-    | Some (d1, _, on1), (dn, _, onn) :: _ when dn > d1 ->
+    | Some (d1, _, (on1, _, _)), (dn, _, (onn, _, _)) :: _ when dn > d1 ->
       Printf.printf "\nscaling: %d domains = %.2fx the %d-domain throughput (cache on)\n" dn
         (onn /. on1) d1
     | _ -> ());
     List.iter
-      (fun (d, off, on) ->
+      (fun (d, (off, _, _), (on, _, _)) ->
         Printf.printf "cache: on = %.2fx off at %d domain%s\n" (on /. off) d
           (if d = 1 then "" else "s"))
       results;
@@ -593,6 +678,17 @@ let bench_serve_cmd =
          & info [ "payload" ]
              ~doc:"Request the full serialized result per request (TRANSFORM) instead of the \
                    lean element-count reply (COUNT).")
+  in
+  let stream =
+    Arg.(value & flag
+         & info [ "stream" ]
+             ~doc:"Payload mode through the zero-materialization streaming path \
+                   (transform_stream / chunked v2 frames) instead of one Tree response per \
+                   request.  Implies --payload; ignores --batch.")
+  in
+  let chunk_size =
+    Arg.(value & opt int Xut_service.Service.default_chunk_size
+         & info [ "chunk-size" ] ~docv:"BYTES" ~doc:"Stream chunk size (with --stream).")
   in
   let json_opt =
     Arg.(value & opt (some string) None
@@ -626,7 +722,9 @@ let bench_serve_cmd =
   Cmd.v
     (Cmd.info "bench-serve"
        ~doc:"Closed-loop load benchmark of the service layer: domains 1..N, plan cache on/off.")
-    Term.(const run $ doc_opt $ factor $ requests $ domains_list $ bench_engine $ query_opt $ payload $ json_opt $ socket $ batch)
+    Term.(
+      const run $ doc_opt $ factor $ requests $ domains_list $ bench_engine $ query_opt
+      $ payload $ stream $ chunk_size $ json_opt $ socket $ batch)
 
 let main =
   let info = Cmd.info "xut" ~version:"1.0.0" ~doc:"Querying XML with update syntax (SIGMOD 2007)." in

@@ -102,3 +102,118 @@ let transform_at ?checkp nfa update ~states (e : Node.element) : Node.t list =
 let transform update root =
   let nfa = Selecting_nfa.of_path (Transform_ast.path update) in
   run nfa update root
+
+(* ---------------- streaming emission ----------------
+
+   The same top-down walk, but instead of rebuilding a result tree the
+   output is pushed to a SAX sink as it is decided.  Untouched subtrees
+   (empty state set) and inserted/replacement subtrees are emitted
+   whole; everything else is a start-tag, the transformed children, an
+   end-tag.  Mirrors [make_go] + [Semantics.apply_matched] arm for arm,
+   so the byte stream a serializer sink produces is exactly the
+   serialization of [run]'s result. *)
+
+let emit_tree sink node =
+  let rec go = function
+    | Node.Element e ->
+      sink (Sax.Start_element (Node.name e, Node.attrs e));
+      List.iter go (Node.children e);
+      sink (Sax.End_element (Node.name e))
+    | Node.Text s -> sink (Sax.Characters s)
+    | Node.Comment s -> sink (Sax.Comment_event s)
+    | Node.Pi (t, c) -> sink (Sax.Pi_event (t, c))
+  in
+  go node
+
+let stream ?checkp nfa update root sink =
+  let checkp = match checkp with Some f -> f | None -> direct_checkp nfa in
+  if not (Semantics.ctx_holds nfa root) then emit_tree sink (Node.Element root)
+  else if Selecting_nfa.selects_context nfa then
+    emit_tree sink (Node.Element (Semantics.apply_at_root update root))
+  else begin
+    let rec go (e : Node.element) states =
+      Stats.visit ();
+      let states' =
+        Selecting_nfa.next nfa ~checkp:(fun s -> checkp s e) states (Node.sym e)
+      in
+      if Selecting_nfa.set_is_empty states' then begin
+        Stats.share ();
+        emit_tree sink (Node.Element e)
+      end
+      else begin
+        let matched = Selecting_nfa.accepts_set nfa states' in
+        match update, matched with
+        | Transform_ast.Delete _, true -> ()
+        | Transform_ast.Replace (_, enew), true -> emit_tree sink enew
+        | Transform_ast.Rename (_, l), true ->
+          sink (Sax.Start_element (l, Node.attrs e));
+          kids e states';
+          sink (Sax.End_element l)
+        | Transform_ast.Insert (_, enew), true ->
+          sink (Sax.Start_element (Node.name e, Node.attrs e));
+          kids e states';
+          emit_tree sink enew;
+          sink (Sax.End_element (Node.name e))
+        | Transform_ast.Insert_first (_, enew), true ->
+          sink (Sax.Start_element (Node.name e, Node.attrs e));
+          emit_tree sink enew;
+          kids e states';
+          sink (Sax.End_element (Node.name e))
+        | (Transform_ast.Insert _ | Transform_ast.Insert_first _ | Transform_ast.Delete _
+          | Transform_ast.Replace _ | Transform_ast.Rename _), false ->
+          sink (Sax.Start_element (Node.name e, Node.attrs e));
+          kids e states';
+          sink (Sax.End_element (Node.name e))
+      end
+    and kids e states' =
+      List.iter
+        (function
+          | Node.Element c -> go c states'
+          | (Node.Text _ | Node.Comment _ | Node.Pi _) as other -> emit_tree sink other)
+        (Node.children e)
+    in
+    (* the document element needs the structural checks [run] applies to
+       [go]'s result list — settled here before anything is emitted *)
+    Stats.visit ();
+    let states' =
+      Selecting_nfa.next nfa ~checkp:(fun s -> checkp s root)
+        (Selecting_nfa.start nfa) (Node.sym root)
+    in
+    if Selecting_nfa.set_is_empty states' then begin
+      Stats.share ();
+      emit_tree sink (Node.Element root)
+    end
+    else begin
+      let matched = Selecting_nfa.accepts_set nfa states' in
+      match update, matched with
+      | Transform_ast.Delete _, true ->
+        raise (Transform_ast.Invalid_update "update deletes the document element")
+      | Transform_ast.Replace (_, enew), true -> begin
+        match enew with
+        | Node.Element _ -> emit_tree sink enew
+        | Node.Text _ | Node.Comment _ | Node.Pi _ ->
+          raise
+            (Transform_ast.Invalid_update
+               "update replaces the document element with a non-element")
+      end
+      | Transform_ast.Rename (_, l), true ->
+        sink (Sax.Start_element (l, Node.attrs root));
+        kids root states';
+        sink (Sax.End_element l)
+      | Transform_ast.Insert (_, enew), true ->
+        sink (Sax.Start_element (Node.name root, Node.attrs root));
+        kids root states';
+        emit_tree sink enew;
+        sink (Sax.End_element (Node.name root))
+      | Transform_ast.Insert_first (_, enew), true ->
+        sink (Sax.Start_element (Node.name root, Node.attrs root));
+        emit_tree sink enew;
+        kids root states';
+        sink (Sax.End_element (Node.name root))
+      | (Transform_ast.Insert _ | Transform_ast.Insert_first _ | Transform_ast.Delete _
+        | Transform_ast.Replace _ | Transform_ast.Rename _), false ->
+        sink (Sax.Start_element (Node.name root, Node.attrs root));
+        kids root states';
+        sink (Sax.End_element (Node.name root))
+    end
+  end

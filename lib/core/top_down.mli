@@ -25,6 +25,24 @@ val transform : Transform_ast.update -> Node.element -> Node.element
 (** Convenience: build the NFA from the update's path and {!run} with the
     direct oracle. *)
 
+val stream :
+  ?checkp:checkp ->
+  Selecting_nfa.t ->
+  Transform_ast.update ->
+  Node.element ->
+  (Sax.event -> unit) ->
+  unit
+(** The same walk as {!run}, but the result is pushed to a SAX sink as
+    it is decided instead of being rebuilt as a tree: untouched subtrees
+    (empty state set) and inserted/replacement subtrees are replayed
+    whole, matched nodes get their update applied in event space.  Fed
+    into {!Xut_xml.Serialize.Sink} this is the zero-materialization
+    result path: the byte stream equals the serialization of {!run}'s
+    result, with no output tree and no monolithic output string.
+    @raise Transform_ast.Invalid_update as {!run} — before any event of
+    the offending construct is emitted at the root, but possibly after
+    earlier output (the mid-stream error case transports must carry). *)
+
 val transform_at :
   ?checkp:checkp ->
   Selecting_nfa.t ->

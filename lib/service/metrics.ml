@@ -22,6 +22,9 @@ type t = {
   frames_malformed : int Atomic.t;
   bytes_in : int Atomic.t;
   bytes_out : int Atomic.t;
+  streams : int Atomic.t;
+  stream_chunks : int Atomic.t;
+  stream_bytes : int Atomic.t;
 }
 
 let create () =
@@ -43,6 +46,9 @@ let create () =
     frames_malformed = Atomic.make 0;
     bytes_in = Atomic.make 0;
     bytes_out = Atomic.make 0;
+    streams = Atomic.make 0;
+    stream_chunks = Atomic.make 0;
+    stream_bytes = Atomic.make 0;
   }
 
 let incr_requests m = Atomic.incr m.requests
@@ -99,6 +105,16 @@ let frame_out m bytes =
 
 let frame_malformed m = Atomic.incr m.frames_malformed
 
+let stream_started m = Atomic.incr m.streams
+
+let stream_chunk m bytes =
+  Atomic.incr m.stream_chunks;
+  ignore (Atomic.fetch_and_add m.stream_bytes bytes)
+
+let streams m = Atomic.get m.streams
+let stream_chunks m = Atomic.get m.stream_chunks
+let stream_bytes m = Atomic.get m.stream_bytes
+
 let conns_accepted m = Atomic.get m.conns_accepted
 let conns_active m = Atomic.get m.conns_active
 let conns_rejected m = Atomic.get m.conns_rejected
@@ -147,13 +163,17 @@ let reset m =
   Atomic.set m.frames_out 0;
   Atomic.set m.frames_malformed 0;
   Atomic.set m.bytes_in 0;
-  Atomic.set m.bytes_out 0
+  Atomic.set m.bytes_out 0;
+  Atomic.set m.streams 0;
+  Atomic.set m.stream_chunks 0;
+  Atomic.set m.stream_bytes 0
 
 (* Hot-path counters from the automata/xml layers (transition memo, symbol
    table).  Process-wide, not per-service, and unsynchronized on the hot
    path, so the values are approximate under concurrent domains. *)
 let nfa_memo_stats () = Xut_automata.Selecting_nfa.global_memo_stats ()
 let sym_stats () = (Xut_xml.Sym.count (), Xut_xml.Sym.interns ())
+let serialize_pool_stats () = Xut_xml.Serialize.Pool.stats ()
 
 let dump m =
   let b = Buffer.create 256 in
@@ -176,6 +196,12 @@ let dump m =
   Printf.bprintf b "frames_malformed %d\n" (frames_malformed m);
   Printf.bprintf b "bytes_in %d\n" (bytes_in m);
   Printf.bprintf b "bytes_out %d\n" (bytes_out m);
+  Printf.bprintf b "streams %d\n" (streams m);
+  Printf.bprintf b "stream_chunks %d\n" (stream_chunks m);
+  Printf.bprintf b "stream_bytes %d\n" (stream_bytes m);
+  let pool_hits, pool_misses = serialize_pool_stats () in
+  Printf.bprintf b "serialize_pool_hits %d\n" pool_hits;
+  Printf.bprintf b "serialize_pool_misses %d\n" pool_misses;
   let hits, misses = nfa_memo_stats () in
   let rate = if hits + misses = 0 then 0. else float_of_int hits /. float_of_int (hits + misses) in
   Printf.bprintf b "nfa_memo_hits %d\n" hits;

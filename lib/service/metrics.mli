@@ -66,6 +66,20 @@ val frame_malformed : t -> unit
 (** A frame failed header validation, payload decoding, or was
     truncated by a disconnect/timeout. *)
 
+(** {2 Streaming counters}
+
+    Maintained by the streaming result path ({!Service.transform_stream}
+    and the transport's chunked replies): streams started, chunks
+    handed to consumers, and payload bytes streamed. *)
+
+val stream_started : t -> unit
+val stream_chunk : t -> int -> unit
+(** One chunk of the given payload size was handed to a consumer. *)
+
+val streams : t -> int
+val stream_chunks : t -> int
+val stream_bytes : t -> int
+
 val conns_accepted : t -> int
 val conns_active : t -> int
 val conns_rejected : t -> int
@@ -93,6 +107,10 @@ val nfa_memo_stats : unit -> int * int
 val sym_stats : unit -> int * int
 (** [(distinct symbols, intern calls)] of the global element-name symbol
     table; the gap between the two is the hit count. *)
+
+val serialize_pool_stats : unit -> int * int
+(** [(hits, misses)] of the process-wide serializer buffer pool
+    ({!Xut_xml.Serialize.Pool}). *)
 
 val dump : t -> string
 (** Multi-line text rendering of every metric (the [STATS] payload),

@@ -22,6 +22,7 @@ type payload =
   | Element_count of int
   | Stats_dump of string
   | Batch_results of response list
+  | Stream_done of { bytes : int; chunks : int }
 
 and response =
   | Ok of payload
@@ -55,6 +56,7 @@ and render_payload = function
   | Tree s -> s
   | Element_count n -> Printf.sprintf "elements=%d" n
   | Stats_dump s -> s
+  | Stream_done { bytes; chunks } -> Printf.sprintf "streamed bytes=%d chunks=%d" bytes chunks
   | Batch_results rs ->
     String.concat "\n"
       (List.map
@@ -64,12 +66,22 @@ and render_payload = function
            | Stdlib.Error e -> "ERR " ^ e)
          rs)
 
+(* What a worker actually dequeues: the request, plus — for the
+   streaming result path — the consumer its chunks go to.  The stream
+   half never crosses the wire (transports decode their own stream
+   framing and supply [emit]); [request] stays pure data. *)
+type stream_params = { emit : string -> unit; chunk_size : int }
+
+type job = { req : request; stream : stream_params option }
+
 type t = {
   store : Doc_store.t;
   cache : Plan_cache.t;
   metrics : Metrics.t;
-  pool : (request, response) Worker_pool.t;
+  pool : (job, response) Worker_pool.t;
 }
+
+let default_chunk_size = Xut_xml.Serialize.Sink.default_chunk_size
 
 (* Engines that consume the selecting NFA take the precompiled one from
    the plan; TD-BU additionally reuses the memoized bottom-up annotation
@@ -85,6 +97,29 @@ let run_plan (plan : Plan_cache.plan) engine root =
       ~checkp:(Xut_automata.Annotator.checkp table plan.Plan_cache.nfa)
       plan.Plan_cache.nfa update root
   | other -> Engine.transform other update root
+
+(* The zero-materialization counterpart of [run_plan]: the engines that
+   can emit the result as events drive the serializer sink directly (no
+   output tree, no monolithic string); the rest materialize their tree
+   and hand it to the sink whole, still getting chunking, the pooled
+   buffer and the escape fast path. *)
+let run_plan_stream (plan : Plan_cache.plan) engine root sink =
+  let update = plan.Plan_cache.query.Transform_ast.update in
+  let events = Xut_xml.Serialize.Sink.event sink in
+  match (engine : Engine.algo) with
+  | Engine.Gentop -> Top_down.stream plan.Plan_cache.nfa update root events
+  | Engine.Td_bu ->
+    let table = Plan_cache.annotation plan root in
+    Top_down.stream
+      ~checkp:(Xut_automata.Annotator.checkp table plan.Plan_cache.nfa)
+      plan.Plan_cache.nfa update root events
+  | Engine.Two_pass_sax ->
+    (* same front end as [Sax_transform.transform]: the SAX passes need
+       the NFA built from the raw path *)
+    let nfa = Xut_automata.Selecting_nfa.of_path (Transform_ast.path update) in
+    ignore
+      (Sax_transform.run nfa update ~source:(Xut_xml.Sax.events_of_tree root) ~sink:events)
+  | other -> Xut_xml.Serialize.Sink.element sink (Engine.transform other update root)
 
 let evaluate ~store ~cache ~metrics ~doc ~engine ~query =
   match Doc_store.find store doc with
@@ -148,6 +183,48 @@ let rec handle ~store ~cache ~metrics ~depth = function
         (Batch_results
            (List.map (handle ~store ~cache ~metrics ~depth:(depth + 1)) reqs))
 
+(* Streaming evaluation: chunks go to [emit] as they fill; the response
+   carries only the totals.  An engine failure after chunks have gone
+   out is reported as an [Error] response — transports turn that into a
+   mid-stream error frame, in-process callers see partial output
+   followed by the error. *)
+let handle_streaming ~store ~cache ~metrics { emit; chunk_size } = function
+  | Transform { doc; engine; query } -> begin
+    match Doc_store.find store doc with
+    | None -> error Unknown_document "no document %S (LOAD it first)" doc
+    | Some root -> begin
+      match Plan_cache.find_or_compile cache query with
+      | exception Transform_parser.Parse_error msg -> error Query_parse_error "%s" msg
+      | exception e -> error Query_parse_error "%s" (Printexc.to_string e)
+      | plan, outcome -> begin
+        (match outcome with
+        | Plan_cache.Hit -> Metrics.incr_cache_hits metrics
+        | Plan_cache.Miss -> Metrics.incr_cache_misses metrics);
+        Metrics.stream_started metrics;
+        let sink =
+          Xut_xml.Serialize.Sink.create ~chunk_size (fun chunk ->
+              Metrics.stream_chunk metrics (String.length chunk);
+              emit chunk)
+        in
+        match run_plan_stream plan engine root sink with
+        | () ->
+          let totals = Xut_xml.Serialize.Sink.close sink in
+          Ok
+            (Stream_done
+               { bytes = totals.Xut_xml.Serialize.Sink.bytes;
+                 chunks = totals.Xut_xml.Serialize.Sink.chunks
+               })
+        | exception e ->
+          Xut_xml.Serialize.Sink.abort sink;
+          (match e with
+          | Failure msg -> error Eval_error "%s" msg
+          | e -> error Eval_error "%s" (Printexc.to_string e))
+      end
+    end
+  end
+  | Load _ | Unload _ | Count _ | Stats | Batch _ ->
+    error Bad_request "only TRANSFORM can stream"
+
 let rec count_errors = function
   | Error _ -> 1
   | Ok (Batch_results rs) -> List.fold_left (fun n r -> n + count_errors r) 0 rs
@@ -157,10 +234,14 @@ let create ?(domains = 1) ?(cache_capacity = 128) ?(queue_capacity = 64) () =
   let store = Doc_store.create () in
   let cache = Plan_cache.create ~capacity:cache_capacity in
   let metrics = Metrics.create () in
-  let handler req =
+  let handler job =
     Metrics.incr_requests metrics;
     let t0 = Unix.gettimeofday () in
-    let resp = handle ~store ~cache ~metrics ~depth:0 req in
+    let resp =
+      match job.stream with
+      | None -> handle ~store ~cache ~metrics ~depth:0 job.req
+      | Some sp -> handle_streaming ~store ~cache ~metrics sp job.req
+    in
     Metrics.record_latency metrics (Unix.gettimeofday () -. t0);
     for _ = 1 to count_errors resp do
       Metrics.incr_errors metrics
@@ -182,11 +263,20 @@ type future =
   | Ready of response
   | Pending of (response, string) Stdlib.result Worker_pool.future
 
-let submit t req =
-  match Worker_pool.submit t.pool req with
+let submit_job t job =
+  match Worker_pool.submit t.pool job with
   | fut -> Pending fut
   | exception Invalid_argument _ ->
     Ready (error Overloaded "service is shut down")
+
+let submit t req = submit_job t { req; stream = None }
+
+let submit_stream t ~doc ~engine ~query ?(chunk_size = default_chunk_size) emit =
+  submit_job t
+    {
+      req = Transform { doc; engine; query };
+      stream = Some { emit; chunk_size = max 1 chunk_size };
+    }
 
 let flatten = function
   | Stdlib.Ok r -> r
@@ -201,6 +291,9 @@ let peek = function
   | Pending fut -> Option.map flatten (Worker_pool.peek fut)
 
 let call t req = await (submit t req)
+
+let transform_stream t ~doc ~engine ~query ?chunk_size emit =
+  await (submit_stream t ~doc ~engine ~query ?chunk_size emit)
 let metrics t = t.metrics
 let cache_stats t = Plan_cache.stats t.cache
 let store t = t.store

@@ -49,6 +49,10 @@ type payload =
   | Stats_dump of string
   | Batch_results of response list
       (** One response per [Batch] item, in request order. *)
+  | Stream_done of { bytes : int; chunks : int }
+      (** Completion of a streamed [Transform] ({!transform_stream}):
+          the payload bytes went to the consumer chunk by chunk, so the
+          response carries only the totals. *)
 
 and response =
   | Ok of payload
@@ -93,6 +97,45 @@ val peek : future -> response option
 
 val call : t -> request -> response
 (** Synchronous round trip. *)
+
+(** {2 Streaming results}
+
+    The zero-materialization result path: a [Transform] whose serialized
+    result is handed to a caller-supplied consumer in chunks as the
+    engine produces it, instead of being returned as one [Tree] string.
+    The streaming engines (GENTOP, TD-BU, twoPassSAX) emit events
+    straight into the serializer sink — no output tree, no monolithic
+    string; the others materialize their tree and stream its
+    serialization.  The byte concatenation of the chunks is exactly the
+    [Tree] payload the plain [Transform] would have produced. *)
+
+val default_chunk_size : int
+(** {!Xut_xml.Serialize.Sink.default_chunk_size} (64 KiB). *)
+
+val submit_stream :
+  t ->
+  doc:string ->
+  engine:Core.Engine.algo ->
+  query:string ->
+  ?chunk_size:int ->
+  (string -> unit) ->
+  future
+(** Enqueue a streaming transform.  [emit] runs on the worker domain,
+    once per chunk, strictly before the future resolves; it must be
+    quick or the worker stalls (transports write the chunk frame here).
+    If [emit] raises, or the engine fails after chunks have gone out,
+    the future resolves to an [Error] — the mid-stream error case. *)
+
+val transform_stream :
+  t ->
+  doc:string ->
+  engine:Core.Engine.algo ->
+  query:string ->
+  ?chunk_size:int ->
+  (string -> unit) ->
+  response
+(** Synchronous {!submit_stream}: [Ok (Stream_done _)] after the last
+    chunk, or an [Error]. *)
 
 val metrics : t -> Metrics.t
 val cache_stats : t -> Plan_cache.stats

@@ -55,19 +55,29 @@ let send t req =
   write_all t (Wire.Binary.request_frame ~id req);
   id
 
-let read_frame t =
+(* One frame off the wire, whatever its kind. *)
+let read_raw_frame t =
   read_exact t t.hdr 0 Wire.Binary.header_size;
   match Wire.Binary.decode_header t.hdr with
   | Error msg -> raise (Transport_error ("bad frame from server: " ^ msg))
-  | Ok { Wire.Binary.kind = Wire.Binary.Request; _ } ->
-    raise (Transport_error "server sent a request frame")
-  | Ok { Wire.Binary.id; length; _ } -> begin
+  | Ok ({ Wire.Binary.length; _ } as hdr) ->
     let payload = Bytes.create length in
     read_exact t payload 0 length;
-    match Wire.Binary.decode_response (Bytes.unsafe_to_string payload) with
-    | Error msg -> raise (Transport_error ("bad response payload: " ^ msg))
-    | Ok resp -> (id, resp)
-  end
+    (hdr, Bytes.unsafe_to_string payload)
+
+let decode_response_exn payload =
+  match Wire.Binary.decode_response payload with
+  | Error msg -> raise (Transport_error ("bad response payload: " ^ msg))
+  | Ok resp -> resp
+
+let read_frame t =
+  let hdr, payload = read_raw_frame t in
+  match hdr.Wire.Binary.kind with
+  | Wire.Binary.Response -> (hdr.Wire.Binary.id, decode_response_exn payload)
+  | Wire.Binary.Request -> raise (Transport_error "server sent a request frame")
+  | Wire.Binary.Stream_begin | Wire.Binary.Stream_chunk | Wire.Binary.Stream_end
+  | Wire.Binary.Stream_error ->
+    raise (Transport_error "unexpected stream frame (no stream in flight)")
 
 let recv t =
   match Hashtbl.fold (fun id resp _ -> Some (id, resp)) t.stash None with
@@ -97,3 +107,41 @@ let call_batch t reqs =
   match call t (Service.Batch reqs) with
   | Service.Ok (Service.Batch_results rs) -> rs
   | other -> [ other ]
+
+let transform_stream t ~doc ~engine ~query ?(chunk_size = Service.default_chunk_size) on_chunk =
+  let id = t.next_id in
+  t.next_id <- Int64.add id 1L;
+  write_all t
+    (Wire.Binary.stream_request_frame ~id { Wire.Binary.doc; engine; query; chunk_size });
+  let rec wait () =
+    let hdr, payload = read_raw_frame t in
+    let rid = hdr.Wire.Binary.id in
+    match hdr.Wire.Binary.kind with
+    | Wire.Binary.Response when rid = id || rid = 0L ->
+      (* a plain response instead of stream frames: the server's
+         rejection of the stream request (or a BUSY notice) *)
+      decode_response_exn payload
+    | Wire.Binary.Response ->
+      (* completion of some other pipelined request *)
+      Hashtbl.replace t.stash rid (decode_response_exn payload);
+      wait ()
+    | Wire.Binary.Request -> raise (Transport_error "server sent a request frame")
+    | _ when rid <> id ->
+      (* only one stream can be in flight per connection *)
+      raise (Transport_error "stream frame for a different request id")
+    | Wire.Binary.Stream_begin -> wait ()
+    | Wire.Binary.Stream_chunk ->
+      on_chunk payload;
+      wait ()
+    | Wire.Binary.Stream_end -> begin
+      match Wire.Binary.decode_stream_end payload with
+      | Error msg -> raise (Transport_error ("bad stream-end payload: " ^ msg))
+      | Ok (bytes, chunks) -> Service.Ok (Service.Stream_done { bytes; chunks })
+    end
+    | Wire.Binary.Stream_error -> begin
+      match Wire.Binary.decode_stream_error payload with
+      | Error msg -> raise (Transport_error ("bad stream-error payload: " ^ msg))
+      | Ok (code, message) -> Service.Error { code; message }
+    end
+  in
+  wait ()

@@ -41,3 +41,21 @@ val call_batch : t -> Service.request list -> Service.response list
 (** Wrap the requests in one [Batch] frame; returns the per-item
     responses.  A non-batch reply (e.g. a BUSY notice or an error for
     the batch itself) is returned as a single-element list. *)
+
+val transform_stream :
+  t ->
+  doc:string ->
+  engine:Core.Engine.algo ->
+  query:string ->
+  ?chunk_size:int ->
+  (string -> unit) ->
+  Service.response
+(** Streamed transform (protocol v2): send one stream request, call
+    [on_chunk] with each [Stream_chunk] payload as it arrives, and
+    return [Ok (Stream_done _)] on [Stream_end] or [Error _] on
+    [Stream_error] — the latter possibly after chunks were already
+    delivered (the mid-stream error case; the partial output is
+    whatever [on_chunk] saw).  A plain response frame in place of the
+    stream (a server that rejects the request, or a BUSY notice) is
+    returned as-is.  Do not pipeline other requests while a stream is
+    being read. *)

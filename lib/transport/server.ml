@@ -57,29 +57,33 @@ let write_all fd s =
   in
   go 0
 
-(* Write one response frame; returns whether the client got it. *)
-let write_frame t conn ~id resp =
-  let s = Wire.Binary.response_frame ~id resp in
+(* Write one whole frame under the connection's write lock; returns
+   whether the client got it. *)
+let write_raw t conn s =
   Mutex.lock conn.wmu;
   let ok = write_all conn.fd s in
   Mutex.unlock conn.wmu;
   if ok then Metrics.frame_out (Service.metrics t.svc) (String.length s);
   ok
 
+(* Response frames echo the version of the request frame they answer,
+   so a v1 client never reads a header newer than it speaks. *)
+let write_frame ?version t conn ~id resp =
+  write_raw t conn (Wire.Binary.response_frame ?version ~id resp)
+
 let error_response code message = Service.Error { code; message }
 
 (* ---- per-request completion ---- *)
 
-let dispatch t conn ~id req =
-  (* submit blocks when the pool queue is full: backpressure lands on
-     this connection's reader, which stops consuming frames. *)
-  let fut = Service.submit t.svc req in
+let track_in_flight conn =
   Mutex.lock conn.cmu;
   conn.in_flight <- conn.in_flight + 1;
-  Mutex.unlock conn.cmu;
+  Mutex.unlock conn.cmu
+
+let spawn_completion conn complete =
+  track_in_flight conn;
   let complete () =
-    let resp = Service.await fut in
-    ignore (write_frame t conn ~id resp);
+    complete ();
     Mutex.lock conn.cmu;
     conn.in_flight <- conn.in_flight - 1;
     if conn.in_flight = 0 then Condition.broadcast conn.drained;
@@ -88,6 +92,39 @@ let dispatch t conn ~id req =
   match Thread.create complete () with
   | (_ : Thread.t) -> ()
   | exception _ -> complete () (* out of threads: finish synchronously *)
+
+let dispatch t conn ~version ~id req =
+  (* submit blocks when the pool queue is full: backpressure lands on
+     this connection's reader, which stops consuming frames. *)
+  let fut = Service.submit t.svc req in
+  spawn_completion conn (fun () -> ignore (write_frame ~version t conn ~id (Service.await fut)))
+
+(* A streamed transform: STREAM_BEGIN goes out before the request is
+   queued (so it precedes every chunk), chunk frames are written from
+   the worker domain as the serializer sink fills, and the completion
+   thread finishes the exchange with STREAM_END or — if the engine
+   failed after chunks went out — STREAM_ERROR. *)
+let dispatch_stream t conn ~id (sr : Wire.Binary.stream_request) =
+  ignore (write_raw t conn (Wire.Binary.stream_begin_frame ~id));
+  let emit chunk =
+    if not (write_raw t conn (Wire.Binary.stream_chunk_frame ~id chunk)) then
+      failwith "client disconnected mid-stream"
+  in
+  let fut =
+    Service.submit_stream t.svc ~doc:sr.Wire.Binary.doc ~engine:sr.Wire.Binary.engine
+      ~query:sr.Wire.Binary.query ~chunk_size:sr.Wire.Binary.chunk_size emit
+  in
+  spawn_completion conn (fun () ->
+      let final =
+        match Service.await fut with
+        | Service.Ok (Service.Stream_done { bytes; chunks }) ->
+          Wire.Binary.stream_end_frame ~id ~bytes ~chunks
+        | Service.Error { code; message } -> Wire.Binary.stream_error_frame ~id ~code message
+        | Service.Ok _ ->
+          Wire.Binary.stream_error_frame ~id ~code:Service.Eval_error
+            "stream produced a non-stream response"
+      in
+      ignore (write_raw t conn final))
 
 (* ---- connection reader ---- *)
 
@@ -104,12 +141,7 @@ let serve_conn t conn =
            can't be re-synchronized, so answer and drop the connection *)
         Metrics.frame_malformed m;
         ignore (write_frame t conn ~id:0L (error_response Service.Bad_request msg))
-      | Ok { Wire.Binary.kind = Wire.Binary.Response; id; _ } ->
-        Metrics.frame_malformed m;
-        ignore
-          (write_frame t conn ~id
-             (error_response Service.Bad_request "clients must send request frames"))
-      | Ok { Wire.Binary.id; length; _ } -> begin
+      | Ok { Wire.Binary.kind = Wire.Binary.Request; version; id; length } -> begin
         let payload = Bytes.create length in
         match read_exact conn.fd payload 0 length with
         | Eof | Stalled ->
@@ -117,18 +149,27 @@ let serve_conn t conn =
           Metrics.frame_malformed m
         | Complete -> begin
           Metrics.frame_in m (Wire.Binary.header_size + length);
-          match Wire.Binary.decode_request (Bytes.unsafe_to_string payload) with
+          match Wire.Binary.decode_incoming ~version (Bytes.unsafe_to_string payload) with
           | Error msg ->
             (* well-framed but undecodable: the framing is still in
                sync, so answer and keep serving this connection *)
             Metrics.frame_malformed m;
-            ignore (write_frame t conn ~id (error_response Service.Bad_request msg));
+            ignore (write_frame ~version t conn ~id (error_response Service.Bad_request msg));
             loop ()
-          | Ok req ->
-            dispatch t conn ~id req;
+          | Ok (Wire.Binary.Plain req) ->
+            dispatch t conn ~version ~id req;
+            loop ()
+          | Ok (Wire.Binary.Stream sr) ->
+            dispatch_stream t conn ~id sr;
             loop ()
         end
       end
+      | Ok { Wire.Binary.version; id; _ } ->
+        (* Response or Stream_* from a client: never valid *)
+        Metrics.frame_malformed m;
+        ignore
+          (write_frame ~version t conn ~id
+             (error_response Service.Bad_request "clients must send request frames"))
     end
   in
   loop ()

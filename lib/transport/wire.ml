@@ -71,21 +71,45 @@ module Line = struct
 end
 
 module Binary = struct
-  let protocol_version = 1
+  let protocol_version = 2
+  let min_protocol_version = 1
   let magic = "XU"
   let header_size = 16
   let default_max_frame = 16 * 1024 * 1024
 
-  type kind = Request | Response
+  type kind =
+    | Request
+    | Response
+    | Stream_begin
+    | Stream_chunk
+    | Stream_end
+    | Stream_error
 
   type header = { version : int; kind : kind; id : int64; length : int }
+
+  let kind_byte = function
+    | Request -> '\001'
+    | Response -> '\002'
+    | Stream_begin -> '\003'
+    | Stream_chunk -> '\004'
+    | Stream_end -> '\005'
+    | Stream_error -> '\006'
+
+  let kind_of_byte = function
+    | '\001' -> Some Request
+    | '\002' -> Some Response
+    | '\003' -> Some Stream_begin
+    | '\004' -> Some Stream_chunk
+    | '\005' -> Some Stream_end
+    | '\006' -> Some Stream_error
+    | _ -> None
 
   let encode_header { version; kind; id; length } =
     let b = Bytes.create header_size in
     Bytes.set b 0 magic.[0];
     Bytes.set b 1 magic.[1];
     Bytes.set b 2 (Char.chr (version land 0xff));
-    Bytes.set b 3 (match kind with Request -> '\001' | Response -> '\002');
+    Bytes.set b 3 (kind_byte kind);
     Bytes.set_int64_be b 4 id;
     Bytes.set_int32_be b 12 (Int32.of_int length);
     b
@@ -97,19 +121,25 @@ module Binary = struct
       Error "bad magic (not an xut frame)"
     else begin
       let version = Char.code (Bytes.get b 2) in
-      if version <> protocol_version then
+      if version < min_protocol_version || version > protocol_version then
         Error
-          (Printf.sprintf "unsupported protocol version %d (this side speaks %d)" version
-             protocol_version)
+          (Printf.sprintf "unsupported protocol version %d (this side speaks %d-%d)" version
+             min_protocol_version protocol_version)
       else begin
-        match Bytes.get b 3 with
-        | ('\001' | '\002') as k ->
-          let id = Bytes.get_int64_be b 4 in
-          let length = Int32.to_int (Bytes.get_int32_be b 12) in
-          if length < 0 || length > max_frame then
-            Error (Printf.sprintf "oversized frame (%d bytes > max %d)" length max_frame)
-          else Ok { version; kind = (if k = '\001' then Request else Response); id; length }
-        | c -> Error (Printf.sprintf "bad frame kind 0x%02x" (Char.code c))
+        match kind_of_byte (Bytes.get b 3) with
+        | None -> Error (Printf.sprintf "bad frame kind 0x%02x" (Char.code (Bytes.get b 3)))
+        | Some kind ->
+          if version < 2 && kind <> Request && kind <> Response then
+            Error
+              (Printf.sprintf "frame kind 0x%02x needs protocol version 2"
+                 (Char.code (Bytes.get b 3)))
+          else begin
+            let id = Bytes.get_int64_be b 4 in
+            let length = Int32.to_int (Bytes.get_int32_be b 12) in
+            if length < 0 || length > max_frame then
+              Error (Printf.sprintf "oversized frame (%d bytes > max %d)" length max_frame)
+            else Ok { version; kind; id; length }
+          end
       end
     end
 
@@ -186,6 +216,10 @@ module Binary = struct
       put_u8 b 7;
       put_u32 b (List.length rs);
       List.iter (put_response b) rs
+    | Service.Ok (Service.Stream_done { bytes; chunks }) ->
+      put_u8 b 8;
+      put_u32 b bytes;
+      put_u32 b chunks
 
   let encode_request req =
     let b = Buffer.create 128 in
@@ -283,6 +317,10 @@ module Binary = struct
     | 7 ->
       let n = get_count c in
       Service.Ok (Service.Batch_results (List.init n (fun _ -> get_response c)))
+    | 8 ->
+      let bytes = get_u32 c in
+      let chunks = get_u32 c in
+      Service.Ok (Service.Stream_done { bytes; chunks })
     | t -> raise (Malformed (Printf.sprintf "unknown response tag %d" t))
 
   let decode_with get s =
@@ -297,12 +335,100 @@ module Binary = struct
   let decode_request s = decode_with get_request s
   let decode_response s = decode_with get_response s
 
-  let frame ~kind ~id payload =
-    let header =
-      encode_header { version = protocol_version; kind; id; length = String.length payload }
-    in
+  (* ---- streaming requests (protocol v2) ----
+
+     A stream request is NOT a [Service.request] constructor: the
+     service's request type stays pure data shared with the line
+     protocol, while streaming exists only where there is somewhere for
+     the chunks to go.  On the wire it gets its own payload tag (7),
+     valid only at the top level of a v2 Request frame — never inside a
+     batch. *)
+
+  let stream_request_tag = 7
+
+  type stream_request = {
+    doc : string;
+    engine : Core.Engine.algo;
+    query : string;
+    chunk_size : int;
+  }
+
+  type incoming = Plain of Service.request | Stream of stream_request
+
+  let encode_stream_request { doc; engine; query; chunk_size } =
+    let b = Buffer.create 128 in
+    put_u8 b stream_request_tag;
+    put_str b doc;
+    put_str b (Core.Engine.name engine);
+    put_str b query;
+    put_u32 b chunk_size;
+    Buffer.contents b
+
+  let get_stream_request c =
+    (match get_u8 c with
+    | t when t = stream_request_tag -> ()
+    | t -> raise (Malformed (Printf.sprintf "not a stream request (tag %d)" t)));
+    let doc = get_str c in
+    let engine = get_engine c in
+    let query = get_str c in
+    let chunk_size = get_u32 c in
+    if chunk_size = 0 then raise (Malformed "stream chunk_size must be positive");
+    { doc; engine; query; chunk_size }
+
+  let decode_incoming ~version s =
+    if s <> "" && Char.code s.[0] = stream_request_tag then
+      if version < 2 then Error "stream requests need protocol version 2"
+      else
+        Result.map (fun sr -> Stream sr) (decode_with get_stream_request s)
+    else Result.map (fun r -> Plain r) (decode_with get_request s)
+
+  (* ---- frame builders ----
+
+     Plain requests and their responses are framed at the lowest version
+     that can express them, so a v2 client interoperates with a v1
+     server and a v2 server echoes a v1 client's version back (the
+     client-side header check never sees a version newer than it sent).
+     Stream frames are inherently v2. *)
+
+  let frame ?(version = protocol_version) ~kind ~id payload =
+    let header = encode_header { version; kind; id; length = String.length payload } in
     Bytes.unsafe_to_string header ^ payload
 
-  let request_frame ~id req = frame ~kind:Request ~id (encode_request req)
-  let response_frame ~id resp = frame ~kind:Response ~id (encode_response resp)
+  let request_frame ~id req = frame ~version:1 ~kind:Request ~id (encode_request req)
+
+  let response_frame ?(version = 1) ~id resp =
+    frame ~version ~kind:Response ~id (encode_response resp)
+
+  let stream_request_frame ~id sr = frame ~kind:Request ~id (encode_stream_request sr)
+  let stream_begin_frame ~id = frame ~kind:Stream_begin ~id ""
+  let stream_chunk_frame ~id chunk = frame ~kind:Stream_chunk ~id chunk
+
+  let stream_end_frame ~id ~bytes ~chunks =
+    let b = Buffer.create 8 in
+    put_u32 b bytes;
+    put_u32 b chunks;
+    frame ~kind:Stream_end ~id (Buffer.contents b)
+
+  let decode_stream_end s =
+    decode_with
+      (fun c ->
+        let bytes = get_u32 c in
+        let chunks = get_u32 c in
+        (bytes, chunks))
+      s
+
+  let stream_error_frame ~id ~code message =
+    let b = Buffer.create 32 in
+    put_u8 b (err_code_byte code);
+    put_str b message;
+    frame ~kind:Stream_error ~id (Buffer.contents b)
+
+  let decode_stream_error s =
+    decode_with
+      (fun c ->
+        let code_byte = get_u8 c in
+        match err_code_of_byte code_byte with
+        | None -> raise (Malformed (Printf.sprintf "unknown error code %d" code_byte))
+        | Some code -> (code, get_str c))
+      s
 end

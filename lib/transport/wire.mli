@@ -39,7 +39,12 @@ end
 
 module Binary : sig
   val protocol_version : int
-  (** This codec speaks version 1. *)
+  (** This codec speaks versions {!min_protocol_version} through 2.
+      Version 2 adds the streamed-result frames; version-1 frames are
+      still accepted and answered in kind. *)
+
+  val min_protocol_version : int
+  (** 1. *)
 
   val magic : string
   (** Two bytes, ["XU"]. *)
@@ -51,7 +56,20 @@ module Binary : sig
   val default_max_frame : int
   (** 16 MiB. *)
 
-  type kind = Request | Response
+  (** Frame kinds.  [Request]/[Response] are the v1 round trip; the
+      [Stream_*] kinds (v2) carry one streamed transform result:
+      [Stream_begin] (empty payload), any number of [Stream_chunk]
+      frames whose payload is raw result bytes, then exactly one of
+      [Stream_end] (totals) or [Stream_error] (code + message, the
+      mid-stream failure frame).  All frames of one stream share the
+      request id. *)
+  type kind =
+    | Request
+    | Response
+    | Stream_begin
+    | Stream_chunk
+    | Stream_end
+    | Stream_error
 
   type header = { version : int; kind : kind; id : int64; length : int }
 
@@ -59,7 +77,8 @@ module Binary : sig
 
   val decode_header : ?max_frame:int -> Bytes.t -> (header, string) result
   (** Validates magic, version, kind and payload length (rejecting
-      anything above [max_frame], default {!default_max_frame}). *)
+      anything above [max_frame], default {!default_max_frame}).
+      Stream kinds in a version-1 header are rejected. *)
 
   (** {2 Payload codecs}
 
@@ -71,8 +90,43 @@ module Binary : sig
   val encode_response : Service.response -> string
   val decode_response : string -> (Service.response, string) result
 
-  (** {2 Whole frames} *)
+  (** {2 Streaming requests (v2)} *)
+
+  type stream_request = {
+    doc : string;
+    engine : Core.Engine.algo;
+    query : string;
+    chunk_size : int;
+  }
+
+  (** What a server reads out of a Request frame: a plain service
+      request, or a stream request (payload tag 7, v2 frames only). *)
+  type incoming = Plain of Service.request | Stream of stream_request
+
+  val encode_stream_request : stream_request -> string
+
+  val decode_incoming : version:int -> string -> (incoming, string) result
+  (** Decode a Request-frame payload given the frame-header version.
+      A stream request in a v1 frame is an [Error _]; a stream-request
+      tag nested anywhere inside a batch is malformed. *)
+
+  (** {2 Whole frames}
+
+      Plain requests and responses are framed at version 1 (the lowest
+      version that can express them), so new clients interoperate with
+      old servers; [response_frame ?version] lets the server echo the
+      request frame's version.  Stream frames are always version 2. *)
 
   val request_frame : id:int64 -> Service.request -> string
-  val response_frame : id:int64 -> Service.response -> string
+  val response_frame : ?version:int -> id:int64 -> Service.response -> string
+  val stream_request_frame : id:int64 -> stream_request -> string
+  val stream_begin_frame : id:int64 -> string
+  val stream_chunk_frame : id:int64 -> string -> string
+  val stream_end_frame : id:int64 -> bytes:int -> chunks:int -> string
+  val stream_error_frame : id:int64 -> code:Service.err_code -> string -> string
+
+  val decode_stream_end : string -> (int * int, string) result
+  (** [(bytes, chunks)] totals out of a [Stream_end] payload. *)
+
+  val decode_stream_error : string -> (Service.err_code * string, string) result
 end

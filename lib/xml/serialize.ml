@@ -1,13 +1,37 @@
+(* Escaping: the five predefined entities, minus apostrophe (we always
+   quote attributes with double quotes).  The hot path scans for runs of
+   characters that need no escaping — by far the common case in
+   XMark-style data — and blits the whole run, instead of pushing one
+   char at a time through [Buffer.add_char]. *)
+
+let text_plain =
+  Array.init 256 (fun c -> c <> Char.code '&' && c <> Char.code '<' && c <> Char.code '>')
+
+let attr_plain = Array.init 256 (fun c -> text_plain.(c) && c <> Char.code '"')
+
 let add_escaped buf ~attr s =
-  String.iter
-    (fun c ->
-      match c with
+  let plain = if attr then attr_plain else text_plain in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let run = ref !i in
+    while
+      !run < n && Array.unsafe_get plain (Char.code (String.unsafe_get s !run))
+    do
+      incr run
+    done;
+    if !run > !i then Buffer.add_substring buf s !i (!run - !i);
+    if !run < n then begin
+      (match String.unsafe_get s !run with
       | '&' -> Buffer.add_string buf "&amp;"
       | '<' -> Buffer.add_string buf "&lt;"
       | '>' -> Buffer.add_string buf "&gt;"
-      | '"' when attr -> Buffer.add_string buf "&quot;"
-      | c -> Buffer.add_char buf c)
-    s
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c);
+      incr run
+    end;
+    i := !run
+  done
 
 let escape_text s =
   let buf = Buffer.create (String.length s + 8) in
@@ -122,3 +146,195 @@ let channel_event_sink oc =
       Buffer.output_buffer oc buf;
       Buffer.clear buf
     end
+
+(* ---------------- buffer pool ---------------- *)
+
+module Pool = struct
+  let initial_size = 65536
+  let max_pooled = 32
+
+  (* a sink that accumulated pathological single tokens is reset
+     (storage freed) instead of parking megabytes in the pool *)
+  let shrink_above = 4 * 1024 * 1024
+
+  let mu = Mutex.create ()
+  let free : Buffer.t list ref = ref []
+  let free_count = ref 0
+  let hit_count = Atomic.make 0
+  let miss_count = Atomic.make 0
+
+  let acquire () =
+    Mutex.lock mu;
+    match !free with
+    | b :: rest ->
+      free := rest;
+      decr free_count;
+      Mutex.unlock mu;
+      Atomic.incr hit_count;
+      b
+    | [] ->
+      Mutex.unlock mu;
+      Atomic.incr miss_count;
+      Buffer.create initial_size
+
+  let release ?(shrink = false) b =
+    if shrink then Buffer.reset b else Buffer.clear b;
+    Mutex.lock mu;
+    if !free_count < max_pooled then begin
+      free := b :: !free;
+      incr free_count
+    end;
+    Mutex.unlock mu
+
+  let hits () = Atomic.get hit_count
+  let misses () = Atomic.get miss_count
+  let stats () = (Atomic.get hit_count, Atomic.get miss_count)
+end
+
+(* ---------------- streaming sink ---------------- *)
+
+module Sink = struct
+  let default_chunk_size = 64 * 1024
+
+  type totals = { bytes : int; chunks : int }
+
+  type t = {
+    buf : Buffer.t;
+    chunk_size : int;
+    emit : string -> unit;
+    (* a start-tag has been written up to its attributes; the closing
+       [>] (or [/>]) is decided by the next event, which is what makes
+       the stream byte-identical to [to_string] on empty elements *)
+    mutable open_tag : bool;
+    mutable bytes : int;
+    mutable chunks : int;
+    mutable peak_chunk : int;
+    mutable live : bool;
+  }
+
+  let create ?(chunk_size = default_chunk_size) emit =
+    {
+      buf = Pool.acquire ();
+      chunk_size = max 1 chunk_size;
+      emit;
+      open_tag = false;
+      bytes = 0;
+      chunks = 0;
+      peak_chunk = 0;
+      live = true;
+    }
+
+  let flush t =
+    let len = Buffer.length t.buf in
+    if len > 0 then begin
+      let s = Buffer.contents t.buf in
+      Buffer.clear t.buf;
+      t.bytes <- t.bytes + len;
+      t.chunks <- t.chunks + 1;
+      if len > t.peak_chunk then t.peak_chunk <- len;
+      t.emit s
+    end
+
+  let maybe_flush t = if Buffer.length t.buf >= t.chunk_size then flush t
+
+  (* the pending [>] of an open start-tag, owed because content follows *)
+  let seal t =
+    if t.open_tag then begin
+      Buffer.add_char t.buf '>';
+      t.open_tag <- false
+    end
+
+  let event t = function
+    | Sax.Start_document | Sax.End_document -> ()
+    | Sax.Start_element (name, attrs) ->
+      seal t;
+      Buffer.add_char t.buf '<';
+      Buffer.add_string t.buf name;
+      add_attrs t.buf attrs;
+      t.open_tag <- true;
+      maybe_flush t
+    | Sax.Characters s ->
+      seal t;
+      add_escaped t.buf ~attr:false s;
+      maybe_flush t
+    | Sax.Comment_event s ->
+      seal t;
+      Buffer.add_string t.buf "<!--";
+      Buffer.add_string t.buf s;
+      Buffer.add_string t.buf "-->";
+      maybe_flush t
+    | Sax.Pi_event (tgt, c) ->
+      seal t;
+      Buffer.add_string t.buf "<?";
+      Buffer.add_string t.buf tgt;
+      Buffer.add_char t.buf ' ';
+      Buffer.add_string t.buf c;
+      Buffer.add_string t.buf "?>";
+      maybe_flush t
+    | Sax.End_element name ->
+      if t.open_tag then begin
+        Buffer.add_string t.buf "/>";
+        t.open_tag <- false
+      end
+      else begin
+        Buffer.add_string t.buf "</";
+        Buffer.add_string t.buf name;
+        Buffer.add_char t.buf '>'
+      end;
+      maybe_flush t
+
+  (* whole-subtree emission: same bytes as [add_node ~indent:None], with
+     flush checks between children so chunking stays fine-grained *)
+  let rec put t node =
+    match node with
+    | Node.Text s -> add_escaped t.buf ~attr:false s
+    | Node.Comment s ->
+      Buffer.add_string t.buf "<!--";
+      Buffer.add_string t.buf s;
+      Buffer.add_string t.buf "-->"
+    | Node.Pi (tgt, c) ->
+      Buffer.add_string t.buf "<?";
+      Buffer.add_string t.buf tgt;
+      Buffer.add_char t.buf ' ';
+      Buffer.add_string t.buf c;
+      Buffer.add_string t.buf "?>"
+    | Node.Element e ->
+      Buffer.add_char t.buf '<';
+      Buffer.add_string t.buf (Node.name e);
+      add_attrs t.buf (Node.attrs e);
+      (match Node.children e with
+      | [] -> Buffer.add_string t.buf "/>"
+      | cs ->
+        Buffer.add_char t.buf '>';
+        List.iter
+          (fun c ->
+            put t c;
+            maybe_flush t)
+          cs;
+        Buffer.add_string t.buf "</";
+        Buffer.add_string t.buf (Node.name e);
+        Buffer.add_char t.buf '>')
+
+  let node t n =
+    seal t;
+    put t n;
+    maybe_flush t
+
+  let element t e = node t (Node.Element e)
+
+  let close t =
+    if t.live then begin
+      seal t;
+      flush t;
+      t.live <- false;
+      Pool.release ~shrink:(t.peak_chunk > Pool.shrink_above) t.buf
+    end;
+    { bytes = t.bytes; chunks = t.chunks }
+
+  let abort t =
+    if t.live then begin
+      t.live <- false;
+      Buffer.clear t.buf;
+      Pool.release ~shrink:(t.peak_chunk > Pool.shrink_above) t.buf
+    end
+end

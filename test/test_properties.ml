@@ -174,6 +174,47 @@ let prop_annotator_equals_direct =
       | expected ->
         Node.equal_element expected (Engine.transform Engine.Td_bu u root))
 
+(* ---- streaming result path: chunked bytes = materialized bytes ---- *)
+
+(* Drive a serializer sink with a tiny chunk size (so every run crosses
+   many chunk boundaries) and return the reassembled bytes; a rejected
+   update (root deletion/replacement) is the [Error] case and must match
+   the materialized engines raising [Invalid_update]. *)
+let stream_to_string ?(chunk_size = 7) drive =
+  let buf = Buffer.create 64 in
+  let sink = Serialize.Sink.create ~chunk_size (Buffer.add_string buf) in
+  match drive (Serialize.Sink.event sink) with
+  | () ->
+    ignore (Serialize.Sink.close sink : Serialize.Sink.totals);
+    Ok (Buffer.contents buf)
+  | exception Transform_ast.Invalid_update _ ->
+    Serialize.Sink.abort sink;
+    Error `Invalid
+
+let prop_stream_equals_materialized =
+  QCheck2.Test.make ~name:"streamed bytes = materialized serialization" ~count
+    QCheck2.Gen.(pair gen_root gen_update)
+    (fun (root, update) ->
+      let nfa = Xut_automata.Selecting_nfa.of_path (Transform_ast.path update) in
+      let expected =
+        match Engine.transform Engine.Reference update root with
+        | exception Transform_ast.Invalid_update _ -> Error `Invalid
+        | out -> Ok (Serialize.element_to_string out)
+      in
+      let drivers =
+        [ (fun events -> Top_down.stream nfa update root events);
+          (fun events ->
+            let table = Xut_automata.Annotator.annotate nfa root in
+            Top_down.stream
+              ~checkp:(Xut_automata.Annotator.checkp table nfa)
+              nfa update root events);
+          (fun events ->
+            ignore
+              (Sax_transform.run nfa update ~source:(Sax.events_of_tree root) ~sink:events))
+        ]
+      in
+      List.for_all (fun drive -> stream_to_string drive = expected) drivers)
+
 let prop_serialize_roundtrip =
   QCheck2.Test.make ~name:"parse(serialize(t)) = t" ~count gen_root (fun root ->
       let s = Serialize.element_to_string root in
@@ -264,6 +305,7 @@ let suite =
       prop_transform_non_destructive;
       prop_nfa_equals_eval;
       prop_annotator_equals_direct;
+      prop_stream_equals_materialized;
       prop_serialize_roundtrip;
       prop_path_print_parse;
       prop_update_print_parse;

@@ -304,6 +304,66 @@ let test_pool_failure_isolation () =
   Worker_pool.shutdown pool;
   Worker_pool.shutdown pool (* idempotent *)
 
+(* ---- streaming result path ---- *)
+
+let test_transform_stream () =
+  with_doc_file (fun path ->
+      with_service (fun svc ->
+          load_doc svc path;
+          (* every engine, streamed with a tiny chunk size, must
+             reassemble to the materialized Tree payload byte for byte *)
+          List.iter
+            (fun engine ->
+              List.iter
+                (fun q ->
+                  let buf = Buffer.create 256 in
+                  let n = ref 0 in
+                  match
+                    Service.transform_stream svc ~doc:"d" ~engine ~query:q ~chunk_size:32
+                      (fun chunk ->
+                        incr n;
+                        Buffer.add_string buf chunk)
+                  with
+                  | Service.Ok (Service.Stream_done { bytes; chunks }) ->
+                    Alcotest.(check string) "streamed = materialized"
+                      (reference_answer engine q) (Buffer.contents buf);
+                    Alcotest.(check int) "byte total" (Buffer.length buf) bytes;
+                    Alcotest.(check int) "chunk total" !n chunks;
+                    Alcotest.(check bool) "multiple chunks at size 32" true (chunks > 1)
+                  | Service.Ok _ -> Alcotest.fail "expected Stream_done"
+                  | Service.Error { message; _ } -> Alcotest.fail message)
+                queries)
+            Core.Engine.[ Gentop; Td_bu; Two_pass_sax; Naive ];
+          (* errors: unknown doc and non-TRANSFORM carry their codes *)
+          (match
+             Service.transform_stream svc ~doc:"nope" ~engine:Core.Engine.Td_bu
+               ~query:q_del_prices
+               (fun _ -> Alcotest.fail "no chunks for an unknown document")
+           with
+          | Service.Error { code = Service.Unknown_document; _ } -> ()
+          | _ -> Alcotest.fail "unknown-document code");
+          (* counters: streams/chunks/bytes flowed into the metrics and
+             surface in the STATS dump *)
+          let m = Service.metrics svc in
+          Alcotest.(check int) "streams counted" (4 * List.length queries) (Metrics.streams m);
+          Alcotest.(check bool) "stream chunks counted" true
+            (Metrics.stream_chunks m >= Metrics.streams m);
+          Alcotest.(check bool) "stream bytes counted" true
+            (Metrics.stream_bytes m > Metrics.stream_chunks m);
+          match Service.call svc Service.Stats with
+          | Service.Ok (Service.Stats_dump dump) ->
+            let has prefix =
+              String.split_on_char '\n' dump
+              |> List.exists (fun l ->
+                     String.length l >= String.length prefix
+                     && String.sub l 0 (String.length prefix) = prefix)
+            in
+            Alcotest.(check bool) "STATS reports streams" true (has "streams ");
+            Alcotest.(check bool) "STATS reports stream_bytes" true (has "stream_bytes ");
+            Alcotest.(check bool) "STATS reports the serializer pool" true
+              (has "serialize_pool_hits ")
+          | _ -> Alcotest.fail "STATS"))
+
 let test_metrics_histogram () =
   let m = Metrics.create () in
   (* 90 fast requests, 10 slow ones *)
@@ -341,6 +401,7 @@ let suite =
     Alcotest.test_case "service: batch requests" `Quick test_service_batch;
     Alcotest.test_case "service: render_response compatibility" `Quick
       test_render_response_compat;
+    Alcotest.test_case "service: streamed transform" `Quick test_transform_stream;
     Alcotest.test_case "pool: parallel fan-out" `Quick test_pool_parallel_sum;
     Alcotest.test_case "pool: failure isolation" `Quick test_pool_failure_isolation;
     Alcotest.test_case "metrics: histogram and queue depth" `Quick test_metrics_histogram;

@@ -207,6 +207,9 @@ let gen_simple_response =
         map (fun s -> Service.Ok (Service.Tree s)) gen_text;
         map (fun n -> Service.Ok (Service.Element_count n)) small_nat;
         map (fun s -> Service.Ok (Service.Stats_dump s)) gen_text;
+        map2
+          (fun bytes chunks -> Service.Ok (Service.Stream_done { bytes; chunks }))
+          small_nat small_nat;
         map2 (fun code message -> Service.Error { code; message }) gen_err_code gen_text;
       ])
 
@@ -248,12 +251,22 @@ let test_header_validation () =
   (match Wire.Binary.decode_header (Bytes.of_string "0123456789abcdef") with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "bad magic must be rejected");
-  (match Wire.Binary.decode_header (mk ~version:2 ()) with
+  (match Wire.Binary.decode_header (mk ~version:(Wire.Binary.protocol_version + 1) ()) with
   | Error msg ->
     Alcotest.(check bool) "version error names both versions" true
       (String.length msg > 0
       && String.split_on_char ' ' msg |> List.exists (fun w -> w = "version"))
   | Ok _ -> Alcotest.fail "a future protocol version must be rejected");
+  (match Wire.Binary.decode_header (mk ~version:1 ()) with
+  | Ok { Wire.Binary.version = 1; _ } -> ()
+  | _ -> Alcotest.fail "a v1 request header must still be accepted");
+  (let h =
+     Wire.Binary.encode_header
+       { Wire.Binary.version = 1; kind = Wire.Binary.Stream_chunk; id = 9L; length = 0 }
+   in
+   match Wire.Binary.decode_header h with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "a stream kind in a v1 header must be rejected");
   (match Wire.Binary.decode_header ~max_frame:1024 (mk ~length:2048 ()) with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "a frame above max_frame must be rejected");
@@ -578,6 +591,222 @@ let test_busy_rejection () =
               | Service.Ok (Service.Element_count 16) -> ()
               | _ -> Alcotest.fail "the admitted connection must keep working")))
 
+(* ---- streamed transforms (protocol v2) ---- *)
+
+let test_stream_frame_codecs () =
+  (match
+     Wire.Binary.decode_stream_end
+       (String.sub
+          (Wire.Binary.stream_end_frame ~id:5L ~bytes:123456 ~chunks:7)
+          Wire.Binary.header_size
+          (String.length (Wire.Binary.stream_end_frame ~id:5L ~bytes:123456 ~chunks:7)
+          - Wire.Binary.header_size))
+   with
+  | Ok (123456, 7) -> ()
+  | _ -> Alcotest.fail "stream-end totals round trip");
+  (match
+     (let f = Wire.Binary.stream_error_frame ~id:5L ~code:Service.Eval_error "boom > mid" in
+      Wire.Binary.decode_stream_error
+        (String.sub f Wire.Binary.header_size (String.length f - Wire.Binary.header_size)))
+   with
+  | Ok (Service.Eval_error, "boom > mid") -> ()
+  | _ -> Alcotest.fail "stream-error round trip");
+  let sr =
+    { Wire.Binary.doc = "d"; engine = Core.Engine.Gentop; query = "q\nwith newline";
+      chunk_size = 512 }
+  in
+  (match Wire.Binary.decode_incoming ~version:2 (Wire.Binary.encode_stream_request sr) with
+  | Ok (Wire.Binary.Stream sr') ->
+    Alcotest.(check bool) "stream request round trips" true (sr' = sr)
+  | _ -> Alcotest.fail "stream request must decode in a v2 frame");
+  (match Wire.Binary.decode_incoming ~version:1 (Wire.Binary.encode_stream_request sr) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a stream request in a v1 frame must be rejected");
+  match
+    Wire.Binary.decode_incoming ~version:2 (Wire.Binary.encode_request Service.Stats)
+  with
+  | Ok (Wire.Binary.Plain Service.Stats) -> ()
+  | _ -> Alcotest.fail "plain requests must still decode from v2 frames"
+
+let test_stream_over_socket () =
+  with_doc_file (fun doc ->
+      with_server (fun svc sock ->
+          let cli = Client.connect (Addr.Unix_socket sock) in
+          Fun.protect
+            ~finally:(fun () -> Client.close cli)
+            (fun () ->
+              load_over cli doc;
+              List.iter
+                (fun q ->
+                  let buf = Buffer.create 256 in
+                  let n_chunks = ref 0 in
+                  match
+                    Client.transform_stream cli ~doc:"d" ~engine:Core.Engine.Td_bu ~query:q
+                      ~chunk_size:64 (fun chunk ->
+                        incr n_chunks;
+                        Buffer.add_string buf chunk)
+                  with
+                  | Service.Ok (Service.Stream_done { bytes; chunks }) ->
+                    let got = Buffer.contents buf in
+                    Alcotest.(check string) "reassembled chunks = materialized payload"
+                      (reference_answer Core.Engine.Td_bu q)
+                      got;
+                    Alcotest.(check int) "totals: bytes" (String.length got) bytes;
+                    Alcotest.(check int) "totals: chunks" !n_chunks chunks;
+                    Alcotest.(check bool) "chunk_size 64 really chunks" true (chunks > 1)
+                  | Service.Ok _ -> Alcotest.fail "expected Stream_done"
+                  | Service.Error { message; _ } -> Alcotest.fail message)
+                queries;
+              (* the connection still serves plain requests afterwards *)
+              (match
+                 Client.call cli
+                   (Service.Count { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
+               with
+              | Service.Ok (Service.Element_count 16) -> ()
+              | _ -> Alcotest.fail "plain request after a stream");
+              (* streaming counters flowed into the service metrics *)
+              let m = Service.metrics svc in
+              Alcotest.(check int) "streams counted" (List.length queries) (Metrics.streams m);
+              Alcotest.(check bool) "chunks counted" true
+                (Metrics.stream_chunks m > List.length queries);
+              Alcotest.(check bool) "bytes counted" true (Metrics.stream_bytes m > 0))))
+
+let test_stream_unknown_document () =
+  with_server (fun _svc sock ->
+      let cli = Client.connect (Addr.Unix_socket sock) in
+      Fun.protect
+        ~finally:(fun () -> Client.close cli)
+        (fun () ->
+          let chunks = ref 0 in
+          match
+            Client.transform_stream cli ~doc:"nope" ~engine:Core.Engine.Td_bu
+              ~query:q_del_prices (fun _ -> incr chunks)
+          with
+          | Service.Error { code = Service.Unknown_document; _ } ->
+            Alcotest.(check int) "no chunks before the error" 0 !chunks
+          | _ -> Alcotest.fail "streaming an unknown document must fail with its code"))
+
+(* A v1 client against the v2 server: plain frames keep working, and the
+   replies echo version 1 so the old client's header check accepts them;
+   a stream request smuggled into a v1 frame is rejected. *)
+let test_v1_client_fallback () =
+  with_doc_file (fun doc ->
+      with_server (fun _svc sock ->
+          let fd = raw_connect sock in
+          Fun.protect
+            ~finally:(fun () -> Unix.close fd)
+            (fun () ->
+              Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.;
+              let read_one () =
+                let hdr = Bytes.create Wire.Binary.header_size in
+                let rec go off len =
+                  if len > 0 then begin
+                    let n = Unix.read fd hdr off len in
+                    if n = 0 then Alcotest.fail "connection closed";
+                    go (off + n) (len - n)
+                  end
+                in
+                go 0 Wire.Binary.header_size;
+                match Wire.Binary.decode_header hdr with
+                | Error msg -> Alcotest.fail ("reply header: " ^ msg)
+                | Ok h ->
+                  let p = Bytes.create h.Wire.Binary.length in
+                  let rec go off len =
+                    if len > 0 then begin
+                      let n = Unix.read fd p off len in
+                      if n = 0 then Alcotest.fail "truncated reply";
+                      go (off + n) (len - n)
+                    end
+                  in
+                  go 0 h.Wire.Binary.length;
+                  (h, Bytes.to_string p)
+              in
+              (* request_frame emits version-1 frames: exactly what an
+                 old client would send *)
+              raw_write fd
+                (Wire.Binary.request_frame ~id:21L (Service.Load { name = "d"; file = doc }));
+              let h, payload = read_one () in
+              Alcotest.(check int) "reply echoes version 1" 1 h.Wire.Binary.version;
+              (match Wire.Binary.decode_response payload with
+              | Ok (Service.Ok (Service.Doc_loaded _)) -> ()
+              | _ -> Alcotest.fail "LOAD through a v1 frame");
+              (* stream-request payload inside a v1 frame: bad-request *)
+              let sp =
+                Wire.Binary.encode_stream_request
+                  { Wire.Binary.doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices;
+                    chunk_size = 64 }
+              in
+              raw_write fd
+                (Bytes.to_string
+                   (Wire.Binary.encode_header
+                      { Wire.Binary.version = 1; kind = Wire.Binary.Request; id = 22L;
+                        length = String.length sp })
+                ^ sp);
+              let h2, payload2 = read_one () in
+              Alcotest.(check int) "rejection echoes version 1" 1 h2.Wire.Binary.version;
+              match Wire.Binary.decode_response payload2 with
+              | Ok (Service.Error { code = Service.Bad_request; message }) ->
+                Alcotest.(check bool) "names the version requirement" true
+                  (String.split_on_char ' ' message |> List.exists (fun w -> w = "version"))
+              | _ -> Alcotest.fail "v1-framed stream request must answer bad-request")))
+
+(* Mid-stream failure as the CLIENT sees it: a hand-rolled server sends
+   BEGIN, two chunks, then a STREAM_ERROR (a real engine failing after
+   output went out).  The client must deliver both chunks and return the
+   error. *)
+let test_mid_stream_error () =
+  let path = Filename.temp_file "xut_transport_test" ".sock" in
+  Sys.remove path;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX path);
+  Unix.listen listen_fd 1;
+  let server =
+    Thread.create
+      (fun () ->
+        let fd, _ = Unix.accept listen_fd in
+        (* read the stream request frame *)
+        let hdr = Bytes.create Wire.Binary.header_size in
+        let rec read_exact b off len =
+          if len > 0 then begin
+            let n = Unix.read fd b off len in
+            if n > 0 then read_exact b (off + n) (len - n)
+          end
+        in
+        read_exact hdr 0 Wire.Binary.header_size;
+        (match Wire.Binary.decode_header hdr with
+        | Ok { Wire.Binary.id; length; _ } ->
+          let p = Bytes.create length in
+          read_exact p 0 length;
+          let send s = ignore (Unix.write fd (Bytes.of_string s) 0 (String.length s)) in
+          send (Wire.Binary.stream_begin_frame ~id);
+          send (Wire.Binary.stream_chunk_frame ~id "<r>first");
+          send (Wire.Binary.stream_chunk_frame ~id " second");
+          send (Wire.Binary.stream_error_frame ~id ~code:Service.Eval_error "engine fell over")
+        | Error _ -> ());
+        Unix.close fd)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Thread.join server;
+      Unix.close listen_fd;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let cli = Client.connect (Addr.Unix_socket path) in
+      Fun.protect
+        ~finally:(fun () -> Client.close cli)
+        (fun () ->
+          let buf = Buffer.create 64 in
+          match
+            Client.transform_stream cli ~doc:"d" ~engine:Core.Engine.Td_bu ~query:"q"
+              (Buffer.add_string buf)
+          with
+          | Service.Error { code = Service.Eval_error; message } ->
+            Alcotest.(check string) "partial output was delivered" "<r>first second"
+              (Buffer.contents buf);
+            Alcotest.(check string) "error message survives" "engine fell over" message
+          | _ -> Alcotest.fail "a mid-stream STREAM_ERROR must surface as an Error"))
+
 (* ---- TCP ---- *)
 
 let test_tcp_roundtrip () =
@@ -625,5 +854,10 @@ let suite =
     Alcotest.test_case "socket: error-code mapping" `Quick test_error_codes_over_socket;
     Alcotest.test_case "socket: batch round trip" `Quick test_batch_over_socket;
     Alcotest.test_case "socket: BUSY at the connection limit" `Quick test_busy_rejection;
+    Alcotest.test_case "wire: stream frame codecs" `Quick test_stream_frame_codecs;
+    Alcotest.test_case "socket: streamed transform reassembles" `Quick test_stream_over_socket;
+    Alcotest.test_case "socket: stream error before chunks" `Quick test_stream_unknown_document;
+    Alcotest.test_case "socket: v1 client fallback" `Quick test_v1_client_fallback;
+    Alcotest.test_case "socket: mid-stream error frame" `Quick test_mid_stream_error;
     Alcotest.test_case "tcp: round trip on an ephemeral port" `Quick test_tcp_roundtrip;
   ]
