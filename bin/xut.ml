@@ -308,7 +308,7 @@ let serve_cmd =
 (* ---------------- client ---------------- *)
 
 let client_cmd =
-  let run socket_opt tcp_opt batch stream chunk_size timeout requests =
+  let run socket_opt tcp_opt batch stream chunk_size timeout notices requests =
     if batch && stream then begin
       Printf.eprintf "xut client: --batch and --stream do not combine\n";
       exit 2
@@ -353,8 +353,19 @@ let client_cmd =
       Printf.eprintf "xut client: nothing to send\n";
       exit 2
     end;
+    (* --notices opts into the v2 invalidation channel: the server pushes
+       an id-0 frame whenever a stored document is unloaded or replaced,
+       printed here as it is consumed (interleaved with replies). *)
+    let on_notice =
+      if notices then
+        Some
+          (fun n ->
+            print_endline (Xut_transport.Wire.Binary.render_notice n);
+            flush stdout)
+      else None
+    in
     let cli =
-      try Xut_transport.Client.connect ~timeout addr with
+      try Xut_transport.Client.connect ~timeout ?on_notice addr with
       | Unix.Unix_error (e, _, _) ->
         Printf.eprintf "xut client: cannot connect to %s: %s\n"
           (Xut_transport.Addr.to_string addr) (Unix.error_message e);
@@ -429,6 +440,13 @@ let client_cmd =
     Arg.(value & opt float 30.
          & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Read timeout waiting for responses.")
   in
+  let notices =
+    Arg.(value & flag
+         & info [ "notices" ]
+             ~doc:"Subscribe to server-push invalidation notices (protocol v2): a NOTICE line \
+                   is printed whenever a stored document is unloaded or replaced while this \
+                   client is connected.")
+  in
   let requests =
     Arg.(value & pos_all string []
          & info [] ~docv:"REQUEST"
@@ -439,17 +457,28 @@ let client_cmd =
     (Cmd.info "client"
        ~doc:"Send requests to a running xut socket server and print the replies (exit 0 when \
              all succeed, 1 on any ERR).")
-    Term.(const run $ socket_opt $ tcp_opt $ batch $ stream $ chunk_size $ timeout $ requests)
+    Term.(
+      const run $ socket_opt $ tcp_opt $ batch $ stream $ chunk_size $ timeout $ notices
+      $ requests)
 
 (* ---------------- bench-serve ---------------- *)
 
 let bench_serve_cmd =
   let run doc_opt factor requests domains_list engine query_opt payload stream chunk_size
-      json_opt socket batch =
+      json_opt socket batch docs =
     (* Streaming is a payload-mode variant; batching does not apply (a
        stream is one transform per exchange). *)
     let payload = payload || stream in
     let batch = if stream then 1 else max 1 batch in
+    (* --docs N stores the document under N names and cycles requests
+       over them round-robin: every shard of the store sees traffic and
+       one shared plan annotates N distinct trees (the multi-document
+       memo path).  N = 1 keeps the single-doc workload and its name. *)
+    let docs = max 1 docs in
+    let doc_names =
+      if docs = 1 then [| "d" |] else Array.init docs (Printf.sprintf "d%d")
+    in
+    let doc_name i = doc_names.(i mod Array.length doc_names) in
     (* Document: the given file, or a generated XMark one. *)
     let doc_file, cleanup =
       match doc_opt with
@@ -476,9 +505,10 @@ let bench_serve_cmd =
     in
     let domain_counts = if domain_counts = [] then [ 1; 2; 4 ] else domain_counts in
     Printf.printf
-      "bench-serve: doc=%s requests=%d engine=%s reply=%s transport=%s batch=%d cores=%d\n\
+      "bench-serve: doc=%s docs=%d requests=%d engine=%s reply=%s transport=%s batch=%d \
+       cores=%d\n\
        query: %s\n\n"
-      doc_file requests (Engine.name engine)
+      doc_file docs requests (Engine.name engine)
       (if stream then "stream" else if payload then "payload" else "count")
       (if socket then "unix-socket" else "in-process")
       batch
@@ -493,22 +523,25 @@ let bench_serve_cmd =
           ~queue_capacity:(max 64 (4 * domains))
           ()
       in
-      (match
-         Xut_service.Service.call svc
-           (Xut_service.Service.Load { name = "d"; file = doc_file })
-       with
-      | Xut_service.Service.Ok _ -> ()
-      | Xut_service.Service.Error { message; _ } -> failwith ("bench-serve: " ^ message));
+      Array.iter
+        (fun name ->
+          match
+            Xut_service.Service.call svc
+              (Xut_service.Service.Load { name; file = doc_file })
+          with
+          | Xut_service.Service.Ok _ -> ()
+          | Xut_service.Service.Error { message; _ } -> failwith ("bench-serve: " ^ message))
+        doc_names;
       Xut_service.Metrics.reset (Xut_service.Service.metrics svc);
-      let req =
-        if payload then Xut_service.Service.Transform { doc = "d"; engine; query }
-        else Xut_service.Service.Count { doc = "d"; engine; query }
+      let req doc =
+        if payload then Xut_service.Service.Transform { doc; engine; query }
+        else Xut_service.Service.Count { doc; engine; query }
       in
       (* One "unit" is a frame's worth of work: a single request, or a
-         BATCH of [batch] of them. *)
-      let unit_req =
-        if batch = 1 then req
-        else Xut_service.Service.Batch (List.init batch (fun _ -> req))
+         BATCH of [batch] of them.  Units cycle over the doc names. *)
+      let unit_req i =
+        if batch = 1 then req (doc_name i)
+        else Xut_service.Service.Batch (List.init batch (fun j -> req (doc_name ((i * batch) + j))))
       in
       let units = (requests + batch - 1) / batch in
       let total = units * batch in
@@ -532,17 +565,18 @@ let bench_serve_cmd =
       let gc0 = Gc.stat () in
       let dt =
         if not socket then begin
-          let submit_unit () =
+          let submit_unit i =
             if stream then
-              Xut_service.Service.submit_stream svc ~doc:"d" ~engine ~query ~chunk_size emit
-            else Xut_service.Service.submit svc unit_req
+              Xut_service.Service.submit_stream svc ~doc:(doc_name i) ~engine ~query
+                ~chunk_size emit
+            else Xut_service.Service.submit svc (unit_req i)
           in
           let in_flight = Queue.create () in
           let t0 = Unix.gettimeofday () in
-          for _ = 1 to units do
+          for i = 1 to units do
             if Queue.length in_flight >= window then
               note (Xut_service.Service.await (Queue.pop in_flight));
-            Queue.push (submit_unit ()) in_flight
+            Queue.push (submit_unit i) in_flight
           done;
           Queue.iter (fun fut -> note (Xut_service.Service.await fut)) in_flight;
           Unix.gettimeofday () -. t0
@@ -560,10 +594,10 @@ let bench_serve_cmd =
           let cli = Xut_transport.Client.connect (Xut_transport.Addr.Unix_socket sock_path) in
           let t0 = Unix.gettimeofday () in
           if stream then
-            for _ = 1 to units do
+            for i = 1 to units do
               match
-                Xut_transport.Client.transform_stream cli ~doc:"d" ~engine ~query ~chunk_size
-                  emit
+                Xut_transport.Client.transform_stream cli ~doc:(doc_name i) ~engine ~query
+                  ~chunk_size emit
               with
               | Xut_service.Service.Ok _ -> ()
               | Xut_service.Service.Error { message; _ } ->
@@ -571,12 +605,12 @@ let bench_serve_cmd =
             done
           else begin
             let in_flight = ref 0 in
-            for _ = 1 to units do
+            for i = 1 to units do
               if !in_flight >= window then begin
                 note (snd (Xut_transport.Client.recv cli));
                 decr in_flight
               end;
-              ignore (Xut_transport.Client.send cli unit_req);
+              ignore (Xut_transport.Client.send cli (unit_req i));
               incr in_flight
             done;
             while !in_flight > 0 do
@@ -623,6 +657,7 @@ let bench_serve_cmd =
           Printf.fprintf oc "  \"bench\": \"bench-serve\",\n";
           Printf.fprintf oc "  \"engine\": \"%s\",\n" (Engine.name engine);
           Printf.fprintf oc "  \"requests\": %d,\n" requests;
+          Printf.fprintf oc "  \"docs\": %d,\n" docs;
           Printf.fprintf oc "  \"reply\": \"%s\",\n"
             (if stream then "stream" else if payload then "payload" else "count");
           Printf.fprintf oc "  \"chunk_size\": %d,\n" chunk_size;
@@ -706,6 +741,13 @@ let bench_serve_cmd =
              ~doc:"Send requests as BATCH units of N (amortizes queue/future and frame \
                    overhead; 1 = plain requests).")
   in
+  let docs =
+    Arg.(value & opt int 1
+         & info [ "docs" ] ~docv:"N"
+             ~doc:"Load the document under N names (d0..dN-1) and cycle requests over them \
+                   round-robin, exercising the sharded store and the per-plan multi-document \
+                   annotation memo.")
+  in
   let bench_engine =
     let parse s =
       match Engine.of_string s with
@@ -724,7 +766,7 @@ let bench_serve_cmd =
        ~doc:"Closed-loop load benchmark of the service layer: domains 1..N, plan cache on/off.")
     Term.(
       const run $ doc_opt $ factor $ requests $ domains_list $ bench_engine $ query_opt
-      $ payload $ stream $ chunk_size $ json_opt $ socket $ batch)
+      $ payload $ stream $ chunk_size $ json_opt $ socket $ batch $ docs)
 
 let main =
   let info = Cmd.info "xut" ~version:"1.0.0" ~doc:"Querying XML with update syntax (SIGMOD 2007)." in

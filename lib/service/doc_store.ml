@@ -1,19 +1,76 @@
 open Xut_xml
 
-type info = { name : string; file : string option; elements : int }
+type info = {
+  name : string;
+  file : string option;
+  elements : int;
+  generation : int;
+}
 
-type t = { mu : Mutex.t; tbl : (string, Node.element * info) Hashtbl.t }
+type reason = Unloaded | Replaced
 
-let create () = { mu = Mutex.create (); tbl = Hashtbl.create 16 }
+type event = { name : string; root_id : int; generation : int; reason : reason }
 
-let locked t f =
-  Mutex.lock t.mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+type shard = { mu : Mutex.t; tbl : (string, Node.element * info) Hashtbl.t }
+
+type t = {
+  shards : shard array;
+  generations : int Atomic.t;
+  lmu : Mutex.t;  (* guards [listeners] only; never held while firing *)
+  mutable listeners : (event -> unit) list;
+}
+
+let default_shards = 8
+
+let create ?(shards = default_shards) () =
+  if shards < 1 then invalid_arg "Doc_store.create: need at least one shard";
+  {
+    shards =
+      Array.init shards (fun _ -> { mu = Mutex.create (); tbl = Hashtbl.create 16 });
+    generations = Atomic.make 0;
+    lmu = Mutex.create ();
+    listeners = [];
+  }
+
+let shard_count t = Array.length t.shards
+
+let shard_of t name = t.shards.(Hashtbl.hash name mod Array.length t.shards)
+
+let locked sh f =
+  Mutex.lock sh.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sh.mu) f
+
+let subscribe t f =
+  Mutex.lock t.lmu;
+  t.listeners <- t.listeners @ [ f ];
+  Mutex.unlock t.lmu
+
+(* Fired outside every shard lock, so a listener may freely re-enter the
+   store (or take other locks: the plan cache, a connection's write
+   mutex) without inversion. *)
+let fire t event =
+  Mutex.lock t.lmu;
+  let listeners = t.listeners in
+  Mutex.unlock t.lmu;
+  List.iter (fun f -> f event) listeners
 
 let register t ~name ?file root =
-  let info = { name; file; elements = Node.element_count (Node.Element root) } in
-  locked t (fun () -> Hashtbl.replace t.tbl name (root, info));
-  info
+  let generation = Atomic.fetch_and_add t.generations 1 + 1 in
+  let info =
+    { name; file; elements = Node.element_count (Node.Element root); generation }
+  in
+  let sh = shard_of t name in
+  let previous =
+    locked sh (fun () ->
+        let prev = Hashtbl.find_opt sh.tbl name in
+        Hashtbl.replace sh.tbl name (root, info);
+        prev)
+  in
+  (match previous with
+  | Some (old_root, _) ->
+    fire t { name; root_id = Node.id old_root; generation; reason = Replaced }
+  | None -> ());
+  (info, previous <> None)
 
 let load_file t ~name path =
   match Dom.parse_file path with
@@ -24,15 +81,33 @@ let load_file t ~name path =
   | exception Dom.No_document_element ->
     Error (Printf.sprintf "no document element in %s" path)
 
-let find t name = locked t (fun () -> Option.map fst (Hashtbl.find_opt t.tbl name))
-let info t name = locked t (fun () -> Option.map snd (Hashtbl.find_opt t.tbl name))
+let find t name =
+  let sh = shard_of t name in
+  locked sh (fun () -> Option.map fst (Hashtbl.find_opt sh.tbl name))
+
+let info t name =
+  let sh = shard_of t name in
+  locked sh (fun () -> Option.map snd (Hashtbl.find_opt sh.tbl name))
 
 let evict t name =
-  locked t (fun () ->
-      let present = Hashtbl.mem t.tbl name in
-      Hashtbl.remove t.tbl name;
-      present)
+  let sh = shard_of t name in
+  let removed =
+    locked sh (fun () ->
+        match Hashtbl.find_opt sh.tbl name with
+        | None -> None
+        | Some entry ->
+          Hashtbl.remove sh.tbl name;
+          Some entry)
+  in
+  match removed with
+  | None -> false
+  | Some (root, info) ->
+    fire t
+      { name; root_id = Node.id root; generation = info.generation; reason = Unloaded };
+    true
 
 let names t =
-  locked t (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [])
+  Array.to_list t.shards
+  |> List.concat_map (fun sh ->
+         locked sh (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) sh.tbl []))
   |> List.sort String.compare

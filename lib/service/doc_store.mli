@@ -1,37 +1,77 @@
 open Xut_xml
 
-(** Named store of parsed documents.
+(** Named store of parsed documents, sharded and generation-stamped.
 
     A document is parsed once — [LOAD] in the service protocol — and the
     resulting immutable {!Node.element} is handed out to every request
     that names it.  Because transform queries never mutate their input
     (the whole point of the paper), concurrent workers can evaluate
     against the same stored tree with no copying and no locking beyond
-    the store's own table lock. *)
+    the owning shard's table lock.
+
+    The table is split over N shards keyed by a hash of the document
+    name, each with its own mutex, so concurrent lookups of different
+    documents do not serialize on one table lock (the multi-document
+    serving workload).
+
+    Every successful {!register} (a [LOAD], whether fresh or a reload)
+    stamps the entry with a store-wide monotone {b generation}, making
+    document identity explicit: two loads under the same name are
+    distinguishable, and downstream caches can tell a reloaded tree from
+    the one they annotated.  Lifecycle transitions — an entry removed by
+    {!evict}, or replaced by a re-{!register} — are published to
+    {!subscribe}rs so caches keyed by the old tree can invalidate
+    exactly that document. *)
 
 type info = {
   name : string;
   file : string option;  (** origin path, when loaded from disk *)
   elements : int;        (** element count, for listings *)
+  generation : int;      (** monotone load stamp, unique per register *)
+}
+
+(** Why a tree left the store: {!evict} ([Unloaded]) or a re-register
+    under the same name ([Replaced]). *)
+type reason = Unloaded | Replaced
+
+type event = {
+  name : string;
+  root_id : int;     (** {!Node.id} of the departing tree's root *)
+  generation : int;  (** of the {e new} binding for [Replaced], of the
+                         removed one for [Unloaded] *)
+  reason : reason;
 }
 
 type t
 
-val create : unit -> t
+val create : ?shards:int -> unit -> t
+(** [shards] defaults to 8; 1 gives the unsharded store (observably
+    identical, just one lock). *)
 
-val register : t -> name:string -> ?file:string -> Node.element -> info
+val shard_count : t -> int
+
+val subscribe : t -> (event -> unit) -> unit
+(** Register a lifecycle listener.  Listeners run synchronously on the
+    thread performing the {!evict}/{!register}, in subscription order,
+    {e outside} every shard lock — re-entering the store from a listener
+    is safe. *)
+
+val register : t -> name:string -> ?file:string -> Node.element -> info * bool
 (** Register an already-built tree under [name], replacing any previous
-    binding. *)
+    binding.  The [bool] is [true] when a previous binding was replaced
+    (a reload) — in that case a [Replaced] event fires for the old
+    tree before this returns. *)
 
-val load_file : t -> name:string -> string -> (info, string) result
-(** Parse the file (outside the store lock) and {!register} it. *)
+val load_file : t -> name:string -> string -> (info * bool, string) result
+(** Parse the file (outside any store lock) and {!register} it. *)
 
 val find : t -> string -> Node.element option
 val info : t -> string -> info option
 
 val evict : t -> string -> bool
-(** Remove a binding; [false] when the name was not bound.  In-flight
-    requests holding the tree are unaffected (it is immutable and
+(** Remove a binding; [false] when the name was not bound.  On removal
+    an [Unloaded] event fires before this returns.  In-flight requests
+    holding the tree are unaffected (it is immutable and
     garbage-collected when they finish). *)
 
 val names : t -> string list

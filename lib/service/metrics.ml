@@ -25,6 +25,7 @@ type t = {
   streams : int Atomic.t;
   stream_chunks : int Atomic.t;
   stream_bytes : int Atomic.t;
+  invalidations : int Atomic.t;
 }
 
 let create () =
@@ -49,6 +50,7 @@ let create () =
     streams = Atomic.make 0;
     stream_chunks = Atomic.make 0;
     stream_bytes = Atomic.make 0;
+    invalidations = Atomic.make 0;
   }
 
 let incr_requests m = Atomic.incr m.requests
@@ -111,6 +113,9 @@ let stream_chunk m bytes =
   Atomic.incr m.stream_chunks;
   ignore (Atomic.fetch_and_add m.stream_bytes bytes)
 
+let add_invalidations m n = if n > 0 then ignore (Atomic.fetch_and_add m.invalidations n)
+let invalidations m = Atomic.get m.invalidations
+
 let streams m = Atomic.get m.streams
 let stream_chunks m = Atomic.get m.stream_chunks
 let stream_bytes m = Atomic.get m.stream_bytes
@@ -166,7 +171,8 @@ let reset m =
   Atomic.set m.bytes_out 0;
   Atomic.set m.streams 0;
   Atomic.set m.stream_chunks 0;
-  Atomic.set m.stream_bytes 0
+  Atomic.set m.stream_bytes 0;
+  Atomic.set m.invalidations 0
 
 (* Hot-path counters from the automata/xml layers (transition memo, symbol
    table).  Process-wide, not per-service, and unsynchronized on the hot
@@ -199,6 +205,7 @@ let dump m =
   Printf.bprintf b "streams %d\n" (streams m);
   Printf.bprintf b "stream_chunks %d\n" (stream_chunks m);
   Printf.bprintf b "stream_bytes %d\n" (stream_bytes m);
+  Printf.bprintf b "doc_invalidations %d\n" (invalidations m);
   let pool_hits, pool_misses = serialize_pool_stats () in
   Printf.bprintf b "serialize_pool_hits %d\n" pool_hits;
   Printf.bprintf b "serialize_pool_misses %d\n" pool_misses;

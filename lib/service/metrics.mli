@@ -80,6 +80,16 @@ val streams : t -> int
 val stream_chunks : t -> int
 val stream_bytes : t -> int
 
+(** {2 Invalidation counters}
+
+    Maintained by the service's document-lifecycle hook: every
+    annotation table evicted from a cached plan because its document was
+    unloaded or replaced counts here (surfaced as [doc_invalidations]
+    in the STATS dump). *)
+
+val add_invalidations : t -> int -> unit
+val invalidations : t -> int
+
 val conns_accepted : t -> int
 val conns_active : t -> int
 val conns_rejected : t -> int

@@ -1,7 +1,16 @@
 open Xut_xpath
 open Xut_automata
 
-type annotations = { amu : Mutex.t; docs : (int, Annotator.table) Hashtbl.t }
+(* Annotation memo entries carry a recency stamp from a per-plan clock;
+   overflow evicts only the least-recently-used document's table, and
+   store-driven invalidation removes exactly the named document's. *)
+type annotation_entry = { table : Annotator.table; mutable stamp : int }
+
+type annotations = {
+  amu : Mutex.t;
+  docs : (int, annotation_entry) Hashtbl.t;
+  mutable aclock : int;
+}
 
 type plan = {
   source : string;
@@ -20,19 +29,37 @@ let compile source =
     query;
     norm;
     nfa;
-    annotations = { amu = Mutex.create (); docs = Hashtbl.create 4 };
+    annotations = { amu = Mutex.create (); docs = Hashtbl.create 4; aclock = 0 };
   }
 
 (* At most this many documents' annotation tables per plan; crossing the
-   bound drops them all (stored docs are few, so this is a leak bound for
-   evicted documents, not an LRU). *)
+   bound evicts the least recently used one, so the hot documents'
+   tables survive a cold document passing through. *)
 let max_annotated_docs = 8
+
+let evict_lru_annotation a =
+  let victim =
+    Hashtbl.fold
+      (fun id e acc ->
+        match acc with
+        | Some (_, stamp) when stamp <= e.stamp -> acc
+        | _ -> Some (id, e.stamp))
+      a.docs None
+  in
+  match victim with Some (id, _) -> Hashtbl.remove a.docs id | None -> ()
 
 let annotation plan root =
   let a = plan.annotations in
   let id = Xut_xml.Node.id root in
   Mutex.lock a.amu;
-  let cached = Hashtbl.find_opt a.docs id in
+  let cached =
+    match Hashtbl.find_opt a.docs id with
+    | Some e ->
+      a.aclock <- a.aclock + 1;
+      e.stamp <- a.aclock;
+      Some e.table
+    | None -> None
+  in
   Mutex.unlock a.amu;
   match cached with
   | Some table -> table
@@ -41,10 +68,30 @@ let annotation plan root =
        annotate twice; one insert wins and both tables are valid. *)
     let table = Annotator.annotate plan.nfa root in
     Mutex.lock a.amu;
-    if Hashtbl.length a.docs >= max_annotated_docs then Hashtbl.reset a.docs;
-    if not (Hashtbl.mem a.docs id) then Hashtbl.add a.docs id table;
+    if not (Hashtbl.mem a.docs id) then begin
+      if Hashtbl.length a.docs >= max_annotated_docs then evict_lru_annotation a;
+      a.aclock <- a.aclock + 1;
+      Hashtbl.add a.docs id { table; stamp = a.aclock }
+    end;
     Mutex.unlock a.amu;
     table
+
+(* How many documents this plan currently holds annotation tables for. *)
+let plan_annotation_count plan =
+  let a = plan.annotations in
+  Mutex.lock a.amu;
+  let n = Hashtbl.length a.docs in
+  Mutex.unlock a.amu;
+  n
+
+(* Drop this plan's annotation table for one document, if present. *)
+let plan_invalidate plan ~root_id =
+  let a = plan.annotations in
+  Mutex.lock a.amu;
+  let present = Hashtbl.mem a.docs root_id in
+  if present then Hashtbl.remove a.docs root_id;
+  Mutex.unlock a.amu;
+  present
 
 (* Recency is a stamp per entry from a monotone clock; eviction scans for
    the minimum.  The scan is O(capacity) but runs only on insertion into
@@ -126,9 +173,29 @@ let find_or_compile t source =
           Hashtbl.replace t.tbl source { plan; last_used = tick t };
           (plan, Miss))
 
-type stats = { hits : int; misses : int; evictions : int; entries : int; capacity : int }
+(* Snapshot the cached plans, then walk them outside the cache mutex:
+   per-plan annotation mutexes never nest inside it. *)
+let plans t = locked t (fun () -> Hashtbl.fold (fun _ e acc -> e.plan :: acc) t.tbl [])
+
+let invalidate t ~root_id =
+  List.fold_left
+    (fun n plan -> if plan_invalidate plan ~root_id then n + 1 else n)
+    0 (plans t)
+
+let annotation_entries t =
+  List.fold_left (fun n plan -> n + plan_annotation_count plan) 0 (plans t)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+  annotation_entries : int;
+}
 
 let stats t =
+  let annotation_entries = annotation_entries t in
   locked t (fun () ->
       {
         hits = t.hits;
@@ -136,6 +203,7 @@ let stats t =
         evictions = t.evictions;
         entries = Hashtbl.length t.tbl;
         capacity = t.capacity;
+        annotation_entries;
       })
 
 let clear t = locked t (fun () -> Hashtbl.reset t.tbl)

@@ -34,9 +34,13 @@ val annotation : plan -> Xut_xml.Node.element -> Annotator.table
     NFA, computing and remembering it on first use.  This is the big
     per-request saving for repeated TD-BU queries on a stored document:
     the whole first pass of twoPass is amortized away, leaving only the
-    top-down rebuild.  The memo holds at most a handful of documents and
-    is dropped wholesale when it overflows (annotations of evicted
-    documents die with it). *)
+    top-down rebuild.  The memo holds at most {!max_annotated_docs}
+    documents; overflow evicts only the least-recently-used document's
+    table (hot documents keep theirs), and document-store invalidation
+    ({!invalidate}) removes exactly the departing document's. *)
+
+val max_annotated_docs : int
+(** 8: the per-plan bound on memoized annotation tables. *)
 
 type t
 
@@ -48,13 +52,30 @@ val create : capacity:int -> t
 type outcome = Hit | Miss
 
 val find_or_compile : t -> string -> plan * outcome
-(** Return the cached plan for this query text, or compile (outside the
-    cache lock — concurrent misses may compile the same text twice; the
-    duplicate insert is harmless) and remember it, evicting the least
-    recently used entry when full.  Raises as {!compile} on bad input;
-    failures are not cached. *)
+(** Return the cached plan for this query text, or compile and remember
+    it, evicting the least recently used entry when full.  Raises as
+    {!compile} on bad input; failures are not cached. *)
 
-type stats = { hits : int; misses : int; evictions : int; entries : int; capacity : int }
+val invalidate : t -> root_id:int -> int
+(** Remove the annotation table keyed by this document root id from
+    {e every} cached plan — the cross-layer hook the document store's
+    unload/reload events drive.  Returns the number of tables dropped
+    (one per plan that had annotated that tree).  Never touches the
+    plans themselves or other documents' tables. *)
+
+val annotation_entries : t -> int
+(** Total memoized annotation tables across all cached plans — the
+    quantity the per-doc invalidation and LRU bounds keep from growing
+    with load/unload churn. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+  annotation_entries : int;
+}
 
 val stats : t -> stats
 val clear : t -> unit

@@ -16,7 +16,7 @@ type err_code =
   | Bad_request
 
 type payload =
-  | Doc_loaded of { name : string; elements : int }
+  | Doc_loaded of { name : string; elements : int; reloaded : bool; generation : int }
   | Doc_unloaded of { name : string }
   | Tree of string
   | Element_count of int
@@ -51,7 +51,11 @@ let rec render_response = function
     Stdlib.Error (Printf.sprintf "%s: %s" (err_code_name code) message)
 
 and render_payload = function
-  | Doc_loaded { name; elements } -> Printf.sprintf "loaded %s elements=%d" name elements
+  | Doc_loaded { name; elements; reloaded; generation = _ } ->
+    (* the fresh-load string is the pre-redesign protocol text; a reload
+       is flagged so scripted clients can tell the tree was swapped *)
+    if reloaded then Printf.sprintf "loaded %s elements=%d reloaded=true" name elements
+    else Printf.sprintf "loaded %s elements=%d" name elements
   | Doc_unloaded { name } -> Printf.sprintf "unloaded %s" name
   | Tree s -> s
   | Element_count n -> Printf.sprintf "elements=%d" n
@@ -145,8 +149,15 @@ let evaluate ~store ~cache ~metrics ~doc ~engine ~query =
 let rec handle ~store ~cache ~metrics ~depth = function
   | Load { name; file } -> begin
     match Doc_store.load_file store ~name file with
-    | Stdlib.Ok info ->
-      Ok (Doc_loaded { name = info.Doc_store.name; elements = info.Doc_store.elements })
+    | Stdlib.Ok (info, reloaded) ->
+      Ok
+        (Doc_loaded
+           {
+             name = info.Doc_store.name;
+             elements = info.Doc_store.elements;
+             reloaded;
+             generation = info.Doc_store.generation;
+           })
     | Stdlib.Error msg -> error Bad_request "%s" msg
   end
   | Unload { name } ->
@@ -167,12 +178,15 @@ let rec handle ~store ~cache ~metrics ~depth = function
     let b = Buffer.create 512 in
     Buffer.add_string b (Metrics.dump metrics);
     let cs = Plan_cache.stats cache in
-    Printf.bprintf b "\nplan_cache entries=%d capacity=%d evictions=%d" cs.Plan_cache.entries
-      cs.Plan_cache.capacity cs.Plan_cache.evictions;
+    Printf.bprintf b "\nplan_cache entries=%d capacity=%d evictions=%d annotation_entries=%d"
+      cs.Plan_cache.entries cs.Plan_cache.capacity cs.Plan_cache.evictions
+      cs.Plan_cache.annotation_entries;
     List.iter
       (fun name ->
         match Doc_store.info store name with
-        | Some i -> Printf.bprintf b "\ndoc %s elements=%d" i.Doc_store.name i.Doc_store.elements
+        | Some i ->
+          Printf.bprintf b "\ndoc %s elements=%d generation=%d" i.Doc_store.name
+            i.Doc_store.elements i.Doc_store.generation
         | None -> ())
       (Doc_store.names store);
     Ok (Stats_dump (Buffer.contents b))
@@ -230,10 +244,16 @@ let rec count_errors = function
   | Ok (Batch_results rs) -> List.fold_left (fun n r -> n + count_errors r) 0 rs
   | Ok _ -> 0
 
-let create ?(domains = 1) ?(cache_capacity = 128) ?(queue_capacity = 64) () =
-  let store = Doc_store.create () in
+let create ?(domains = 1) ?(cache_capacity = 128) ?(queue_capacity = 64) ?store_shards () =
+  let store = Doc_store.create ?shards:store_shards () in
   let cache = Plan_cache.create ~capacity:cache_capacity in
   let metrics = Metrics.create () in
+  (* The lifecycle hook: a document leaving the store (UNLOAD, or the
+     old tree of a reload) takes exactly its annotation tables with it —
+     per-doc eviction, never a whole-memo wipe. *)
+  Doc_store.subscribe store (fun ev ->
+      Metrics.add_invalidations metrics
+        (Plan_cache.invalidate cache ~root_id:ev.Doc_store.root_id));
   let handler job =
     Metrics.incr_requests metrics;
     let t0 = Unix.gettimeofday () in
@@ -297,4 +317,9 @@ let transform_stream t ~doc ~engine ~query ?chunk_size emit =
 let metrics t = t.metrics
 let cache_stats t = Plan_cache.stats t.cache
 let store t = t.store
+
+(* Subscribers added here run after the service's own plan-cache hook,
+   so by the time a transport broadcasts a notice the stale tables are
+   already gone — a client acting on the notice sees fresh state. *)
+let on_invalidate t f = Doc_store.subscribe t.store f
 let shutdown t = Worker_pool.shutdown t.pool

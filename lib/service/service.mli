@@ -42,7 +42,10 @@ type err_code =
   | Bad_request       (** malformed request (bad file, nested batch, bad frame) *)
 
 type payload =
-  | Doc_loaded of { name : string; elements : int }
+  | Doc_loaded of { name : string; elements : int; reloaded : bool; generation : int }
+      (** [reloaded] is [true] when the [LOAD] replaced an existing
+          binding (the old tree's caches were invalidated);
+          [generation] is the store's monotone load stamp. *)
   | Doc_unloaded of { name : string }
   | Tree of string         (** serialized result document of a [Transform] *)
   | Element_count of int   (** reply to a [Count] *)
@@ -74,11 +77,17 @@ val render_response : response -> (string, string) Stdlib.result
 
 type t
 
-val create : ?domains:int -> ?cache_capacity:int -> ?queue_capacity:int -> unit -> t
+val create :
+  ?domains:int -> ?cache_capacity:int -> ?queue_capacity:int -> ?store_shards:int -> unit -> t
 (** Start a service.  Defaults: [domains = 1] (single worker, the CLI
     serve default), [cache_capacity = 128] plans ([0] disables the
     cache), [queue_capacity = 64] pending requests (backpressure
-    threshold). *)
+    threshold), [store_shards = 8] document-store shards.
+
+    The service subscribes itself to the store's lifecycle events: an
+    [UNLOAD] or reload evicts exactly that document's annotation tables
+    from every cached plan and counts them in
+    {!Metrics.invalidations} ([doc_invalidations] in STATS). *)
 
 type future
 
@@ -140,6 +149,13 @@ val transform_stream :
 val metrics : t -> Metrics.t
 val cache_stats : t -> Plan_cache.stats
 val store : t -> Doc_store.t
+
+val on_invalidate : t -> (Doc_store.event -> unit) -> unit
+(** Subscribe to document-lifecycle events (unload / reload), after the
+    service's own cache-invalidation hook — the transport layer uses
+    this to push invalidation notices to connected clients.  The
+    callback runs synchronously on the worker thread performing the
+    [LOAD]/[UNLOAD]; keep it quick. *)
 
 val shutdown : t -> unit
 (** Drain and join the worker domains.  Idempotent. *)

@@ -7,9 +7,12 @@ type t = {
   mutable next_id : int64;
   stash : (int64, Service.response) Hashtbl.t;
   hdr : Bytes.t;
+  on_notice : (Wire.Binary.notice -> unit) option;
+      (* when set, requests are framed at v2 — the notice-channel
+         subscription — and id-0 Notice frames are fed here *)
 }
 
-let connect ?(timeout = 30.) addr =
+let connect ?(timeout = 30.) ?on_notice addr =
   let domain =
     match addr with Addr.Unix_socket _ -> Unix.PF_UNIX | Addr.Tcp _ -> Unix.PF_INET
   in
@@ -21,7 +24,13 @@ let connect ?(timeout = 30.) addr =
     raise e);
   if timeout > 0. then Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
   (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
-  { fd; next_id = 1L; stash = Hashtbl.create 8; hdr = Bytes.create Wire.Binary.header_size }
+  {
+    fd;
+    next_id = 1L;
+    stash = Hashtbl.create 8;
+    hdr = Bytes.create Wire.Binary.header_size;
+    on_notice;
+  }
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
@@ -49,21 +58,33 @@ let rec read_exact t buf off len =
     | exception Unix.Unix_error (e, _, _) ->
       raise (Transport_error ("read failed: " ^ Unix.error_message e))
 
+let request_version t = match t.on_notice with Some _ -> 2 | None -> 1
+
 let send t req =
   let id = t.next_id in
   t.next_id <- Int64.add id 1L;
-  write_all t (Wire.Binary.request_frame ~id req);
+  write_all t (Wire.Binary.request_frame ~version:(request_version t) ~id req);
   id
 
-(* One frame off the wire, whatever its kind. *)
-let read_raw_frame t =
+(* One frame off the wire, whatever its kind.  Server-push notices (the
+   id-0 Notice frames of the invalidation channel) are consumed here —
+   dispatched to [on_notice] and never surfaced to the callers, so they
+   may arrive interleaved with any response or stream. *)
+let rec read_raw_frame t =
   read_exact t t.hdr 0 Wire.Binary.header_size;
   match Wire.Binary.decode_header t.hdr with
   | Error msg -> raise (Transport_error ("bad frame from server: " ^ msg))
-  | Ok ({ Wire.Binary.length; _ } as hdr) ->
+  | Ok ({ Wire.Binary.length; kind; _ } as hdr) ->
     let payload = Bytes.create length in
     read_exact t payload 0 length;
-    (hdr, Bytes.unsafe_to_string payload)
+    let payload = Bytes.unsafe_to_string payload in
+    if kind = Wire.Binary.Notice then begin
+      (match Wire.Binary.decode_notice payload with
+      | Error msg -> raise (Transport_error ("bad notice payload: " ^ msg))
+      | Ok n -> ( match t.on_notice with Some f -> f n | None -> ()));
+      read_raw_frame t
+    end
+    else (hdr, payload)
 
 let decode_response_exn payload =
   match Wire.Binary.decode_response payload with
@@ -75,6 +96,7 @@ let read_frame t =
   match hdr.Wire.Binary.kind with
   | Wire.Binary.Response -> (hdr.Wire.Binary.id, decode_response_exn payload)
   | Wire.Binary.Request -> raise (Transport_error "server sent a request frame")
+  | Wire.Binary.Notice -> assert false (* consumed by read_raw_frame *)
   | Wire.Binary.Stream_begin | Wire.Binary.Stream_chunk | Wire.Binary.Stream_end
   | Wire.Binary.Stream_error ->
     raise (Transport_error "unexpected stream frame (no stream in flight)")
@@ -126,6 +148,7 @@ let transform_stream t ~doc ~engine ~query ?(chunk_size = Service.default_chunk_
       Hashtbl.replace t.stash rid (decode_response_exn payload);
       wait ()
     | Wire.Binary.Request -> raise (Transport_error "server sent a request frame")
+    | Wire.Binary.Notice -> assert false (* consumed by read_raw_frame *)
     | _ when rid <> id ->
       (* only one stream can be in flight per connection *)
       raise (Transport_error "stream frame for a different request id")

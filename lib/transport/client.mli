@@ -19,8 +19,16 @@ exception Transport_error of string
 
 type t
 
-val connect : ?timeout:float -> Addr.t -> t
+val connect : ?timeout:float -> ?on_notice:(Wire.Binary.notice -> unit) -> Addr.t -> t
 (** Connect; [timeout] (default 30 s) bounds every read.
+
+    [on_notice] subscribes this connection to the server's invalidation
+    notices (protocol v2): requests are then framed at v2 — the
+    subscription signal — and every id-0 [Notice] frame (a stored
+    document was unloaded or replaced) invokes the callback from
+    whichever read is in progress, without disturbing the response it
+    was waiting for.  Without [on_notice] the client speaks v1 frames
+    and the server never pushes notices at it.
     @raise Unix.Unix_error when the endpoint does not accept. *)
 
 val close : t -> unit

@@ -15,6 +15,9 @@ type conn = {
   cmu : Mutex.t;
   drained : Condition.t;
   mutable in_flight : int;  (* submitted requests whose response is not yet written *)
+  mutable peer_version : int;
+      (* highest protocol version seen in this peer's request frames;
+         >= 2 opts the connection into id-0 invalidation notices *)
 }
 
 type t = {
@@ -142,6 +145,7 @@ let serve_conn t conn =
         Metrics.frame_malformed m;
         ignore (write_frame t conn ~id:0L (error_response Service.Bad_request msg))
       | Ok { Wire.Binary.kind = Wire.Binary.Request; version; id; length } -> begin
+        if version > conn.peer_version then conn.peer_version <- version;
         let payload = Bytes.create length in
         match read_exact conn.fd payload 0 length with
         | Eof | Stalled ->
@@ -236,6 +240,7 @@ let accept_loop t =
                 cmu = Mutex.create ();
                 drained = Condition.create ();
                 in_flight = 0;
+                peer_version = 1;
               }
             in
             Mutex.lock t.mu;
@@ -306,6 +311,22 @@ let start ?(config = default_config) ~service addr =
       accept_thread = None;
     }
   in
+  (* Push invalidation notices: on every UNLOAD/reload the service's
+     lifecycle event fans out, as one id-0 Notice frame, to every
+     connection whose peer has spoken v2.  The event fires after the
+     service's own cache eviction, so a client acting on the notice
+     re-reads fresh state.  Runs on the worker thread doing the
+     LOAD/UNLOAD; a dead connection just fails its write. *)
+  Service.on_invalidate service (fun ev ->
+      if not t.stopping then begin
+        let frame = Wire.Binary.notice_frame (Wire.Binary.notice_of_event ev) in
+        Mutex.lock t.mu;
+        let conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+        Mutex.unlock t.mu;
+        List.iter
+          (fun c -> if c.peer_version >= 2 then ignore (write_raw t c frame))
+          conns
+      end);
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
   t
 

@@ -84,6 +84,7 @@ module Binary = struct
     | Stream_chunk
     | Stream_end
     | Stream_error
+    | Notice
 
   type header = { version : int; kind : kind; id : int64; length : int }
 
@@ -94,6 +95,7 @@ module Binary = struct
     | Stream_chunk -> '\004'
     | Stream_end -> '\005'
     | Stream_error -> '\006'
+    | Notice -> '\007'
 
   let kind_of_byte = function
     | '\001' -> Some Request
@@ -102,6 +104,7 @@ module Binary = struct
     | '\004' -> Some Stream_chunk
     | '\005' -> Some Stream_end
     | '\006' -> Some Stream_error
+    | '\007' -> Some Notice
     | _ -> None
 
   let encode_header { version; kind; id; length } =
@@ -192,10 +195,12 @@ module Binary = struct
     | _ -> None
 
   let rec put_response b = function
-    | Service.Ok (Service.Doc_loaded { name; elements }) ->
+    | Service.Ok (Service.Doc_loaded { name; elements; reloaded; generation }) ->
       put_u8 b 1;
       put_str b name;
-      put_u32 b elements
+      put_u32 b elements;
+      put_u8 b (if reloaded then 1 else 0);
+      put_u32 b generation
     | Service.Ok (Service.Doc_unloaded { name }) ->
       put_u8 b 2;
       put_str b name
@@ -303,7 +308,14 @@ module Binary = struct
     | 1 ->
       let name = get_str c in
       let elements = get_u32 c in
-      Service.Ok (Service.Doc_loaded { name; elements })
+      let reloaded =
+        match get_u8 c with
+        | 0 -> false
+        | 1 -> true
+        | b -> raise (Malformed (Printf.sprintf "bad reloaded flag %d" b))
+      in
+      let generation = get_u32 c in
+      Service.Ok (Service.Doc_loaded { name; elements; reloaded; generation })
     | 2 -> Service.Ok (Service.Doc_unloaded { name = get_str c })
     | 3 -> Service.Ok (Service.Tree (get_str c))
     | 4 -> Service.Ok (Service.Element_count (get_u32 c))
@@ -382,19 +394,75 @@ module Binary = struct
         Result.map (fun sr -> Stream sr) (decode_with get_stream_request s)
     else Result.map (fun r -> Plain r) (decode_with get_request s)
 
+  (* ---- invalidation notices (protocol v2) ----
+
+     Server-push frames on the reserved id-0 notice channel: a stored
+     document was unloaded, or replaced by a reload.  Sent only to
+     peers that have spoken v2 on the connection — a v1 peer never sees
+     a frame kind it cannot parse. *)
+
+  type notice = {
+    doc : string;
+    reason : Doc_store.reason;
+    generation : int;  (** of the new binding for [Replaced], of the
+                           removed one for [Unloaded] *)
+  }
+
+  let notice_of_event ev =
+    {
+      doc = ev.Doc_store.name;
+      reason = ev.Doc_store.reason;
+      generation = ev.Doc_store.generation;
+    }
+
+  let reason_byte = function Doc_store.Unloaded -> 1 | Doc_store.Replaced -> 2
+
+  let reason_of_byte = function
+    | 1 -> Some Doc_store.Unloaded
+    | 2 -> Some Doc_store.Replaced
+    | _ -> None
+
+  let encode_notice { doc; reason; generation } =
+    let b = Buffer.create 32 in
+    put_u8 b (reason_byte reason);
+    put_str b doc;
+    put_u32 b generation;
+    Buffer.contents b
+
+  let decode_notice s =
+    decode_with
+      (fun c ->
+        let reason_b = get_u8 c in
+        match reason_of_byte reason_b with
+        | None -> raise (Malformed (Printf.sprintf "unknown notice reason %d" reason_b))
+        | Some reason ->
+          let doc = get_str c in
+          let generation = get_u32 c in
+          { doc; reason; generation })
+      s
+
+  let render_notice { doc; reason; generation } =
+    Printf.sprintf "NOTICE %s %s generation=%d"
+      (match reason with Doc_store.Unloaded -> "unloaded" | Doc_store.Replaced -> "replaced")
+      doc generation
+
   (* ---- frame builders ----
 
      Plain requests and their responses are framed at the lowest version
      that can express them, so a v2 client interoperates with a v1
      server and a v2 server echoes a v1 client's version back (the
      client-side header check never sees a version newer than it sent).
-     Stream frames are inherently v2. *)
+     A client opts into the notice channel by framing its requests at
+     v2.  Stream and notice frames are inherently v2. *)
 
   let frame ?(version = protocol_version) ~kind ~id payload =
     let header = encode_header { version; kind; id; length = String.length payload } in
     Bytes.unsafe_to_string header ^ payload
 
-  let request_frame ~id req = frame ~version:1 ~kind:Request ~id (encode_request req)
+  let request_frame ?(version = 1) ~id req = frame ~version ~kind:Request ~id (encode_request req)
+
+  let notice_id = 0L
+  let notice_frame n = frame ~kind:Notice ~id:notice_id (encode_notice n)
 
   let response_frame ?(version = 1) ~id resp =
     frame ~version ~kind:Response ~id (encode_response resp)

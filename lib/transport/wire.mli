@@ -62,7 +62,8 @@ module Binary : sig
       frames whose payload is raw result bytes, then exactly one of
       [Stream_end] (totals) or [Stream_error] (code + message, the
       mid-stream failure frame).  All frames of one stream share the
-      request id. *)
+      request id.  [Notice] (v2) is the server-push invalidation frame
+      on the reserved id-0 channel. *)
   type kind =
     | Request
     | Response
@@ -70,6 +71,7 @@ module Binary : sig
     | Stream_chunk
     | Stream_end
     | Stream_error
+    | Notice
 
   type header = { version : int; kind : kind; id : int64; length : int }
 
@@ -110,14 +112,46 @@ module Binary : sig
       A stream request in a v1 frame is an [Error _]; a stream-request
       tag nested anywhere inside a batch is malformed. *)
 
+  (** {2 Invalidation notices (v2)}
+
+      Server-push frames on the reserved id-0 channel telling connected
+      clients that a stored document was unloaded or replaced, so they
+      can drop anything derived from the old tree.  The server sends
+      them only to connections that have spoken v2 — a v1 peer never
+      sees the frame kind. *)
+
+  type notice = {
+    doc : string;
+    reason : Doc_store.reason;
+    generation : int;
+        (** of the new binding for [Replaced], of the removed one for
+            [Unloaded] *)
+  }
+
+  val notice_of_event : Doc_store.event -> notice
+
+  val encode_notice : notice -> string
+  val decode_notice : string -> (notice, string) result
+
+  val render_notice : notice -> string
+  (** Human-readable one-liner ([NOTICE unloaded d generation=4]) for
+      [xut client --notices]. *)
+
+  val notice_id : int64
+  (** 0: every notice frame carries the reserved id. *)
+
+  val notice_frame : notice -> string
+
   (** {2 Whole frames}
 
       Plain requests and responses are framed at version 1 (the lowest
       version that can express them), so new clients interoperate with
       old servers; [response_frame ?version] lets the server echo the
-      request frame's version.  Stream frames are always version 2. *)
+      request frame's version, and [request_frame ~version:2] is how a
+      client subscribes to the notice channel.  Stream and notice
+      frames are always version 2. *)
 
-  val request_frame : id:int64 -> Service.request -> string
+  val request_frame : ?version:int -> id:int64 -> Service.request -> string
   val response_frame : ?version:int -> id:int64 -> Service.response -> string
   val stream_request_frame : id:int64 -> stream_request -> string
   val stream_begin_frame : id:int64 -> string

@@ -77,21 +77,152 @@ let test_cache_bad_query () =
   | exception _ -> ());
   Alcotest.(check int) "failures are not cached" 0 (Plan_cache.stats c).Plan_cache.entries
 
+(* The per-plan annotation memo bounds itself per document: overflow
+   evicts only the least-recently-used document's table, never the
+   whole memo. *)
+let test_annotation_lru_per_doc () =
+  let plan = Plan_cache.compile q_del_prices in
+  let n = Plan_cache.max_annotated_docs in
+  let docs = Array.init (n + 1) (fun _ -> Xut_xml.Dom.parse_string doc_xml) in
+  let tables = Array.init n (fun i -> Plan_cache.annotation plan docs.(i)) in
+  (* touch doc 0 so doc 1 becomes the LRU entry, then overflow *)
+  ignore (Plan_cache.annotation plan docs.(0));
+  ignore (Plan_cache.annotation plan docs.(n));
+  Alcotest.(check bool) "hot doc 0 kept its table" true
+    (Plan_cache.annotation plan docs.(0) == tables.(0));
+  Alcotest.(check bool) "doc 2 kept its table" true
+    (Plan_cache.annotation plan docs.(2) == tables.(2));
+  Alcotest.(check bool) "only the LRU doc (1) was evicted" true
+    (Plan_cache.annotation plan docs.(1) != tables.(1))
+
+let test_cache_invalidate_per_doc () =
+  let c = Plan_cache.create ~capacity:4 in
+  let p1, _ = Plan_cache.find_or_compile c q_del_prices in
+  let p2, _ = Plan_cache.find_or_compile c q_del_adult_names in
+  let d1 = Xut_xml.Dom.parse_string doc_xml in
+  let d2 = Xut_xml.Dom.parse_string doc_xml in
+  let t_d2 = Plan_cache.annotation p1 d2 in
+  ignore (Plan_cache.annotation p1 d1);
+  ignore (Plan_cache.annotation p2 d1);
+  Alcotest.(check int) "three tables memoized" 3 (Plan_cache.annotation_entries c);
+  Alcotest.(check int) "d1 dropped from both plans" 2
+    (Plan_cache.invalidate c ~root_id:(Xut_xml.Node.id d1));
+  Alcotest.(check int) "d2's table untouched" 1 (Plan_cache.annotation_entries c);
+  Alcotest.(check bool) "d2 still hits its memo" true
+    (Plan_cache.annotation p1 d2 == t_d2);
+  Alcotest.(check int) "invalidating again drops nothing" 0
+    (Plan_cache.invalidate c ~root_id:(Xut_xml.Node.id d1))
+
 (* ---- document store ---- *)
 
 let test_store_load_evict () =
   with_doc_file (fun path ->
       let store = Doc_store.create () in
       (match Doc_store.load_file store ~name:"d" path with
-      | Ok info ->
+      | Ok (info, reloaded) ->
         Alcotest.(check int) "element count" 18 info.Doc_store.elements;
-        Alcotest.(check bool) "file recorded" true (info.Doc_store.file = Some path)
+        Alcotest.(check bool) "file recorded" true (info.Doc_store.file = Some path);
+        Alcotest.(check bool) "fresh load is not a reload" false reloaded
       | Error e -> Alcotest.fail e);
       Alcotest.(check bool) "find after load" true (Doc_store.find store "d" <> None);
       Alcotest.(check (list string)) "names" [ "d" ] (Doc_store.names store);
       Alcotest.(check bool) "evict" true (Doc_store.evict store "d");
       Alcotest.(check bool) "gone" true (Doc_store.find store "d" = None);
       Alcotest.(check bool) "evicting again is false" false (Doc_store.evict store "d"))
+
+let test_store_reload_generations () =
+  let store = Doc_store.create ~shards:4 () in
+  let events = ref [] in
+  Doc_store.subscribe store (fun ev ->
+      events := (ev.Doc_store.name, ev.Doc_store.reason, ev.Doc_store.generation) :: !events);
+  let tree () = Xut_xml.Node.element "r" [ Xut_xml.Node.elem "c" [] ] in
+  let t1 = tree () in
+  let i1, r1 = Doc_store.register store ~name:"d" t1 in
+  Alcotest.(check bool) "first register is fresh" false r1;
+  Alcotest.(check bool) "no event on a fresh load" true (!events = []);
+  let i2, r2 = Doc_store.register store ~name:"d" (tree ()) in
+  Alcotest.(check bool) "second register reloads" true r2;
+  Alcotest.(check bool) "generation is monotone" true
+    (i2.Doc_store.generation > i1.Doc_store.generation);
+  (match !events with
+  | [ ev ] ->
+    let name, reason, generation = ev in
+    Alcotest.(check string) "event names the doc" "d" name;
+    Alcotest.(check bool) "reload publishes Replaced" true (reason = Doc_store.Replaced);
+    Alcotest.(check int) "Replaced carries the new generation" i2.Doc_store.generation generation
+  | _ -> Alcotest.fail "exactly one event for the reload");
+  events := [];
+  Alcotest.(check bool) "evict" true (Doc_store.evict store "d");
+  (match !events with
+  | [ (name, reason, generation) ] ->
+    Alcotest.(check string) "unload event names the doc" "d" name;
+    Alcotest.(check bool) "evict publishes Unloaded" true (reason = Doc_store.Unloaded);
+    Alcotest.(check int) "Unloaded carries the removed generation" i2.Doc_store.generation
+      generation
+  | _ -> Alcotest.fail "exactly one event for the evict");
+  events := [];
+  ignore (Doc_store.evict store "d");
+  Alcotest.(check bool) "no event for a missed evict" true (!events = [])
+
+(* The sharded store must be observably identical to the single-shard
+   one: same generations, same reload flags, same listings, same event
+   stream, for any interleaving of load/evict/find. *)
+let test_store_shard_equivalence =
+  let names = [| "alpha"; "beta"; "gamma"; "delta"; "epsilon" |] in
+  let gen_op =
+    QCheck.Gen.(
+      oneof
+        [
+          map (fun i -> `Load (i mod Array.length names)) (int_bound 100);
+          map (fun i -> `Evict (i mod Array.length names)) (int_bound 100);
+          map (fun i -> `Find (i mod Array.length names)) (int_bound 100);
+        ])
+  in
+  let print_op = function
+    | `Load i -> "load " ^ names.(i)
+    | `Evict i -> "evict " ^ names.(i)
+    | `Find i -> "find " ^ names.(i)
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun ops -> String.concat "; " (List.map print_op ops))
+      QCheck.Gen.(list_size (int_bound 40) gen_op)
+  in
+  let prop ops =
+    let s1 = Doc_store.create ~shards:1 () in
+    let s4 = Doc_store.create ~shards:4 () in
+    let ev1 = ref [] and ev4 = ref [] in
+    let log evs ev =
+      evs := (ev.Doc_store.name, ev.Doc_store.reason, ev.Doc_store.generation) :: !evs
+    in
+    Doc_store.subscribe s1 (log ev1);
+    Doc_store.subscribe s4 (log ev4);
+    let obs_info =
+      Option.map (fun (i : Doc_store.info) ->
+          (i.Doc_store.name, i.Doc_store.elements, i.Doc_store.generation))
+    in
+    let step acc op =
+      acc
+      &&
+      match op with
+      | `Load i ->
+        let tree () = Xut_xml.Node.element names.(i) [ Xut_xml.Node.elem "c" [] ] in
+        let i1, r1 = Doc_store.register s1 ~name:names.(i) (tree ()) in
+        let i4, r4 = Doc_store.register s4 ~name:names.(i) (tree ()) in
+        r1 = r4
+        && i1.Doc_store.generation = i4.Doc_store.generation
+        && i1.Doc_store.elements = i4.Doc_store.elements
+      | `Evict i -> Doc_store.evict s1 names.(i) = Doc_store.evict s4 names.(i)
+      | `Find i ->
+        (Doc_store.find s1 names.(i) = None) = (Doc_store.find s4 names.(i) = None)
+        && obs_info (Doc_store.info s1 names.(i)) = obs_info (Doc_store.info s4 names.(i))
+    in
+    List.fold_left step true ops
+    && Doc_store.names s1 = Doc_store.names s4
+    && !ev1 = !ev4
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"sharded store = single-shard store" ~count:200 arb prop)
 
 let test_store_bad_input () =
   let store = Doc_store.create () in
@@ -115,7 +246,8 @@ let with_service ?(domains = 1) ?(cache_capacity = 128) f =
 
 let load_doc svc path =
   match Service.call svc (Service.Load { name = "d"; file = path }) with
-  | Service.Ok (Service.Doc_loaded { name = "d"; elements = 18 }) -> ()
+  | Service.Ok (Service.Doc_loaded { name = "d"; elements = 18; reloaded = false; generation = _ })
+    -> ()
   | Service.Ok _ -> Alcotest.fail "LOAD answered with the wrong payload"
   | Service.Error { message; _ } -> Alcotest.fail message
 
@@ -175,7 +307,12 @@ let test_render_response_compat () =
     | Stdlib.Ok s -> Alcotest.(check string) name expect s
     | Stdlib.Error e -> Alcotest.fail e
   in
-  check "loaded" "loaded d elements=18" (Service.Ok (Service.Doc_loaded { name = "d"; elements = 18 }));
+  check "loaded" "loaded d elements=18"
+    (Service.Ok
+       (Service.Doc_loaded { name = "d"; elements = 18; reloaded = false; generation = 1 }));
+  check "reloaded" "loaded d elements=18 reloaded=true"
+    (Service.Ok
+       (Service.Doc_loaded { name = "d"; elements = 18; reloaded = true; generation = 2 }));
   check "unloaded" "unloaded d" (Service.Ok (Service.Doc_unloaded { name = "d" }));
   check "tree" "<a/>" (Service.Ok (Service.Tree "<a/>"));
   check "count" "elements=16" (Service.Ok (Service.Element_count 16));
@@ -258,10 +395,11 @@ let test_service_stats_and_unload () =
           load_doc svc path;
           (match Service.call svc Service.Stats with
           | Service.Ok (Service.Stats_dump payload) ->
-            Alcotest.(check bool) "stats mentions the doc" true
+            Alcotest.(check bool) "stats mentions the doc with its generation" true
               (String.length payload > 0
               && String.split_on_char '\n' payload
-                 |> List.exists (fun l -> l = "doc d elements=18"))
+                 |> List.exists (fun l ->
+                        String.starts_with ~prefix:"doc d elements=18 generation=" l))
           | Service.Ok _ -> Alcotest.fail "STATS must answer with a Stats_dump"
           | Service.Error { message; _ } -> Alcotest.fail message);
           (match Service.call svc (Service.Unload { name = "d" }) with
@@ -273,6 +411,72 @@ let test_service_stats_and_unload () =
           | Service.Error { code = Service.Unknown_document; _ } -> ()
           | Service.Error { code; _ } ->
             Alcotest.fail ("wrong error code: " ^ Service.err_code_name code)))
+
+(* The lifecycle guarantee of the sharded store: UNLOAD (or a reload)
+   takes exactly the departing document's annotation tables with it —
+   counted in the metrics, visible in STATS, never a whole-memo wipe —
+   and a reload of identical content transforms byte-identically. *)
+let test_service_lifecycle_invalidation () =
+  with_doc_file (fun path ->
+      with_service (fun svc ->
+          load_doc svc path;
+          let transform () =
+            match
+              Service.call svc
+                (Service.Transform
+                   { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
+            with
+            | Service.Ok (Service.Tree payload) -> payload
+            | Service.Ok _ -> Alcotest.fail "TRANSFORM must answer with a Tree"
+            | Service.Error { message; _ } -> Alcotest.fail message
+          in
+          let before = transform () in
+          Alcotest.(check int) "TD-BU memoized one annotation table" 1
+            (Service.cache_stats svc).Plan_cache.annotation_entries;
+          (match Service.call svc (Service.Unload { name = "d" }) with
+          | Service.Ok (Service.Doc_unloaded _) -> ()
+          | _ -> Alcotest.fail "UNLOAD");
+          Alcotest.(check int) "unload evicted exactly the doc's table" 0
+            (Service.cache_stats svc).Plan_cache.annotation_entries;
+          Alcotest.(check int) "invalidation counted in the metrics" 1
+            (Metrics.invalidations (Service.metrics svc));
+          Alcotest.(check int) "the compiled plan itself survived" 1
+            (Service.cache_stats svc).Plan_cache.entries;
+          (match Service.call svc Service.Stats with
+          | Service.Ok (Service.Stats_dump dump) ->
+            Alcotest.(check bool) "STATS reports the invalidation" true
+              (String.split_on_char '\n' dump
+              |> List.exists (fun l -> l = "doc_invalidations 1"))
+          | _ -> Alcotest.fail "STATS");
+          load_doc svc path;
+          let after = transform () in
+          Alcotest.(check string) "byte-identical output after reload" before after))
+
+let test_service_reload_replaces () =
+  with_doc_file (fun path ->
+      with_service (fun svc ->
+          load_doc svc path;
+          let transform () =
+            match
+              Service.call svc
+                (Service.Transform
+                   { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
+            with
+            | Service.Ok (Service.Tree payload) -> payload
+            | _ -> Alcotest.fail "TRANSFORM"
+          in
+          let before = transform () in
+          (* LOAD over a live name: reported as a reload, and the old
+             tree's annotation table goes with it *)
+          (match Service.call svc (Service.Load { name = "d"; file = path }) with
+          | Service.Ok (Service.Doc_loaded { reloaded = true; generation; _ }) ->
+            Alcotest.(check bool) "reload advances the generation" true (generation >= 2)
+          | Service.Ok _ -> Alcotest.fail "LOAD over a live name must report reloaded=true"
+          | Service.Error { message; _ } -> Alcotest.fail message);
+          Alcotest.(check int) "old tree's table invalidated" 1
+            (Metrics.invalidations (Service.metrics svc));
+          Alcotest.(check string) "reloaded content transforms byte-identically" before
+            (transform ())))
 
 (* ---- worker pool and metrics ---- *)
 
@@ -391,13 +595,22 @@ let suite =
     Alcotest.test_case "plan cache: LRU eviction" `Quick test_cache_lru_eviction;
     Alcotest.test_case "plan cache: capacity 0 disables" `Quick test_cache_disabled;
     Alcotest.test_case "plan cache: failures not cached" `Quick test_cache_bad_query;
+    Alcotest.test_case "plan cache: per-doc annotation LRU" `Quick test_annotation_lru_per_doc;
+    Alcotest.test_case "plan cache: per-doc invalidation" `Quick test_cache_invalidate_per_doc;
     Alcotest.test_case "doc store: load, find, evict" `Quick test_store_load_evict;
+    Alcotest.test_case "doc store: reload flag, generations, events" `Quick
+      test_store_reload_generations;
+    test_store_shard_equivalence;
     Alcotest.test_case "doc store: bad input" `Quick test_store_bad_input;
     Alcotest.test_case "service: output matches Engine.run" `Quick test_service_matches_engine_run;
     Alcotest.test_case "service: 4-domain output byte-identical" `Quick
       test_service_concurrent_4_domains;
     Alcotest.test_case "service: error isolation and codes" `Quick test_service_error_isolation;
     Alcotest.test_case "service: stats and unload" `Quick test_service_stats_and_unload;
+    Alcotest.test_case "service: lifecycle invalidation" `Quick
+      test_service_lifecycle_invalidation;
+    Alcotest.test_case "service: reload replaces and invalidates" `Quick
+      test_service_reload_replaces;
     Alcotest.test_case "service: batch requests" `Quick test_service_batch;
     Alcotest.test_case "service: render_response compatibility" `Quick
       test_render_response_compat;

@@ -201,8 +201,9 @@ let gen_simple_response =
     oneof
       [
         map2
-          (fun name elements -> Service.Ok (Service.Doc_loaded { name; elements }))
-          gen_text small_nat;
+          (fun (name, reloaded) (elements, generation) ->
+            Service.Ok (Service.Doc_loaded { name; elements; reloaded; generation }))
+          (pair gen_text bool) (pair small_nat small_nat);
         map (fun name -> Service.Ok (Service.Doc_unloaded { name })) gen_text;
         map (fun s -> Service.Ok (Service.Tree s)) gen_text;
         map (fun n -> Service.Ok (Service.Element_count n)) small_nat;
@@ -278,7 +279,7 @@ let test_header_validation () =
 
 let load_over t path =
   match Client.call t (Service.Load { name = "d"; file = path }) with
-  | Service.Ok (Service.Doc_loaded { name = "d"; elements = 18 }) -> ()
+  | Service.Ok (Service.Doc_loaded { name = "d"; elements = 18; _ }) -> ()
   | Service.Ok _ -> Alcotest.fail "LOAD over the socket: wrong payload"
   | Service.Error { message; _ } -> Alcotest.fail message
 
@@ -750,6 +751,100 @@ let test_v1_client_fallback () =
                   (String.split_on_char ' ' message |> List.exists (fun w -> w = "version"))
               | _ -> Alcotest.fail "v1-framed stream request must answer bad-request")))
 
+(* ---- invalidation notices (protocol v2) ---- *)
+
+let test_notice_codec () =
+  List.iter
+    (fun n ->
+      match Wire.Binary.decode_notice (Wire.Binary.encode_notice n) with
+      | Ok n' -> Alcotest.(check bool) "notice round trips" true (n' = n)
+      | Error e -> Alcotest.fail e)
+    [
+      { Wire.Binary.doc = "d"; reason = Doc_store.Unloaded; generation = 4 };
+      { Wire.Binary.doc = "name with\nnewline"; reason = Doc_store.Replaced; generation = 0 };
+    ];
+  Alcotest.(check string) "render: unloaded" "NOTICE unloaded d generation=4"
+    (Wire.Binary.render_notice
+       { Wire.Binary.doc = "d"; reason = Doc_store.Unloaded; generation = 4 });
+  Alcotest.(check string) "render: replaced" "NOTICE replaced d generation=5"
+    (Wire.Binary.render_notice
+       { Wire.Binary.doc = "d"; reason = Doc_store.Replaced; generation = 5 });
+  (* the frame itself: id 0, kind Notice, version 2 *)
+  let f =
+    Wire.Binary.notice_frame
+      { Wire.Binary.doc = "d"; reason = Doc_store.Unloaded; generation = 4 }
+  in
+  (match
+     Wire.Binary.decode_header (Bytes.of_string (String.sub f 0 Wire.Binary.header_size))
+   with
+  | Ok { Wire.Binary.kind = Wire.Binary.Notice; id = 0L; version = 2; _ } -> ()
+  | _ -> Alcotest.fail "notice frames carry kind Notice, id 0, version 2");
+  (* a Notice kind in a v1 header is rejected, like the stream kinds *)
+  match
+    Wire.Binary.decode_header
+      (Wire.Binary.encode_header
+         { Wire.Binary.version = 1; kind = Wire.Binary.Notice; id = 0L; length = 0 })
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a Notice kind in a v1 header must be rejected"
+
+(* Server-push delivery: a subscribed (v2) client hears about UNLOAD and
+   reload on the id-0 channel; a plain (v1) client never sees the frame.
+   Ordering is deterministic: the store fires events synchronously on
+   the worker before the triggering request's response is written, so
+   the notice precedes the UNLOAD/LOAD reply on every subscribed
+   connection. *)
+let test_notice_over_socket () =
+  with_doc_file (fun doc ->
+      with_server (fun _svc sock ->
+          let notices = ref [] in
+          let sub =
+            Client.connect ~on_notice:(fun n -> notices := n :: !notices)
+              (Addr.Unix_socket sock)
+          in
+          let plain = Client.connect (Addr.Unix_socket sock) in
+          Fun.protect
+            ~finally:(fun () ->
+              Client.close sub;
+              Client.close plain)
+            (fun () ->
+              (* one request each, so the server learns both versions *)
+              (match Client.call sub Service.Stats with
+              | Service.Ok (Service.Stats_dump _) -> ()
+              | _ -> Alcotest.fail "STATS on the subscribed client");
+              load_over plain doc;
+              Alcotest.(check bool) "a fresh LOAD pushes no notice" true (!notices = []);
+              (* reload: the plain client LOADs over the live name *)
+              (match Client.call plain (Service.Load { name = "d"; file = doc }) with
+              | Service.Ok (Service.Doc_loaded { reloaded = true; _ }) -> ()
+              | _ -> Alcotest.fail "reload must report reloaded=true");
+              (* unload from the plain client too *)
+              (match Client.call plain (Service.Unload { name = "d" }) with
+              | Service.Ok (Service.Doc_unloaded _) -> ()
+              | _ -> Alcotest.fail "UNLOAD");
+              (* both notices are already buffered on [sub]'s socket (the
+                 broadcast precedes each response); any read drains them *)
+              (match Client.call sub Service.Stats with
+              | Service.Ok (Service.Stats_dump _) -> ()
+              | _ -> Alcotest.fail "STATS after the notices");
+              (match List.rev !notices with
+              | [ { Wire.Binary.doc = "d"; reason = Doc_store.Replaced; generation = g1 };
+                  { Wire.Binary.doc = "d"; reason = Doc_store.Unloaded; generation = g2 }
+                ] ->
+                Alcotest.(check int) "unload names the replacing generation" g1 g2;
+                Alcotest.(check bool) "the reload advanced the generation" true (g1 >= 2)
+              | l ->
+                Alcotest.fail
+                  (Printf.sprintf "expected [replaced; unloaded], got %d notice(s): %s"
+                     (List.length l)
+                     (String.concat "; " (List.map Wire.Binary.render_notice l))));
+              (* the v1 client saw only its responses: its next round trip
+                 still works, which it would not if a Notice frame (a kind
+                 its header check rejects) had been pushed at it *)
+              match Client.call plain Service.Stats with
+              | Service.Ok (Service.Stats_dump _) -> ()
+              | _ -> Alcotest.fail "the v1 client must be unaffected by notices")))
+
 (* Mid-stream failure as the CLIENT sees it: a hand-rolled server sends
    BEGIN, two chunks, then a STREAM_ERROR (a real engine failing after
    output went out).  The client must deliver both chunks and return the
@@ -858,6 +953,8 @@ let suite =
     Alcotest.test_case "socket: streamed transform reassembles" `Quick test_stream_over_socket;
     Alcotest.test_case "socket: stream error before chunks" `Quick test_stream_unknown_document;
     Alcotest.test_case "socket: v1 client fallback" `Quick test_v1_client_fallback;
+    Alcotest.test_case "wire: notice codec" `Quick test_notice_codec;
+    Alcotest.test_case "socket: invalidation notices" `Quick test_notice_over_socket;
     Alcotest.test_case "socket: mid-stream error frame" `Quick test_mid_stream_error;
     Alcotest.test_case "tcp: round trip on an ephemeral port" `Quick test_tcp_roundtrip;
   ]
