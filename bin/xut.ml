@@ -260,7 +260,7 @@ let serve_cmd =
     | Some addr ->
       socket_serve_loop svc addr max_conns read_timeout (max_frame_mib * 1024 * 1024)
     | None ->
-      Printf.eprintf "LOAD / UNLOAD / TRANSFORM / COUNT / STATS on stdin\n%!";
+      Printf.eprintf "LOAD / UNLOAD / TRANSFORM / COUNT / APPLY / COMMIT / STATS on stdin\n%!";
       stdin_serve_loop svc);
     Xut_service.Service.shutdown svc;
     0
@@ -444,14 +444,15 @@ let client_cmd =
     Arg.(value & flag
          & info [ "notices" ]
              ~doc:"Subscribe to server-push invalidation notices (protocol v2): a NOTICE line \
-                   is printed whenever a stored document is unloaded or replaced while this \
-                   client is connected.")
+                   is printed whenever a stored document is unloaded, replaced or committed \
+                   over while this client is connected.")
   in
   let requests =
     Arg.(value & pos_all string []
          & info [] ~docv:"REQUEST"
-             ~doc:"Requests in the line syntax (e.g. 'STATS', 'TRANSFORM d td-bu ...'); \
-                   read from stdin when none are given.")
+             ~doc:"Requests in the line syntax (e.g. 'STATS', 'TRANSFORM d td-bu ...', \
+                   'APPLY d delete \\$a/site/regions', 'COMMIT d ...'); read from stdin when \
+                   none are given.")
   in
   Cmd.v
     (Cmd.info "client"
@@ -465,11 +466,20 @@ let client_cmd =
 
 let bench_serve_cmd =
   let run doc_opt factor requests domains_list engine query_opt payload stream chunk_size
-      json_opt socket batch docs =
+      json_opt socket batch docs write_ratio =
     (* Streaming is a payload-mode variant; batching does not apply (a
        stream is one transform per exchange). *)
     let payload = payload || stream in
     let batch = if stream then 1 else max 1 batch in
+    if write_ratio < 0. || write_ratio >= 1. then begin
+      Printf.eprintf "bench-serve: --write-ratio must be in [0, 1)\n";
+      exit 2
+    end;
+    (* Every [wperiod]-th unit is a COMMIT instead of a read: with ratio
+       R, one write per round(1/R) units. *)
+    let wperiod =
+      if write_ratio > 0. then max 1 (int_of_float (Float.round (1. /. write_ratio))) else 0
+    in
     (* --docs N stores the document under N names and cycles requests
        over them round-robin: every shard of the store sees traffic and
        one shared plan annotates N distinct trees (the multi-document
@@ -506,12 +516,12 @@ let bench_serve_cmd =
     let domain_counts = if domain_counts = [] then [ 1; 2; 4 ] else domain_counts in
     Printf.printf
       "bench-serve: doc=%s docs=%d requests=%d engine=%s reply=%s transport=%s batch=%d \
-       cores=%d\n\
+       write-ratio=%g cores=%d\n\
        query: %s\n\n"
       doc_file docs requests (Engine.name engine)
       (if stream then "stream" else if payload then "payload" else "count")
       (if socket then "unix-socket" else "in-process")
-      batch
+      batch write_ratio
       (Domain.recommended_domain_count ())
       query;
     Printf.printf "%-8s %-6s %10s %12s %10s %10s %10s %10s\n" "domains" "cache" "wall(s)"
@@ -537,12 +547,43 @@ let bench_serve_cmd =
         if payload then Xut_service.Service.Transform { doc; engine; query }
         else Xut_service.Service.Count { doc; engine; query }
       in
+      (* The mixed read/write workload: every [wperiod]-th unit commits,
+         alternating an insert of a marker child of the document element
+         with a delete of that marker, so the document stays bounded and
+         (almost) every commit is effective.  Out-of-order execution
+         under several domains can only turn a delete into a no-op
+         commit, never a conflict. *)
+      let is_write i = wperiod > 0 && i mod wperiod = 0 in
+      let write_req i =
+        let wquery =
+          if (i / wperiod) land 1 = 1 then
+            "insert <xut_bench_promo>p</xut_bench_promo> into $a"
+          else "delete $a//xut_bench_promo"
+        in
+        Xut_service.Service.Commit { doc = doc_name i; query = wquery }
+      in
       (* One "unit" is a frame's worth of work: a single request, or a
          BATCH of [batch] of them.  Units cycle over the doc names. *)
       let unit_req i =
-        if batch = 1 then req (doc_name i)
-        else Xut_service.Service.Batch (List.init batch (fun j -> req (doc_name ((i * batch) + j))))
+        if batch = 1 then if is_write i then write_req i else req (doc_name i)
+        else
+          Xut_service.Service.Batch
+            (List.init batch (fun j ->
+                 if j = 0 && is_write i then write_req i
+                 else req (doc_name ((i * batch) + j))))
       in
+      (* Highest stored generation across the bench documents: with no
+         concurrent loads, its growth during the run equals the number
+         of effective commits (generations are store-wide monotone). *)
+      let max_gen () =
+        Array.fold_left
+          (fun acc name ->
+            match Xut_service.Doc_store.info (Xut_service.Service.store svc) name with
+            | Some i -> max acc i.Xut_service.Doc_store.generation
+            | None -> acc)
+          0 doc_names
+      in
+      let gen0 = max_gen () in
       let units = (requests + batch - 1) / batch in
       let total = units * batch in
       (* Closed loop: keep a window of in-flight units, twice the
@@ -566,7 +607,7 @@ let bench_serve_cmd =
       let dt =
         if not socket then begin
           let submit_unit i =
-            if stream then
+            if stream && not (is_write i) then
               Xut_service.Service.submit_stream svc ~doc:(doc_name i) ~engine ~query
                 ~chunk_size emit
             else Xut_service.Service.submit svc (unit_req i)
@@ -596,8 +637,10 @@ let bench_serve_cmd =
           if stream then
             for i = 1 to units do
               match
-                Xut_transport.Client.transform_stream cli ~doc:(doc_name i) ~engine ~query
-                  ~chunk_size emit
+                if is_write i then Xut_transport.Client.call cli (write_req i)
+                else
+                  Xut_transport.Client.transform_stream cli ~doc:(doc_name i) ~engine ~query
+                    ~chunk_size emit
               with
               | Xut_service.Service.Ok _ -> ()
               | Xut_service.Service.Error { message; _ } ->
@@ -629,6 +672,11 @@ let bench_serve_cmd =
       let p95 = Xut_service.Metrics.quantile m 0.95 *. 1e3 in
       let hits = Xut_service.Metrics.cache_hits m in
       let errors = Xut_service.Metrics.errors m in
+      let commits = Xut_service.Metrics.commits m in
+      let conflicts = Xut_service.Metrics.commit_conflicts m in
+      let noops = Xut_service.Metrics.commit_noops m in
+      let gen_delta = max_gen () - gen0 in
+      let cs = Xut_service.Service.cache_stats svc in
       Xut_service.Service.shutdown svc;
       if errors > 0 then failwith (Printf.sprintf "bench-serve: %d errors" errors);
       let rps = float_of_int total /. dt in
@@ -638,7 +686,14 @@ let bench_serve_cmd =
       in
       Printf.printf "%-8d %-6s %10.3f %12.1f %10.2f %10d %10.2f %10.1f\n%!" domains
         (if cache_on then "on" else "off") dt rps p95 hits mb_s kw_req;
-      (rps, mb_s, kw_req)
+      if wperiod > 0 then
+        Printf.printf
+          "         write: ratio=%g commits=%d conflicts=%d noops=%d gen_delta=%d \
+           monotone=%s annotation_entries=%d\n%!"
+          write_ratio commits conflicts noops gen_delta
+          (if gen_delta = commits then "ok" else "no")
+          cs.Xut_service.Plan_cache.annotation_entries;
+      (rps, mb_s, kw_req, commits)
     in
     let results =
       List.map
@@ -664,26 +719,28 @@ let bench_serve_cmd =
           Printf.fprintf oc "  \"transport\": \"%s\",\n"
             (if socket then "unix-socket" else "in-process");
           Printf.fprintf oc "  \"batch\": %d,\n" batch;
+          Printf.fprintf oc "  \"write_ratio\": %g,\n" write_ratio;
           Printf.fprintf oc "  \"rows\": [\n";
           List.iteri
-            (fun i (d, (off, off_mb, off_kw), (on, on_mb, on_kw)) ->
+            (fun i (d, (off, off_mb, off_kw, off_commits), (on, on_mb, on_kw, on_commits)) ->
               Printf.fprintf oc
                 "    { \"domains\": %d, \"req_s_cache_off\": %.1f, \"req_s_cache_on\": %.1f, \
                  \"payload_mb_s_cache_off\": %.2f, \"payload_mb_s_cache_on\": %.2f, \
                  \"minor_kwords_per_req_cache_off\": %.1f, \
-                 \"minor_kwords_per_req_cache_on\": %.1f }%s\n"
-                d off on off_mb on_mb off_kw on_kw
+                 \"minor_kwords_per_req_cache_on\": %.1f, \"commits_cache_off\": %d, \
+                 \"commits_cache_on\": %d }%s\n"
+                d off on off_mb on_mb off_kw on_kw off_commits on_commits
                 (if i = List.length results - 1 then "" else ","))
             results;
           Printf.fprintf oc "  ]\n}\n");
       Printf.printf "[json: %s]\n" path);
     (match (List.nth_opt results 0, List.rev results) with
-    | Some (d1, _, (on1, _, _)), (dn, _, (onn, _, _)) :: _ when dn > d1 ->
+    | Some (d1, _, (on1, _, _, _)), (dn, _, (onn, _, _, _)) :: _ when dn > d1 ->
       Printf.printf "\nscaling: %d domains = %.2fx the %d-domain throughput (cache on)\n" dn
         (onn /. on1) d1
     | _ -> ());
     List.iter
-      (fun (d, (off, _, _), (on, _, _)) ->
+      (fun (d, (off, _, _, _), (on, _, _, _)) ->
         Printf.printf "cache: on = %.2fx off at %d domain%s\n" (on /. off) d
           (if d = 1 then "" else "s"))
       results;
@@ -748,6 +805,14 @@ let bench_serve_cmd =
                    round-robin, exercising the sharded store and the per-plan multi-document \
                    annotation memo.")
   in
+  let write_ratio =
+    Arg.(value & opt float 0.
+         & info [ "write-ratio" ] ~docv:"R"
+             ~doc:"Mixed read/write workload: make one unit in round(1/R) a COMMIT \
+                   (alternating insert/delete of a marker element), 0 <= R < 1.  Each row \
+                   then reports commits, conflicts, no-ops, the generation delta and the \
+                   annotation-table count.")
+  in
   let bench_engine =
     let parse s =
       match Engine.of_string s with
@@ -766,7 +831,7 @@ let bench_serve_cmd =
        ~doc:"Closed-loop load benchmark of the service layer: domains 1..N, plan cache on/off.")
     Term.(
       const run $ doc_opt $ factor $ requests $ domains_list $ bench_engine $ query_opt
-      $ payload $ stream $ chunk_size $ json_opt $ socket $ batch $ docs)
+      $ payload $ stream $ chunk_size $ json_opt $ socket $ batch $ docs $ write_ratio)
 
 let main =
   let info = Cmd.info "xut" ~version:"1.0.0" ~doc:"Querying XML with update syntax (SIGMOD 2007)." in

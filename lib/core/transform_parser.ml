@@ -288,3 +288,23 @@ let parse_update src =
     if c.pos < String.length c.src then fail "trailing input after update"
   end;
   update
+
+let parse_updates src =
+  let c = { src; pos = 0 } in
+  skip_ws c;
+  if peek_word c = "transform" then begin
+    let var, _doc, updates = parse_sequence src in
+    ignore var;
+    updates
+  end
+  else begin
+    let updates = parse_updates_at c ~var:"a" in
+    skip_ws c;
+    if c.pos < String.length c.src then begin
+      expect_word c "return";
+      ignore (read_var c);
+      skip_ws c;
+      if c.pos < String.length c.src then fail "trailing input after updates"
+    end;
+    updates
+  end

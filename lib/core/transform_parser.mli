@@ -22,3 +22,10 @@ val parse_sequence : string -> string * string * Transform_ast.update list
     parenthesized, comma-separated sequence of updates, applied left to
     right (see {!Sequence}).  Returns (variable, document name, updates);
     a single un-parenthesized update yields a one-element list. *)
+
+val parse_updates : string -> Transform_ast.update list
+(** The write-path query form: either a full transform query (parsed as
+    {!parse_sequence}, document name ignored — the write request names
+    the document itself), or a bare update / parenthesized update
+    sequence over [$a] with an optional trailing [return $a].  Accepts
+    everything {!parse_update} does, plus sequences. *)

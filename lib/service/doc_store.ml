@@ -7,11 +7,19 @@ type info = {
   generation : int;
 }
 
-type reason = Unloaded | Replaced
+type reason = Unloaded | Replaced | Committed
 
 type event = { name : string; root_id : int; generation : int; reason : reason }
 
-type shard = { mu : Mutex.t; tbl : (string, Node.element * info) Hashtbl.t }
+(* [cmu] serializes writers (commit/register/evict) per shard so a
+   commit's read-evaluate-swap is atomic with respect to every other
+   binding change; [mu] alone still protects readers, which never block
+   on a commit in progress.  Lock order: cmu before mu. *)
+type shard = {
+  mu : Mutex.t;
+  cmu : Mutex.t;
+  tbl : (string, Node.element * info) Hashtbl.t;
+}
 
 type t = {
   shards : shard array;
@@ -26,7 +34,8 @@ let create ?(shards = default_shards) () =
   if shards < 1 then invalid_arg "Doc_store.create: need at least one shard";
   {
     shards =
-      Array.init shards (fun _ -> { mu = Mutex.create (); tbl = Hashtbl.create 16 });
+      Array.init shards (fun _ ->
+          { mu = Mutex.create (); cmu = Mutex.create (); tbl = Hashtbl.create 16 });
     generations = Atomic.make 0;
     lmu = Mutex.create ();
     listeners = [];
@@ -39,6 +48,10 @@ let shard_of t name = t.shards.(Hashtbl.hash name mod Array.length t.shards)
 let locked sh f =
   Mutex.lock sh.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock sh.mu) f
+
+let as_writer sh f =
+  Mutex.lock sh.cmu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sh.cmu) f
 
 let subscribe t f =
   Mutex.lock t.lmu;
@@ -61,10 +74,11 @@ let register t ~name ?file root =
   in
   let sh = shard_of t name in
   let previous =
-    locked sh (fun () ->
-        let prev = Hashtbl.find_opt sh.tbl name in
-        Hashtbl.replace sh.tbl name (root, info);
-        prev)
+    as_writer sh (fun () ->
+        locked sh (fun () ->
+            let prev = Hashtbl.find_opt sh.tbl name in
+            Hashtbl.replace sh.tbl name (root, info);
+            prev))
   in
   (match previous with
   | Some (old_root, _) ->
@@ -92,12 +106,13 @@ let info t name =
 let evict t name =
   let sh = shard_of t name in
   let removed =
-    locked sh (fun () ->
-        match Hashtbl.find_opt sh.tbl name with
-        | None -> None
-        | Some entry ->
-          Hashtbl.remove sh.tbl name;
-          Some entry)
+    as_writer sh (fun () ->
+        locked sh (fun () ->
+            match Hashtbl.find_opt sh.tbl name with
+            | None -> None
+            | Some entry ->
+              Hashtbl.remove sh.tbl name;
+              Some entry))
   in
   match removed with
   | None -> false
@@ -105,6 +120,45 @@ let evict t name =
     fire t
       { name; root_id = Node.id root; generation = info.generation; reason = Unloaded };
     true
+
+type ('a, 'e) commit_result =
+  | Swapped of info * 'a
+  | Unchanged of info * 'a
+  | Rejected of 'e
+  | No_document
+
+let commit t ~name f =
+  let sh = shard_of t name in
+  let departed = ref None in
+  let outcome =
+    as_writer sh (fun () ->
+        match locked sh (fun () -> Hashtbl.find_opt sh.tbl name) with
+        | None -> No_document
+        | Some (root, info) -> begin
+          (* [f] runs under the writer lock only: readers proceed against
+             the current binding while the new tree is built. *)
+          match f info root with
+          | Error e -> Rejected e
+          | Ok (None, a) -> Unchanged (info, a)
+          | Ok (Some root', a) ->
+            let generation = Atomic.fetch_and_add t.generations 1 + 1 in
+            let info' =
+              {
+                info with
+                elements = Node.element_count (Node.Element root');
+                generation;
+              }
+            in
+            locked sh (fun () -> Hashtbl.replace sh.tbl name (root', info'));
+            departed := Some (Node.id root);
+            Swapped (info', a)
+        end)
+  in
+  (match (outcome, !departed) with
+  | Swapped (info', _), Some old_root_id ->
+    fire t { name; root_id = old_root_id; generation = info'.generation; reason = Committed }
+  | _ -> ());
+  outcome
 
 let names t =
   Array.to_list t.shards

@@ -30,9 +30,10 @@ type info = {
   generation : int;      (** monotone load stamp, unique per register *)
 }
 
-(** Why a tree left the store: {!evict} ([Unloaded]) or a re-register
-    under the same name ([Replaced]). *)
-type reason = Unloaded | Replaced
+(** Why a tree left the store: {!evict} ([Unloaded]), a re-register
+    under the same name ([Replaced]), or a {!commit} that swapped in a
+    derived tree ([Committed]). *)
+type reason = Unloaded | Replaced | Committed
 
 type event = {
   name : string;
@@ -76,3 +77,40 @@ val evict : t -> string -> bool
 
 val names : t -> string list
 (** Bound names, sorted. *)
+
+(** {2 Commits (the write path)}
+
+    A commit derives a new tree from the current binding and swaps it in
+    atomically: read the root, evaluate, replace — serialized against
+    every other binding change ({!register}, {!evict}, other commits) on
+    a per-shard writer lock, so no concurrent write is lost.  Readers
+    never wait on a commit in progress: {!find} keeps returning the old
+    root until the instant of the swap, and requests already holding the
+    old root keep a consistent snapshot (trees are immutable — MVCC by
+    persistence). *)
+
+(** Outcome of a {!commit}. *)
+type ('a, 'e) commit_result =
+  | Swapped of info * 'a
+      (** the derived tree is now the binding; [info] carries its fresh
+          generation.  Exactly one [Committed] event fired for the old
+          root before this returned. *)
+  | Unchanged of info * 'a
+      (** the update function produced no new tree (an empty pending
+          list): the binding, its generation and every cache stay as
+          they were — {e no} event fires. *)
+  | Rejected of 'e  (** the update function refused; nothing changed *)
+  | No_document     (** the name is not bound *)
+
+val commit :
+  t ->
+  name:string ->
+  (info -> Node.element -> (Node.element option * 'a, 'e) result) ->
+  ('a, 'e) commit_result
+(** [commit t ~name f] calls [f info root] on the current binding —
+    under the shard's writer lock but outside its reader lock — and, on
+    [Ok (Some root', a)], swaps [root'] in under a fresh store-wide
+    generation, keeping the old binding's [file] as provenance.  The
+    [Committed] event (old root's id, new generation) fires after all
+    locks are released.  [f] must not re-enter the store's write
+    operations for the same shard. *)

@@ -26,6 +26,15 @@ type t = {
   stream_chunks : int Atomic.t;
   stream_bytes : int Atomic.t;
   invalidations : int Atomic.t;
+  commits : int Atomic.t;
+  commit_conflicts : int Atomic.t;
+  commit_noops : int Atomic.t;
+  (* pending-list length histogram: bucket [i] counts commits whose
+     surviving primitive count fell in [2^i, 2^(i+1)) (bucket 0 is
+     counts 0 and 1). *)
+  pending_buckets : int Atomic.t array;
+  pending_count : int Atomic.t;
+  pending_max : int Atomic.t;
 }
 
 let create () =
@@ -51,6 +60,12 @@ let create () =
     stream_chunks = Atomic.make 0;
     stream_bytes = Atomic.make 0;
     invalidations = Atomic.make 0;
+    commits = Atomic.make 0;
+    commit_conflicts = Atomic.make 0;
+    commit_noops = Atomic.make 0;
+    pending_buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+    pending_count = Atomic.make 0;
+    pending_max = Atomic.make 0;
   }
 
 let incr_requests m = Atomic.incr m.requests
@@ -116,6 +131,40 @@ let stream_chunk m bytes =
 let add_invalidations m n = if n > 0 then ignore (Atomic.fetch_and_add m.invalidations n)
 let invalidations m = Atomic.get m.invalidations
 
+let commit_recorded m ~primitives =
+  Atomic.incr m.commits;
+  Atomic.incr m.pending_buckets.(bucket_of_us primitives);
+  Atomic.incr m.pending_count;
+  raise_max m.pending_max primitives
+
+let commit_conflict m = Atomic.incr m.commit_conflicts
+let commit_noop m = Atomic.incr m.commit_noops
+
+let commits m = Atomic.get m.commits
+let commit_conflicts m = Atomic.get m.commit_conflicts
+let commit_noops m = Atomic.get m.commit_noops
+let pending_count m = Atomic.get m.pending_count
+let pending_max m = Atomic.get m.pending_max
+
+(* Representative primitive count of bucket i: its lower bound. *)
+let pending_quantile m q =
+  let total = Atomic.get m.pending_count in
+  if total = 0 then 0
+  else begin
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int total))) in
+    let seen = ref 0 and answer = ref 0 and found = ref false in
+    for i = 0 to n_buckets - 1 do
+      if not !found then begin
+        seen := !seen + Atomic.get m.pending_buckets.(i);
+        if !seen >= rank then begin
+          answer := (if i = 0 then 1 else 1 lsl i);
+          found := true
+        end
+      end
+    done;
+    !answer
+  end
+
 let streams m = Atomic.get m.streams
 let stream_chunks m = Atomic.get m.stream_chunks
 let stream_bytes m = Atomic.get m.stream_bytes
@@ -172,7 +221,13 @@ let reset m =
   Atomic.set m.streams 0;
   Atomic.set m.stream_chunks 0;
   Atomic.set m.stream_bytes 0;
-  Atomic.set m.invalidations 0
+  Atomic.set m.invalidations 0;
+  Atomic.set m.commits 0;
+  Atomic.set m.commit_conflicts 0;
+  Atomic.set m.commit_noops 0;
+  Array.iter (fun b -> Atomic.set b 0) m.pending_buckets;
+  Atomic.set m.pending_count 0;
+  Atomic.set m.pending_max 0
 
 (* Hot-path counters from the automata/xml layers (transition memo, symbol
    table).  Process-wide, not per-service, and unsynchronized on the hot
@@ -206,6 +261,13 @@ let dump m =
   Printf.bprintf b "stream_chunks %d\n" (stream_chunks m);
   Printf.bprintf b "stream_bytes %d\n" (stream_bytes m);
   Printf.bprintf b "doc_invalidations %d\n" (invalidations m);
+  Printf.bprintf b "commits %d\n" (commits m);
+  Printf.bprintf b "commit_conflicts %d\n" (commit_conflicts m);
+  Printf.bprintf b "commit_noops %d\n" (commit_noops m);
+  Printf.bprintf b "pending_primitives_count %d\n" (pending_count m);
+  Printf.bprintf b "pending_primitives_p50 %d\n" (pending_quantile m 0.50);
+  Printf.bprintf b "pending_primitives_p95 %d\n" (pending_quantile m 0.95);
+  Printf.bprintf b "pending_primitives_max %d\n" (pending_max m);
   let pool_hits, pool_misses = serialize_pool_stats () in
   Printf.bprintf b "serialize_pool_hits %d\n" pool_hits;
   Printf.bprintf b "serialize_pool_misses %d\n" pool_misses;

@@ -90,6 +90,38 @@ val stream_bytes : t -> int
 val add_invalidations : t -> int -> unit
 val invalidations : t -> int
 
+(** {2 Commit counters}
+
+    Maintained by the write path ([COMMIT] requests): effective commits
+    (the document generation advanced), rejected commits (pending-list
+    conflicts), and no-op commits (the query selected nothing, so no new
+    tree exists and nothing changed).  [commits] therefore equals the
+    generation delta attributable to the write path — the invariant the
+    write-churn smoke asserts.  Effective commits also feed a
+    power-of-two histogram of surviving pending-list lengths. *)
+
+val commit_recorded : t -> primitives:int -> unit
+(** One effective commit whose pending list held [primitives] surviving
+    primitives. *)
+
+val commit_conflict : t -> unit
+val commit_noop : t -> unit
+
+val commits : t -> int
+val commit_conflicts : t -> int
+val commit_noops : t -> int
+
+val pending_count : t -> int
+(** Commits recorded into the pending-list histogram (= {!commits}). *)
+
+val pending_quantile : t -> float -> int
+(** [pending_quantile m 0.95]: pending-list length at the given
+    quantile, from the histogram buckets (bucket lower bound); [0] when
+    empty. *)
+
+val pending_max : t -> int
+(** Longest surviving pending list committed, exactly. *)
+
 val conns_accepted : t -> int
 val conns_active : t -> int
 val conns_rejected : t -> int

@@ -5,6 +5,8 @@ type request =
   | Unload of { name : string }
   | Transform of { doc : string; engine : Engine.algo; query : string }
   | Count of { doc : string; engine : Engine.algo; query : string }
+  | Apply of { doc : string; query : string }
+  | Commit of { doc : string; query : string }
   | Stats
   | Batch of request list
 
@@ -12,6 +14,7 @@ type err_code =
   | Unknown_document
   | Query_parse_error
   | Eval_error
+  | Conflict
   | Overloaded
   | Bad_request
 
@@ -20,6 +23,9 @@ type payload =
   | Doc_unloaded of { name : string }
   | Tree of string
   | Element_count of int
+  | Applied of { doc : string; primitives : int; collapsed : int; conflicts : string list }
+  | Committed of
+      { doc : string; primitives : int; collapsed : int; elements : int; generation : int }
   | Stats_dump of string
   | Batch_results of response list
   | Stream_done of { bytes : int; chunks : int }
@@ -32,6 +38,7 @@ let err_code_name = function
   | Unknown_document -> "unknown-document"
   | Query_parse_error -> "query-parse-error"
   | Eval_error -> "eval-error"
+  | Conflict -> "conflict"
   | Overloaded -> "overloaded"
   | Bad_request -> "bad-request"
 
@@ -39,6 +46,7 @@ let err_code_of_name = function
   | "unknown-document" -> Some Unknown_document
   | "query-parse-error" -> Some Query_parse_error
   | "eval-error" -> Some Eval_error
+  | "conflict" -> Some Conflict
   | "overloaded" -> Some Overloaded
   | "bad-request" -> Some Bad_request
   | _ -> None
@@ -59,6 +67,15 @@ and render_payload = function
   | Doc_unloaded { name } -> Printf.sprintf "unloaded %s" name
   | Tree s -> s
   | Element_count n -> Printf.sprintf "elements=%d" n
+  | Applied { doc; primitives; collapsed; conflicts } ->
+    let base =
+      Printf.sprintf "apply %s primitives=%d collapsed=%d conflicts=%d" doc primitives
+        collapsed (List.length conflicts)
+    in
+    if conflicts = [] then base else base ^ ": " ^ String.concat "; " conflicts
+  | Committed { doc; primitives; collapsed; elements; generation } ->
+    Printf.sprintf "committed %s primitives=%d collapsed=%d elements=%d generation=%d" doc
+      primitives collapsed elements generation
   | Stats_dump s -> s
   | Stream_done { bytes; chunks } -> Printf.sprintf "streamed bytes=%d chunks=%d" bytes chunks
   | Batch_results rs ->
@@ -143,6 +160,83 @@ let evaluate ~store ~cache ~metrics ~doc ~engine ~query =
       | exception e -> Stdlib.Error (error Eval_error "%s" (Printexc.to_string e)))
   end
 
+(* The write path.  Both [APPLY] and [COMMIT] evaluate the query's
+   updates into a pending list with snapshot semantics
+   ({!Xut_update.Apply}); APPLY stops at the dry-run report, COMMIT
+   materializes and swaps under {!Doc_store.commit}. *)
+let parse_updates query =
+  match Transform_parser.parse_updates query with
+  | updates -> Stdlib.Ok updates
+  | exception Transform_parser.Parse_error msg ->
+    Stdlib.Error (error Query_parse_error "%s" msg)
+  | exception e -> Stdlib.Error (error Query_parse_error "%s" (Printexc.to_string e))
+
+let conflict_strings report =
+  List.map Xut_update.Pending.render_conflict report.Xut_update.Apply.conflicts
+
+let handle_apply ~store ~doc ~query =
+  match parse_updates query with
+  | Stdlib.Error e -> e
+  | Stdlib.Ok updates -> begin
+    match Doc_store.find store doc with
+    | None -> error Unknown_document "no document %S (LOAD it first)" doc
+    | Some root -> begin
+      match Xut_update.Apply.stage updates root with
+      | report, _ ->
+        Ok
+          (Applied
+             {
+               doc;
+               primitives = report.Xut_update.Apply.primitives;
+               collapsed = report.Xut_update.Apply.collapsed;
+               conflicts = conflict_strings report;
+             })
+      | exception e -> error Eval_error "%s" (Printexc.to_string e)
+    end
+  end
+
+let handle_commit ~store ~metrics ~doc ~query =
+  match parse_updates query with
+  | Stdlib.Error e -> e
+  | Stdlib.Ok updates -> begin
+    let result =
+      Doc_store.commit store ~name:doc (fun _info root ->
+          match Xut_update.Apply.run updates root with
+          | Stdlib.Ok (report, root') -> Stdlib.Ok (root', report)
+          | Stdlib.Error report -> Stdlib.Error (`Conflict report)
+          | exception Xut_update.Apply.Invalid msg -> Stdlib.Error (`Invalid msg)
+          | exception e -> Stdlib.Error (`Invalid (Printexc.to_string e)))
+    in
+    match result with
+    | Doc_store.Swapped (info, report) ->
+      Metrics.commit_recorded metrics ~primitives:report.Xut_update.Apply.primitives;
+      Ok
+        (Committed
+           {
+             doc;
+             primitives = report.Xut_update.Apply.primitives;
+             collapsed = report.Xut_update.Apply.collapsed;
+             elements = info.Doc_store.elements;
+             generation = info.Doc_store.generation;
+           })
+    | Doc_store.Unchanged (info, report) ->
+      Metrics.commit_noop metrics;
+      Ok
+        (Committed
+           {
+             doc;
+             primitives = report.Xut_update.Apply.primitives;
+             collapsed = report.Xut_update.Apply.collapsed;
+             elements = info.Doc_store.elements;
+             generation = info.Doc_store.generation;
+           })
+    | Doc_store.Rejected (`Conflict report) ->
+      Metrics.commit_conflict metrics;
+      error Conflict "%s" (String.concat "; " (conflict_strings report))
+    | Doc_store.Rejected (`Invalid msg) -> error Eval_error "%s" msg
+    | Doc_store.No_document -> error Unknown_document "no document %S (LOAD it first)" doc
+  end
+
 (* [depth] guards against nested batches; every arm returns a
    [response], so a worker can only die to a runtime error (and even
    that the pool turns into an [Error] future). *)
@@ -174,6 +268,8 @@ let rec handle ~store ~cache ~metrics ~depth = function
       Ok (Element_count (Xut_xml.Node.element_count (Xut_xml.Node.Element out)))
     | Stdlib.Error e -> e
   end
+  | Apply { doc; query } -> handle_apply ~store ~doc ~query
+  | Commit { doc; query } -> handle_commit ~store ~metrics ~doc ~query
   | Stats ->
     let b = Buffer.create 512 in
     Buffer.add_string b (Metrics.dump metrics);
@@ -236,7 +332,7 @@ let handle_streaming ~store ~cache ~metrics { emit; chunk_size } = function
       end
     end
   end
-  | Load _ | Unload _ | Count _ | Stats | Batch _ ->
+  | Load _ | Unload _ | Count _ | Apply _ | Commit _ | Stats | Batch _ ->
     error Bad_request "only TRANSFORM can stream"
 
 let rec count_errors = function

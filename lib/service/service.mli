@@ -23,6 +23,21 @@ type request =
           result — the lean reply for what-if analytics and validation
           traffic, where the client doesn't want the (possibly
           multi-MB) result document back. *)
+  | Apply of { doc : string; query : string }
+      (** Dry-run of the write path: evaluate the query's updates
+          against the current snapshot of [doc] into a pending update
+          list ({!Xut_update.Pending}) and reply with its report —
+          surviving primitives, collapsed primitives, conflicts —
+          without changing anything.  [query] may be a full transform
+          query or a bare update / update sequence over [$a]
+          ({!Core.Transform_parser.parse_updates}). *)
+  | Commit of { doc : string; query : string }
+      (** The write path proper: evaluate as [Apply], then — when the
+          pending list is conflict-free — materialize a new tree
+          (sharing untouched subtrees with the old snapshot) and swap it
+          in atomically under a fresh generation.  In-flight readers
+          keep the old snapshot; a conflicting list is rejected with
+          [Conflict] and changes nothing. *)
   | Stats
       (** Metrics dump + cache stats + stored-document listing. *)
   | Batch of request list
@@ -38,6 +53,8 @@ type err_code =
   | Unknown_document  (** the named document is not in the store *)
   | Query_parse_error (** the query text failed the front end (parse/normalize/NFA) *)
   | Eval_error        (** the engine failed while evaluating *)
+  | Conflict          (** a [Commit]'s pending list has unresolvable
+                          primitive pairs; nothing was changed *)
   | Overloaded        (** connection/queue limits hit, or shutting down *)
   | Bad_request       (** malformed request (bad file, nested batch, bad frame) *)
 
@@ -49,6 +66,15 @@ type payload =
   | Doc_unloaded of { name : string }
   | Tree of string         (** serialized result document of a [Transform] *)
   | Element_count of int   (** reply to a [Count] *)
+  | Applied of { doc : string; primitives : int; collapsed : int; conflicts : string list }
+      (** Reply to an [Apply]: the pending-list report.  [conflicts]
+          holds one rendered line per unresolvable pair; the list is
+          committable iff it is empty. *)
+  | Committed of
+      { doc : string; primitives : int; collapsed : int; elements : int; generation : int }
+      (** Reply to a successful [Commit].  [generation] is the new
+          binding's stamp — unchanged (and [primitives = 0]) when the
+          query selected nothing, in which case no swap happened. *)
   | Stats_dump of string
   | Batch_results of response list
       (** One response per [Batch] item, in request order. *)
@@ -63,8 +89,8 @@ and response =
 
 val err_code_name : err_code -> string
 (** Stable lower-kebab name ("unknown-document", "query-parse-error",
-    "eval-error", "overloaded", "bad-request"), used by the line
-    protocol and logs. *)
+    "eval-error", "conflict", "overloaded", "bad-request"), used by the
+    line protocol and logs. *)
 
 val err_code_of_name : string -> err_code option
 
@@ -85,8 +111,8 @@ val create :
     threshold), [store_shards = 8] document-store shards.
 
     The service subscribes itself to the store's lifecycle events: an
-    [UNLOAD] or reload evicts exactly that document's annotation tables
-    from every cached plan and counts them in
+    [UNLOAD], reload or [COMMIT] evicts exactly the departing tree's
+    annotation tables from every cached plan and counts them in
     {!Metrics.invalidations} ([doc_invalidations] in STATS). *)
 
 type future
@@ -151,11 +177,11 @@ val cache_stats : t -> Plan_cache.stats
 val store : t -> Doc_store.t
 
 val on_invalidate : t -> (Doc_store.event -> unit) -> unit
-(** Subscribe to document-lifecycle events (unload / reload), after the
-    service's own cache-invalidation hook — the transport layer uses
-    this to push invalidation notices to connected clients.  The
-    callback runs synchronously on the worker thread performing the
-    [LOAD]/[UNLOAD]; keep it quick. *)
+(** Subscribe to document-lifecycle events (unload / reload / commit),
+    after the service's own cache-invalidation hook — the transport
+    layer uses this to push invalidation notices to connected clients.
+    The callback runs synchronously on the worker thread performing the
+    [LOAD]/[UNLOAD]/[COMMIT]; keep it quick. *)
 
 val shutdown : t -> unit
 (** Drain and join the worker domains.  Idempotent. *)

@@ -64,9 +64,11 @@ let write_all fd s =
    whether the client got it. *)
 let write_raw t conn s =
   Mutex.lock conn.wmu;
+  (* counted before the bytes go out: a client that has read the reply
+     must be able to rely on the counter already reflecting it *)
+  Metrics.frame_out (Service.metrics t.svc) (String.length s);
   let ok = write_all conn.fd s in
   Mutex.unlock conn.wmu;
-  if ok then Metrics.frame_out (Service.metrics t.svc) (String.length s);
   ok
 
 (* Response frames echo the version of the request frame they answer,

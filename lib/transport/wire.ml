@@ -33,9 +33,19 @@ module Line = struct
       end
       | _ -> Error (Printf.sprintf "usage: %s <name> <engine> <query>" verb)
     end
+    | ("APPLY" | "COMMIT") as verb -> begin
+      match split2 rest with
+      | doc, query when doc <> "" && query <> "" ->
+        if verb = "APPLY" then Ok (Service.Apply { doc; query })
+        else Ok (Service.Commit { doc; query })
+      | _ -> Error (Printf.sprintf "usage: %s <name> <query>" verb)
+    end
     | "STATS" -> Ok Service.Stats
     | "" -> Error "empty request"
-    | v -> Error (Printf.sprintf "unknown request %S (LOAD|UNLOAD|TRANSFORM|COUNT|STATS)" v)
+    | v ->
+      Error
+        (Printf.sprintf "unknown request %S (LOAD|UNLOAD|TRANSFORM|COUNT|APPLY|COMMIT|STATS)"
+           v)
 
   let plain_word s =
     s <> "" && not (String.exists (fun c -> c = ' ' || c = '\n' || c = '\r' || c = '\t') s)
@@ -57,6 +67,12 @@ module Line = struct
       if plain_word doc && one_line query then
         Ok (Printf.sprintf "COUNT %s %s %s" doc (Core.Engine.name engine) query)
       else Error "COUNT with a multi-line query is not expressible on one line"
+    | Service.Apply { doc; query } ->
+      if plain_word doc && one_line query then Ok (Printf.sprintf "APPLY %s %s" doc query)
+      else Error "APPLY with a multi-line query is not expressible on one line"
+    | Service.Commit { doc; query } ->
+      if plain_word doc && one_line query then Ok (Printf.sprintf "COMMIT %s %s" doc query)
+      else Error "COMMIT with a multi-line query is not expressible on one line"
     | Service.Stats -> Ok "STATS"
     | Service.Batch _ -> Error "batches exist only in the binary protocol"
 
@@ -178,6 +194,15 @@ module Binary = struct
       put_u8 b 6;
       put_u32 b (List.length reqs);
       List.iter (put_request b) reqs
+    (* tag 7 is the stream request, which is not a [Service.request] *)
+    | Service.Apply { doc; query } ->
+      put_u8 b 8;
+      put_str b doc;
+      put_str b query
+    | Service.Commit { doc; query } ->
+      put_u8 b 9;
+      put_str b doc;
+      put_str b query
 
   let err_code_byte = function
     | Service.Unknown_document -> 1
@@ -185,6 +210,7 @@ module Binary = struct
     | Service.Eval_error -> 3
     | Service.Overloaded -> 4
     | Service.Bad_request -> 5
+    | Service.Conflict -> 6
 
   let err_code_of_byte = function
     | 1 -> Some Service.Unknown_document
@@ -192,6 +218,7 @@ module Binary = struct
     | 3 -> Some Service.Eval_error
     | 4 -> Some Service.Overloaded
     | 5 -> Some Service.Bad_request
+    | 6 -> Some Service.Conflict
     | _ -> None
 
   let rec put_response b = function
@@ -225,6 +252,20 @@ module Binary = struct
       put_u8 b 8;
       put_u32 b bytes;
       put_u32 b chunks
+    | Service.Ok (Service.Applied { doc; primitives; collapsed; conflicts }) ->
+      put_u8 b 9;
+      put_str b doc;
+      put_u32 b primitives;
+      put_u32 b collapsed;
+      put_u32 b (List.length conflicts);
+      List.iter (put_str b) conflicts
+    | Service.Ok (Service.Committed { doc; primitives; collapsed; elements; generation }) ->
+      put_u8 b 10;
+      put_str b doc;
+      put_u32 b primitives;
+      put_u32 b collapsed;
+      put_u32 b elements;
+      put_u32 b generation
 
   let encode_request req =
     let b = Buffer.create 128 in
@@ -301,6 +342,14 @@ module Binary = struct
     | 6 ->
       let n = get_count c in
       Service.Batch (List.init n (fun _ -> get_request c))
+    | 8 ->
+      let doc = get_str c in
+      let query = get_str c in
+      Service.Apply { doc; query }
+    | 9 ->
+      let doc = get_str c in
+      let query = get_str c in
+      Service.Commit { doc; query }
     | t -> raise (Malformed (Printf.sprintf "unknown request tag %d" t))
 
   let rec get_response c =
@@ -333,6 +382,20 @@ module Binary = struct
       let bytes = get_u32 c in
       let chunks = get_u32 c in
       Service.Ok (Service.Stream_done { bytes; chunks })
+    | 9 ->
+      let doc = get_str c in
+      let primitives = get_u32 c in
+      let collapsed = get_u32 c in
+      let n = get_count c in
+      let conflicts = List.init n (fun _ -> get_str c) in
+      Service.Ok (Service.Applied { doc; primitives; collapsed; conflicts })
+    | 10 ->
+      let doc = get_str c in
+      let primitives = get_u32 c in
+      let collapsed = get_u32 c in
+      let elements = get_u32 c in
+      let generation = get_u32 c in
+      Service.Ok (Service.Committed { doc; primitives; collapsed; elements; generation })
     | t -> raise (Malformed (Printf.sprintf "unknown response tag %d" t))
 
   let decode_with get s =
@@ -415,11 +478,15 @@ module Binary = struct
       generation = ev.Doc_store.generation;
     }
 
-  let reason_byte = function Doc_store.Unloaded -> 1 | Doc_store.Replaced -> 2
+  let reason_byte = function
+    | Doc_store.Unloaded -> 1
+    | Doc_store.Replaced -> 2
+    | Doc_store.Committed -> 3
 
   let reason_of_byte = function
     | 1 -> Some Doc_store.Unloaded
     | 2 -> Some Doc_store.Replaced
+    | 3 -> Some Doc_store.Committed
     | _ -> None
 
   let encode_notice { doc; reason; generation } =
@@ -443,7 +510,10 @@ module Binary = struct
 
   let render_notice { doc; reason; generation } =
     Printf.sprintf "NOTICE %s %s generation=%d"
-      (match reason with Doc_store.Unloaded -> "unloaded" | Doc_store.Replaced -> "replaced")
+      (match reason with
+      | Doc_store.Unloaded -> "unloaded"
+      | Doc_store.Replaced -> "replaced"
+      | Doc_store.Committed -> "committed")
       doc generation
 
   (* ---- frame builders ----

@@ -23,8 +23,12 @@ module Line : sig
       UNLOAD <name>
       TRANSFORM <name> <engine> <query text...>
       COUNT <name> <engine> <query text...>
+      APPLY <name> <update query text...>
+      COMMIT <name> <update query text...>
       STATS
-      v} *)
+      v}
+      The APPLY/COMMIT query may be a full transform query or a bare
+      update / parenthesized update sequence over [$a]. *)
 
   val encode_request : Service.request -> (string, string) result
   (** Render a request back to one line.  [Error _] when the request is
@@ -115,17 +119,17 @@ module Binary : sig
   (** {2 Invalidation notices (v2)}
 
       Server-push frames on the reserved id-0 channel telling connected
-      clients that a stored document was unloaded or replaced, so they
-      can drop anything derived from the old tree.  The server sends
-      them only to connections that have spoken v2 — a v1 peer never
-      sees the frame kind. *)
+      clients that a stored document was unloaded, replaced or committed
+      over, so they can drop anything derived from the old tree.  The
+      server sends them only to connections that have spoken v2 — a v1
+      peer never sees the frame kind (and so stays blind to commits). *)
 
   type notice = {
     doc : string;
     reason : Doc_store.reason;
     generation : int;
-        (** of the new binding for [Replaced], of the removed one for
-            [Unloaded] *)
+        (** of the new binding for [Replaced]/[Committed], of the
+            removed one for [Unloaded] *)
   }
 
   val notice_of_event : Doc_store.event -> notice

@@ -1,0 +1,91 @@
+open Xut_xml
+open Xut_xpath
+
+exception Invalid of string
+
+type report = {
+  targets : int;
+  primitives : int;
+  collapsed : int;
+  conflicts : Pending.conflict list;
+}
+
+let op_of_update = function
+  | Core.Transform_ast.Insert (_, e) -> Pending.Insert e
+  | Core.Transform_ast.Insert_first (_, e) -> Pending.Insert_first e
+  | Core.Transform_ast.Delete _ -> Pending.Delete
+  | Core.Transform_ast.Replace (_, e) -> Pending.Replace e
+  | Core.Transform_ast.Rename (_, l) -> Pending.Rename l
+
+let resolve updates root =
+  let p = Pending.create () in
+  List.iter
+    (fun u ->
+      let op = op_of_update u in
+      List.iter
+        (fun e -> Pending.add p ~target:(Node.id e) op)
+        (Eval.select_doc root (Core.Transform_ast.path u)))
+    updates;
+  p
+
+let report_of (nz : Pending.normalized) =
+  {
+    targets = nz.Pending.targets;
+    primitives = nz.Pending.primitives;
+    collapsed = nz.Pending.collapsed;
+    conflicts = nz.Pending.conflicts;
+  }
+
+let stage updates root =
+  let nz = Pending.normalize (resolve updates root) in
+  (report_of nz, nz)
+
+(* One pass over the snapshot.  Inserted/replacement content is deep
+   copied with fresh ids per target (several targets may share one
+   literal); the spine down to each touched node is rebuilt with fresh
+   ids; an untouched subtree is returned as the very same value, which
+   is both the structural sharing and the O(1) "did anything change
+   below" signal. *)
+let materialize (nz : Pending.normalized) root =
+  if nz.Pending.primitives = 0 then None
+  else begin
+    let refresh = Node.refresh_ids in
+    let rec node n =
+      match n with
+      | Node.Text _ | Node.Comment _ | Node.Pi _ -> ([ n ], false)
+      | Node.Element e -> begin
+        match Hashtbl.find_opt nz.Pending.table (Node.id e) with
+        | Some Pending.Dead -> ([], true)
+        | Some (Pending.Swap r) -> ([ refresh r ], true)
+        | Some (Pending.Edit { rename; firsts; lasts }) ->
+          (* the node survives: its own subtree may still hold targets *)
+          let kids, _ = children e in
+          let name = Option.value rename ~default:(Node.name e) in
+          ( [ Node.Element
+                (Node.element ~attrs:(Node.attrs e) name
+                   (List.map refresh firsts @ kids @ List.map refresh lasts)) ],
+            true )
+        | None ->
+          let kids, changed = children e in
+          if changed then
+            ([ Node.Element (Node.element ~attrs:(Node.attrs e) (Node.name e) kids) ], true)
+          else ([ n ], false)
+      end
+    and children e =
+      List.fold_left
+        (fun (acc, changed) c ->
+          let out, ch = node c in
+          (List.rev_append out acc, changed || ch))
+        ([], false) (Node.children e)
+      |> fun (acc, changed) -> (List.rev acc, changed)
+    in
+    match node (Node.Element root) with
+    | _, false -> None
+    | [ Node.Element e ], true -> Some e
+    | [], true -> raise (Invalid "update deletes the document element")
+    | _, true -> raise (Invalid "update replaces the document element with a non-element")
+  end
+
+let run updates root =
+  let report, nz = stage updates root in
+  if report.conflicts <> [] then Error report else Ok (report, materialize nz root)

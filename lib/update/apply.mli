@@ -1,0 +1,63 @@
+open Xut_xml
+
+(** The apply engine: evaluate transform updates into a {!Pending} list
+    against one snapshot of a document, then materialize the list as a
+    {b new} tree that shares every untouched subtree with the old root.
+
+    The sharing is what makes the write path MVCC-friendly: the old root
+    is never mutated (nodes are immutable), so in-flight readers holding
+    it keep a consistent pre-commit snapshot for as long as they need it,
+    while the new tree allocates only the spine from the root down to
+    each touched node.  Elements on that spine get fresh {!Node.id}s
+    (so downstream caches keyed by node id can tell the two trees
+    apart — the root id {e always} changes when anything changes);
+    untouched subtrees are physically the same values.
+
+    Snapshot semantics: with several updates in one [modify do (...)],
+    every path is resolved against the {e original} tree — unlike
+    {!Core.Sequence.run}, where each update sees the previous result.
+    [rename $a/b as c, insert <k/> into $a/b] therefore inserts into the
+    renamed node here (both primitives target the same snapshot node),
+    where the sequential semantics would find nothing at [$a/b]. *)
+
+exception Invalid of string
+(** The pending list deletes the document element, or replaces it with a
+    non-element — the write-path analogue of
+    {!Core.Transform_ast.Invalid_update}. *)
+
+(** What an apply evaluated to, before (or without) application. *)
+type report = {
+  targets : int;      (** distinct nodes selected across all updates *)
+  primitives : int;   (** surviving primitives after merging *)
+  collapsed : int;    (** primitives absorbed by the merge hierarchy *)
+  conflicts : Pending.conflict list;
+}
+
+val resolve : Core.Transform_ast.update list -> Node.element -> Pending.t
+(** Select each update's path against the snapshot [root]
+    ({!Xut_xpath.Eval.select_doc}, the reference semantics) and emit one
+    primitive per selected node, in update order. *)
+
+val stage : Core.Transform_ast.update list -> Node.element -> report * Pending.normalized
+(** [resolve] + {!Pending.normalize}: the dry-run ([APPLY]) entry point.
+    No tree is built. *)
+
+val materialize : Pending.normalized -> Node.element -> Node.element option
+(** Apply a conflict-free normalized list.  [None] when the list is
+    empty (nothing selected): the tree is unchanged and {e no new root
+    exists} — callers must not treat this as a new version.  [Some root']
+    shares untouched subtrees with [root] physically.  Primitives
+    targeting nodes inside a deleted or replaced subtree are subsumed
+    (never applied), matching the reference engine's rebuild.
+
+    @raise Invalid when the document element is deleted or replaced by a
+    non-element. *)
+
+val run :
+  Core.Transform_ast.update list ->
+  Node.element ->
+  (report * Node.element option, report) result
+(** [stage] then, when conflict-free, [materialize].  [Error report]
+    when the list has conflicts (the tree is untouched).
+
+    @raise Invalid as {!materialize}. *)

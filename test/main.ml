@@ -13,4 +13,5 @@ let () =
       ("security-view", Test_security_view.suite);
       ("service", Test_service.suite);
       ("transport", Test_transport.suite);
+    ("update", Test_update.suite);
       ("misc", Test_misc.suite) ]

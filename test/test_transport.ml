@@ -130,18 +130,31 @@ let test_line_protocol () =
    with
   | Service.Count { doc = "d"; engine = Core.Engine.Gentop; _ } -> ()
   | _ -> Alcotest.fail "COUNT parse");
+  (match ok (Wire.Line.decode_request "APPLY d delete $a//price") with
+  | Service.Apply { doc = "d"; query = "delete $a//price" } -> ()
+  | _ -> Alcotest.fail "APPLY parse");
+  (match ok (Wire.Line.decode_request "commit d insert <x/> into $a") with
+  | Service.Commit { doc = "d"; query = "insert <x/> into $a" } -> ()
+  | _ -> Alcotest.fail "COMMIT parse (case-insensitive verb)");
   List.iter
     (fun line ->
       match Wire.Line.decode_request line with
       | Ok _ -> Alcotest.fail ("should not parse: " ^ line)
       | Error _ -> ())
-    [ ""; "LOAD d"; "TRANSFORM d"; "TRANSFORM d bogus-engine q"; "FROBNICATE x" ];
-  (* encode/decode round trip for a representable request *)
-  let req = Service.Count { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices } in
-  (match Wire.Line.encode_request req with
-  | Error e -> Alcotest.fail e
-  | Ok line ->
-    Alcotest.(check bool) "line round trip" true (Wire.Line.decode_request line = Ok req));
+    [ ""; "LOAD d"; "TRANSFORM d"; "TRANSFORM d bogus-engine q"; "APPLY d"; "COMMIT d";
+      "FROBNICATE x" ];
+  (* encode/decode round trips for representable requests *)
+  List.iter
+    (fun req ->
+      match Wire.Line.encode_request req with
+      | Error e -> Alcotest.fail e
+      | Ok line ->
+        Alcotest.(check bool) "line round trip" true (Wire.Line.decode_request line = Ok req))
+    [
+      Service.Count { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices };
+      Service.Apply { doc = "d"; query = "delete $a//price" };
+      Service.Commit { doc = "d"; query = "(delete $a//price, rename $a/site as x)" };
+    ];
   (* the line protocol's blind spots: exactly what the binary frames fix *)
   (match
      Wire.Line.encode_request
@@ -175,6 +188,8 @@ let gen_simple_request =
           gen_engine gen_text;
         map3 (fun doc engine query -> Service.Count { doc; engine; query }) gen_text gen_engine
           gen_text;
+        map2 (fun doc query -> Service.Apply { doc; query }) gen_text gen_text;
+        map2 (fun doc query -> Service.Commit { doc; query }) gen_text gen_text;
         return Service.Stats;
       ])
 
@@ -192,6 +207,7 @@ let gen_err_code =
       Service.Unknown_document;
       Service.Query_parse_error;
       Service.Eval_error;
+      Service.Conflict;
       Service.Overloaded;
       Service.Bad_request;
     ]
@@ -211,6 +227,15 @@ let gen_simple_response =
         map2
           (fun bytes chunks -> Service.Ok (Service.Stream_done { bytes; chunks }))
           small_nat small_nat;
+        map3
+          (fun doc (primitives, collapsed) conflicts ->
+            Service.Ok (Service.Applied { doc; primitives; collapsed; conflicts }))
+          gen_text (pair small_nat small_nat)
+          (list_size (int_range 0 3) gen_text);
+        map3
+          (fun doc (primitives, collapsed) (elements, generation) ->
+            Service.Ok (Service.Committed { doc; primitives; collapsed; elements; generation }))
+          gen_text (pair small_nat small_nat) (pair small_nat small_nat);
         map2 (fun code message -> Service.Error { code; message }) gen_err_code gen_text;
       ])
 
@@ -762,6 +787,7 @@ let test_notice_codec () =
     [
       { Wire.Binary.doc = "d"; reason = Doc_store.Unloaded; generation = 4 };
       { Wire.Binary.doc = "name with\nnewline"; reason = Doc_store.Replaced; generation = 0 };
+      { Wire.Binary.doc = "d"; reason = Doc_store.Committed; generation = 7 };
     ];
   Alcotest.(check string) "render: unloaded" "NOTICE unloaded d generation=4"
     (Wire.Binary.render_notice
@@ -769,6 +795,9 @@ let test_notice_codec () =
   Alcotest.(check string) "render: replaced" "NOTICE replaced d generation=5"
     (Wire.Binary.render_notice
        { Wire.Binary.doc = "d"; reason = Doc_store.Replaced; generation = 5 });
+  Alcotest.(check string) "render: committed" "NOTICE committed d generation=7"
+    (Wire.Binary.render_notice
+       { Wire.Binary.doc = "d"; reason = Doc_store.Committed; generation = 7 });
   (* the frame itself: id 0, kind Notice, version 2 *)
   let f =
     Wire.Binary.notice_frame
@@ -844,6 +873,60 @@ let test_notice_over_socket () =
               match Client.call plain Service.Stats with
               | Service.Ok (Service.Stats_dump _) -> ()
               | _ -> Alcotest.fail "the v1 client must be unaffected by notices")))
+
+(* The write path over the socket: APPLY dry-runs, COMMIT swaps and
+   pushes a [committed] notice to subscribed (v2) clients, a conflicting
+   list comes back as the [conflict] error code. *)
+let test_commit_over_socket () =
+  with_doc_file (fun doc ->
+      with_server (fun svc sock ->
+          let notices = ref [] in
+          let sub =
+            Client.connect ~on_notice:(fun n -> notices := n :: !notices)
+              (Addr.Unix_socket sock)
+          in
+          let writer = Client.connect (Addr.Unix_socket sock) in
+          Fun.protect
+            ~finally:(fun () ->
+              Client.close sub;
+              Client.close writer)
+            (fun () ->
+              (match Client.call sub Service.Stats with
+              | Service.Ok (Service.Stats_dump _) -> ()
+              | _ -> Alcotest.fail "STATS on the subscribed client");
+              load_over writer doc;
+              (match Client.call writer (Service.Apply { doc = "d"; query = "delete $a//price" }) with
+              | Service.Ok
+                  (Service.Applied { doc = "d"; primitives = 2; collapsed = 0; conflicts = [] })
+                -> ()
+              | _ -> Alcotest.fail "APPLY over the socket");
+              Alcotest.(check bool) "a dry run pushes no notice" true (!notices = []);
+              (match Client.call writer (Service.Commit { doc = "d"; query = "delete $a//price" }) with
+              | Service.Ok (Service.Committed { doc = "d"; primitives = 2; generation = 2; _ }) -> ()
+              | _ -> Alcotest.fail "COMMIT over the socket");
+              (* the notice is buffered ahead of any later reply on [sub] *)
+              (match Client.call sub Service.Stats with
+              | Service.Ok (Service.Stats_dump _) -> ()
+              | _ -> Alcotest.fail "STATS after the commit");
+              (match !notices with
+              | [ { Wire.Binary.doc = "d"; reason = Doc_store.Committed; generation = 2 } ] -> ()
+              | l ->
+                Alcotest.fail
+                  (Printf.sprintf "expected one committed notice, got %d: %s" (List.length l)
+                     (String.concat "; " (List.map Wire.Binary.render_notice l))));
+              (* a conflicting pending list travels back as the typed code *)
+              (match
+                 Client.call writer
+                   (Service.Commit
+                      { doc = "d"; query = "(replace $a/site with <x/>, replace $a/site with <y/>)" })
+               with
+              | Service.Error { code = Service.Conflict; _ } -> ()
+              | _ -> Alcotest.fail "conflict must reach the client as the conflict code");
+              Alcotest.(check int) "the rejected commit pushed nothing" 1 (List.length !notices);
+              Alcotest.(check int) "metrics: one effective commit" 1
+                (Metrics.commits (Service.metrics svc));
+              Alcotest.(check int) "metrics: one conflict" 1
+                (Metrics.commit_conflicts (Service.metrics svc)))))
 
 (* Mid-stream failure as the CLIENT sees it: a hand-rolled server sends
    BEGIN, two chunks, then a STREAM_ERROR (a real engine failing after
@@ -955,6 +1038,7 @@ let suite =
     Alcotest.test_case "socket: v1 client fallback" `Quick test_v1_client_fallback;
     Alcotest.test_case "wire: notice codec" `Quick test_notice_codec;
     Alcotest.test_case "socket: invalidation notices" `Quick test_notice_over_socket;
+    Alcotest.test_case "socket: APPLY/COMMIT write path" `Quick test_commit_over_socket;
     Alcotest.test_case "socket: mid-stream error frame" `Quick test_mid_stream_error;
     Alcotest.test_case "tcp: round trip on an ephemeral port" `Quick test_tcp_roundtrip;
   ]
