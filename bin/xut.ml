@@ -464,15 +464,56 @@ let client_cmd =
 
 (* ---------------- bench-serve ---------------- *)
 
+(* One cache on/off measurement of the serving grid. *)
+type bench_row = {
+  rps : float;
+  mb_s : float;
+  kw_req : float;
+  row_commits : int;
+  row_repairs : int;
+  row_fallbacks : int;
+  read_p50_ms : float;  (* client-side read latency; storm mode only *)
+  read_p95_ms : float;
+  read_max_ms : float;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0. else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+(* The rebuilt-spine depth knob: the XMark element chain the marker
+   writes descend along.  Depth 0 inserts under the document element
+   (constant-depth spine); deeper targets make every commit rebuild a
+   longer spine, which is what annotation repair's cost scales with. *)
+let spine_steps = [| "site"; "open_auctions"; "open_auction"; "annotation"; "description" |]
+
+let write_target depth =
+  if depth = 0 then "$a"
+  else
+    "$a/"
+    ^ String.concat "/"
+        (Array.to_list (Array.sub spine_steps 0 (min depth (Array.length spine_steps))))
+
 let bench_serve_cmd =
   let run doc_opt factor requests domains_list engine query_opt payload stream chunk_size
-      json_opt socket batch docs write_ratio =
+      json_opt socket batch docs write_ratio write_depth commit_storm =
     (* Streaming is a payload-mode variant; batching does not apply (a
-       stream is one transform per exchange). *)
+       stream is one transform per exchange).  Commit-storm mode is a
+       synchronous loop (client-side latency is the point), so it takes
+       over both knobs. *)
     let payload = payload || stream in
-    let batch = if stream then 1 else max 1 batch in
+    let stream = stream && not commit_storm in
+    let batch = if stream || commit_storm then 1 else max 1 batch in
+    (* A storm is a high write ratio by definition; default to one
+       commit per two requests unless the ratio was given explicitly. *)
+    let write_ratio = if commit_storm && write_ratio = 0. then 0.5 else write_ratio in
     if write_ratio < 0. || write_ratio >= 1. then begin
       Printf.eprintf "bench-serve: --write-ratio must be in [0, 1)\n";
+      exit 2
+    end;
+    if write_depth < 0 || write_depth > Array.length spine_steps then begin
+      Printf.eprintf "bench-serve: --write-depth must be in [0, %d]\n"
+        (Array.length spine_steps);
       exit 2
     end;
     (* Every [wperiod]-th unit is a COMMIT instead of a read: with ratio
@@ -516,12 +557,13 @@ let bench_serve_cmd =
     let domain_counts = if domain_counts = [] then [ 1; 2; 4 ] else domain_counts in
     Printf.printf
       "bench-serve: doc=%s docs=%d requests=%d engine=%s reply=%s transport=%s batch=%d \
-       write-ratio=%g cores=%d\n\
+       write-ratio=%g write-depth=%d%s cores=%d\n\
        query: %s\n\n"
       doc_file docs requests (Engine.name engine)
       (if stream then "stream" else if payload then "payload" else "count")
       (if socket then "unix-socket" else "in-process")
-      batch write_ratio
+      batch write_ratio write_depth
+      (if commit_storm then " commit-storm" else "")
       (Domain.recommended_domain_count ())
       query;
     Printf.printf "%-8s %-6s %10s %12s %10s %10s %10s %10s\n" "domains" "cache" "wall(s)"
@@ -548,16 +590,18 @@ let bench_serve_cmd =
         else Xut_service.Service.Count { doc; engine; query }
       in
       (* The mixed read/write workload: every [wperiod]-th unit commits,
-         alternating an insert of a marker child of the document element
-         with a delete of that marker, so the document stays bounded and
-         (almost) every commit is effective.  Out-of-order execution
+         alternating an insert of a marker element (under the document
+         element, or --write-depth steps down the open_auctions spine)
+         with a delete of every marker, so the document stays bounded
+         and (almost) every commit is effective.  Out-of-order execution
          under several domains can only turn a delete into a no-op
          commit, never a conflict. *)
       let is_write i = wperiod > 0 && i mod wperiod = 0 in
       let write_req i =
         let wquery =
           if (i / wperiod) land 1 = 1 then
-            "insert <xut_bench_promo>p</xut_bench_promo> into $a"
+            Printf.sprintf "insert <xut_bench_promo>p</xut_bench_promo> into %s"
+              (write_target write_depth)
           else "delete $a//xut_bench_promo"
         in
         Xut_service.Service.Commit { doc = doc_name i; query = wquery }
@@ -604,8 +648,46 @@ let bench_serve_cmd =
       (* Gc.stat aggregates across domains, so the minor-words delta
          covers the workers where the per-request allocation happens. *)
       let gc0 = Gc.stat () in
+      (* Commit-storm mode: client-side latency of every snapshot read,
+         taken while commits land between them. *)
+      let read_lat = ref [] in
       let dt =
-        if not socket then begin
+        if commit_storm then begin
+          let call, teardown =
+            if not socket then
+              ((fun r -> Xut_service.Service.call svc r), fun () -> ())
+            else begin
+              let sock_path = Filename.temp_file "xut_bench" ".sock" in
+              Sys.remove sock_path;
+              let server =
+                Xut_transport.Server.start ~service:svc
+                  (Xut_transport.Addr.Unix_socket sock_path)
+              in
+              let cli =
+                Xut_transport.Client.connect (Xut_transport.Addr.Unix_socket sock_path)
+              in
+              ( (fun r -> Xut_transport.Client.call cli r),
+                fun () ->
+                  Xut_transport.Client.close cli;
+                  Xut_transport.Server.stop server )
+            end
+          in
+          let t0 = Unix.gettimeofday () in
+          for i = 1 to total do
+            let r = if is_write i then write_req i else req (doc_name i) in
+            let tr = Unix.gettimeofday () in
+            (match call r with
+            | Xut_service.Service.Ok _ as resp -> note resp
+            | Xut_service.Service.Error { message; _ } ->
+              failwith ("bench-serve: " ^ message));
+            if not (is_write i) then
+              read_lat := (Unix.gettimeofday () -. tr) :: !read_lat
+          done;
+          let dt = Unix.gettimeofday () -. t0 in
+          teardown ();
+          dt
+        end
+        else if not socket then begin
           let submit_unit i =
             if stream && not (is_write i) then
               Xut_service.Service.submit_stream svc ~doc:(doc_name i) ~engine ~query
@@ -676,6 +758,10 @@ let bench_serve_cmd =
       let conflicts = Xut_service.Metrics.commit_conflicts m in
       let noops = Xut_service.Metrics.commit_noops m in
       let gen_delta = max_gen () - gen0 in
+      let repairs = Xut_service.Metrics.annotation_repairs m in
+      let fallbacks = Xut_service.Metrics.repair_fallbacks m in
+      let recomputed = Xut_service.Metrics.repair_recomputed_nodes m in
+      let reused = Xut_service.Metrics.repair_reused_nodes m in
       let cs = Xut_service.Service.cache_stats svc in
       Xut_service.Service.shutdown svc;
       if errors > 0 then failwith (Printf.sprintf "bench-serve: %d errors" errors);
@@ -684,16 +770,34 @@ let bench_serve_cmd =
       let kw_req =
         (gc1.Gc.minor_words -. gc0.Gc.minor_words) /. float_of_int total /. 1e3
       in
+      let lat = Array.of_list (List.map (fun s -> s *. 1e3) !read_lat) in
+      Array.sort compare lat;
       Printf.printf "%-8d %-6s %10.3f %12.1f %10.2f %10d %10.2f %10.1f\n%!" domains
         (if cache_on then "on" else "off") dt rps p95 hits mb_s kw_req;
       if wperiod > 0 then
         Printf.printf
           "         write: ratio=%g commits=%d conflicts=%d noops=%d gen_delta=%d \
-           monotone=%s annotation_entries=%d\n%!"
+           monotone=%s annotation_entries=%d repairs=%d fallbacks=%d recomputed=%d \
+           reused=%d\n%!"
           write_ratio commits conflicts noops gen_delta
           (if gen_delta = commits then "ok" else "no")
-          cs.Xut_service.Plan_cache.annotation_entries;
-      (rps, mb_s, kw_req, commits)
+          cs.Xut_service.Plan_cache.annotation_entries repairs fallbacks recomputed reused;
+      if commit_storm then
+        Printf.printf
+          "         storm: reads=%d read_p50_ms=%.3f read_p95_ms=%.3f read_max_ms=%.3f\n%!"
+          (Array.length lat) (percentile lat 0.50) (percentile lat 0.95)
+          (percentile lat 1.0);
+      {
+        rps;
+        mb_s;
+        kw_req;
+        row_commits = commits;
+        row_repairs = repairs;
+        row_fallbacks = fallbacks;
+        read_p50_ms = percentile lat 0.50;
+        read_p95_ms = percentile lat 0.95;
+        read_max_ms = percentile lat 1.0;
+      }
     in
     let results =
       List.map
@@ -720,28 +824,42 @@ let bench_serve_cmd =
             (if socket then "unix-socket" else "in-process");
           Printf.fprintf oc "  \"batch\": %d,\n" batch;
           Printf.fprintf oc "  \"write_ratio\": %g,\n" write_ratio;
+          Printf.fprintf oc "  \"write_depth\": %d,\n" write_depth;
+          Printf.fprintf oc "  \"commit_storm\": %b,\n" commit_storm;
           Printf.fprintf oc "  \"rows\": [\n";
           List.iteri
-            (fun i (d, (off, off_mb, off_kw, off_commits), (on, on_mb, on_kw, on_commits)) ->
+            (fun i (d, off, on) ->
               Printf.fprintf oc
                 "    { \"domains\": %d, \"req_s_cache_off\": %.1f, \"req_s_cache_on\": %.1f, \
                  \"payload_mb_s_cache_off\": %.2f, \"payload_mb_s_cache_on\": %.2f, \
                  \"minor_kwords_per_req_cache_off\": %.1f, \
                  \"minor_kwords_per_req_cache_on\": %.1f, \"commits_cache_off\": %d, \
-                 \"commits_cache_on\": %d }%s\n"
-                d off on off_mb on_mb off_kw on_kw off_commits on_commits
+                 \"commits_cache_on\": %d, \"repairs_cache_off\": %d, \
+                 \"repairs_cache_on\": %d, \"repair_fallbacks_cache_off\": %d, \
+                 \"repair_fallbacks_cache_on\": %d%s }%s\n"
+                d off.rps on.rps off.mb_s on.mb_s off.kw_req on.kw_req off.row_commits
+                on.row_commits off.row_repairs on.row_repairs off.row_fallbacks
+                on.row_fallbacks
+                (if commit_storm then
+                   Printf.sprintf
+                     ", \"read_p50_ms_cache_off\": %.3f, \"read_p95_ms_cache_off\": %.3f, \
+                      \"read_max_ms_cache_off\": %.3f, \"read_p50_ms_cache_on\": %.3f, \
+                      \"read_p95_ms_cache_on\": %.3f, \"read_max_ms_cache_on\": %.3f"
+                     off.read_p50_ms off.read_p95_ms off.read_max_ms on.read_p50_ms
+                     on.read_p95_ms on.read_max_ms
+                 else "")
                 (if i = List.length results - 1 then "" else ","))
             results;
           Printf.fprintf oc "  ]\n}\n");
       Printf.printf "[json: %s]\n" path);
     (match (List.nth_opt results 0, List.rev results) with
-    | Some (d1, _, (on1, _, _, _)), (dn, _, (onn, _, _, _)) :: _ when dn > d1 ->
+    | Some (d1, _, on1), (dn, _, onn) :: _ when dn > d1 ->
       Printf.printf "\nscaling: %d domains = %.2fx the %d-domain throughput (cache on)\n" dn
-        (onn /. on1) d1
+        (onn.rps /. on1.rps) d1
     | _ -> ());
     List.iter
-      (fun (d, (off, _, _, _), (on, _, _, _)) ->
-        Printf.printf "cache: on = %.2fx off at %d domain%s\n" (on /. off) d
+      (fun (d, off, on) ->
+        Printf.printf "cache: on = %.2fx off at %d domain%s\n" (on.rps /. off.rps) d
           (if d = 1 then "" else "s"))
       results;
     0
@@ -813,6 +931,22 @@ let bench_serve_cmd =
                    then reports commits, conflicts, no-ops, the generation delta and the \
                    annotation-table count.")
   in
+  let write_depth =
+    Arg.(value & opt int 0
+         & info [ "write-depth" ] ~docv:"D"
+             ~doc:"Nesting depth of the write target: 0 commits against the document element, \
+                   D > 0 descends D steps of the open_auction spine \
+                   (site/open_auctions/open_auction/annotation/description), so annotation \
+                   repair cost scales with spine depth.")
+  in
+  let commit_storm =
+    Arg.(value & flag
+         & info [ "commit-storm" ]
+             ~doc:"Commit-storm mode: a synchronous request loop with a high write ratio \
+                   (default 0.5 unless --write-ratio is given) that records per-read snapshot \
+                   latency and reports p50/p95/max, measuring read tail latency under \
+                   sustained commits.  Ignores --stream and --batch.")
+  in
   let bench_engine =
     let parse s =
       match Engine.of_string s with
@@ -831,7 +965,8 @@ let bench_serve_cmd =
        ~doc:"Closed-loop load benchmark of the service layer: domains 1..N, plan cache on/off.")
     Term.(
       const run $ doc_opt $ factor $ requests $ domains_list $ bench_engine $ query_opt
-      $ payload $ stream $ chunk_size $ json_opt $ socket $ batch $ docs $ write_ratio)
+      $ payload $ stream $ chunk_size $ json_opt $ socket $ batch $ docs $ write_ratio
+      $ write_depth $ commit_storm)
 
 let main =
   let info = Cmd.info "xut" ~version:"1.0.0" ~doc:"Querying XML with update syntax (SIGMOD 2007)." in

@@ -32,58 +32,196 @@ let expand lq ~name seeds =
   List.iter activate seeds;
   (active, List.sort_uniq compare !child_candidates)
 
-let annotate nfa root =
-  let lq = Selecting_nfa.lq nfa in
-  let tbl = { sat = Hashtbl.create 1024; lq } in
-  let has_any_qual =
-    let any = ref false in
-    for i = 0 to Selecting_nfa.size nfa - 1 do
-      if Selecting_nfa.has_qual nfa i then any := true
-    done;
-    !any
-  in
-  if not has_any_qual then tbl
+let has_any_qual nfa =
+  let any = ref false in
+  for i = 0 to Selecting_nfa.size nfa - 1 do
+    if Selecting_nfa.has_qual nfa i then any := true
+  done;
+  !any
+
+(* LQ indices demanded by the qualifiers of the states just entered. *)
+let top_quals nfa states' =
+  let qs = Selecting_nfa.set_inter states' (Selecting_nfa.qual_states nfa) in
+  if Selecting_nfa.set_is_empty qs then []
+  else Selecting_nfa.set_fold (fun s acc -> Selecting_nfa.state_lq nfa s :: acc) qs []
+
+(* The bottomUp recursion, writing entries into [tbl].  [states] is the
+   state set before consuming [e]'s symbol and [seeds] the LQ indices the
+   parent demands here; both are functions of the ancestor names only, so
+   an entry depends on nothing but the node's subtree and its demand —
+   the subtree-locality that [repair] exploits.  [written] counts the
+   entries produced (instrumentation for the repair metrics). *)
+let rec annotate_subtree nfa tbl written (e : Node.element) (states : Selecting_nfa.set)
+    (seeds : int list) : unit =
+  let lq = tbl.lq in
+  let name = Node.name e in
+  let states' = Selecting_nfa.next_unchecked nfa states (Node.sym e) in
+  let all_seeds = List.sort_uniq compare (seeds @ top_quals nfa states') in
+  if Selecting_nfa.set_is_empty states' && all_seeds = [] then ()
   else begin
-    let rec go (e : Node.element) (states : Selecting_nfa.set) (seeds : int list) : unit =
-      let name = Node.name e in
-      let states' = Selecting_nfa.next_unchecked nfa states (Node.sym e) in
-      let top_quals =
-        let qs = Selecting_nfa.set_inter states' (Selecting_nfa.qual_states nfa) in
-        if Selecting_nfa.set_is_empty qs then []
-        else Selecting_nfa.set_fold (fun s acc -> Selecting_nfa.state_lq nfa s :: acc) qs []
-      in
-      let all_seeds = List.sort_uniq compare (seeds @ top_quals) in
-      if Selecting_nfa.set_is_empty states' && all_seeds = [] then ()
-      else begin
-        let candidates = if all_seeds = [] then [] else snd (expand lq ~name all_seeds) in
-        let kids = Node.child_elements e in
-        List.iter
+    let candidates = if all_seeds = [] then [] else snd (expand lq ~name all_seeds) in
+    let kids = Node.child_elements e in
+    List.iter
+      (fun c ->
+        let kid_seeds =
+          List.filter (fun p -> not (Lq.label_blocked lq p (Node.name c))) candidates
+        in
+        annotate_subtree nfa tbl written c states' kid_seeds)
+      kids;
+    if all_seeds <> [] then begin
+      let csat i =
+        List.exists
           (fun c ->
-            let kid_seeds =
-              List.filter (fun p -> not (Lq.label_blocked lq p (Node.name c))) candidates
-            in
-            go c states' kid_seeds)
-          kids;
-        if all_seeds <> [] then begin
-          let csat i =
-            List.exists
-              (fun c ->
-                match Hashtbl.find_opt tbl.sat (Node.id c) with
-                | Some arr -> arr.(i)
-                | None -> false)
-              kids
-          in
-          let sat =
-            Lq.eval_at lq ~name ~attrs:(Node.attrs e) ~text:(Node.text_content e) ~csat
-              ~wanted:all_seeds
-          in
-          Hashtbl.replace tbl.sat (Node.id e) sat
-        end
-      end
-    in
-    go root (Selecting_nfa.start nfa) [];
-    tbl
+            match Hashtbl.find_opt tbl.sat (Node.id c) with
+            | Some arr -> arr.(i)
+            | None -> false)
+          kids
+      in
+      let sat =
+        Lq.eval_at lq ~name ~attrs:(Node.attrs e) ~text:(Node.text_content e) ~csat
+          ~wanted:all_seeds
+      in
+      Hashtbl.replace tbl.sat (Node.id e) sat;
+      incr written
+    end
   end
+
+let annotate nfa root =
+  let tbl = { sat = Hashtbl.create 1024; lq = Selecting_nfa.lq nfa } in
+  if has_any_qual nfa then
+    annotate_subtree nfa tbl (ref 0) root (Selecting_nfa.start nfa) [];
+  tbl
+
+type repair_stats = { recomputed : int; reused : int; dropped : int }
+
+(* Incremental repair after a commit: the new tree shares every untouched
+   subtree with the old one (same element ids), and entries are
+   subtree-local, so the old entries for shared subtrees are still valid
+   wherever the demand reaching them is unchanged.  We copy the whole old
+   table (a flat id -> array copy, no tree traversal and no qualifier
+   evaluation), then walk the rebuilt spine pairing each fresh element
+   with its old counterpart, recomputing entries only for fresh elements
+   and for shared subtrees whose demanded (state set, seed set) changed
+   (a rename on the spine above them), and dropping entries whose ids
+   left the tree. *)
+let repair nfa ~old_table ~spine new_root =
+  match Hashtbl.find_opt spine (Node.id new_root) with
+  | None -> None (* degenerate diff: the document element was replaced *)
+  | Some old_root ->
+    let lq = Selecting_nfa.lq nfa in
+    if not (has_any_qual nfa) then
+      Some ({ sat = Hashtbl.create 16; lq }, { recomputed = 0; reused = 0; dropped = 0 })
+    else begin
+      let tbl = { sat = Hashtbl.copy old_table.sat; lq } in
+      let recomputed = ref 0 and dropped = ref 0 in
+      let drop id =
+        if Hashtbl.mem tbl.sat id then begin
+          Hashtbl.remove tbl.sat id;
+          incr dropped
+        end
+      in
+      (* Forget everything the old run knew about a departed (or
+         demand-invalidated) subtree. *)
+      let scrub oe = Node.iter_elements (fun x -> drop (Node.id x)) oe in
+      let fresh e states seeds = annotate_subtree nfa tbl recomputed e states seeds in
+      (* [oe]/[e] are counterparts: physically the same node (shared
+         subtree) or an old spine element and its fresh rebuild.  The two
+         (states, seeds) pairs are the demands the old and new runs
+         propagate to them; they diverge only below a renamed spine
+         node. *)
+      let rec pair oe e old_states states old_seeds seeds =
+        let name = Node.name e and old_name = Node.name oe in
+        let states' = Selecting_nfa.next_unchecked nfa states (Node.sym e) in
+        let old_states' = Selecting_nfa.next_unchecked nfa old_states (Node.sym oe) in
+        let all_seeds = List.sort_uniq compare (seeds @ top_quals nfa states') in
+        let old_all_seeds = List.sort_uniq compare (old_seeds @ top_quals nfa old_states') in
+        if e == oe then begin
+          (* Shared subtree: the copied entries are exactly what a fresh
+             run would compute iff the demand here is unchanged. *)
+          if Selecting_nfa.set_equal states' old_states' && all_seeds = old_all_seeds then ()
+          else begin
+            scrub oe;
+            fresh e states seeds
+          end
+        end
+        else begin
+          (* Spine pair: [oe]'s id left the tree with it. *)
+          drop (Node.id oe);
+          if Selecting_nfa.set_is_empty states' && all_seeds = [] then
+            (* The fresh run prunes here: nothing below [e] is annotated,
+               so whatever the old run wrote below [oe] must go (shared
+               children included — they are in the new tree, unneeded). *)
+            List.iter scrub (Node.child_elements oe)
+          else begin
+            let candidates =
+              if all_seeds = [] then [] else snd (expand lq ~name all_seeds)
+            in
+            let old_candidates =
+              if old_all_seeds = [] then []
+              else snd (expand lq ~name:old_name old_all_seeds)
+            in
+            let kid_seeds cs n =
+              List.filter (fun p -> not (Lq.label_blocked lq p n)) cs
+            in
+            let old_kids = Node.child_elements oe in
+            let old_by_id = Hashtbl.create (max 4 (List.length old_kids)) in
+            List.iter (fun oc -> Hashtbl.replace old_by_id (Node.id oc) oc) old_kids;
+            let surviving = Hashtbl.create 8 in
+            let kids = Node.child_elements e in
+            List.iter
+              (fun c ->
+                let cname = Node.name c in
+                if Hashtbl.mem old_by_id (Node.id c) then begin
+                  (* same node in both trees *)
+                  Hashtbl.replace surviving (Node.id c) ();
+                  pair c c old_states' states'
+                    (kid_seeds old_candidates cname)
+                    (kid_seeds candidates cname)
+                end
+                else
+                  match Hashtbl.find_opt spine (Node.id c) with
+                  | Some oc when Hashtbl.mem old_by_id (Node.id oc) ->
+                    (* rebuilt spine child *)
+                    Hashtbl.replace surviving (Node.id oc) ();
+                    pair oc c old_states' states'
+                      (kid_seeds old_candidates (Node.name oc))
+                      (kid_seeds candidates cname)
+                  | _ ->
+                    (* inserted or replacement content: all-fresh ids *)
+                    fresh c states' (kid_seeds candidates cname))
+              kids;
+            (* old children with no counterpart were deleted or replaced *)
+            List.iter
+              (fun oc -> if not (Hashtbl.mem surviving (Node.id oc)) then scrub oc)
+              old_kids;
+            if all_seeds <> [] then begin
+              let csat i =
+                List.exists
+                  (fun c ->
+                    match Hashtbl.find_opt tbl.sat (Node.id c) with
+                    | Some arr -> arr.(i)
+                    | None -> false)
+                  kids
+              in
+              let sat =
+                Lq.eval_at lq ~name ~attrs:(Node.attrs e) ~text:(Node.text_content e)
+                  ~csat ~wanted:all_seeds
+              in
+              Hashtbl.replace tbl.sat (Node.id e) sat;
+              incr recomputed
+            end
+          end
+        end
+      in
+      pair old_root new_root (Selecting_nfa.start nfa) (Selecting_nfa.start nfa) [] [];
+      Some
+        ( tbl,
+          {
+            recomputed = !recomputed;
+            reused = Hashtbl.length tbl.sat - !recomputed;
+            dropped = !dropped;
+          } )
+    end
 
 let sat tbl n i =
   match Hashtbl.find_opt tbl.sat (Node.id n) with Some arr -> arr.(i) | None -> false

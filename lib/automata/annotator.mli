@@ -27,6 +27,31 @@ val annotate : Selecting_nfa.t -> Node.element -> table
     NFA (the root's label is consumed by the first transition, matching
     the [$a/p] convention). *)
 
+type repair_stats = {
+  recomputed : int;  (** entries evaluated afresh (spine + new material) *)
+  reused : int;      (** entries carried over from the old table *)
+  dropped : int;     (** stale old entries removed (departed subtrees) *)
+}
+
+val repair :
+  Selecting_nfa.t ->
+  old_table:table ->
+  spine:(int, Node.element) Hashtbl.t ->
+  Node.element ->
+  (table * repair_stats) option
+(** Incremental maintenance across a commit.  [spine] maps each fresh
+    spine element's id in the post-commit tree to the pre-commit element
+    it replaced ({!Xut_update.Apply.materialize}'s diff).  Because
+    entries are subtree-local and untouched subtrees keep their ids, the
+    result is entry-for-entry equal to [annotate nfa new_root] at
+    O(old-table copy + spine + changed material) cost, recursing into a
+    shared subtree only when the demand reaching it changed (e.g. a
+    rename above it).  [None] when the diff is degenerate — the new root
+    is not a rebuild of the old one (document element replaced) — and
+    the caller must fall back to a full [annotate].  The old table is
+    never mutated: concurrent readers of the pre-commit snapshot keep
+    resolving it. *)
+
 val sat : table -> Node.element -> int -> bool
 (** [sat tbl n i]: truth of LQ expression [i] at node [n] ([false] for
     pruned or never-needed entries). *)

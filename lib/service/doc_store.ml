@@ -9,7 +9,15 @@ type info = {
 
 type reason = Unloaded | Replaced | Committed
 
-type event = { name : string; root_id : int; generation : int; reason : reason }
+type repair_hint = { new_root : Node.element; spine : (int, Node.element) Hashtbl.t }
+
+type event = {
+  name : string;
+  root_id : int;
+  generation : int;
+  reason : reason;
+  repair : repair_hint option;
+}
 
 (* [cmu] serializes writers (commit/register/evict) per shard so a
    commit's read-evaluate-swap is atomic with respect to every other
@@ -82,7 +90,8 @@ let register t ~name ?file root =
   in
   (match previous with
   | Some (old_root, _) ->
-    fire t { name; root_id = Node.id old_root; generation; reason = Replaced }
+    fire t
+      { name; root_id = Node.id old_root; generation; reason = Replaced; repair = None }
   | None -> ());
   (info, previous <> None)
 
@@ -118,7 +127,13 @@ let evict t name =
   | None -> false
   | Some (root, info) ->
     fire t
-      { name; root_id = Node.id root; generation = info.generation; reason = Unloaded };
+      {
+        name;
+        root_id = Node.id root;
+        generation = info.generation;
+        reason = Unloaded;
+        repair = None;
+      };
     true
 
 type ('a, 'e) commit_result =
@@ -140,7 +155,7 @@ let commit t ~name f =
           match f info root with
           | Error e -> Rejected e
           | Ok (None, a) -> Unchanged (info, a)
-          | Ok (Some root', a) ->
+          | Ok (Some (root', spine), a) ->
             let generation = Atomic.fetch_and_add t.generations 1 + 1 in
             let info' =
               {
@@ -150,13 +165,23 @@ let commit t ~name f =
               }
             in
             locked sh (fun () -> Hashtbl.replace sh.tbl name (root', info'));
-            departed := Some (Node.id root);
+            departed :=
+              Some
+                ( Node.id root,
+                  Option.map (fun spine -> { new_root = root'; spine }) spine );
             Swapped (info', a)
         end)
   in
   (match (outcome, !departed) with
-  | Swapped (info', _), Some old_root_id ->
-    fire t { name; root_id = old_root_id; generation = info'.generation; reason = Committed }
+  | Swapped (info', _), Some (old_root_id, repair) ->
+    fire t
+      {
+        name;
+        root_id = old_root_id;
+        generation = info'.generation;
+        reason = Committed;
+        repair;
+      }
   | _ -> ());
   outcome
 

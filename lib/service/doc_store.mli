@@ -35,12 +35,24 @@ type info = {
     derived tree ([Committed]). *)
 type reason = Unloaded | Replaced | Committed
 
+type repair_hint = {
+  new_root : Node.element;  (** the tree that replaced the departing one *)
+  spine : (int, Node.element) Hashtbl.t;
+      (** rebuilt-spine map (fresh id -> replaced old element), see
+          {!Xut_update.Apply.diff} *)
+}
+(** Enough of a [Committed] swap's diff for downstream caches to repair
+    their per-tree state incrementally instead of evicting it. *)
+
 type event = {
   name : string;
   root_id : int;     (** {!Node.id} of the departing tree's root *)
   generation : int;  (** of the {e new} binding for [Replaced], of the
                          removed one for [Unloaded] *)
   reason : reason;
+  repair : repair_hint option;
+      (** [Committed] swaps that supplied a diff; always [None] for
+          [Unloaded]/[Replaced] *)
 }
 
 type t
@@ -105,12 +117,15 @@ type ('a, 'e) commit_result =
 val commit :
   t ->
   name:string ->
-  (info -> Node.element -> (Node.element option * 'a, 'e) result) ->
+  (info ->
+  Node.element ->
+  ((Node.element * (int, Node.element) Hashtbl.t option) option * 'a, 'e) result) ->
   ('a, 'e) commit_result
 (** [commit t ~name f] calls [f info root] on the current binding —
     under the shard's writer lock but outside its reader lock — and, on
-    [Ok (Some root', a)], swaps [root'] in under a fresh store-wide
-    generation, keeping the old binding's [file] as provenance.  The
-    [Committed] event (old root's id, new generation) fires after all
-    locks are released.  [f] must not re-enter the store's write
-    operations for the same shard. *)
+    [Ok (Some (root', spine), a)], swaps [root'] in under a fresh
+    store-wide generation, keeping the old binding's [file] as
+    provenance.  The [Committed] event (old root's id, new generation,
+    and a {!repair_hint} when [f] supplied the rebuilt-spine map) fires
+    after all locks are released.  [f] must not re-enter the store's
+    write operations for the same shard. *)

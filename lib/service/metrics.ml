@@ -26,6 +26,10 @@ type t = {
   stream_chunks : int Atomic.t;
   stream_bytes : int Atomic.t;
   invalidations : int Atomic.t;
+  annotation_repairs : int Atomic.t;
+  repair_fallbacks : int Atomic.t;
+  repair_recomputed_nodes : int Atomic.t;
+  repair_reused_nodes : int Atomic.t;
   commits : int Atomic.t;
   commit_conflicts : int Atomic.t;
   commit_noops : int Atomic.t;
@@ -60,6 +64,10 @@ let create () =
     stream_chunks = Atomic.make 0;
     stream_bytes = Atomic.make 0;
     invalidations = Atomic.make 0;
+    annotation_repairs = Atomic.make 0;
+    repair_fallbacks = Atomic.make 0;
+    repair_recomputed_nodes = Atomic.make 0;
+    repair_reused_nodes = Atomic.make 0;
     commits = Atomic.make 0;
     commit_conflicts = Atomic.make 0;
     commit_noops = Atomic.make 0;
@@ -130,6 +138,17 @@ let stream_chunk m bytes =
 
 let add_invalidations m n = if n > 0 then ignore (Atomic.fetch_and_add m.invalidations n)
 let invalidations m = Atomic.get m.invalidations
+
+let add_repairs m ~repaired ~fallbacks ~recomputed ~reused =
+  if repaired > 0 then ignore (Atomic.fetch_and_add m.annotation_repairs repaired);
+  if fallbacks > 0 then ignore (Atomic.fetch_and_add m.repair_fallbacks fallbacks);
+  if recomputed > 0 then ignore (Atomic.fetch_and_add m.repair_recomputed_nodes recomputed);
+  if reused > 0 then ignore (Atomic.fetch_and_add m.repair_reused_nodes reused)
+
+let annotation_repairs m = Atomic.get m.annotation_repairs
+let repair_fallbacks m = Atomic.get m.repair_fallbacks
+let repair_recomputed_nodes m = Atomic.get m.repair_recomputed_nodes
+let repair_reused_nodes m = Atomic.get m.repair_reused_nodes
 
 let commit_recorded m ~primitives =
   Atomic.incr m.commits;
@@ -222,6 +241,10 @@ let reset m =
   Atomic.set m.stream_chunks 0;
   Atomic.set m.stream_bytes 0;
   Atomic.set m.invalidations 0;
+  Atomic.set m.annotation_repairs 0;
+  Atomic.set m.repair_fallbacks 0;
+  Atomic.set m.repair_recomputed_nodes 0;
+  Atomic.set m.repair_reused_nodes 0;
   Atomic.set m.commits 0;
   Atomic.set m.commit_conflicts 0;
   Atomic.set m.commit_noops 0;
@@ -261,6 +284,10 @@ let dump m =
   Printf.bprintf b "stream_chunks %d\n" (stream_chunks m);
   Printf.bprintf b "stream_bytes %d\n" (stream_bytes m);
   Printf.bprintf b "doc_invalidations %d\n" (invalidations m);
+  Printf.bprintf b "annotation_repairs %d\n" (annotation_repairs m);
+  Printf.bprintf b "repair_fallbacks %d\n" (repair_fallbacks m);
+  Printf.bprintf b "repair_recomputed_nodes %d\n" (repair_recomputed_nodes m);
+  Printf.bprintf b "repair_reused_nodes %d\n" (repair_reused_nodes m);
   Printf.bprintf b "commits %d\n" (commits m);
   Printf.bprintf b "commit_conflicts %d\n" (commit_conflicts m);
   Printf.bprintf b "commit_noops %d\n" (commit_noops m);

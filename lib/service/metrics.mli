@@ -90,6 +90,24 @@ val stream_bytes : t -> int
 val add_invalidations : t -> int -> unit
 val invalidations : t -> int
 
+(** {2 Annotation-repair counters}
+
+    Maintained by the commit-time repair hook: per-plan annotation
+    tables carried across a commit by {!Plan_cache.repair}
+    ([annotation_repairs]), tables evicted because the diff was
+    degenerate ([repair_fallbacks]), and the summed entry counts the
+    repairs recomputed versus carried over — the recomputed/reused ratio
+    is the incrementality the repair path buys over full
+    re-annotation. *)
+
+val add_repairs :
+  t -> repaired:int -> fallbacks:int -> recomputed:int -> reused:int -> unit
+
+val annotation_repairs : t -> int
+val repair_fallbacks : t -> int
+val repair_recomputed_nodes : t -> int
+val repair_reused_nodes : t -> int
+
 (** {2 Commit counters}
 
     Maintained by the write path ([COMMIT] requests): effective commits

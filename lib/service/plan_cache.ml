@@ -93,6 +93,39 @@ let plan_invalidate plan ~root_id =
   Mutex.unlock a.amu;
   present
 
+(* Incremental maintenance across a commit: rebuild this plan's table
+   for the new root from the old root's table and the rebuilt-spine map,
+   instead of letting the commit evict it.  The old entry is deliberately
+   LEFT IN PLACE — readers that picked up the pre-commit snapshot before
+   the swap still resolve its table (immutable, never repaired in place);
+   the per-plan LRU drops it once younger roots push it out. *)
+let plan_repair plan ~old_root_id ~spine new_root =
+  let a = plan.annotations in
+  Mutex.lock a.amu;
+  let old_entry = Hashtbl.find_opt a.docs old_root_id in
+  Mutex.unlock a.amu;
+  match old_entry with
+  | None -> `Absent (* nothing cached for the departing tree: no work *)
+  | Some { table = old_table; _ } -> begin
+    (* Repair runs outside the lock, like [annotation]'s build: a racing
+       reader of the old snapshot still hits the old entry meanwhile. *)
+    match Annotator.repair plan.nfa ~old_table ~spine new_root with
+    | None ->
+      (* degenerate diff (root replaced): fall back to eviction *)
+      ignore (plan_invalidate plan ~root_id:old_root_id);
+      `Fallback
+    | Some (table, st) ->
+      let new_id = Xut_xml.Node.id new_root in
+      Mutex.lock a.amu;
+      if not (Hashtbl.mem a.docs new_id) then begin
+        if Hashtbl.length a.docs >= max_annotated_docs then evict_lru_annotation a;
+        a.aclock <- a.aclock + 1;
+        Hashtbl.add a.docs new_id { table; stamp = a.aclock }
+      end;
+      Mutex.unlock a.amu;
+      `Repaired st
+  end
+
 (* Recency is a stamp per entry from a monotone clock; eviction scans for
    the minimum.  The scan is O(capacity) but runs only on insertion into
    a full cache, and plan caches are small (tens of entries). *)
@@ -181,6 +214,29 @@ let invalidate t ~root_id =
   List.fold_left
     (fun n plan -> if plan_invalidate plan ~root_id then n + 1 else n)
     0 (plans t)
+
+type repair_totals = {
+  repaired : int;
+  fallbacks : int;
+  recomputed_nodes : int;
+  reused_nodes : int;
+}
+
+let repair t ~old_root_id ~spine new_root =
+  List.fold_left
+    (fun acc plan ->
+      match plan_repair plan ~old_root_id ~spine new_root with
+      | `Absent -> acc
+      | `Fallback -> { acc with fallbacks = acc.fallbacks + 1 }
+      | `Repaired (st : Annotator.repair_stats) ->
+        {
+          acc with
+          repaired = acc.repaired + 1;
+          recomputed_nodes = acc.recomputed_nodes + st.Annotator.recomputed;
+          reused_nodes = acc.reused_nodes + st.Annotator.reused;
+        })
+    { repaired = 0; fallbacks = 0; recomputed_nodes = 0; reused_nodes = 0 }
+    (plans t)
 
 let annotation_entries t =
   List.fold_left (fun n plan -> n + plan_annotation_count plan) 0 (plans t)

@@ -63,6 +63,28 @@ val invalidate : t -> root_id:int -> int
     (one per plan that had annotated that tree).  Never touches the
     plans themselves or other documents' tables. *)
 
+type repair_totals = {
+  repaired : int;          (** plan tables repaired incrementally *)
+  fallbacks : int;         (** plan tables evicted (degenerate diff) *)
+  recomputed_nodes : int;  (** entries evaluated afresh, summed *)
+  reused_nodes : int;      (** entries carried over, summed *)
+}
+
+val repair :
+  t ->
+  old_root_id:int ->
+  spine:(int, Xut_xml.Node.element) Hashtbl.t ->
+  Xut_xml.Node.element ->
+  repair_totals
+(** The commit-time counterpart of {!invalidate}: for every cached plan
+    holding a table for the departing root, derive the new root's table
+    with {!Xut_automata.Annotator.repair} and memoize it, falling back
+    to eviction when the diff is degenerate.  The old root's entry is
+    {e kept} — readers already holding the pre-commit snapshot must
+    still resolve its table — and ages out of the per-plan LRU
+    ({!max_annotated_docs}) like any other entry.  Plans with no table
+    for the old root are untouched (nothing to keep warm). *)
+
 val annotation_entries : t -> int
 (** Total memoized annotation tables across all cached plans — the
     quantity the per-doc invalidation and LRU bounds keep from growing

@@ -202,7 +202,13 @@ let handle_commit ~store ~metrics ~doc ~query =
     let result =
       Doc_store.commit store ~name:doc (fun _info root ->
           match Xut_update.Apply.run updates root with
-          | Stdlib.Ok (report, root') -> Stdlib.Ok (root', report)
+          | Stdlib.Ok (report, materialized) ->
+            let swap =
+              Option.map
+                (fun (root', diff) -> (root', Some diff.Xut_update.Apply.spine))
+                materialized
+            in
+            Stdlib.Ok (swap, report)
           | Stdlib.Error report -> Stdlib.Error (`Conflict report)
           | exception Xut_update.Apply.Invalid msg -> Stdlib.Error (`Invalid msg)
           | exception e -> Stdlib.Error (`Invalid (Printexc.to_string e)))
@@ -346,10 +352,26 @@ let create ?(domains = 1) ?(cache_capacity = 128) ?(queue_capacity = 64) ?store_
   let metrics = Metrics.create () in
   (* The lifecycle hook: a document leaving the store (UNLOAD, or the
      old tree of a reload) takes exactly its annotation tables with it —
-     per-doc eviction, never a whole-memo wipe. *)
+     per-doc eviction, never a whole-memo wipe.  A COMMIT that supplied
+     its rebuilt-spine diff instead has every cached plan's table
+     {e repaired} for the new root (the old root's table stays
+     addressable for in-flight readers until the per-plan LRU drops it);
+     a fallback eviction counts as an invalidation like any other. *)
   Doc_store.subscribe store (fun ev ->
-      Metrics.add_invalidations metrics
-        (Plan_cache.invalidate cache ~root_id:ev.Doc_store.root_id));
+      match ev.Doc_store.repair with
+      | Some hint ->
+        let totals =
+          Plan_cache.repair cache ~old_root_id:ev.Doc_store.root_id
+            ~spine:hint.Doc_store.spine hint.Doc_store.new_root
+        in
+        Metrics.add_repairs metrics ~repaired:totals.Plan_cache.repaired
+          ~fallbacks:totals.Plan_cache.fallbacks
+          ~recomputed:totals.Plan_cache.recomputed_nodes
+          ~reused:totals.Plan_cache.reused_nodes;
+        Metrics.add_invalidations metrics totals.Plan_cache.fallbacks
+      | None ->
+        Metrics.add_invalidations metrics
+          (Plan_cache.invalidate cache ~root_id:ev.Doc_store.root_id));
   let handler job =
     Metrics.incr_requests metrics;
     let t0 = Unix.gettimeofday () in

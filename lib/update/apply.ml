@@ -40,50 +40,75 @@ let stage updates root =
   let nz = Pending.normalize (resolve updates root) in
   (report_of nz, nz)
 
+type diff = { spine : (int, Node.element) Hashtbl.t }
+
 (* One pass over the snapshot.  Inserted/replacement content is deep
    copied with fresh ids per target (several targets may share one
    literal); the spine down to each touched node is rebuilt with fresh
    ids; an untouched subtree is returned as the very same value, which
    is both the structural sharing and the O(1) "did anything change
-   below" signal. *)
+   below" signal.  Every rebuilt spine element is recorded in the diff
+   as [fresh id -> the element it replaced] — the map downstream
+   annotation repair walks; replacements and insertions are {e not}
+   spine (their ids pair with nothing in the old tree). *)
 let materialize (nz : Pending.normalized) root =
   if nz.Pending.primitives = 0 then None
   else begin
+    let spine = Hashtbl.create 64 in
+    let rebuilt old_e new_e =
+      Hashtbl.replace spine (Node.id new_e) old_e;
+      new_e
+    in
     let refresh = Node.refresh_ids in
+    (* [Same] (an immediate) signals an untouched subtree, so the walk over
+       the unchanged bulk of the snapshot allocates nothing; a changed
+       child list shares its unchanged suffix with the old tree.  A commit
+       therefore allocates only along rebuilt spines plus fresh content. *)
     let rec node n =
       match n with
-      | Node.Text _ | Node.Comment _ | Node.Pi _ -> ([ n ], false)
+      | Node.Text _ | Node.Comment _ | Node.Pi _ -> `Same
       | Node.Element e -> begin
         match Hashtbl.find_opt nz.Pending.table (Node.id e) with
-        | Some Pending.Dead -> ([], true)
-        | Some (Pending.Swap r) -> ([ refresh r ], true)
+        | Some Pending.Dead -> `Gone
+        | Some (Pending.Swap r) -> `One (refresh r)
         | Some (Pending.Edit { rename; firsts; lasts }) ->
           (* the node survives: its own subtree may still hold targets *)
-          let kids, _ = children e in
+          let kids = Option.value (children e) ~default:(Node.children e) in
           let name = Option.value rename ~default:(Node.name e) in
-          ( [ Node.Element
-                (Node.element ~attrs:(Node.attrs e) name
-                   (List.map refresh firsts @ kids @ List.map refresh lasts)) ],
-            true )
-        | None ->
-          let kids, changed = children e in
-          if changed then
-            ([ Node.Element (Node.element ~attrs:(Node.attrs e) (Node.name e) kids) ], true)
-          else ([ n ], false)
+          `One
+            (Node.Element
+               (rebuilt e
+                  (Node.element ~attrs:(Node.attrs e) name
+                     (List.map refresh firsts @ kids @ List.map refresh lasts))))
+        | None -> (
+          match children e with
+          | None -> `Same
+          | Some kids ->
+            `One (Node.Element (rebuilt e (Node.element ~attrs:(Node.attrs e) (Node.name e) kids))))
       end
     and children e =
-      List.fold_left
-        (fun (acc, changed) c ->
-          let out, ch = node c in
-          (List.rev_append out acc, changed || ch))
-        ([], false) (Node.children e)
-      |> fun (acc, changed) -> (List.rev acc, changed)
+      (* [None] = no descendant touched; [Some kids] = the rebuilt list,
+         sharing the original tail past the last touched child. *)
+      let rec go cs =
+        match cs with
+        | [] -> None
+        | c :: rest -> (
+          match node c with
+          | `Same -> (
+            (* explicit match: Option.map would allocate a closure per node *)
+            match go rest with
+            | None -> None
+            | Some rest' -> Some (c :: rest'))
+          | `Gone -> Some (match go rest with None -> rest | Some rest' -> rest')
+          | `One n -> Some (n :: (match go rest with None -> rest | Some rest' -> rest')))
+      in
+      go (Node.children e)
     in
     match node (Node.Element root) with
-    | _, false -> None
-    | [ Node.Element e ], true -> Some e
-    | [], true -> raise (Invalid "update deletes the document element")
-    | _, true -> raise (Invalid "update replaces the document element with a non-element")
+    | `Same -> None
+    | `One (Node.Element e) -> Some (e, { spine })
+    | `Gone -> raise (Invalid "update deletes the document element")
+    | `One _ -> raise (Invalid "update replaces the document element with a non-element")
   end
 
 let run updates root =

@@ -42,13 +42,22 @@ val stage : Core.Transform_ast.update list -> Node.element -> report * Pending.n
 (** [resolve] + {!Pending.normalize}: the dry-run ([APPLY]) entry point.
     No tree is built. *)
 
-val materialize : Pending.normalized -> Node.element -> Node.element option
+type diff = { spine : (int, Node.element) Hashtbl.t }
+(** The commit's touched-spine summary: each rebuilt spine element's
+    {e fresh} id mapped to the pre-commit element it replaced.  Inserted
+    and replacement subtrees are absent (nothing in the old tree pairs
+    with them), as are shared subtrees (same value, same id).  The new
+    root is in the map whenever the document element itself was rebuilt
+    rather than replaced — the non-degenerate case downstream annotation
+    repair requires. *)
+
+val materialize : Pending.normalized -> Node.element -> (Node.element * diff) option
 (** Apply a conflict-free normalized list.  [None] when the list is
     empty (nothing selected): the tree is unchanged and {e no new root
-    exists} — callers must not treat this as a new version.  [Some root']
-    shares untouched subtrees with [root] physically.  Primitives
-    targeting nodes inside a deleted or replaced subtree are subsumed
-    (never applied), matching the reference engine's rebuild.
+    exists} — callers must not treat this as a new version.  [Some
+    (root', diff)] shares untouched subtrees with [root] physically.
+    Primitives targeting nodes inside a deleted or replaced subtree are
+    subsumed (never applied), matching the reference engine's rebuild.
 
     @raise Invalid when the document element is deleted or replaced by a
     non-element. *)
@@ -56,7 +65,7 @@ val materialize : Pending.normalized -> Node.element -> Node.element option
 val run :
   Core.Transform_ast.update list ->
   Node.element ->
-  (report * Node.element option, report) result
+  (report * (Node.element * diff) option, report) result
 (** [stage] then, when conflict-free, [materialize].  [Error report]
     when the list has conflicts (the tree is untouched).
 

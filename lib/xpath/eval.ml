@@ -31,8 +31,11 @@ let rec select_from (frontier : Node.element list) (path : Ast.path) : Node.elem
           (fun e -> List.filter (fun c -> String.equal (Node.name c) l) (Node.child_elements e))
           frontier
       | Ast.Wildcard -> List.concat_map Node.child_elements frontier
-      | Ast.Descendant ->
-        dedup (List.concat_map (fun e -> List.rev (descendant_or_self_acc [] e)) frontier)
+      | Ast.Descendant -> (
+        (* descendants of a single element are unique by construction *)
+        match frontier with
+        | [ e ] -> List.rev (descendant_or_self_acc [] e)
+        | _ -> dedup (List.concat_map (fun e -> List.rev (descendant_or_self_acc [] e)) frontier))
     in
     let filtered = List.filter (fun e -> List.for_all (check_qual e) quals) expanded in
     select_from filtered rest
@@ -58,7 +61,42 @@ and check_qual (n : Node.element) (q : Ast.qual) : bool =
     in
     List.exists (fun s -> Ast.compare_values op s v) values
 
-let select ctx path =
+(* A path ending in '//l' behind a child-only prefix: the prefix frontier
+   sits at a single depth, so frontier subtrees are disjoint and one
+   pre-order walk per frontier element yields the result in document order
+   with no duplicates — skipping the materialized descendant list, the
+   dedup table and the whole-document rank sort.  This is the shape of
+   marker-cleanup updates (delete $a//x), which run on every commit. *)
+let rec split_trailing_desc_label acc = function
+  | [ { Ast.nav = Ast.Descendant; quals = dq }; { Ast.nav = Ast.Label l; quals = lq } ] ->
+    Some (List.rev acc, dq, l, lq)
+  | ({ Ast.nav = Ast.Label _ | Ast.Wildcard | Ast.Self; _ } as s) :: rest ->
+    split_trailing_desc_label (s :: acc) rest
+  | _ -> None
+
+let rec quals_ok v = function
+  | [] -> true
+  | q :: rest -> check_qual v q && quals_ok v rest
+
+let fused_descendant_label frontier dquals l lquals =
+  let acc = ref [] in
+  (* walk the raw child list: no per-node closure, no materialized
+     child-element lists — the walk allocates only for matches *)
+  let rec walk v =
+    let v_ok = quals_ok v dquals in
+    walk_children v_ok (Node.children v)
+  and walk_children v_ok = function
+    | [] -> ()
+    | Node.Element c :: rest ->
+      if v_ok && String.equal (Node.name c) l && quals_ok c lquals then acc := c :: !acc;
+      walk c;
+      walk_children v_ok rest
+    | _ :: rest -> walk_children v_ok rest
+  in
+  List.iter walk frontier;
+  List.rev !acc
+
+let select_general ctx path =
   let result = dedup (select_from [ ctx ] path) in
   (* Child-only paths produce document order by construction; after a
      descendant step, later child steps can emit cousins out of order, so
@@ -75,6 +113,12 @@ let select ctx path =
     List.stable_sort (fun a b -> compare (key a) (key b)) result
   end
   else result
+
+let select ctx path =
+  match split_trailing_desc_label [] path with
+  | Some (prefix, dquals, l, lquals) ->
+    fused_descendant_label (select_from [ ctx ] prefix) dquals l lquals
+  | None -> select_general ctx path
 
 let select_doc root path =
   (* Leading '.' steps qualify the virtual document node; an empty path

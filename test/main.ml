@@ -14,4 +14,5 @@ let () =
       ("service", Test_service.suite);
       ("transport", Test_transport.suite);
     ("update", Test_update.suite);
+      ("repair", Test_repair.suite);
       ("misc", Test_misc.suite) ]

@@ -124,7 +124,7 @@ let test_insert_ordering () =
 
 let run_ok us r =
   match Apply.run us r with
-  | Ok (report, tree) -> (report, tree)
+  | Ok (report, tree) -> (report, Option.map fst tree)
   | Error _ -> Alcotest.fail "unexpected conflict"
 
 let test_snapshot_semantics () =
