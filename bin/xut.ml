@@ -384,7 +384,8 @@ let client_cmd =
        the whole document in a response frame. *)
     let stream_one req =
       match req with
-      | Xut_service.Service.Transform { doc; engine; query } -> begin
+      | Xut_service.Service.Transform { target = Xut_service.Service.Doc doc; engine; query }
+        -> begin
         match
           Xut_transport.Client.transform_stream cli ~doc ~engine ~query ~chunk_size
             (fun chunk -> print_string chunk)
@@ -397,7 +398,8 @@ let client_cmd =
           print_resp other
       end
       | _ ->
-        Printf.eprintf "xut client: --stream applies only to TRANSFORM requests\n";
+        Printf.eprintf
+          "xut client: --stream applies only to document-targeted TRANSFORM requests\n";
         failed := true
     in
     (try
@@ -475,6 +477,10 @@ type bench_row = {
   read_p50_ms : float;  (* client-side read latency; storm mode only *)
   read_p95_ms : float;
   read_max_ms : float;
+  row_view_hits : int;  (* view mode only *)
+  row_composed : int;
+  row_view_inval : int;
+  row_compose_fallbacks : int;
 }
 
 let percentile sorted q =
@@ -494,9 +500,22 @@ let write_target depth =
     ^ String.concat "/"
         (Array.to_list (Array.sub spine_steps 0 (min depth (Array.length spine_steps))))
 
+(* Disjoint XMark subtrees, one delete per view-chain level: deeper
+   levels of one chain never shadow shallower ones, so every level of
+   the composition does real work. *)
+let view_level_updates =
+  [| "site/closed_auctions/closed_auction/annotation";
+     "site/regions//item/mailbox";
+     "site/people/person/watches";
+     "site/open_auctions/open_auction/bidder";
+     "site/categories/category/description";
+     "site/catgraph/edge" |]
+
+let view_user_query = "for $x in site/people/person return $x/name"
+
 let bench_serve_cmd =
   let run doc_opt factor requests domains_list engine query_opt payload stream chunk_size
-      json_opt socket batch docs write_ratio write_depth commit_storm =
+      json_opt socket batch docs write_ratio write_depth commit_storm views chain_depth =
     (* Streaming is a payload-mode variant; batching does not apply (a
        stream is one transform per exchange).  Commit-storm mode is a
        synchronous loop (client-side latency is the point), so it takes
@@ -516,6 +535,12 @@ let bench_serve_cmd =
         (Array.length spine_steps);
       exit 2
     end;
+    if views < 0 || chain_depth < 1 then begin
+      Printf.eprintf "bench-serve: --views must be >= 0 and --chain-depth >= 1\n";
+      exit 2
+    end;
+    (* View mode serves composed answers, which are never streamed. *)
+    let stream = stream && views = 0 in
     (* Every [wperiod]-th unit is a COMMIT instead of a read: with ratio
        R, one write per round(1/R) units. *)
     let wperiod =
@@ -584,10 +609,45 @@ let bench_serve_cmd =
           | Xut_service.Service.Ok _ -> ()
           | Xut_service.Service.Error { message; _ } -> failwith ("bench-serve: " ^ message))
         doc_names;
+      (* --views N --chain-depth D: N independent view chains, each D
+         deep, rooted round-robin over the stored documents; reads are
+         then served against the chain tops through Sec. 4 composition. *)
+      let view_tops = Array.init views (Printf.sprintf "v%d") in
+      for k = 0 to views - 1 do
+        for l = 1 to chain_depth do
+          let name = if l = chain_depth then view_tops.(k) else Printf.sprintf "v%d_%d" k l in
+          let base = if l = 1 then doc_name k else Printf.sprintf "v%d_%d" k (l - 1) in
+          let upd = view_level_updates.((k + l) mod Array.length view_level_updates) in
+          let def =
+            Printf.sprintf {|transform copy $a := doc("%s") modify do delete $a/%s return $a|}
+              base upd
+          in
+          match
+            Xut_service.Service.call svc
+              (Xut_service.Service.Defview { name; query = def })
+          with
+          | Xut_service.Service.Ok _ -> ()
+          | Xut_service.Service.Error { message; _ } -> failwith ("bench-serve: " ^ message)
+        done
+      done;
       Xut_service.Metrics.reset (Xut_service.Service.metrics svc);
+      let view_req i =
+        let target = Xut_service.Service.View view_tops.(i mod views) in
+        if payload then
+          Xut_service.Service.Transform { target; engine; query = view_user_query }
+        else Xut_service.Service.Count { target; engine; query = view_user_query }
+      in
+      let req_i = ref 0 in
       let req doc =
-        if payload then Xut_service.Service.Transform { doc; engine; query }
-        else Xut_service.Service.Count { doc; engine; query }
+        if views > 0 then begin
+          incr req_i;
+          view_req !req_i
+        end
+        else begin
+          let target = Xut_service.Service.Doc doc in
+          if payload then Xut_service.Service.Transform { target; engine; query }
+          else Xut_service.Service.Count { target; engine; query }
+        end
       in
       (* The mixed read/write workload: every [wperiod]-th unit commits,
          alternating an insert of a marker element (under the document
@@ -762,6 +822,10 @@ let bench_serve_cmd =
       let fallbacks = Xut_service.Metrics.repair_fallbacks m in
       let recomputed = Xut_service.Metrics.repair_recomputed_nodes m in
       let reused = Xut_service.Metrics.repair_reused_nodes m in
+      let view_hits = Xut_service.Metrics.view_hits m in
+      let composed = Xut_service.Metrics.composed_plans m in
+      let view_inval = Xut_service.Metrics.view_invalidations m in
+      let compose_fb = Xut_service.Metrics.compose_fallbacks m in
       let cs = Xut_service.Service.cache_stats svc in
       Xut_service.Service.shutdown svc;
       if errors > 0 then failwith (Printf.sprintf "bench-serve: %d errors" errors);
@@ -787,6 +851,11 @@ let bench_serve_cmd =
           "         storm: reads=%d read_p50_ms=%.3f read_p95_ms=%.3f read_max_ms=%.3f\n%!"
           (Array.length lat) (percentile lat 0.50) (percentile lat 0.95)
           (percentile lat 1.0);
+      if views > 0 then
+        Printf.printf
+          "         views: n=%d depth=%d view_hits=%d composed_plans=%d \
+           view_invalidations=%d compose_fallbacks=%d\n%!"
+          views chain_depth view_hits composed view_inval compose_fb;
       {
         rps;
         mb_s;
@@ -794,6 +863,10 @@ let bench_serve_cmd =
         row_commits = commits;
         row_repairs = repairs;
         row_fallbacks = fallbacks;
+        row_view_hits = view_hits;
+        row_composed = composed;
+        row_view_inval = view_inval;
+        row_compose_fallbacks = compose_fb;
         read_p50_ms = percentile lat 0.50;
         read_p95_ms = percentile lat 0.95;
         read_max_ms = percentile lat 1.0;
@@ -826,6 +899,8 @@ let bench_serve_cmd =
           Printf.fprintf oc "  \"write_ratio\": %g,\n" write_ratio;
           Printf.fprintf oc "  \"write_depth\": %d,\n" write_depth;
           Printf.fprintf oc "  \"commit_storm\": %b,\n" commit_storm;
+          Printf.fprintf oc "  \"views\": %d,\n" views;
+          Printf.fprintf oc "  \"chain_depth\": %d,\n" chain_depth;
           Printf.fprintf oc "  \"rows\": [\n";
           List.iteri
             (fun i (d, off, on) ->
@@ -840,14 +915,28 @@ let bench_serve_cmd =
                 d off.rps on.rps off.mb_s on.mb_s off.kw_req on.kw_req off.row_commits
                 on.row_commits off.row_repairs on.row_repairs off.row_fallbacks
                 on.row_fallbacks
-                (if commit_storm then
-                   Printf.sprintf
-                     ", \"read_p50_ms_cache_off\": %.3f, \"read_p95_ms_cache_off\": %.3f, \
-                      \"read_max_ms_cache_off\": %.3f, \"read_p50_ms_cache_on\": %.3f, \
-                      \"read_p95_ms_cache_on\": %.3f, \"read_max_ms_cache_on\": %.3f"
-                     off.read_p50_ms off.read_p95_ms off.read_max_ms on.read_p50_ms
-                     on.read_p95_ms on.read_max_ms
-                 else "")
+                (String.concat ""
+                   [
+                     (if commit_storm then
+                        Printf.sprintf
+                          ", \"read_p50_ms_cache_off\": %.3f, \"read_p95_ms_cache_off\": %.3f, \
+                           \"read_max_ms_cache_off\": %.3f, \"read_p50_ms_cache_on\": %.3f, \
+                           \"read_p95_ms_cache_on\": %.3f, \"read_max_ms_cache_on\": %.3f"
+                          off.read_p50_ms off.read_p95_ms off.read_max_ms on.read_p50_ms
+                          on.read_p95_ms on.read_max_ms
+                      else "");
+                     (if views > 0 then
+                        Printf.sprintf
+                          ", \"view_hits_cache_off\": %d, \"view_hits_cache_on\": %d, \
+                           \"composed_plans_cache_off\": %d, \"composed_plans_cache_on\": %d, \
+                           \"view_invalidations_cache_off\": %d, \
+                           \"view_invalidations_cache_on\": %d, \
+                           \"compose_fallbacks_cache_off\": %d, \"compose_fallbacks_cache_on\": %d"
+                          off.row_view_hits on.row_view_hits off.row_composed on.row_composed
+                          off.row_view_inval on.row_view_inval off.row_compose_fallbacks
+                          on.row_compose_fallbacks
+                      else "");
+                   ])
                 (if i = List.length results - 1 then "" else ","))
             results;
           Printf.fprintf oc "  ]\n}\n");
@@ -947,6 +1036,22 @@ let bench_serve_cmd =
                    latency and reports p50/p95/max, measuring read tail latency under \
                    sustained commits.  Ignores --stream and --batch.")
   in
+  let views =
+    Arg.(value & opt int 0
+         & info [ "views" ] ~docv:"N"
+             ~doc:"Serve reads through N stored-view chains (DEFVIEW) over the loaded \
+                   documents instead of querying the documents directly; reads round-robin \
+                   TRANSFORM/COUNT VIEW over the chain tops and run through Sec. 4 \
+                   composition.  Writes (with --write-ratio) still COMMIT the base \
+                   documents, exercising the view-dependency invalidation graph.  Ignores \
+                   --stream.")
+  in
+  let chain_depth =
+    Arg.(value & opt int 2
+         & info [ "chain-depth" ] ~docv:"D"
+             ~doc:"Depth of each view chain with --views: level 1 is defined over a base \
+                   document, each further level over the previous view (default 2).")
+  in
   let bench_engine =
     let parse s =
       match Engine.of_string s with
@@ -966,7 +1071,7 @@ let bench_serve_cmd =
     Term.(
       const run $ doc_opt $ factor $ requests $ domains_list $ bench_engine $ query_opt
       $ payload $ stream $ chunk_size $ json_opt $ socket $ batch $ docs $ write_ratio
-      $ write_depth $ commit_storm)
+      $ write_depth $ commit_storm $ views $ chain_depth)
 
 let main =
   let info = Cmd.info "xut" ~version:"1.0.0" ~doc:"Querying XML with update syntax (SIGMOD 2007)." in

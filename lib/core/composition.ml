@@ -3,10 +3,21 @@ open Xut_xpath
 open Xut_automata
 open Xut_xquery
 
+(* A composed plan separates the shareable compile-time product (the
+   expression and the pure data the natives need) from per-evaluation
+   runtime state (state tables, transform memos).  [make] instantiates
+   fresh native closures for one evaluation, so a composed plan cached
+   across service requests can be evaluated concurrently on several
+   domains without sharing mutable tables. *)
 type composed = {
   expr : Xq_ast.expr;
-  natives : (string * (Xq_value.t list -> Xq_value.t)) list;
+  make : Top_down.checkp option -> (string * (Xq_value.t list -> Xq_value.t)) list;
+  native_count : int;
 }
+
+let expr c = c.expr
+let native_count c = c.native_count
+let natives c = c.make None
 
 (* ---------------- static simulation (delta', Section 4) ---------------- *)
 
@@ -117,6 +128,35 @@ and qual_affected nfa update s (q : Ast.qual) =
       true
     | _ -> path_affected nfa update s spath)
 
+(* Do the where/return clauses of [uq] see different data on Qt(T) for a
+   binding holding state set [s] of the update's NFA? *)
+let output_affected nfa update (uq : User_query.t) s =
+  let operand_affected = function
+    | User_query.Const _ -> false
+    | User_query.Rel (p, _) -> (
+      match update, p with
+      | (Transform_ast.Insert _ | Transform_ast.Insert_first _), _ :: _
+        when Selecting_nfa.accepts_set nfa s ->
+        true
+      | _ -> path_affected nfa update s p)
+  in
+  List.exists
+    (fun { User_query.left; right; _ } -> operand_affected left || operand_affected right)
+    uq.User_query.conds
+  ||
+  let rec hole_affected = function
+    | User_query.T_elem (_, _, cs) -> List.exists hole_affected cs
+    | User_query.T_text _ -> false
+    | User_query.T_hole ([], None) -> subtree_affected nfa update s
+    | User_query.T_hole (p, attr) -> (
+      match update, p with
+      | Transform_ast.Insert _, _ :: _ when Selecting_nfa.accepts_set nfa s -> true
+      | _ ->
+        path_affected nfa update s p
+        || (attr = None && subtree_affected nfa update (end_set nfa s p)))
+  in
+  hole_affected uq.User_query.template
+
 (* ---------------- runtime navigation (the nav natives) ---------------- *)
 
 (* The nav natives walk the original tree running the selecting NFA with
@@ -131,6 +171,10 @@ and qual_affected nfa update s (q : Ast.qual) =
 type runtime = {
   nfa : Selecting_nfa.t;
   update : Transform_ast.update;
+  (* O(1) qualifier oracle over the base tree (a memoized TD-BU
+     annotation table), when the caller has one.  Only ever consulted on
+     nodes of the original stored tree. *)
+  oracle : Top_down.checkp option;
   state_tbl : (int, Selecting_nfa.set) Hashtbl.t;
   (* transforming the same node twice must yield the same physical
      result, so that duplicate bindings reached along different '//'
@@ -138,13 +182,16 @@ type runtime = {
   transform_memo : (int, Node.t list) Hashtbl.t;
 }
 
-let checkp_direct rt s n = Eval.check_qual n (Selecting_nfa.state_qual rt.nfa s)
+let checkp_direct rt s n =
+  match rt.oracle with
+  | Some f -> f s n
+  | None -> Eval.check_qual n (Selecting_nfa.state_qual rt.nfa s)
 
 let transformed_view rt states e =
   match Hashtbl.find_opt rt.transform_memo (Node.id e) with
   | Some ts -> ts
   | None ->
-    let ts = Top_down.transform_at rt.nfa rt.update ~states e in
+    let ts = Top_down.transform_at ?checkp:rt.oracle rt.nfa rt.update ~states e in
     Hashtbl.replace rt.transform_memo (Node.id e) ts;
     ts
 
@@ -421,6 +468,67 @@ let pipe_chunks rt (chunks : chunk list) (start_states : Selecting_nfa.set optio
   in
   walk (Selecting_nfa.start unfa) start_states root_children
 
+(* What a native does, as pure data: instantiating a fresh runtime per
+   evaluation rebuilds the closures from these specs, with names fixed at
+   compose time (they are burned into the expression). *)
+type spec =
+  | Nav of chunk * anchor_source
+  | Pipe of chunk list * anchor_source
+  | Fin of anchor_source
+
+let native_of_spec rt name = function
+  | Nav (chunk, src) -> (
+    function
+    | [ [ anchor ] ] -> nav_chunk rt chunk ~src anchor
+    | [ [] ] -> []
+    | _ -> raise (Xq_value.Type_error (name ^ ": expected a single node")))
+  | Pipe (chunks, src) -> (
+    function
+    | [ [ anchor ] ] ->
+      let out = ref [] in
+      let emit n = out := Xq_value.N n :: !out in
+      (match anchor with
+      | Xq_value.D root ->
+        pipe_chunks rt chunks
+          (Some (Selecting_nfa.start rt.nfa))
+          [ Node.Element root ] emit
+      | Xq_value.N (Node.Element e) ->
+        let states =
+          match src with
+          | Src_hint s ->
+            let alive =
+              Selecting_nfa.set_of_list rt.nfa
+                (Selecting_nfa.set_fold
+                   (fun st acc ->
+                     if
+                       Selecting_nfa.consistent_at_sym rt.nfa st (Node.sym e)
+                       && ((not (Selecting_nfa.has_qual rt.nfa st)) || checkp_direct rt st e)
+                     then st :: acc
+                     else acc)
+                   s [])
+            in
+            if Selecting_nfa.set_is_empty alive then None else Some alive
+          | Src_table -> Hashtbl.find_opt rt.state_tbl (Node.id e)
+        in
+        pipe_chunks rt chunks states (Node.children e) emit
+      | _ -> raise (Xq_value.Type_error (name ^ ": expected a node")));
+      List.rev !out
+    | [ [] ] -> []
+    | _ -> raise (Xq_value.Type_error (name ^ ": expected a single node")))
+  | Fin src -> (
+    function
+    | [ [ Xq_value.N (Node.Element e) ] ] -> (
+      let states =
+        match src with
+        | Src_hint s -> Some s
+        | Src_table -> Hashtbl.find_opt rt.state_tbl (Node.id e)
+      in
+      match states with
+      | Some s -> List.map (fun n -> Xq_value.N n) (transformed_view rt s e)
+      | None -> [ Xq_value.N (Node.Element e) ])
+    | [ v ] -> v
+    | _ -> raise (Xq_value.Type_error (name ^ ": expected a single node")))
+
 (* ---------------- composition ---------------- *)
 
 let fresh_var =
@@ -429,243 +537,446 @@ let fresh_var =
     incr n;
     Printf.sprintf "%s%d" prefix !n
 
-let compose update (uq : User_query.t) : (composed, string) result =
+(* The update-side fragment checks, shared with view definition time:
+   an update composes iff its path is nonempty, carries no context
+   qualifier, and does not select the document element itself. *)
+let check_update update =
   match update with
   | Transform_ast.Insert _ | Transform_ast.Insert_first _ | Transform_ast.Delete _
-  | Transform_ast.Replace _ | Transform_ast.Rename _ -> (
+  | Transform_ast.Replace _ | Transform_ast.Rename _ ->
     let upath = Transform_ast.path update in
+    (* a prefix of Self steps followed by exactly one child step can only ever
+       select the document element, whatever the document: rejectable
+       statically even under late binding of the base *)
+    let rec root_only = function
+      | [] -> false
+      | { Ast.nav = Ast.Self; _ } :: rest -> root_only rest
+      | [ { Ast.nav = Ast.Label _ | Ast.Wildcard; _ } ] -> true
+      | _ -> false
+    in
     if upath = [] then Error "empty update path"
+    else if root_only upath then Error "update can only select the document element"
     else
       let nfa = Selecting_nfa.of_path upath in
       if Selecting_nfa.ctx_qual nfa <> Ast.Q_true then
         Error "context qualifier in the update path"
       else if Selecting_nfa.selects_context nfa then Error "update selects the document element"
-      else
-        match chunkify (Norm.steps uq.User_query.source) with
-        | Error e -> Error e
-        | Ok chunks ->
-          let rt =
-            { nfa; update; state_tbl = Hashtbl.create 256; transform_memo = Hashtbl.create 256 }
-          in
-          let natives = ref [] in
-          let register name f =
-            natives := (name, f) :: !natives;
-            name
-          in
-          let register_nav chunk ~src =
-            let name = fresh_var "xut:nav" in
-            register name (function
-              | [ [ anchor ] ] -> nav_chunk rt chunk ~src anchor
-              | [ [] ] -> []
-              | _ -> raise (Xq_value.Type_error (name ^ ": expected a single node")))
-          in
-          let register_pipe chunks ~src =
-            let name = fresh_var "xut:pipe" in
-            register name (function
-              | [ [ anchor ] ] ->
-                let out = ref [] in
-                let emit n = out := Xq_value.N n :: !out in
-                (match anchor with
-                | Xq_value.D root ->
-                  pipe_chunks rt chunks
-                    (Some (Selecting_nfa.start nfa))
-                    [ Node.Element root ] emit
-                | Xq_value.N (Node.Element e) ->
-                  let states =
-                    match src with
-                    | Src_hint s ->
-                      let alive =
-                        Selecting_nfa.set_of_list nfa
-                          (Selecting_nfa.set_fold
-                             (fun st acc ->
-                               if
-                                 Selecting_nfa.consistent_at_sym nfa st (Node.sym e)
-                                 && ((not (Selecting_nfa.has_qual nfa st)) || checkp_direct rt st e)
-                               then st :: acc
-                               else acc)
-                             s [])
-                      in
-                      if Selecting_nfa.set_is_empty alive then None else Some alive
-                    | Src_table -> Hashtbl.find_opt rt.state_tbl (Node.id e)
-                  in
-                  pipe_chunks rt chunks states (Node.children e) emit
-                | _ -> raise (Xq_value.Type_error (name ^ ": expected a node")));
-                List.rev !out
-              | [ [] ] -> []
-              | _ -> raise (Xq_value.Type_error (name ^ ": expected a single node")))
-          in
-          let register_fin ~src =
-            let name = fresh_var "xut:fin" in
-            register name (function
-              | [ [ Xq_value.N (Node.Element e) ] ] -> (
-                let states =
-                  match src with
-                  | Src_hint s -> Some s
-                  | Src_table -> Hashtbl.find_opt rt.state_tbl (Node.id e)
-                in
-                match states with
-                | Some s -> List.map (fun n -> Xq_value.N n) (transformed_view rt s e)
-                | None -> [ Xq_value.N (Node.Element e) ])
-              | [ v ] -> v
-              | _ -> raise (Xq_value.Type_error (name ^ ": expected a single node")))
-          in
-          (* do the where/return clauses see different data on Qt(T) for a
-             binding holding state set [s]? *)
-          let output_affected s =
-            let operand_affected = function
-              | User_query.Const _ -> false
-              | User_query.Rel (p, _) -> (
-                match update, p with
-                | (Transform_ast.Insert _ | Transform_ast.Insert_first _), _ :: _
-                  when Selecting_nfa.accepts_set nfa s ->
-                  true
-                | _ -> path_affected nfa update s p)
-            in
-            List.exists
-              (fun { User_query.left; right; _ } -> operand_affected left || operand_affected right)
-              uq.User_query.conds
-            ||
-            let rec hole_affected = function
-              | User_query.T_elem (_, _, cs) -> List.exists hole_affected cs
-              | User_query.T_text _ -> false
-              | User_query.T_hole ([], None) -> subtree_affected nfa update s
-              | User_query.T_hole (p, attr) -> (
-                match update, p with
-                | Transform_ast.Insert _, _ :: _ when Selecting_nfa.accepts_set nfa s -> true
-                | _ ->
-                  path_affected nfa update s p
-                  || (attr = None && subtree_affected nfa update (end_set nfa s p)))
-            in
-            hole_affected uq.User_query.template
-          in
-          (* does anything from this point on require the exact state
-             machinery (look-ahead over the remaining chunks)? *)
-          (* with a relabeling update, any matched node at the binding
-             position can gain or lose the chunk's label: the static
-             label transition is blind to it, so widen to any-label *)
-          let matched_possible s (chunk : chunk) =
-            relabels update
-            && Selecting_nfa.accepts_set nfa
-                 (Selecting_nfa.next_on_any_set nfa
-                    (if chunk.desc then Selecting_nfa.next_on_desc_set nfa s else s))
-          in
-          let rec downstream_need s = function
-            | [] -> output_affected s
-            | (chunk : chunk) :: rest ->
-              let si = step_sim nfa s chunk in
+      else Ok nfa
+
+let where_of_conds xvar (conds : User_query.cond list) =
+  let mapped =
+    List.map
+      (fun ({ User_query.left; op; right } : User_query.cond) ->
+        Xq_ast.Cmp
+          ( User_query.cmp_to_xq op,
+            User_query.operand_to_expr xvar left,
+            User_query.operand_to_expr xvar right ))
+      conds
+  in
+  match mapped with
+  | [] -> None
+  | w :: ws -> Some (List.fold_left (fun acc c -> Xq_ast.And (acc, c)) w ws)
+
+let compose update (uq : User_query.t) : (composed, string) result =
+  match check_update update with
+  | Error e -> Error e
+  | Ok nfa -> (
+    match chunkify (Norm.steps uq.User_query.source) with
+    | Error e -> Error e
+    | Ok chunks ->
+      let specs = ref [] in
+      let register name spec =
+        specs := (name, spec) :: !specs;
+        name
+      in
+      let register_nav chunk ~src = register (fresh_var "xut:nav") (Nav (chunk, src)) in
+      let register_pipe chunks ~src = register (fresh_var "xut:pipe") (Pipe (chunks, src)) in
+      let register_fin ~src = register (fresh_var "xut:fin") (Fin src) in
+      let output_affected = output_affected nfa update uq in
+      (* does anything from this point on require the exact state
+         machinery (look-ahead over the remaining chunks)? *)
+      (* with a relabeling update, any matched node at the binding
+         position can gain or lose the chunk's label: the static
+         label transition is blind to it, so widen to any-label *)
+      let matched_possible s (chunk : chunk) =
+        relabels update
+        && Selecting_nfa.accepts_set nfa
+             (Selecting_nfa.next_on_any_set nfa
+                (if chunk.desc then Selecting_nfa.next_on_desc_set nfa s else s))
+      in
+      let rec downstream_need s = function
+        | [] -> output_affected s
+        | (chunk : chunk) :: rest ->
+          let si = step_sim nfa s chunk in
+          Selecting_nfa.accepts_set nfa si
+          || (chunk.desc && Selecting_nfa.accepts_set nfa (below nfa s))
+          || List.exists (qual_affected nfa update si) chunk.quals
+          || matched_possible s chunk
+          || downstream_need si rest
+      in
+      let clauses = ref [] in
+      let add_clause c = clauses := c :: !clauses in
+      (* Emission modes: [Dead] — provably untouched, plain XQuery;
+         [Hint s] — untouched so far, static sets still exact;
+         [Tracked s] — a native ran upstream, sets live in the table. *)
+      let plain_chunk prev chunk =
+        let v = fresh_var "y" in
+        add_clause
+          (Xq_ast.For (v, Xq_ast.Path (Xq_ast.Var prev, chunk_path chunk ~quals:chunk.quals)));
+        v
+      in
+      let native_chunk prev chunk ~src =
+        let v = fresh_var "y" in
+        add_clause (Xq_ast.For (v, Xq_ast.Call (register_nav chunk ~src, [ Xq_ast.Var prev ])));
+        v
+      in
+      (* remaining chunks as one plain path expression: a single path
+         keeps set semantics and document order for free *)
+      let plain_rest prev chunks =
+        let path = List.concat_map (fun c -> chunk_path c ~quals:c.quals) chunks in
+        let v = fresh_var "y" in
+        add_clause (Xq_ast.For (v, Xq_ast.Path (Xq_ast.Var prev, path)));
+        v
+      in
+      let rec emit prev mode chunks =
+        match chunks with
+        | [] -> (prev, mode)
+        | chunk :: rest -> (
+          match mode with
+          | `Dead -> (plain_rest prev (chunk :: rest), `Dead)
+          | `Hint s | `Tracked s -> (
+            let si = step_sim nfa s chunk in
+            let acts =
               Selecting_nfa.accepts_set nfa si
               || (chunk.desc && Selecting_nfa.accepts_set nfa (below nfa s))
               || List.exists (qual_affected nfa update si) chunk.quals
               || matched_possible s chunk
-              || downstream_need si rest
-          in
-          let clauses = ref [] in
-          let add_clause c = clauses := c :: !clauses in
-          (* Emission modes: [Dead] — provably untouched, plain XQuery;
-             [Hint s] — untouched so far, static sets still exact;
-             [Tracked s] — a native ran upstream, sets live in the table. *)
-          let plain_chunk prev chunk =
-            let v = fresh_var "y" in
-            add_clause
-              (Xq_ast.For (v, Xq_ast.Path (Xq_ast.Var prev, chunk_path chunk ~quals:chunk.quals)));
-            v
-          in
-          let native_chunk prev chunk ~src =
-            let v = fresh_var "y" in
-            add_clause (Xq_ast.For (v, Xq_ast.Call (register_nav chunk ~src, [ Xq_ast.Var prev ])));
-            v
-          in
-          (* remaining chunks as one plain path expression: a single path
-             keeps set semantics and document order for free *)
-          let plain_rest prev chunks =
-            let path = List.concat_map (fun c -> chunk_path c ~quals:c.quals) chunks in
-            let v = fresh_var "y" in
-            add_clause (Xq_ast.For (v, Xq_ast.Path (Xq_ast.Var prev, path)));
-            v
-          in
-          let rec emit prev mode chunks =
-            match chunks with
-            | [] -> (prev, mode)
-            | chunk :: rest -> (
-              match mode with
-              | `Dead -> (plain_rest prev (chunk :: rest), `Dead)
-              | `Hint s | `Tracked s -> (
-                let si = step_sim nfa s chunk in
-                let acts =
-                  Selecting_nfa.accepts_set nfa si
-                  || (chunk.desc && Selecting_nfa.accepts_set nfa (below nfa s))
-                  || List.exists (qual_affected nfa update si) chunk.quals
-                  || matched_possible s chunk
-                in
-                let need_rest = downstream_need si rest in
-                let src = match mode with `Hint s -> Src_hint s | _ -> Src_table in
-                if chunk.desc && rest <> [] && (acts || need_rest) then begin
-                  (* '//' followed by more steps: single product walk *)
-                  let v = fresh_var "y" in
-                  add_clause
-                    (Xq_ast.For
-                       (v, Xq_ast.Call (register_pipe (chunk :: rest) ~src, [ Xq_ast.Var prev ])));
-                  let s_end = List.fold_left (step_sim nfa) s (chunk :: rest) in
-                  (v, `Tracked s_end)
-                end
-                else
-                  match mode with
-                  | `Hint _ ->
-                    if acts then
-                      emit (native_chunk prev chunk ~src:(Src_hint s)) (`Tracked si) rest
-                    else if need_rest then
-                      if (not chunk.desc) && chunk.nav <> Norm.N_wild then
-                        (* a label step keeps static sets exact *)
-                        emit (plain_chunk prev chunk) (`Hint si) rest
-                      else emit (native_chunk prev chunk ~src:(Src_hint s)) (`Tracked si) rest
-                    else (plain_rest prev (chunk :: rest), `Dead)
-                  | `Tracked _ ->
-                    if acts || need_rest then
-                      emit (native_chunk prev chunk ~src:Src_table) (`Tracked si) rest
-                    else (plain_rest prev (chunk :: rest), `Dead)
-                  | `Dead -> assert false))
-          in
-          let doc_var = fresh_var "d" in
-          add_clause (Xq_ast.LetC (doc_var, Xq_ast.Context));
-          let xvar, final_mode =
-            emit doc_var (`Hint (Selecting_nfa.start nfa)) chunks
-          in
-          let xvar =
-            match final_mode with
-            | `Dead -> xvar
-            | `Hint s | `Tracked s ->
-              if output_affected s then begin
-                let src = match final_mode with `Hint s -> Src_hint s | _ -> Src_table in
-                let t = fresh_var "xt" in
-                add_clause (Xq_ast.For (t, Xq_ast.Call (register_fin ~src, [ Xq_ast.Var xvar ])));
-                t
-              end
-              else xvar
-          in
-          let where =
-            let conds =
-              List.map
-                (fun ({ User_query.left; op; right } : User_query.cond) ->
-                  Xq_ast.Cmp
-                    ( User_query.cmp_to_xq op,
-                      User_query.operand_to_expr xvar left,
-                      User_query.operand_to_expr xvar right ))
-                uq.User_query.conds
             in
-            match conds with
-            | [] -> None
-            | w :: ws -> Some (List.fold_left (fun acc c -> Xq_ast.And (acc, c)) w ws)
-          in
-          let ret = User_query.template_to_expr xvar uq.User_query.template in
-          let expr = Xq_ast.Flwor (List.rev !clauses, where, ret) in
-          Ok { expr; natives = !natives })
+            let need_rest = downstream_need si rest in
+            let src = match mode with `Hint s -> Src_hint s | _ -> Src_table in
+            if chunk.desc && rest <> [] && (acts || need_rest) then begin
+              (* '//' followed by more steps: single product walk *)
+              let v = fresh_var "y" in
+              add_clause
+                (Xq_ast.For
+                   (v, Xq_ast.Call (register_pipe (chunk :: rest) ~src, [ Xq_ast.Var prev ])));
+              let s_end = List.fold_left (step_sim nfa) s (chunk :: rest) in
+              (v, `Tracked s_end)
+            end
+            else
+              match mode with
+              | `Hint _ ->
+                if acts then
+                  emit (native_chunk prev chunk ~src:(Src_hint s)) (`Tracked si) rest
+                else if need_rest then
+                  if (not chunk.desc) && chunk.nav <> Norm.N_wild then
+                    (* a label step keeps static sets exact *)
+                    emit (plain_chunk prev chunk) (`Hint si) rest
+                  else emit (native_chunk prev chunk ~src:(Src_hint s)) (`Tracked si) rest
+                else (plain_rest prev (chunk :: rest), `Dead)
+              | `Tracked _ ->
+                if acts || need_rest then
+                  emit (native_chunk prev chunk ~src:Src_table) (`Tracked si) rest
+                else (plain_rest prev (chunk :: rest), `Dead)
+              | `Dead -> assert false))
+      in
+      let doc_var = fresh_var "d" in
+      add_clause (Xq_ast.LetC (doc_var, Xq_ast.Context));
+      let xvar, final_mode =
+        emit doc_var (`Hint (Selecting_nfa.start nfa)) chunks
+      in
+      let xvar =
+        match final_mode with
+        | `Dead -> xvar
+        | `Hint s | `Tracked s ->
+          if output_affected s then begin
+            let src = match final_mode with `Hint s -> Src_hint s | _ -> Src_table in
+            let t = fresh_var "xt" in
+            add_clause (Xq_ast.For (t, Xq_ast.Call (register_fin ~src, [ Xq_ast.Var xvar ])));
+            t
+          end
+          else xvar
+      in
+      let where = where_of_conds xvar uq.User_query.conds in
+      let ret = User_query.template_to_expr xvar uq.User_query.template in
+      let expr = Xq_ast.Flwor (List.rev !clauses, where, ret) in
+      let specs = !specs in
+      let make oracle =
+        let rt =
+          {
+            nfa;
+            update;
+            oracle;
+            state_tbl = Hashtbl.create 64;
+            transform_memo = Hashtbl.create 64;
+          }
+        in
+        List.map (fun (name, sp) -> (name, native_of_spec rt name sp)) specs
+      in
+      Ok { expr; make; native_count = List.length specs })
 
-let run_composed c ~doc =
-  let env = Xq_eval.env ~context:doc ~natives:c.natives () in
+(* ---------------- stack composition (view chains, Section 4 iterated) ----------------
+
+   A chain of stored views V_n = u_n(...u_1(T)...) composes with a user
+   query by running ONE product walk over the base tree T that maintains,
+   simultaneously, the exact state set of every level's selecting NFA and
+   of the user source NFA.  The invariant making the static transitions
+   sound: on the path from the root to the current node no level has
+   matched, so every intermediate view preserves the node's label and
+   identity, and level i's set is exact over V_{i-1}.  The first level
+   that matches at a node resolves the whole subtree: the node's image
+   through the remaining levels is materialized (topDown per level, each
+   over the previous level's output, where direct qualifier checks are
+   exact) and the user NFA finishes over the constant result.  Where no
+   level matches, qualifiers and output paths that some level could
+   affect are answered from a memoized through-view of the node. *)
+
+type level = { lnfa : Selecting_nfa.t; lupd : Transform_ast.update }
+
+type stack_rt = {
+  levels : level array;  (* innermost (applied first) at index 0 *)
+  sunfa : Selecting_nfa.t;  (* the user source path's NFA *)
+  suq : User_query.t;
+  (* (node id, prefix length) -> the node's image through that many
+     levels; fresh per evaluation *)
+  views : (int * int, Node.t list) Hashtbl.t;
+  soracle : Top_down.checkp option;  (* level-0 oracle over the base tree *)
+}
+
+let stack_walk rt (root : Node.element) : Xq_value.t =
+  let n = Array.length rt.levels in
+  let unfa = rt.sunfa in
+  let out = ref [] in
+  let emit nd = out := Xq_value.N nd :: !out in
+  (* level [j]'s topDown over a node of V_{j-1}; only level 0 walks base
+     nodes, so only it may consult the annotation oracle *)
+  let transform_level j states e =
+    let { lnfa; lupd } = rt.levels.(j) in
+    if j = 0 then Top_down.transform_at ?checkp:rt.soracle lnfa lupd ~states e
+    else Top_down.transform_at lnfa lupd ~states e
+  in
+  (* the V_{upto-1} image of [ce], given no level below [upto] matches at
+     it (one element: labels and identity preserved level by level) *)
+  let rec through_view (ls : Selecting_nfa.set array) ce upto =
+    if upto = 0 then [ Node.Element ce ]
+    else begin
+      let key = (Node.id ce, upto) in
+      match Hashtbl.find_opt rt.views key with
+      | Some f -> f
+      | None ->
+        let f =
+          match through_view ls ce (upto - 1) with
+          | [ Node.Element e' ] -> transform_level (upto - 1) ls.(upto - 1) e'
+          | other -> other
+        in
+        Hashtbl.replace rt.views key f;
+        f
+    end
+  in
+  (* user NFA over constant (fully materialized) content *)
+  let rec user_const uc (e : Node.element) =
+    List.iter
+      (fun child ->
+        match child with
+        | Node.Element ce ->
+          let uc' =
+            Selecting_nfa.next unfa
+              ~checkp:(fun s -> Eval.check_qual ce (Selecting_nfa.state_qual unfa s))
+              uc (Node.sym ce)
+          in
+          if Selecting_nfa.accepts_set unfa uc' then emit (Node.Element ce);
+          if not (Selecting_nfa.set_is_empty uc') then user_const uc' ce
+        | Node.Text _ | Node.Comment _ | Node.Pi _ -> ())
+      (Node.children e)
+  in
+  (* transition the user NFA INTO a materialized forest root *)
+  let user_enter_const uc nd =
+    match nd with
+    | Node.Element te ->
+      let uct =
+        Selecting_nfa.next unfa
+          ~checkp:(fun s -> Eval.check_qual te (Selecting_nfa.state_qual unfa s))
+          uc (Node.sym te)
+      in
+      if Selecting_nfa.accepts_set unfa uct then emit nd;
+      if not (Selecting_nfa.set_is_empty uct) then user_const uct te
+    | Node.Text _ | Node.Comment _ | Node.Pi _ -> ()
+  in
+  (* resolve level [j] over a materialized forest standing where the
+     current node stood ([pls] = the parent's level-j set); the forest is
+     V_{j-1} content, so direct qualifier checks are exact *)
+  let resolve_level j pls f =
+    List.concat_map
+      (fun nd ->
+        match nd with
+        | Node.Element te ->
+          let { lnfa; lupd = _ } = rt.levels.(j) in
+          let s =
+            Selecting_nfa.next lnfa
+              ~checkp:(fun st -> Eval.check_qual te (Selecting_nfa.state_qual lnfa st))
+              pls (Node.sym te)
+          in
+          transform_level j s te
+        | other -> [ other ])
+      f
+  in
+  let rec visit (us : Selecting_nfa.set) (ls : Selecting_nfa.set array) (ce : Node.element) =
+    (* transition every level innermost-first; the first match resolves
+       the subtree *)
+    let ls' = Array.copy ls in
+    let matched = ref (-1) in
+    (try
+       for i = 0 to n - 1 do
+         let { lnfa; lupd = _ } = rt.levels.(i) in
+         let checkp st =
+           let q = Selecting_nfa.state_qual lnfa st in
+           if q = Ast.Q_true then true
+           else begin
+             let affected = ref false in
+             for j = 0 to i - 1 do
+               if
+                 (not !affected)
+                 && qual_affected rt.levels.(j).lnfa rt.levels.(j).lupd ls'.(j) q
+               then affected := true
+             done;
+             if !affected then
+               match through_view ls' ce i with
+               | [ Node.Element t ] -> Eval.check_qual t q
+               | _ -> false
+             else if i = 0 then
+               match rt.soracle with Some f -> f st ce | None -> Eval.check_qual ce q
+             else Eval.check_qual ce q
+           end
+         in
+         let si = Selecting_nfa.next lnfa ~checkp ls.(i) (Node.sym ce) in
+         ls'.(i) <- si;
+         if Selecting_nfa.accepts_set lnfa si then begin
+           matched := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !matched >= 0 then begin
+      let i = !matched in
+      (* materialize through the whole stack and finish with the user
+         NFA alone *)
+      let f0 =
+        match through_view ls' ce i with
+        | [ Node.Element e' ] -> transform_level i ls'.(i) e'
+        | other -> other
+      in
+      let rec outer j f = if j >= n then f else outer (j + 1) (resolve_level j ls.(j) f) in
+      List.iter (user_enter_const us) (outer (i + 1) f0)
+    end
+    else begin
+      (* unmatched everywhere: the node survives with its label; user
+         qualifiers some level could affect are answered on its view *)
+      let user_checkp st =
+        let q = Selecting_nfa.state_qual unfa st in
+        if q = Ast.Q_true then true
+        else begin
+          let affected = ref false in
+          for j = 0 to n - 1 do
+            if
+              (not !affected) && qual_affected rt.levels.(j).lnfa rt.levels.(j).lupd ls'.(j) q
+            then affected := true
+          done;
+          if !affected then
+            match through_view ls' ce n with
+            | [ Node.Element t ] -> Eval.check_qual t q
+            | _ -> false
+          else Eval.check_qual ce q
+        end
+      in
+      let uc = Selecting_nfa.next unfa ~checkp:user_checkp us (Node.sym ce) in
+      if Selecting_nfa.accepts_set unfa uc then begin
+        let needs_view =
+          let rec any j =
+            j < n
+            && (output_affected rt.levels.(j).lnfa rt.levels.(j).lupd rt.suq ls'.(j)
+               || any (j + 1))
+          in
+          any 0
+        in
+        if needs_view then
+          match through_view ls' ce n with
+          | [ Node.Element t ] -> emit (Node.Element t)
+          | _ -> ()
+        else emit (Node.Element ce)
+      end;
+      if not (Selecting_nfa.set_is_empty uc) then
+        List.iter
+          (fun ch -> match ch with Node.Element che -> visit uc ls' che | _ -> ())
+          (Node.children ce)
+    end
+  in
+  visit (Selecting_nfa.start unfa)
+    (Array.init n (fun i -> Selecting_nfa.start rt.levels.(i).lnfa))
+    root;
+  List.rev !out
+
+let compose_stack updates (uq : User_query.t) : (composed, string) result =
+  match updates with
+  | [] ->
+    (* empty chain: the user query unchanged *)
+    Ok { expr = User_query.to_expr uq; make = (fun _ -> []); native_count = 0 }
+  | [ u ] -> compose u uq
+  | _ -> (
+    let rec build acc = function
+      | [] -> Ok (List.rev acc)
+      | u :: rest -> (
+        match check_update u with
+        | Ok nfa -> build ({ lnfa = nfa; lupd = u } :: acc) rest
+        | Error e -> Error e)
+    in
+    match build [] updates with
+    | Error e -> Error e
+    | Ok levels -> (
+      (* fragment parity with [compose] on the user side *)
+      match chunkify (Norm.steps uq.User_query.source) with
+      | Error e -> Error e
+      | Ok _chunks ->
+        let levels = Array.of_list levels in
+        let sunfa = Selecting_nfa.of_path uq.User_query.source in
+        let name = fresh_var "xut:stack" in
+        let dvar = fresh_var "d" in
+        let xvar = fresh_var "x" in
+        let where = where_of_conds xvar uq.User_query.conds in
+        let ret = User_query.template_to_expr xvar uq.User_query.template in
+        let expr =
+          Xq_ast.Flwor
+            ( [
+                Xq_ast.LetC (dvar, Xq_ast.Context);
+                Xq_ast.For (xvar, Xq_ast.Call (name, [ Xq_ast.Var dvar ]));
+              ],
+              where,
+              ret )
+        in
+        let make oracle =
+          let rt =
+            { levels; sunfa; suq = uq; views = Hashtbl.create 64; soracle = oracle }
+          in
+          [
+            ( name,
+              function
+              | [ [ Xq_value.D root ] ] | [ [ Xq_value.N (Node.Element root) ] ] ->
+                stack_walk rt root
+              | [ [] ] -> []
+              | _ -> raise (Xq_value.Type_error (name ^ ": expected the document")) );
+          ]
+        in
+        Ok { expr; make; native_count = 1 }))
+
+let run_composed ?oracle c ~doc =
+  let env = Xq_eval.env ~context:doc ~natives:(c.make oracle) () in
   Xq_eval.eval_expr env c.expr
 
 let naive ?(algo = Engine.Gentop) update uq ~doc =
   let transformed = Engine.transform algo update doc in
+  User_query.run uq ~doc:transformed
+
+let naive_stack ?(algo = Engine.Gentop) updates uq ~doc =
+  let transformed = List.fold_left (fun t u -> Engine.transform algo u t) doc updates in
   User_query.run uq ~doc:transformed
 
 let run update uq ~doc =

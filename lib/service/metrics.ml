@@ -30,6 +30,11 @@ type t = {
   repair_fallbacks : int Atomic.t;
   repair_recomputed_nodes : int Atomic.t;
   repair_reused_nodes : int Atomic.t;
+  view_defs : int Atomic.t;
+  view_hits : int Atomic.t;
+  composed_plans : int Atomic.t;
+  view_invalidations : int Atomic.t;
+  compose_fallbacks : int Atomic.t;
   commits : int Atomic.t;
   commit_conflicts : int Atomic.t;
   commit_noops : int Atomic.t;
@@ -68,6 +73,11 @@ let create () =
     repair_fallbacks = Atomic.make 0;
     repair_recomputed_nodes = Atomic.make 0;
     repair_reused_nodes = Atomic.make 0;
+    view_defs = Atomic.make 0;
+    view_hits = Atomic.make 0;
+    composed_plans = Atomic.make 0;
+    view_invalidations = Atomic.make 0;
+    compose_fallbacks = Atomic.make 0;
     commits = Atomic.make 0;
     commit_conflicts = Atomic.make 0;
     commit_noops = Atomic.make 0;
@@ -149,6 +159,19 @@ let annotation_repairs m = Atomic.get m.annotation_repairs
 let repair_fallbacks m = Atomic.get m.repair_fallbacks
 let repair_recomputed_nodes m = Atomic.get m.repair_recomputed_nodes
 let repair_reused_nodes m = Atomic.get m.repair_reused_nodes
+
+let incr_view_defs m = Atomic.incr m.view_defs
+let incr_view_hits m = Atomic.incr m.view_hits
+let incr_composed_plans m = Atomic.incr m.composed_plans
+let add_view_invalidations m n =
+  if n > 0 then ignore (Atomic.fetch_and_add m.view_invalidations n)
+let incr_compose_fallbacks m = Atomic.incr m.compose_fallbacks
+
+let view_defs m = Atomic.get m.view_defs
+let view_hits m = Atomic.get m.view_hits
+let composed_plans m = Atomic.get m.composed_plans
+let view_invalidations m = Atomic.get m.view_invalidations
+let compose_fallbacks m = Atomic.get m.compose_fallbacks
 
 let commit_recorded m ~primitives =
   Atomic.incr m.commits;
@@ -245,6 +268,11 @@ let reset m =
   Atomic.set m.repair_fallbacks 0;
   Atomic.set m.repair_recomputed_nodes 0;
   Atomic.set m.repair_reused_nodes 0;
+  Atomic.set m.view_defs 0;
+  Atomic.set m.view_hits 0;
+  Atomic.set m.composed_plans 0;
+  Atomic.set m.view_invalidations 0;
+  Atomic.set m.compose_fallbacks 0;
   Atomic.set m.commits 0;
   Atomic.set m.commit_conflicts 0;
   Atomic.set m.commit_noops 0;
@@ -288,6 +316,11 @@ let dump m =
   Printf.bprintf b "repair_fallbacks %d\n" (repair_fallbacks m);
   Printf.bprintf b "repair_recomputed_nodes %d\n" (repair_recomputed_nodes m);
   Printf.bprintf b "repair_reused_nodes %d\n" (repair_reused_nodes m);
+  Printf.bprintf b "view_defs %d\n" (view_defs m);
+  Printf.bprintf b "view_hits %d\n" (view_hits m);
+  Printf.bprintf b "composed_plans %d\n" (composed_plans m);
+  Printf.bprintf b "view_invalidations %d\n" (view_invalidations m);
+  Printf.bprintf b "compose_fallbacks %d\n" (compose_fallbacks m);
   Printf.bprintf b "commits %d\n" (commits m);
   Printf.bprintf b "commit_conflicts %d\n" (commit_conflicts m);
   Printf.bprintf b "commit_noops %d\n" (commit_noops m);

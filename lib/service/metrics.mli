@@ -108,6 +108,31 @@ val repair_fallbacks : t -> int
 val repair_recomputed_nodes : t -> int
 val repair_reused_nodes : t -> int
 
+(** {2 View counters}
+
+    Maintained by the stored-view serving path: views (re)defined
+    ([view_defs]), requests answered by a composed plan against a view
+    ([view_hits]), compositions actually performed — not served from the
+    composed-plan cache — ([composed_plans]), composed plans and view
+    annotation memos dropped or repaired by the dependency-graph walk on
+    document lifecycle events and view redefinitions
+    ([view_invalidations]), and requests that fell back to naive
+    materialization because the query or chain was outside the
+    composable fragment ([compose_fallbacks] — the fallback used to be
+    silent). *)
+
+val incr_view_defs : t -> unit
+val incr_view_hits : t -> unit
+val incr_composed_plans : t -> unit
+val add_view_invalidations : t -> int -> unit
+val incr_compose_fallbacks : t -> unit
+
+val view_defs : t -> int
+val view_hits : t -> int
+val composed_plans : t -> int
+val view_invalidations : t -> int
+val compose_fallbacks : t -> int
+
 (** {2 Commit counters}
 
     Maintained by the write path ([COMMIT] requests): effective commits

@@ -1,130 +1,22 @@
 open Xut_xpath
 open Xut_automata
 
-(* Annotation memo entries carry a recency stamp from a per-plan clock;
-   overflow evicts only the least-recently-used document's table, and
-   store-driven invalidation removes exactly the named document's. *)
-type annotation_entry = { table : Annotator.table; mutable stamp : int }
-
-type annotations = {
-  amu : Mutex.t;
-  docs : (int, annotation_entry) Hashtbl.t;
-  mutable aclock : int;
-}
-
 type plan = {
   source : string;
   query : Core.Transform_ast.t;
   norm : Norm.t;
   nfa : Selecting_nfa.t;
-  annotations : annotations;
+  annotations : Annotation_memo.t;
 }
 
 let compile source =
   let query = Core.Transform_parser.parse source in
   let norm = Norm.steps (Core.Transform_ast.path query.Core.Transform_ast.update) in
   let nfa = Selecting_nfa.of_norm norm in
-  {
-    source;
-    query;
-    norm;
-    nfa;
-    annotations = { amu = Mutex.create (); docs = Hashtbl.create 4; aclock = 0 };
-  }
+  { source; query; norm; nfa; annotations = Annotation_memo.create () }
 
-(* At most this many documents' annotation tables per plan; crossing the
-   bound evicts the least recently used one, so the hot documents'
-   tables survive a cold document passing through. *)
-let max_annotated_docs = 8
-
-let evict_lru_annotation a =
-  let victim =
-    Hashtbl.fold
-      (fun id e acc ->
-        match acc with
-        | Some (_, stamp) when stamp <= e.stamp -> acc
-        | _ -> Some (id, e.stamp))
-      a.docs None
-  in
-  match victim with Some (id, _) -> Hashtbl.remove a.docs id | None -> ()
-
-let annotation plan root =
-  let a = plan.annotations in
-  let id = Xut_xml.Node.id root in
-  Mutex.lock a.amu;
-  let cached =
-    match Hashtbl.find_opt a.docs id with
-    | Some e ->
-      a.aclock <- a.aclock + 1;
-      e.stamp <- a.aclock;
-      Some e.table
-    | None -> None
-  in
-  Mutex.unlock a.amu;
-  match cached with
-  | Some table -> table
-  | None ->
-    (* Built outside the lock: concurrent misses on the same document may
-       annotate twice; one insert wins and both tables are valid. *)
-    let table = Annotator.annotate plan.nfa root in
-    Mutex.lock a.amu;
-    if not (Hashtbl.mem a.docs id) then begin
-      if Hashtbl.length a.docs >= max_annotated_docs then evict_lru_annotation a;
-      a.aclock <- a.aclock + 1;
-      Hashtbl.add a.docs id { table; stamp = a.aclock }
-    end;
-    Mutex.unlock a.amu;
-    table
-
-(* How many documents this plan currently holds annotation tables for. *)
-let plan_annotation_count plan =
-  let a = plan.annotations in
-  Mutex.lock a.amu;
-  let n = Hashtbl.length a.docs in
-  Mutex.unlock a.amu;
-  n
-
-(* Drop this plan's annotation table for one document, if present. *)
-let plan_invalidate plan ~root_id =
-  let a = plan.annotations in
-  Mutex.lock a.amu;
-  let present = Hashtbl.mem a.docs root_id in
-  if present then Hashtbl.remove a.docs root_id;
-  Mutex.unlock a.amu;
-  present
-
-(* Incremental maintenance across a commit: rebuild this plan's table
-   for the new root from the old root's table and the rebuilt-spine map,
-   instead of letting the commit evict it.  The old entry is deliberately
-   LEFT IN PLACE — readers that picked up the pre-commit snapshot before
-   the swap still resolve its table (immutable, never repaired in place);
-   the per-plan LRU drops it once younger roots push it out. *)
-let plan_repair plan ~old_root_id ~spine new_root =
-  let a = plan.annotations in
-  Mutex.lock a.amu;
-  let old_entry = Hashtbl.find_opt a.docs old_root_id in
-  Mutex.unlock a.amu;
-  match old_entry with
-  | None -> `Absent (* nothing cached for the departing tree: no work *)
-  | Some { table = old_table; _ } -> begin
-    (* Repair runs outside the lock, like [annotation]'s build: a racing
-       reader of the old snapshot still hits the old entry meanwhile. *)
-    match Annotator.repair plan.nfa ~old_table ~spine new_root with
-    | None ->
-      (* degenerate diff (root replaced): fall back to eviction *)
-      ignore (plan_invalidate plan ~root_id:old_root_id);
-      `Fallback
-    | Some (table, st) ->
-      let new_id = Xut_xml.Node.id new_root in
-      Mutex.lock a.amu;
-      if not (Hashtbl.mem a.docs new_id) then begin
-        if Hashtbl.length a.docs >= max_annotated_docs then evict_lru_annotation a;
-        a.aclock <- a.aclock + 1;
-        Hashtbl.add a.docs new_id { table; stamp = a.aclock }
-      end;
-      Mutex.unlock a.amu;
-      `Repaired st
-  end
+let max_annotated_docs = Annotation_memo.capacity
+let annotation plan root = Annotation_memo.find plan.annotations plan.nfa root
 
 (* Recency is a stamp per entry from a monotone clock; eviction scans for
    the minimum.  The scan is O(capacity) but runs only on insertion into
@@ -132,10 +24,24 @@ let plan_repair plan ~old_root_id ~spine new_root =
 
 type entry = { plan : plan; mutable last_used : int }
 
+(* A composed plan for a (view chain, user query) pair.  [deps] names
+   everything the entry depends on: the chain's base document and every
+   view along it, so dependency-graph invalidation can address the entry
+   by any one of them.  Compose {e failures} are cached too — a query
+   outside the fragment stays outside it until a view on the chain is
+   redefined, and recomputing the failure per request would defeat the
+   cache exactly where serving falls back to materialization. *)
+type composed_entry = {
+  result : (Core.Composition.composed, string) result;
+  deps : string list;
+  mutable c_last_used : int;
+}
+
 type t = {
   capacity : int;
   mu : Mutex.t;
   tbl : (string, entry) Hashtbl.t;
+  ctbl : (string, composed_entry) Hashtbl.t;
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
@@ -148,6 +54,7 @@ let create ~capacity =
     capacity;
     mu = Mutex.create ();
     tbl = Hashtbl.create (max 16 capacity);
+    ctbl = Hashtbl.create (max 16 capacity);
     clock = 0;
     hits = 0;
     misses = 0;
@@ -206,13 +113,65 @@ let find_or_compile t source =
           Hashtbl.replace t.tbl source { plan; last_used = tick t };
           (plan, Miss))
 
+let evict_lru_composed t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, stamp) when stamp <= e.c_last_used -> acc
+        | _ -> Some (key, e.c_last_used))
+      t.ctbl None
+  in
+  match victim with
+  | Some (key, _) ->
+    Hashtbl.remove t.ctbl key;
+    t.evictions <- t.evictions + 1
+  | None -> ()
+
+(* Same single-flight discipline as [find_or_compile]: composing is
+   static NFA simulation over the query's steps, microseconds of pure
+   CPU.  [key] must capture everything the compose output depends on —
+   the serving layer uses the chain signature (base name plus every
+   view's name@generation) and the query text. *)
+let find_or_compose t ~key ~deps f =
+  if t.capacity = 0 then begin
+    locked t (fun () -> t.misses <- t.misses + 1);
+    (f (), Miss)
+  end
+  else
+    locked t (fun () ->
+        match Hashtbl.find_opt t.ctbl key with
+        | Some e ->
+          e.c_last_used <- tick t;
+          t.hits <- t.hits + 1;
+          (e.result, Hit)
+        | None ->
+          t.misses <- t.misses + 1;
+          let result = f () in
+          if Hashtbl.length t.ctbl >= t.capacity then evict_lru_composed t;
+          Hashtbl.replace t.ctbl key { result; deps; c_last_used = tick t };
+          (result, Miss))
+
+let invalidate_composed t ~dep =
+  locked t (fun () ->
+      let victims =
+        Hashtbl.fold
+          (fun key e acc -> if List.mem dep e.deps then key :: acc else acc)
+          t.ctbl []
+      in
+      List.iter (Hashtbl.remove t.ctbl) victims;
+      List.length victims)
+
+let composed_entries t = locked t (fun () -> Hashtbl.length t.ctbl)
+
 (* Snapshot the cached plans, then walk them outside the cache mutex:
    per-plan annotation mutexes never nest inside it. *)
 let plans t = locked t (fun () -> Hashtbl.fold (fun _ e acc -> e.plan :: acc) t.tbl [])
 
 let invalidate t ~root_id =
   List.fold_left
-    (fun n plan -> if plan_invalidate plan ~root_id then n + 1 else n)
+    (fun n plan ->
+      if Annotation_memo.invalidate plan.annotations ~root_id then n + 1 else n)
     0 (plans t)
 
 type repair_totals = {
@@ -225,7 +184,7 @@ type repair_totals = {
 let repair t ~old_root_id ~spine new_root =
   List.fold_left
     (fun acc plan ->
-      match plan_repair plan ~old_root_id ~spine new_root with
+      match Annotation_memo.repair plan.annotations plan.nfa ~old_root_id ~spine new_root with
       | `Absent -> acc
       | `Fallback -> { acc with fallbacks = acc.fallbacks + 1 }
       | `Repaired (st : Annotator.repair_stats) ->
@@ -239,7 +198,7 @@ let repair t ~old_root_id ~spine new_root =
     (plans t)
 
 let annotation_entries t =
-  List.fold_left (fun n plan -> n + plan_annotation_count plan) 0 (plans t)
+  List.fold_left (fun n plan -> n + Annotation_memo.count plan.annotations) 0 (plans t)
 
 type stats = {
   hits : int;
@@ -248,6 +207,7 @@ type stats = {
   entries : int;
   capacity : int;
   annotation_entries : int;
+  composed_entries : int;
 }
 
 let stats t =
@@ -260,6 +220,10 @@ let stats t =
         entries = Hashtbl.length t.tbl;
         capacity = t.capacity;
         annotation_entries;
+        composed_entries = Hashtbl.length t.ctbl;
       })
 
-let clear t = locked t (fun () -> Hashtbl.reset t.tbl)
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.tbl;
+      Hashtbl.reset t.ctbl)

@@ -1,7 +1,9 @@
 open Xut_xpath
 open Xut_automata
 
-(** LRU cache of compiled transform-query plans, keyed by query text.
+(** LRU cache of compiled transform-query plans, keyed by query text,
+    plus composed (view chain × user query) plans keyed by chain
+    signature.
 
     A plan bundles everything the front end produces — parsed AST,
     normalized embedded path, selecting NFA — so a cache hit goes
@@ -12,17 +14,13 @@ open Xut_automata
     documents, and because it also deduplicates the per-query allocation
     churn across millions of requests. *)
 
-type annotations
-(** Per-plan memo of {!Xut_automata.Annotator} tables, keyed by document
-    root id — the doc-dependent half of TD-BU's work, reusable because
-    stored documents are immutable. *)
-
 type plan = {
   source : string;                 (** the exact query text (cache key) *)
   query : Core.Transform_ast.t;
   norm : Norm.t;                   (** normal form of the embedded path *)
   nfa : Selecting_nfa.t;           (** selecting NFA built from [norm] *)
-  annotations : annotations;
+  annotations : Annotation_memo.t;
+      (** per-plan memo of TD-BU annotation tables, keyed by doc root *)
 }
 
 val compile : string -> plan
@@ -31,23 +29,21 @@ val compile : string -> plan
 
 val annotation : plan -> Xut_xml.Node.element -> Annotator.table
 (** The memoized bottom-up annotation of this document for this plan's
-    NFA, computing and remembering it on first use.  This is the big
-    per-request saving for repeated TD-BU queries on a stored document:
-    the whole first pass of twoPass is amortized away, leaving only the
-    top-down rebuild.  The memo holds at most {!max_annotated_docs}
-    documents; overflow evicts only the least-recently-used document's
-    table (hot documents keep theirs), and document-store invalidation
-    ({!invalidate}) removes exactly the departing document's. *)
+    NFA ({!Annotation_memo.find}).  This is the big per-request saving
+    for repeated TD-BU queries on a stored document: the whole first
+    pass of twoPass is amortized away, leaving only the top-down
+    rebuild. *)
 
 val max_annotated_docs : int
-(** 8: the per-plan bound on memoized annotation tables. *)
+(** {!Annotation_memo.capacity}: the per-plan bound on memoized tables. *)
 
 type t
 
 val create : capacity:int -> t
-(** LRU cache holding at most [capacity] plans.  [capacity = 0] disables
-    caching: every lookup compiles and nothing is stored (the
-    [bench-serve] cache-off mode). *)
+(** LRU cache holding at most [capacity] plans (and, separately, at most
+    [capacity] composed plans).  [capacity = 0] disables caching: every
+    lookup compiles and nothing is stored (the [bench-serve] cache-off
+    mode). *)
 
 type outcome = Hit | Miss
 
@@ -55,6 +51,29 @@ val find_or_compile : t -> string -> plan * outcome
 (** Return the cached plan for this query text, or compile and remember
     it, evicting the least recently used entry when full.  Raises as
     {!compile} on bad input; failures are not cached. *)
+
+val find_or_compose :
+  t ->
+  key:string ->
+  deps:string list ->
+  (unit -> (Core.Composition.composed, string) result) ->
+  (Core.Composition.composed, string) result * outcome
+(** Return the cached composed plan under [key], or run the thunk and
+    remember its result.  [key] must capture everything the result
+    depends on — the serving layer uses the view-chain signature (base
+    document name plus every view's [name\@generation]) and the user
+    query text.  [deps] names the base document and every view on the
+    chain, for {!invalidate_composed}.  Compose {e failures} are cached
+    too: a query stays outside the fragment until a view on its chain is
+    redefined, and the fallback path should not pay a recompose per
+    request. *)
+
+val invalidate_composed : t -> dep:string -> int
+(** Drop every composed plan depending on this name (a base document or
+    a view) — the dependency-graph hook document lifecycle events and
+    view redefinitions drive.  Returns the number of entries dropped. *)
+
+val composed_entries : t -> int
 
 val invalidate : t -> root_id:int -> int
 (** Remove the annotation table keyed by this document root id from
@@ -97,6 +116,7 @@ type stats = {
   entries : int;
   capacity : int;
   annotation_entries : int;
+  composed_entries : int;
 }
 
 val stats : t -> stats

@@ -1,12 +1,19 @@
 open Core
 
+(* What a Transform/Count runs against: a stored document, or a stored
+   view answered via Sec. 4 composition over its base document. *)
+type target = Doc of string | View of string
+
 type request =
   | Load of { name : string; file : string }
   | Unload of { name : string }
-  | Transform of { doc : string; engine : Engine.algo; query : string }
-  | Count of { doc : string; engine : Engine.algo; query : string }
+  | Transform of { target : target; engine : Engine.algo; query : string }
+  | Count of { target : target; engine : Engine.algo; query : string }
   | Apply of { doc : string; query : string }
   | Commit of { doc : string; query : string }
+  | Defview of { name : string; query : string }
+  | Undefview of { name : string }
+  | Listviews
   | Stats
   | Batch of request list
 
@@ -17,6 +24,9 @@ type err_code =
   | Conflict
   | Overloaded
   | Bad_request
+  | View_compose_error
+
+type view_info = { v_name : string; v_base : string; v_depth : int; v_generation : int }
 
 type payload =
   | Doc_loaded of { name : string; elements : int; reloaded : bool; generation : int }
@@ -26,6 +36,10 @@ type payload =
   | Applied of { doc : string; primitives : int; collapsed : int; conflicts : string list }
   | Committed of
       { doc : string; primitives : int; collapsed : int; elements : int; generation : int }
+  | View_defined of
+      { name : string; base : string; depth : int; generation : int; redefined : bool }
+  | View_undefined of { name : string }
+  | View_list of view_info list
   | Stats_dump of string
   | Batch_results of response list
   | Stream_done of { bytes : int; chunks : int }
@@ -41,6 +55,7 @@ let err_code_name = function
   | Conflict -> "conflict"
   | Overloaded -> "overloaded"
   | Bad_request -> "bad-request"
+  | View_compose_error -> "view-compose-error"
 
 let err_code_of_name = function
   | "unknown-document" -> Some Unknown_document
@@ -49,6 +64,7 @@ let err_code_of_name = function
   | "conflict" -> Some Conflict
   | "overloaded" -> Some Overloaded
   | "bad-request" -> Some Bad_request
+  | "view-compose-error" -> Some View_compose_error
   | _ -> None
 
 let error code fmt = Printf.ksprintf (fun message -> Error { code; message }) fmt
@@ -76,6 +92,20 @@ and render_payload = function
   | Committed { doc; primitives; collapsed; elements; generation } ->
     Printf.sprintf "committed %s primitives=%d collapsed=%d elements=%d generation=%d" doc
       primitives collapsed elements generation
+  | View_defined { name; base; depth; generation; redefined } ->
+    let base_s =
+      Printf.sprintf "defview %s base=%s depth=%d generation=%d" name base depth generation
+    in
+    if redefined then base_s ^ " redefined=true" else base_s
+  | View_undefined { name } -> Printf.sprintf "undefview %s" name
+  | View_list views ->
+    String.concat "\n"
+      (Printf.sprintf "views %d" (List.length views)
+      :: List.map
+           (fun v ->
+             Printf.sprintf "view %s base=%s depth=%d generation=%d" v.v_name v.v_base
+               v.v_depth v.v_generation)
+           views)
   | Stats_dump s -> s
   | Stream_done { bytes; chunks } -> Printf.sprintf "streamed bytes=%d chunks=%d" bytes chunks
   | Batch_results rs ->
@@ -98,6 +128,7 @@ type job = { req : request; stream : stream_params option }
 type t = {
   store : Doc_store.t;
   cache : Plan_cache.t;
+  views : View_store.t;
   metrics : Metrics.t;
   pool : (job, response) Worker_pool.t;
 }
@@ -159,6 +190,163 @@ let evaluate ~store ~cache ~metrics ~doc ~engine ~query =
       | exception Failure msg -> Stdlib.Error (error Eval_error "%s" msg)
       | exception e -> Stdlib.Error (error Eval_error "%s" (Printexc.to_string e)))
   end
+
+(* ---------------- stored-view serving ---------------- *)
+
+(* Both the composed path and the materializing fallback render their
+   answer through this, so the two are byte-identical by construction:
+   one line per result item, serialized. *)
+let render_value (v : Xut_xquery.Xq_value.t) =
+  String.concat "\n"
+    (List.map
+       (fun item ->
+         match item with
+         | Xut_xquery.Xq_value.N n -> Xut_xml.Serialize.to_string n
+         | Xut_xquery.Xq_value.D e -> Xut_xml.Serialize.element_to_string e
+         | other -> Xut_xquery.Xq_value.string_of_item other)
+       v)
+
+let count_value (v : Xut_xquery.Xq_value.t) =
+  List.fold_left
+    (fun n item ->
+      match item with
+      | Xut_xquery.Xq_value.N node -> n + Xut_xml.Node.element_count node
+      | Xut_xquery.Xq_value.D e -> n + Xut_xml.Node.element_count (Xut_xml.Node.Element e)
+      | _ -> n + 1)
+    0 v
+
+(* The fallback: materialize the chain level by level, then evaluate the
+   user query over the result.  Level 0 with TD-BU gets the memoized
+   annotation oracle; the outer levels run over freshly built trees
+   where no memo can help. *)
+let materialize_chain ~engine (levels : View_store.view list) root =
+  let apply_level i t (v : View_store.view) =
+    match (engine : Engine.algo) with
+    | Engine.Td_bu when i = 0 ->
+      let table = Annotation_memo.find v.View_store.memo v.View_store.nfa t in
+      Top_down.run
+        ~checkp:(Xut_automata.Annotator.checkp table v.View_store.nfa)
+        v.View_store.nfa v.View_store.update t
+    | Engine.Gentop | Engine.Td_bu -> Top_down.run v.View_store.nfa v.View_store.update t
+    | other -> Engine.transform other v.View_store.update t
+  in
+  List.fold_left (fun (i, t) v -> (i + 1, apply_level i t v)) (0, root) levels |> snd
+
+let evaluate_view ~store ~cache ~views ~metrics ~name ~engine ~query =
+  match View_store.resolve views name with
+  | None -> Stdlib.Error (error Unknown_document "no view %S (DEFVIEW it first)" name)
+  | Some chain -> begin
+    match Doc_store.find store chain.View_store.base with
+    | None ->
+      Stdlib.Error
+        (error Unknown_document "no document %S (base of view %S; LOAD it first)"
+           chain.View_store.base name)
+    | Some root -> begin
+      match Xut_xquery.Xq_parser.parse_expr query with
+      | exception Xut_xquery.Xq_parser.Parse_error msg ->
+        Stdlib.Error (error Query_parse_error "%s" msg)
+      | exception e -> Stdlib.Error (error Query_parse_error "%s" (Printexc.to_string e))
+      | expr -> begin
+        let levels = chain.View_store.levels in
+        let updates = List.map (fun (v : View_store.view) -> v.View_store.update) levels in
+        let fallback () =
+          Metrics.incr_compose_fallbacks metrics;
+          match materialize_chain ~engine levels root with
+          | materialized -> begin
+            match
+              Xut_xquery.Xq_eval.eval_expr
+                (Xut_xquery.Xq_eval.env ~context:materialized ())
+                expr
+            with
+            | v -> Stdlib.Ok v
+            | exception Failure msg -> Stdlib.Error (error Eval_error "%s" msg)
+            | exception e -> Stdlib.Error (error Eval_error "%s" (Printexc.to_string e))
+          end
+          | exception Failure msg -> Stdlib.Error (error Eval_error "%s" msg)
+          | exception e -> Stdlib.Error (error Eval_error "%s" (Printexc.to_string e))
+        in
+        match User_query.of_expr expr with
+        | Stdlib.Error _ ->
+          (* not in the restricted user fragment: the Compose method
+             does not apply, materialize instead *)
+          fallback ()
+        | Stdlib.Ok uq -> begin
+          let key = View_store.signature chain ^ "||" ^ query in
+          let deps =
+            chain.View_store.base
+            :: List.map (fun (v : View_store.view) -> v.View_store.name) levels
+          in
+          let composed, outcome =
+            Plan_cache.find_or_compose cache ~key ~deps (fun () ->
+                Composition.compose_stack updates uq)
+          in
+          match composed with
+          | exception e -> Stdlib.Error (error Eval_error "%s" (Printexc.to_string e))
+          | Stdlib.Error _ -> fallback ()
+          | Stdlib.Ok c -> begin
+            if outcome = Plan_cache.Miss then Metrics.incr_composed_plans metrics;
+            Metrics.incr_view_hits metrics;
+            (* the oracle answers level-0 qualifier checks over the base
+               tree from the view's memoized annotation table *)
+            let oracle =
+              match (engine : Engine.algo), levels with
+              | Engine.Td_bu, (inner : View_store.view) :: _ ->
+                let table =
+                  Annotation_memo.find inner.View_store.memo inner.View_store.nfa root
+                in
+                Some (Xut_automata.Annotator.checkp table inner.View_store.nfa)
+              | _ -> None
+            in
+            match Composition.run_composed ?oracle c ~doc:root with
+            | v -> Stdlib.Ok v
+            | exception Failure msg -> Stdlib.Error (error Eval_error "%s" msg)
+            | exception e -> Stdlib.Error (error Eval_error "%s" (Printexc.to_string e))
+          end
+        end
+      end
+    end
+  end
+
+let handle_defview ~cache ~views ~metrics ~name ~query =
+  match View_store.define views ~name ~source:query with
+  | Stdlib.Error (`Parse m) -> error Query_parse_error "%s" m
+  | Stdlib.Error (`Compose m) -> error View_compose_error "%s" m
+  | Stdlib.Error (`Cycle path) ->
+    error View_compose_error "view cycle: %s" (String.concat " -> " path)
+  | Stdlib.Ok (v, redefined) ->
+    Metrics.incr_view_defs metrics;
+    if redefined then
+      (* the definition changed: every composed plan over a chain through
+         this name is stale (the generation in the cache key already
+         misses, this reclaims the entries and counts the churn) *)
+      Metrics.add_view_invalidations metrics (Plan_cache.invalidate_composed cache ~dep:name);
+    Ok
+      (View_defined
+         {
+           name;
+           base = v.View_store.base;
+           depth = View_store.depth views name;
+           generation = v.View_store.generation;
+           redefined;
+         })
+
+let handle_undefview ~cache ~views ~metrics ~name =
+  if View_store.undefine views ~name then begin
+    Metrics.add_view_invalidations metrics (Plan_cache.invalidate_composed cache ~dep:name);
+    Ok (View_undefined { name })
+  end
+  else error Unknown_document "no view %S" name
+
+let view_infos views =
+  List.map
+    (fun (i : View_store.info) ->
+      {
+        v_name = i.View_store.i_name;
+        v_base = i.View_store.i_base;
+        v_depth = i.View_store.i_depth;
+        v_generation = i.View_store.i_generation;
+      })
+    (View_store.infos views)
 
 (* The write path.  Both [APPLY] and [COMMIT] evaluate the query's
    updates into a pending list with snapshot semantics
@@ -246,7 +434,7 @@ let handle_commit ~store ~metrics ~doc ~query =
 (* [depth] guards against nested batches; every arm returns a
    [response], so a worker can only die to a runtime error (and even
    that the pool turns into an [Error] future). *)
-let rec handle ~store ~cache ~metrics ~depth = function
+let rec handle ~store ~cache ~views ~metrics ~depth = function
   | Load { name; file } -> begin
     match Doc_store.load_file store ~name file with
     | Stdlib.Ok (info, reloaded) ->
@@ -263,26 +451,41 @@ let rec handle ~store ~cache ~metrics ~depth = function
   | Unload { name } ->
     if Doc_store.evict store name then Ok (Doc_unloaded { name })
     else error Unknown_document "no document %S" name
-  | Transform { doc; engine; query } -> begin
+  | Transform { target = Doc doc; engine; query } -> begin
     match evaluate ~store ~cache ~metrics ~doc ~engine ~query with
     | Stdlib.Ok out -> Ok (Tree (Xut_xml.Serialize.element_to_string out))
     | Stdlib.Error e -> e
   end
-  | Count { doc; engine; query } -> begin
+  | Transform { target = View name; engine; query } -> begin
+    match evaluate_view ~store ~cache ~views ~metrics ~name ~engine ~query with
+    | Stdlib.Ok v -> Ok (Tree (render_value v))
+    | Stdlib.Error e -> e
+  end
+  | Count { target = Doc doc; engine; query } -> begin
     match evaluate ~store ~cache ~metrics ~doc ~engine ~query with
     | Stdlib.Ok out ->
       Ok (Element_count (Xut_xml.Node.element_count (Xut_xml.Node.Element out)))
     | Stdlib.Error e -> e
   end
+  | Count { target = View name; engine; query } -> begin
+    match evaluate_view ~store ~cache ~views ~metrics ~name ~engine ~query with
+    | Stdlib.Ok v -> Ok (Element_count (count_value v))
+    | Stdlib.Error e -> e
+  end
   | Apply { doc; query } -> handle_apply ~store ~doc ~query
   | Commit { doc; query } -> handle_commit ~store ~metrics ~doc ~query
+  | Defview { name; query } -> handle_defview ~cache ~views ~metrics ~name ~query
+  | Undefview { name } -> handle_undefview ~cache ~views ~metrics ~name
+  | Listviews -> Ok (View_list (view_infos views))
   | Stats ->
     let b = Buffer.create 512 in
     Buffer.add_string b (Metrics.dump metrics);
     let cs = Plan_cache.stats cache in
-    Printf.bprintf b "\nplan_cache entries=%d capacity=%d evictions=%d annotation_entries=%d"
+    Printf.bprintf b
+      "\nplan_cache entries=%d capacity=%d evictions=%d annotation_entries=%d \
+       composed_entries=%d"
       cs.Plan_cache.entries cs.Plan_cache.capacity cs.Plan_cache.evictions
-      cs.Plan_cache.annotation_entries;
+      cs.Plan_cache.annotation_entries cs.Plan_cache.composed_entries;
     List.iter
       (fun name ->
         match Doc_store.info store name with
@@ -291,13 +494,18 @@ let rec handle ~store ~cache ~metrics ~depth = function
             i.Doc_store.elements i.Doc_store.generation
         | None -> ())
       (Doc_store.names store);
+    List.iter
+      (fun (i : View_store.info) ->
+        Printf.bprintf b "\nview %s base=%s depth=%d generation=%d" i.View_store.i_name
+          i.View_store.i_base i.View_store.i_depth i.View_store.i_generation)
+      (View_store.infos views);
     Ok (Stats_dump (Buffer.contents b))
   | Batch reqs ->
     if depth > 0 then error Bad_request "nested batch"
     else
       Ok
         (Batch_results
-           (List.map (handle ~store ~cache ~metrics ~depth:(depth + 1)) reqs))
+           (List.map (handle ~store ~cache ~views ~metrics ~depth:(depth + 1)) reqs))
 
 (* Streaming evaluation: chunks go to [emit] as they fill; the response
    carries only the totals.  An engine failure after chunks have gone
@@ -305,7 +513,9 @@ let rec handle ~store ~cache ~metrics ~depth = function
    mid-stream error frame, in-process callers see partial output
    followed by the error. *)
 let handle_streaming ~store ~cache ~metrics { emit; chunk_size } = function
-  | Transform { doc; engine; query } -> begin
+  | Transform { target = View _; _ } ->
+    error Bad_request "streaming a view target is not supported"
+  | Transform { target = Doc doc; engine; query } -> begin
     match Doc_store.find store doc with
     | None -> error Unknown_document "no document %S (LOAD it first)" doc
     | Some root -> begin
@@ -338,7 +548,8 @@ let handle_streaming ~store ~cache ~metrics { emit; chunk_size } = function
       end
     end
   end
-  | Load _ | Unload _ | Count _ | Apply _ | Commit _ | Stats | Batch _ ->
+  | Load _ | Unload _ | Count _ | Apply _ | Commit _ | Defview _ | Undefview _ | Listviews
+  | Stats | Batch _ ->
     error Bad_request "only TRANSFORM can stream"
 
 let rec count_errors = function
@@ -349,6 +560,7 @@ let rec count_errors = function
 let create ?(domains = 1) ?(cache_capacity = 128) ?(queue_capacity = 64) ?store_shards () =
   let store = Doc_store.create ?shards:store_shards () in
   let cache = Plan_cache.create ~capacity:cache_capacity in
+  let views = View_store.create () in
   let metrics = Metrics.create () in
   (* The lifecycle hook: a document leaving the store (UNLOAD, or the
      old tree of a reload) takes exactly its annotation tables with it —
@@ -356,9 +568,16 @@ let create ?(domains = 1) ?(cache_capacity = 128) ?(queue_capacity = 64) ?store_
      its rebuilt-spine diff instead has every cached plan's table
      {e repaired} for the new root (the old root's table stays
      addressable for in-flight readers until the per-plan LRU drops it);
-     a fallback eviction counts as an invalidation like any other. *)
+     a fallback eviction counts as an invalidation like any other.
+
+     The same event walks the view-dependency graph: every view whose
+     chain passes through the document has its annotation memo repaired
+     (commit with a usable diff) or evicted, and an UNLOAD/reload also
+     drops the composed plans addressed through the document — all
+     counted as [view_invalidations].  A plain COMMIT keeps composed
+     plans: they depend on the definitions, not on document content. *)
   Doc_store.subscribe store (fun ev ->
-      match ev.Doc_store.repair with
+      (match ev.Doc_store.repair with
       | Some hint ->
         let totals =
           Plan_cache.repair cache ~old_root_id:ev.Doc_store.root_id
@@ -372,12 +591,38 @@ let create ?(domains = 1) ?(cache_capacity = 128) ?(queue_capacity = 64) ?store_
       | None ->
         Metrics.add_invalidations metrics
           (Plan_cache.invalidate cache ~root_id:ev.Doc_store.root_id));
+      let view_churn = ref 0 in
+      List.iter
+        (fun vn ->
+          match View_store.find views vn with
+          | None -> ()
+          | Some v -> (
+            (* only views based directly on this document hold memo
+               tables keyed by its root; for the rest this is a no-op *)
+            match ev.Doc_store.repair with
+            | Some hint -> (
+              match
+                Annotation_memo.repair v.View_store.memo v.View_store.nfa
+                  ~old_root_id:ev.Doc_store.root_id ~spine:hint.Doc_store.spine
+                  hint.Doc_store.new_root
+              with
+              | `Absent -> ()
+              | `Fallback | `Repaired _ -> incr view_churn)
+            | None ->
+              if Annotation_memo.invalidate v.View_store.memo ~root_id:ev.Doc_store.root_id
+              then incr view_churn))
+        (View_store.dependents views ev.Doc_store.name);
+      (match ev.Doc_store.reason with
+      | Doc_store.Unloaded | Doc_store.Replaced ->
+        view_churn := !view_churn + Plan_cache.invalidate_composed cache ~dep:ev.Doc_store.name
+      | Doc_store.Committed -> ());
+      Metrics.add_view_invalidations metrics !view_churn);
   let handler job =
     Metrics.incr_requests metrics;
     let t0 = Unix.gettimeofday () in
     let resp =
       match job.stream with
-      | None -> handle ~store ~cache ~metrics ~depth:0 job.req
+      | None -> handle ~store ~cache ~views ~metrics ~depth:0 job.req
       | Some sp -> handle_streaming ~store ~cache ~metrics sp job.req
     in
     Metrics.record_latency metrics (Unix.gettimeofday () -. t0);
@@ -392,7 +637,7 @@ let create ?(domains = 1) ?(cache_capacity = 128) ?(queue_capacity = 64) ?store_
       ~on_dequeue:(fun () -> Metrics.queue_leave metrics)
       ~domains ~queue_capacity handler
   in
-  { store; cache; metrics; pool }
+  { store; cache; views; metrics; pool }
 
 (* The pool's own error channel ([('b, string) result]) only fires when
    an exception escapes the handler — the handler catches everything it
@@ -412,7 +657,7 @@ let submit t req = submit_job t { req; stream = None }
 let submit_stream t ~doc ~engine ~query ?(chunk_size = default_chunk_size) emit =
   submit_job t
     {
-      req = Transform { doc; engine; query };
+      req = Transform { target = Doc doc; engine; query };
       stream = Some { emit; chunk_size = max 1 chunk_size };
     }
 
@@ -435,6 +680,7 @@ let transform_stream t ~doc ~engine ~query ?chunk_size emit =
 let metrics t = t.metrics
 let cache_stats t = Plan_cache.stats t.cache
 let store t = t.store
+let views t = t.views
 
 (* Subscribers added here run after the service's own plan-cache hook,
    so by the time a transport broadcasts a notice the stale tables are

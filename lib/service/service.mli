@@ -11,14 +11,26 @@
     protocol and the length-prefixed binary framing of the socket
     server). *)
 
+type target =
+  | Doc of string   (** a stored document, by name *)
+  | View of string  (** a stored view ({!request.Defview}), by name *)
+(** What a [Transform]/[Count] runs against.  Against a [Doc], [query]
+    is a {e transform} query; against a [View], [query] is a {e user}
+    query (the restricted FLWOR fragment of
+    {!Core.User_query}, or arbitrary XQuery with a materializing
+    fallback) answered over the view's virtual document via the Sec. 4
+    Compose method — the view is never materialized on the composed
+    path. *)
+
 type request =
   | Load of { name : string; file : string }
       (** Parse [file] and store it under [name]. *)
   | Unload of { name : string }
-  | Transform of { doc : string; engine : Core.Engine.algo; query : string }
-      (** Evaluate a transform query against stored document [doc];
-          the payload is the serialized result tree. *)
-  | Count of { doc : string; engine : Core.Engine.algo; query : string }
+  | Transform of { target : target; engine : Core.Engine.algo; query : string }
+      (** Evaluate a query against a stored document or view; the
+          payload is the serialized result (tree for documents, one
+          serialized item per line for views). *)
+  | Count of { target : target; engine : Core.Engine.algo; query : string }
       (** Like [Transform] but reply only the element count of the
           result — the lean reply for what-if analytics and validation
           traffic, where the client doesn't want the (possibly
@@ -38,6 +50,18 @@ type request =
           in atomically under a fresh generation.  In-flight readers
           keep the old snapshot; a conflicting list is rejected with
           [Conflict] and changes nothing. *)
+  | Defview of { name : string; query : string }
+      (** [DEFVIEW name := <transform query>]: define (or redefine) a
+          stored view.  The definition is validated and compiled {e now}
+          — parse, composable-fragment check, selecting NFA — and
+          rejected with [View_compose_error] when out of fragment, so
+          queries against the view never fall back for a reason known at
+          definition time.  The base named by the definition's
+          [doc("X")] may be a stored document or another view
+          (views-on-views); it may also not exist yet (late binding) —
+          queries then answer [Unknown_document] until it does. *)
+  | Undefview of { name : string }
+  | Listviews
   | Stats
       (** Metrics dump + cache stats + stored-document listing. *)
   | Batch of request list
@@ -57,6 +81,12 @@ type err_code =
                           primitive pairs; nothing was changed *)
   | Overloaded        (** connection/queue limits hit, or shutting down *)
   | Bad_request       (** malformed request (bad file, nested batch, bad frame) *)
+  | View_compose_error
+      (** a [Defview] was rejected at definition time: the transform
+          falls outside the composable fragment, or its base chain
+          would form a cycle *)
+
+type view_info = { v_name : string; v_base : string; v_depth : int; v_generation : int }
 
 type payload =
   | Doc_loaded of { name : string; elements : int; reloaded : bool; generation : int }
@@ -75,6 +105,15 @@ type payload =
       (** Reply to a successful [Commit].  [generation] is the new
           binding's stamp — unchanged (and [primitives = 0]) when the
           query selected nothing, in which case no swap happened. *)
+  | View_defined of
+      { name : string; base : string; depth : int; generation : int; redefined : bool }
+      (** Reply to a [Defview].  [base] is the definition's immediate
+          base (document or view), [depth] the resolved chain length,
+          [generation] the store-wide definition stamp (composed-plan
+          cache keys embed it, so redefinition re-keys every dependent
+          plan). *)
+  | View_undefined of { name : string }
+  | View_list of view_info list  (** reply to a [Listviews], sorted by name *)
   | Stats_dump of string
   | Batch_results of response list
       (** One response per [Batch] item, in request order. *)
@@ -89,8 +128,8 @@ and response =
 
 val err_code_name : err_code -> string
 (** Stable lower-kebab name ("unknown-document", "query-parse-error",
-    "eval-error", "conflict", "overloaded", "bad-request"), used by the
-    line protocol and logs. *)
+    "eval-error", "conflict", "overloaded", "bad-request",
+    "view-compose-error"), used by the line protocol and logs. *)
 
 val err_code_of_name : string -> err_code option
 
@@ -113,7 +152,15 @@ val create :
     The service subscribes itself to the store's lifecycle events: an
     [UNLOAD], reload or [COMMIT] evicts exactly the departing tree's
     annotation tables from every cached plan and counts them in
-    {!Metrics.invalidations} ([doc_invalidations] in STATS). *)
+    {!Metrics.invalidations} ([doc_invalidations] in STATS).  The same
+    event walks the view-dependency graph (view → base document, view →
+    parent view): dependent views' annotation memos are repaired (commit
+    with a usable spine diff) or evicted, an [UNLOAD]/reload also drops
+    composed plans addressed through the document, and the churn is
+    counted in {!Metrics.view_invalidations}.  A plain [COMMIT] keeps
+    composed plans — they depend on the view {e definitions}, not on
+    document content, so a re-query after commit reuses the cached
+    composition over the new snapshot. *)
 
 type future
 
@@ -175,6 +222,7 @@ val transform_stream :
 val metrics : t -> Metrics.t
 val cache_stats : t -> Plan_cache.stats
 val store : t -> Doc_store.t
+val views : t -> View_store.t
 
 val on_invalidate : t -> (Doc_store.event -> unit) -> unit
 (** Subscribe to document-lifecycle events (unload / reload / commit),

@@ -21,17 +21,33 @@ module Line = struct
       if rest = "" then Error "usage: UNLOAD <name>"
       else Ok (Service.Unload { name = rest })
     | ("TRANSFORM" | "COUNT") as verb -> begin
-      match split2 rest with
-      | name, rest' when name <> "" && rest' <> "" -> begin
+      (* TRANSFORM <doc> <engine> <query>
+         TRANSFORM VIEW <name> <engine> <query>
+         (the literal keyword VIEW claims the first word: a document
+         named exactly "VIEW" is unaddressable on the line protocol —
+         use the binary protocol for that) *)
+      let target_of name = if name = "VIEW" then None else Some (Service.Doc name) in
+      let name, rest' = split2 rest in
+      let target, rest' =
+        match target_of name with
+        | Some tgt -> (Some tgt, rest')
+        | None -> (
+          match split2 rest' with
+          | vname, rest'' when vname <> "" -> (Some (Service.View vname), rest'')
+          | _ -> (None, rest'))
+      in
+      match target with
+      | Some target when rest' <> "" -> begin
         let engine_s, query = split2 rest' in
         match Core.Engine.of_string engine_s with
         | None -> Error (Printf.sprintf "unknown engine %S" engine_s)
         | Some engine ->
-          if query = "" then Error (Printf.sprintf "usage: %s <name> <engine> <query>" verb)
-          else if verb = "COUNT" then Ok (Service.Count { doc = name; engine; query })
-          else Ok (Service.Transform { doc = name; engine; query })
+          if query = "" then
+            Error (Printf.sprintf "usage: %s [VIEW] <name> <engine> <query>" verb)
+          else if verb = "COUNT" then Ok (Service.Count { target; engine; query })
+          else Ok (Service.Transform { target; engine; query })
       end
-      | _ -> Error (Printf.sprintf "usage: %s <name> <engine> <query>" verb)
+      | _ -> Error (Printf.sprintf "usage: %s [VIEW] <name> <engine> <query>" verb)
     end
     | ("APPLY" | "COMMIT") as verb -> begin
       match split2 rest with
@@ -40,17 +56,49 @@ module Line = struct
         else Ok (Service.Commit { doc; query })
       | _ -> Error (Printf.sprintf "usage: %s <name> <query>" verb)
     end
+    | "DEFVIEW" -> begin
+      (* DEFVIEW <name> := <transform query>  (the ":=" is optional) *)
+      match split2 rest with
+      | name, rest' when name <> "" && rest' <> "" ->
+        let query =
+          match split2 rest' with ":=", q when q <> "" -> q | _ -> rest'
+        in
+        Ok (Service.Defview { name; query })
+      | _ -> Error "usage: DEFVIEW <name> := <transform query>"
+    end
+    | "UNDEFVIEW" ->
+      if rest = "" then Error "usage: UNDEFVIEW <name>"
+      else Ok (Service.Undefview { name = rest })
+    | "LISTVIEWS" -> Ok Service.Listviews
     | "STATS" -> Ok Service.Stats
     | "" -> Error "empty request"
     | v ->
       Error
-        (Printf.sprintf "unknown request %S (LOAD|UNLOAD|TRANSFORM|COUNT|APPLY|COMMIT|STATS)"
+        (Printf.sprintf
+           "unknown request %S \
+            (LOAD|UNLOAD|TRANSFORM|COUNT|APPLY|COMMIT|DEFVIEW|UNDEFVIEW|LISTVIEWS|STATS)"
            v)
 
   let plain_word s =
     s <> "" && not (String.exists (fun c -> c = ' ' || c = '\n' || c = '\r' || c = '\t') s)
 
   let one_line s = not (String.exists (fun c -> c = '\n' || c = '\r') s)
+
+  let encode_targeted verb target engine query =
+    let name, prefix =
+      match target with
+      | Service.Doc name -> (name, "")
+      | Service.View name -> (name, "VIEW ")
+    in
+    if name = "VIEW" && prefix = "" then
+      Error
+        (Printf.sprintf
+           "a document named \"VIEW\" is not addressable on the line protocol (%s would \
+            parse as a view request)"
+           verb)
+    else if plain_word name && one_line query then
+      Ok (Printf.sprintf "%s %s%s %s %s" verb prefix name (Core.Engine.name engine) query)
+    else Error (Printf.sprintf "%s with a multi-line query is not expressible on one line" verb)
 
   let encode_request = function
     | Service.Load { name; file } ->
@@ -59,26 +107,35 @@ module Line = struct
     | Service.Unload { name } ->
       if plain_word name then Ok ("UNLOAD " ^ name)
       else Error "UNLOAD name with whitespace is not expressible on one line"
-    | Service.Transform { doc; engine; query } ->
-      if plain_word doc && one_line query then
-        Ok (Printf.sprintf "TRANSFORM %s %s %s" doc (Core.Engine.name engine) query)
-      else Error "TRANSFORM with a multi-line query is not expressible on one line"
-    | Service.Count { doc; engine; query } ->
-      if plain_word doc && one_line query then
-        Ok (Printf.sprintf "COUNT %s %s %s" doc (Core.Engine.name engine) query)
-      else Error "COUNT with a multi-line query is not expressible on one line"
+    | Service.Transform { target; engine; query } ->
+      encode_targeted "TRANSFORM" target engine query
+    | Service.Count { target; engine; query } -> encode_targeted "COUNT" target engine query
     | Service.Apply { doc; query } ->
       if plain_word doc && one_line query then Ok (Printf.sprintf "APPLY %s %s" doc query)
       else Error "APPLY with a multi-line query is not expressible on one line"
     | Service.Commit { doc; query } ->
       if plain_word doc && one_line query then Ok (Printf.sprintf "COMMIT %s %s" doc query)
       else Error "COMMIT with a multi-line query is not expressible on one line"
+    | Service.Defview { name; query } ->
+      if plain_word name && one_line query then
+        Ok (Printf.sprintf "DEFVIEW %s := %s" name query)
+      else Error "DEFVIEW with a multi-line definition is not expressible on one line"
+    | Service.Undefview { name } ->
+      if plain_word name then Ok ("UNDEFVIEW " ^ name)
+      else Error "UNDEFVIEW name with whitespace is not expressible on one line"
+    | Service.Listviews -> Ok "LISTVIEWS"
     | Service.Stats -> Ok "STATS"
     | Service.Batch _ -> Error "batches exist only in the binary protocol"
 
   let render_response resp =
     match resp with
     | Service.Ok (Service.Stats_dump dump) -> dump ^ "\nOK"
+    | Service.Ok (Service.View_list _) -> begin
+      (* multi-line payload, trailer style like STATS *)
+      match Service.render_response resp with
+      | Ok payload -> payload ^ "\nOK"
+      | Error message -> "ERR " ^ message
+    end
     | _ -> begin
       match Service.render_response resp with
       | Ok payload -> "OK " ^ payload
@@ -179,14 +236,18 @@ module Binary = struct
     | Service.Unload { name } ->
       put_u8 b 2;
       put_str b name
-    | Service.Transform { doc; engine; query } ->
-      put_u8 b 3;
-      put_str b doc;
+    | Service.Transform { target; engine; query } ->
+      (* tag 3 is the v1 doc-addressed transform; view targets get their
+         own tag so a v1 peer rejects rather than misreads them *)
+      let tag, name = match target with Service.Doc d -> (3, d) | Service.View v -> (10, v) in
+      put_u8 b tag;
+      put_str b name;
       put_str b (Core.Engine.name engine);
       put_str b query
-    | Service.Count { doc; engine; query } ->
-      put_u8 b 4;
-      put_str b doc;
+    | Service.Count { target; engine; query } ->
+      let tag, name = match target with Service.Doc d -> (4, d) | Service.View v -> (11, v) in
+      put_u8 b tag;
+      put_str b name;
       put_str b (Core.Engine.name engine);
       put_str b query
     | Service.Stats -> put_u8 b 5
@@ -203,6 +264,15 @@ module Binary = struct
       put_u8 b 9;
       put_str b doc;
       put_str b query
+    (* tags 10/11 are the view-addressed Transform/Count above *)
+    | Service.Defview { name; query } ->
+      put_u8 b 12;
+      put_str b name;
+      put_str b query
+    | Service.Undefview { name } ->
+      put_u8 b 13;
+      put_str b name
+    | Service.Listviews -> put_u8 b 14
 
   let err_code_byte = function
     | Service.Unknown_document -> 1
@@ -211,6 +281,7 @@ module Binary = struct
     | Service.Overloaded -> 4
     | Service.Bad_request -> 5
     | Service.Conflict -> 6
+    | Service.View_compose_error -> 7
 
   let err_code_of_byte = function
     | 1 -> Some Service.Unknown_document
@@ -219,6 +290,7 @@ module Binary = struct
     | 4 -> Some Service.Overloaded
     | 5 -> Some Service.Bad_request
     | 6 -> Some Service.Conflict
+    | 7 -> Some Service.View_compose_error
     | _ -> None
 
   let rec put_response b = function
@@ -266,6 +338,26 @@ module Binary = struct
       put_u32 b collapsed;
       put_u32 b elements;
       put_u32 b generation
+    | Service.Ok (Service.View_defined { name; base; depth; generation; redefined }) ->
+      put_u8 b 11;
+      put_str b name;
+      put_str b base;
+      put_u32 b depth;
+      put_u32 b generation;
+      put_u8 b (if redefined then 1 else 0)
+    | Service.Ok (Service.View_undefined { name }) ->
+      put_u8 b 12;
+      put_str b name
+    | Service.Ok (Service.View_list views) ->
+      put_u8 b 13;
+      put_u32 b (List.length views);
+      List.iter
+        (fun { Service.v_name; v_base; v_depth; v_generation } ->
+          put_str b v_name;
+          put_str b v_base;
+          put_u32 b v_depth;
+          put_u32 b v_generation)
+        views
 
   let encode_request req =
     let b = Buffer.create 128 in
@@ -328,16 +420,13 @@ module Binary = struct
       let file = get_str c in
       Service.Load { name; file }
     | 2 -> Service.Unload { name = get_str c }
-    | 3 ->
-      let doc = get_str c in
+    | (3 | 4 | 10 | 11) as tag ->
+      let name = get_str c in
       let engine = get_engine c in
       let query = get_str c in
-      Service.Transform { doc; engine; query }
-    | 4 ->
-      let doc = get_str c in
-      let engine = get_engine c in
-      let query = get_str c in
-      Service.Count { doc; engine; query }
+      let target = if tag >= 10 then Service.View name else Service.Doc name in
+      if tag = 3 || tag = 10 then Service.Transform { target; engine; query }
+      else Service.Count { target; engine; query }
     | 5 -> Service.Stats
     | 6 ->
       let n = get_count c in
@@ -350,6 +439,12 @@ module Binary = struct
       let doc = get_str c in
       let query = get_str c in
       Service.Commit { doc; query }
+    | 12 ->
+      let name = get_str c in
+      let query = get_str c in
+      Service.Defview { name; query }
+    | 13 -> Service.Undefview { name = get_str c }
+    | 14 -> Service.Listviews
     | t -> raise (Malformed (Printf.sprintf "unknown request tag %d" t))
 
   let rec get_response c =
@@ -396,6 +491,30 @@ module Binary = struct
       let elements = get_u32 c in
       let generation = get_u32 c in
       Service.Ok (Service.Committed { doc; primitives; collapsed; elements; generation })
+    | 11 ->
+      let name = get_str c in
+      let base = get_str c in
+      let depth = get_u32 c in
+      let generation = get_u32 c in
+      let redefined =
+        match get_u8 c with
+        | 0 -> false
+        | 1 -> true
+        | b -> raise (Malformed (Printf.sprintf "bad redefined flag %d" b))
+      in
+      Service.Ok (Service.View_defined { name; base; depth; generation; redefined })
+    | 12 -> Service.Ok (Service.View_undefined { name = get_str c })
+    | 13 ->
+      let n = get_count c in
+      let views =
+        List.init n (fun _ ->
+            let v_name = get_str c in
+            let v_base = get_str c in
+            let v_depth = get_u32 c in
+            let v_generation = get_u32 c in
+            { Service.v_name; v_base; v_depth; v_generation })
+      in
+      Service.Ok (Service.View_list views)
     | t -> raise (Malformed (Printf.sprintf "unknown response tag %d" t))
 
   let decode_with get s =

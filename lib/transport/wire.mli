@@ -21,24 +21,33 @@ module Line : sig
       {v
       LOAD <name> <file>
       UNLOAD <name>
-      TRANSFORM <name> <engine> <query text...>
-      COUNT <name> <engine> <query text...>
+      TRANSFORM [VIEW] <name> <engine> <query text...>
+      COUNT [VIEW] <name> <engine> <query text...>
       APPLY <name> <update query text...>
       COMMIT <name> <update query text...>
+      DEFVIEW <name> := <transform query text...>
+      UNDEFVIEW <name>
+      LISTVIEWS
       STATS
       v}
       The APPLY/COMMIT query may be a full transform query or a bare
-      update / parenthesized update sequence over [$a]. *)
+      update / parenthesized update sequence over [$a].  The literal
+      (uppercase) keyword [VIEW] after TRANSFORM/COUNT addresses a
+      stored view instead of a document — which makes a document named
+      exactly ["VIEW"] unaddressable on this protocol (the binary
+      protocol has no such ambiguity).  DEFVIEW's [:=] is optional on
+      input and always printed on output. *)
 
   val encode_request : Service.request -> (string, string) result
   (** Render a request back to one line.  [Error _] when the request is
       not expressible in the line protocol: a [Batch], a name
-      containing whitespace, or a query containing a newline. *)
+      containing whitespace, a query containing a newline, or a
+      doc-targeted TRANSFORM/COUNT whose document is named ["VIEW"]. *)
 
   val render_response : Service.response -> string
   (** The reply text of the stdin protocol: ["OK <payload>"],
-      ["ERR <code>: <message>"], or for a stats dump the dump followed
-      by a line reading [OK]. *)
+      ["ERR <code>: <message>"], or for the multi-line payloads (stats
+      dump, view list) the payload followed by a line reading [OK]. *)
 end
 
 module Binary : sig

@@ -87,7 +87,7 @@ let test_disjoint_pair_has_no_runtime_helper () =
   match Composition.compose update uq with
   | Error m -> Alcotest.fail m
   | Ok c ->
-    Alcotest.(check int) "no natives registered" 0 (List.length c.Composition.natives);
+    Alcotest.(check int) "no natives registered" 0 (Composition.native_count c);
     let doc = Xut_xmark.Generator.generate ~factor:0.002 () in
     check_equiv ~doc "disjoint pair" update uq
 
@@ -335,3 +335,100 @@ let suite =
   suite
   @ [ Alcotest.test_case "compiled TD-BU = native" `Quick test_compiled_tdbu_equals_native;
       Alcotest.test_case "compiled TD-BU text reparses" `Quick test_compiled_tdbu_text_reparses ]
+
+(* --- stacked composition (view chains) --- *)
+
+let check_stack_equiv ?(doc = Fixtures.parts_doc ()) name updates uq =
+  let expected = value_repr (Composition.naive_stack updates uq ~doc) in
+  let composed =
+    match Composition.compose_stack updates uq with
+    | Ok c -> c
+    | Error m -> Alcotest.fail (name ^ ": did not compose: " ^ m)
+  in
+  let got = value_repr (Composition.run_composed composed ~doc) in
+  Alcotest.(check (list string)) (name ^ " stack = naive") expected got
+
+(* chain-safe updates: none can select the document element *)
+let stack_updates =
+  [ Transform_ast.Delete (parse_path "//price");
+    Transform_ast.Delete (parse_path "//supplier[country = \"A\"]");
+    Transform_ast.Delete (parse_path "db/part/part");
+    Transform_ast.Insert (parse_path "//part[pname = \"keyboard\"]", supplier_e);
+    Transform_ast.Insert (parse_path "//supplier", Node.elem "verified" []);
+    Transform_ast.Insert_first (parse_path "//part", supplier_e);
+    Transform_ast.Rename (parse_path "//supplier", "vendor");
+    Transform_ast.Replace (parse_path "//pname", Node.elem "pname" [ Node.text "x" ]);
+    Transform_ast.Delete (parse_path "db/nosuch") ]
+
+let stack_queries =
+  [ "for $x in db/part return $x/pname";
+    "for $x in db/part/supplier return $x";
+    "for $x in db//supplier return $x/sname";
+    "for $x in db/part where $x/supplier/price > 20 return $x/pname";
+    "for $x in db//vendor return $x/sname";
+    "for $x in db/part return <p>{$x/pname}{$x/supplier}</p>";
+    "for $x in db/part return $x" ]
+
+let test_stack_depth2_matrix () =
+  (* every ordered pair of distinct chain-safe updates, a rotating query *)
+  let n = List.length stack_queries in
+  let k = ref 0 in
+  List.iteri
+    (fun i u1 ->
+      List.iteri
+        (fun j u2 ->
+          if i <> j then begin
+            let q = List.nth stack_queries (!k mod n) in
+            incr k;
+            check_stack_equiv
+              (Printf.sprintf "stack2 [%s ; %s | %s]"
+                 (Transform_ast.update_to_string u1)
+                 (Transform_ast.update_to_string u2)
+                 q)
+              [ u1; u2 ] (User_query.parse q)
+          end)
+        stack_updates)
+    stack_updates
+
+let test_stack_edge_depths () =
+  let uq = User_query.parse "for $x in db/part/supplier return $x" in
+  (* empty chain = plain user query *)
+  check_stack_equiv "stack0" [] uq;
+  (* singleton delegates to plain compose *)
+  check_stack_equiv "stack1" [ Transform_ast.Delete (parse_path "//price") ] uq;
+  (* deep chain where later levels see earlier levels' effects: the
+     rename hides //supplier from the delete, and the insert targets the
+     new label *)
+  check_stack_equiv "stack3 rename-shadow"
+    [ Transform_ast.Rename (parse_path "//supplier[country = \"A\"]", "banned");
+      Transform_ast.Delete (parse_path "//supplier/price");
+      Transform_ast.Insert (parse_path "//banned", Node.elem "why" [ Node.text "A" ]) ]
+    (User_query.parse "for $x in db/part return $x");
+  (* content inserted by one level navigated by the user query *)
+  check_stack_equiv "stack2 inserted-content"
+    [ Transform_ast.Insert (parse_path "//part[pname = \"keyboard\"]", supplier_e);
+      Transform_ast.Delete (parse_path "//price") ]
+    (User_query.parse "for $x in db/part/supplier return $x/sname")
+
+let prop_stack_random_chains =
+  let gen =
+    QCheck.Gen.(
+      pair (list_size (int_range 2 4) (oneofl stack_updates)) (oneofl stack_queries))
+  in
+  let print (updates, q) =
+    String.concat " ; " (List.map Transform_ast.update_to_string updates) ^ " | " ^ q
+  in
+  QCheck.Test.make ~count:60 ~name:"compose_stack = naive_stack (random chains, depth >= 2)"
+    (QCheck.make ~print gen) (fun (updates, q) ->
+      let doc = Fixtures.parts_doc () in
+      let uq = User_query.parse q in
+      let expected = value_repr (Composition.naive_stack updates uq ~doc) in
+      match Composition.compose_stack updates uq with
+      | Error m -> QCheck.Test.fail_reportf "did not compose: %s" m
+      | Ok c -> value_repr (Composition.run_composed c ~doc) = expected)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "stack: depth-2 matrix" `Quick test_stack_depth2_matrix;
+      Alcotest.test_case "stack: edge depths" `Quick test_stack_edge_depths;
+      QCheck_alcotest.to_alcotest prop_stack_random_chains ]

@@ -258,7 +258,7 @@ let test_readers_race_repair () =
               readers :=
                 Service.submit svc
                   (Service.Transform
-                     { doc = "d"; engine = Core.Engine.Td_bu; query = read_query })
+                     { target = Service.Doc "d"; engine = Core.Engine.Td_bu; query = read_query })
                 :: !readers
             done;
             let q =
@@ -297,7 +297,7 @@ let test_service_fallback_on_root_swap () =
             match
               Service.call svc
                 (Service.Transform
-                   { doc = "d"; engine = Core.Engine.Td_bu; query = read_query })
+                   { target = Service.Doc "d"; engine = Core.Engine.Td_bu; query = read_query })
             with
             | Service.Ok (Service.Tree s) -> s
             | _ -> Alcotest.fail "read failed"

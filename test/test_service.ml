@@ -259,7 +259,7 @@ let test_service_matches_engine_run () =
             (fun engine ->
               List.iter
                 (fun q ->
-                  match Service.call svc (Service.Transform { doc = "d"; engine; query = q }) with
+                  match Service.call svc (Service.Transform { target = Service.Doc "d"; engine; query = q }) with
                   | Service.Ok (Service.Tree payload) ->
                     Alcotest.(check string)
                       (Core.Engine.name engine ^ " matches Engine.run")
@@ -270,7 +270,7 @@ let test_service_matches_engine_run () =
             [ Core.Engine.Td_bu; Core.Engine.Gentop; Core.Engine.Naive ];
           match
             Service.call svc
-              (Service.Count { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
+              (Service.Count { target = Service.Doc "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
           with
           | Service.Ok (Service.Element_count n) ->
             (* 18 elements minus the two deleted price elements *)
@@ -282,8 +282,8 @@ let test_service_batch () =
   with_doc_file (fun path ->
       with_service (fun svc ->
           load_doc svc path;
-          let count = Service.Count { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices } in
-          let bad = Service.Count { doc = "d"; engine = Core.Engine.Td_bu; query = "nonsense" } in
+          let count = Service.Count { target = Service.Doc "d"; engine = Core.Engine.Td_bu; query = q_del_prices } in
+          let bad = Service.Count { target = Service.Doc "d"; engine = Core.Engine.Td_bu; query = "nonsense" } in
           (match Service.call svc (Service.Batch [ count; bad; count; Service.Stats ]) with
           | Service.Ok (Service.Batch_results
               [ Service.Ok (Service.Element_count 16);
@@ -336,7 +336,7 @@ let test_service_concurrent_4_domains () =
                 let q = List.nth queries (i mod 3) in
                 ( i mod 3,
                   Service.submit svc
-                    (Service.Transform { doc = "d"; engine = Core.Engine.Td_bu; query = q }) ))
+                    (Service.Transform { target = Service.Doc "d"; engine = Core.Engine.Td_bu; query = q }) ))
           in
           List.iter
             (fun (which, fut) ->
@@ -360,7 +360,7 @@ let test_service_error_isolation () =
           (match
              Service.call svc
                (Service.Transform
-                  { doc = "d"; engine = Core.Engine.Td_bu; query = "delete everything please" })
+                  { target = Service.Doc "d"; engine = Core.Engine.Td_bu; query = "delete everything please" })
            with
           | Service.Error { code = Service.Query_parse_error; _ } -> ()
           | Service.Error { code; _ } ->
@@ -370,7 +370,7 @@ let test_service_error_isolation () =
           (match
              Service.call svc
                (Service.Transform
-                  { doc = "nope"; engine = Core.Engine.Td_bu; query = q_del_prices })
+                  { target = Service.Doc "nope"; engine = Core.Engine.Td_bu; query = q_del_prices })
            with
           | Service.Error { code = Service.Unknown_document; _ } -> ()
           | Service.Error { code; _ } ->
@@ -379,7 +379,7 @@ let test_service_error_isolation () =
           (* the single worker survived both and still serves *)
           (match
              Service.call svc
-               (Service.Transform { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
+               (Service.Transform { target = Service.Doc "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
            with
           | Service.Ok (Service.Tree payload) ->
             Alcotest.(check string) "pool keeps serving after errors"
@@ -424,7 +424,7 @@ let test_service_lifecycle_invalidation () =
             match
               Service.call svc
                 (Service.Transform
-                   { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
+                   { target = Service.Doc "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
             with
             | Service.Ok (Service.Tree payload) -> payload
             | Service.Ok _ -> Alcotest.fail "TRANSFORM must answer with a Tree"
@@ -460,7 +460,7 @@ let test_service_reload_replaces () =
             match
               Service.call svc
                 (Service.Transform
-                   { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
+                   { target = Service.Doc "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
             with
             | Service.Ok (Service.Tree payload) -> payload
             | _ -> Alcotest.fail "TRANSFORM"
@@ -568,6 +568,266 @@ let test_transform_stream () =
               (has "serialize_pool_hits ")
           | _ -> Alcotest.fail "STATS"))
 
+(* ---- stored views ---- *)
+
+(* Mirror of the service's result rendering, so expectations are
+   computed independently through the naive materialize-then-query
+   path. *)
+let view_render (v : Xut_xquery.Xq_value.t) =
+  String.concat "\n"
+    (List.map
+       (fun item ->
+         match item with
+         | Xut_xquery.Xq_value.N n -> Xut_xml.Serialize.to_string n
+         | Xut_xquery.Xq_value.D e -> Xut_xml.Serialize.element_to_string e
+         | other -> Xut_xquery.Xq_value.string_of_item other)
+       v)
+
+(* [defs] are transform-query texts, innermost (applied first) at the
+   head; the answer is Q over the naively materialized chain. *)
+let naive_view_value ~base defs user_q =
+  let updates =
+    List.map (fun s -> (Core.Transform_parser.parse s).Core.Transform_ast.update) defs
+  in
+  Core.Composition.naive_stack updates (Core.User_query.parse user_q) ~doc:base
+
+let v1_def = {|transform copy $a := doc("d") modify do delete $a//price return $a|}
+let v2_def = {|transform copy $a := doc("v1") modify do rename $a/site/items/item as product return $a|}
+let v2_query = "for $x in site/items/product return $x"
+
+let defview svc name query =
+  match Service.call svc (Service.Defview { name; query }) with
+  | Service.Ok (Service.View_defined { base; depth; redefined; _ }) -> (base, depth, redefined)
+  | Service.Ok _ -> Alcotest.fail "DEFVIEW must answer with a View_defined"
+  | Service.Error { message; _ } -> Alcotest.fail message
+
+let transform_view svc name query =
+  match
+    Service.call svc
+      (Service.Transform { target = Service.View name; engine = Core.Engine.Td_bu; query })
+  with
+  | Service.Ok (Service.Tree payload) -> payload
+  | Service.Ok _ -> Alcotest.fail "TRANSFORM VIEW must answer with a Tree"
+  | Service.Error { message; _ } -> Alcotest.fail message
+
+let test_view_define_and_query () =
+  with_doc_file (fun path ->
+      with_service (fun svc ->
+          load_doc svc path;
+          let b1, dep1, re1 = defview svc "v1" v1_def in
+          Alcotest.(check bool) "v1: base d, depth 1, fresh" true
+            (b1 = "d" && dep1 = 1 && not re1);
+          let b2, dep2, _ = defview svc "v2" v2_def in
+          Alcotest.(check bool) "v2: base v1, depth 2" true (b2 = "v1" && dep2 = 2);
+          let m = Service.metrics svc in
+          Alcotest.(check int) "view_defs counted" 2 (Metrics.view_defs m);
+          (* 2-deep chain, composed path, byte-identical to naive *)
+          let base = Xut_xml.Dom.parse_string doc_xml in
+          let expected = view_render (naive_view_value ~base [ v1_def; v2_def ] v2_query) in
+          Alcotest.(check string) "composed = naive materialization" expected
+            (transform_view svc "v2" v2_query);
+          Alcotest.(check int) "served by composition" 1 (Metrics.view_hits m);
+          Alcotest.(check int) "one composition performed" 1 (Metrics.composed_plans m);
+          Alcotest.(check int) "no fallback for an in-fragment query" 0
+            (Metrics.compose_fallbacks m);
+          (* the composed plan is cached: a repeat is a hit, not a recompose *)
+          Alcotest.(check string) "repeat answer identical" expected
+            (transform_view svc "v2" v2_query);
+          Alcotest.(check int) "plan reused" 1 (Metrics.composed_plans m);
+          Alcotest.(check int) "second hit counted" 2 (Metrics.view_hits m);
+          (* COUNT against the view agrees with the naive value *)
+          let naive_count =
+            List.fold_left
+              (fun n item ->
+                match item with
+                | Xut_xquery.Xq_value.N node -> n + Xut_xml.Node.element_count node
+                | Xut_xquery.Xq_value.D e ->
+                  n + Xut_xml.Node.element_count (Xut_xml.Node.Element e)
+                | _ -> n + 1)
+              0
+              (naive_view_value ~base [ v1_def; v2_def ] v2_query)
+          in
+          (match
+             Service.call svc
+               (Service.Count
+                  { target = Service.View "v2"; engine = Core.Engine.Td_bu; query = v2_query })
+           with
+          | Service.Ok (Service.Element_count n) ->
+            Alcotest.(check int) "COUNT VIEW = naive count" naive_count n
+          | _ -> Alcotest.fail "COUNT VIEW");
+          (* LISTVIEWS, sorted by name *)
+          (match Service.call svc Service.Listviews with
+          | Service.Ok (Service.View_list [ a; b ]) ->
+            Alcotest.(check string) "first view" "v1" a.Service.v_name;
+            Alcotest.(check bool) "second view v2 depth 2" true
+              (b.Service.v_name = "v2" && b.Service.v_depth = 2)
+          | _ -> Alcotest.fail "LISTVIEWS must list both views");
+          (* STATS carries per-view lines *)
+          (match Service.call svc Service.Stats with
+          | Service.Ok (Service.Stats_dump dump) ->
+            Alcotest.(check bool) "STATS lists the views" true
+              (String.split_on_char '\n' dump
+              |> List.exists (fun l -> String.starts_with ~prefix:"view v2 base=v1 depth=2" l))
+          | _ -> Alcotest.fail "STATS");
+          (* UNDEFVIEW, then the name is gone *)
+          (match Service.call svc (Service.Undefview { name = "v2" }) with
+          | Service.Ok (Service.View_undefined { name = "v2" }) -> ()
+          | _ -> Alcotest.fail "UNDEFVIEW");
+          match
+            Service.call svc
+              (Service.Transform
+                 { target = Service.View "v2"; engine = Core.Engine.Td_bu; query = v2_query })
+          with
+          | Service.Error { code = Service.Unknown_document; _ } -> ()
+          | _ -> Alcotest.fail "an undefined view must answer unknown-document"))
+
+let test_view_definition_errors () =
+  with_doc_file (fun path ->
+      with_service (fun svc ->
+          load_doc svc path;
+          (* rejected at definition time, with the structured code *)
+          (match
+             Service.call svc
+               (Service.Defview
+                  {
+                    name = "bad";
+                    query =
+                      {|transform copy $a := doc("d") modify do delete $a/site return $a|};
+                  })
+           with
+          | Service.Error { code = Service.View_compose_error; _ } -> ()
+          | Service.Error { code; _ } ->
+            Alcotest.fail ("wrong error code: " ^ Service.err_code_name code)
+          | Service.Ok _ -> Alcotest.fail "document-element deletion must be rejected");
+          (* unparseable definition *)
+          (match
+             Service.call svc (Service.Defview { name = "bad"; query = "not a transform" })
+           with
+          | Service.Error { code = Service.Query_parse_error; _ } -> ()
+          | _ -> Alcotest.fail "expected a parse error");
+          Alcotest.(check int) "rejected definitions not counted" 0
+            (Metrics.view_defs (Service.metrics svc));
+          (* cycles: c1 late-binds to c2, then c2 over c1 closes the loop *)
+          ignore
+            (defview svc "c1"
+               {|transform copy $a := doc("c2") modify do delete $a//price return $a|});
+          (match
+             Service.call svc
+               (Service.Defview
+                  {
+                    name = "c2";
+                    query =
+                      {|transform copy $a := doc("c1") modify do delete $a//age return $a|};
+                  })
+           with
+          | Service.Error { code = Service.View_compose_error; message } ->
+            Alcotest.(check bool) "cycle named in the message" true
+              (String.length message > 0)
+          | _ -> Alcotest.fail "a view cycle must be rejected");
+          (* c1's base "c2" stayed a (nonexistent) document: late binding *)
+          (match
+             Service.call svc
+               (Service.Transform
+                  { target = Service.View "c1"; engine = Core.Engine.Td_bu; query = v2_query })
+           with
+          | Service.Error { code = Service.Unknown_document; _ } -> ()
+          | _ -> Alcotest.fail "unloaded base must answer unknown-document");
+          (* unknown view name *)
+          match
+            Service.call svc
+              (Service.Transform
+                 { target = Service.View "nope"; engine = Core.Engine.Td_bu; query = v2_query })
+          with
+          | Service.Error { code = Service.Unknown_document; _ } -> ()
+          | _ -> Alcotest.fail "unknown view must answer unknown-document"))
+
+(* The dependency graph: COMMIT on the base repairs/invalidates exactly
+   the dependent views' memos (composed plans survive — they depend on
+   definitions, not content); redefinition and UNLOAD evict exactly the
+   affected composed plans, and unrelated views ride through. *)
+let test_view_invalidation_graph () =
+  with_doc_file (fun path ->
+      with_service (fun svc ->
+          load_doc svc path;
+          (match Service.call svc (Service.Load { name = "e"; file = path }) with
+          | Service.Ok (Service.Doc_loaded _) -> ()
+          | _ -> Alcotest.fail "LOAD e");
+          ignore (defview svc "v1" v1_def);
+          ignore (defview svc "v2" v2_def);
+          let w_def = {|transform copy $a := doc("e") modify do delete $a/site/people return $a|} in
+          let w_query = "for $x in site/items/item return $x/name" in
+          ignore (defview svc "w" w_def);
+          let base = Xut_xml.Dom.parse_string doc_xml in
+          let expected_before = view_render (naive_view_value ~base [ v1_def; v2_def ] v2_query) in
+          Alcotest.(check string) "v2 before commit" expected_before
+            (transform_view svc "v2" v2_query);
+          let w_expected = view_render (naive_view_value ~base [ w_def ] w_query) in
+          Alcotest.(check string) "w answers" w_expected (transform_view svc "w" w_query);
+          Alcotest.(check int) "two composed plans cached" 2
+            (Service.cache_stats svc).Plan_cache.composed_entries;
+          let m = Service.metrics svc in
+          Alcotest.(check int) "no view churn yet" 0 (Metrics.view_invalidations m);
+          (* COMMIT the base of the chain *)
+          let commit_q = {|delete $a/site/items/item[name = "lamp"]|} in
+          (match Service.call svc (Service.Commit { doc = "d"; query = commit_q }) with
+          | Service.Ok (Service.Committed { primitives = 1; _ }) -> ()
+          | _ -> Alcotest.fail "COMMIT d");
+          Alcotest.(check bool) "commit churned the dependent views' memos" true
+            (Metrics.view_invalidations m > 0);
+          Alcotest.(check int) "composed plans survive a plain commit" 2
+            (Service.cache_stats svc).Plan_cache.composed_entries;
+          (* the re-query reflects the new base, no restart, still composed *)
+          let committed =
+            Core.Engine.transform Core.Engine.Reference
+              (List.hd (Core.Transform_parser.parse_updates commit_q))
+              base
+          in
+          let expected_after =
+            view_render (naive_view_value ~base:committed [ v1_def; v2_def ] v2_query)
+          in
+          Alcotest.(check bool) "commit changed the view answer" true
+            (expected_before <> expected_after);
+          Alcotest.(check string) "v2 after commit = naive over new base" expected_after
+            (transform_view svc "v2" v2_query);
+          Alcotest.(check int) "served from the cached composition" 2
+            (Metrics.composed_plans m);
+          Alcotest.(check int) "never fell back" 0 (Metrics.compose_fallbacks m);
+          (* redefining v1 evicts exactly the plans through v1 *)
+          let churn0 = Metrics.view_invalidations m in
+          let _, _, redefined =
+            defview svc "v1"
+              {|transform copy $a := doc("d") modify do delete $a//age return $a|}
+          in
+          Alcotest.(check bool) "redefinition reported" true redefined;
+          Alcotest.(check int) "only w's plan survives the redefinition" 1
+            (Service.cache_stats svc).Plan_cache.composed_entries;
+          Alcotest.(check bool) "redefinition churn counted" true
+            (Metrics.view_invalidations m > churn0);
+          (* and the chain recomposes against the new definition *)
+          let v1_def' = {|transform copy $a := doc("d") modify do delete $a//age return $a|} in
+          let expected_redef =
+            view_render (naive_view_value ~base:committed [ v1_def'; v2_def ] v2_query)
+          in
+          Alcotest.(check string) "v2 after redefinition" expected_redef
+            (transform_view svc "v2" v2_query);
+          Alcotest.(check int) "recomposed once" 3 (Metrics.composed_plans m);
+          (* w was untouched throughout: still a cache hit *)
+          Alcotest.(check string) "w unaffected" w_expected (transform_view svc "w" w_query);
+          Alcotest.(check int) "w's plan was never recomposed" 3 (Metrics.composed_plans m);
+          (* UNLOAD w's base drops w's plan, keeps v2's *)
+          (match Service.call svc (Service.Unload { name = "e" }) with
+          | Service.Ok (Service.Doc_unloaded _) -> ()
+          | _ -> Alcotest.fail "UNLOAD e");
+          Alcotest.(check int) "only the unloaded base's plan evicted" 1
+            (Service.cache_stats svc).Plan_cache.composed_entries;
+          match
+            Service.call svc
+              (Service.Transform
+                 { target = Service.View "w"; engine = Core.Engine.Td_bu; query = w_query })
+          with
+          | Service.Error { code = Service.Unknown_document; _ } -> ()
+          | _ -> Alcotest.fail "w without its base must answer unknown-document"))
+
 let test_metrics_histogram () =
   let m = Metrics.create () in
   (* 90 fast requests, 10 slow ones *)
@@ -618,4 +878,8 @@ let suite =
     Alcotest.test_case "pool: parallel fan-out" `Quick test_pool_parallel_sum;
     Alcotest.test_case "pool: failure isolation" `Quick test_pool_failure_isolation;
     Alcotest.test_case "metrics: histogram and queue depth" `Quick test_metrics_histogram;
+    Alcotest.test_case "views: define, query, list, undefine" `Quick test_view_define_and_query;
+    Alcotest.test_case "views: definition-time rejection" `Quick test_view_definition_errors;
+    Alcotest.test_case "views: dependency-graph invalidation" `Quick
+      test_view_invalidation_graph;
   ]

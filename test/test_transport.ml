@@ -116,7 +116,7 @@ let test_line_protocol () =
        (Wire.Line.decode_request
           "TRANSFORM d td-bu transform copy $a := doc(\"d\") modify do delete $a//x return $a")
    with
-  | Service.Transform { doc = "d"; engine = Core.Engine.Td_bu; query } ->
+  | Service.Transform { target = Service.Doc "d"; engine = Core.Engine.Td_bu; query } ->
     Alcotest.(check bool) "query text survives" true
       (String.length query > 0 && String.sub query 0 9 = "transform")
   | _ -> Alcotest.fail "TRANSFORM parse");
@@ -128,11 +128,38 @@ let test_line_protocol () =
        (Wire.Line.decode_request
           "COUNT d gentop transform copy $a := doc(\"d\") modify do delete $a//x return $a")
    with
-  | Service.Count { doc = "d"; engine = Core.Engine.Gentop; _ } -> ()
+  | Service.Count { target = Service.Doc "d"; engine = Core.Engine.Gentop; _ } -> ()
   | _ -> Alcotest.fail "COUNT parse");
   (match ok (Wire.Line.decode_request "APPLY d delete $a//price") with
   | Service.Apply { doc = "d"; query = "delete $a//price" } -> ()
   | _ -> Alcotest.fail "APPLY parse");
+  (* the VIEW keyword re-targets TRANSFORM/COUNT at a stored view *)
+  (match ok (Wire.Line.decode_request "TRANSFORM VIEW v td-bu for $x in a/b return $x") with
+  | Service.Transform
+      { target = Service.View "v"; engine = Core.Engine.Td_bu;
+        query = "for $x in a/b return $x" } -> ()
+  | _ -> Alcotest.fail "TRANSFORM VIEW parse");
+  (match ok (Wire.Line.decode_request "COUNT VIEW v gentop for $x in a/b return $x") with
+  | Service.Count { target = Service.View "v"; engine = Core.Engine.Gentop; _ } -> ()
+  | _ -> Alcotest.fail "COUNT VIEW parse");
+  (* ...but only the exact uppercase keyword: a lowercase name stays a doc *)
+  (match ok (Wire.Line.decode_request "TRANSFORM view td-bu for $x in a/b return $x") with
+  | Service.Transform { target = Service.Doc "view"; _ } -> ()
+  | _ -> Alcotest.fail "lowercase view is a document name");
+  (match ok (Wire.Line.decode_request "DEFVIEW v := transform copy $a := doc(\"d\") modify do delete $a//x return $a") with
+  | Service.Defview { name = "v"; query } ->
+    Alcotest.(check bool) ":= is stripped" true (String.sub query 0 9 = "transform")
+  | _ -> Alcotest.fail "DEFVIEW parse");
+  (match ok (Wire.Line.decode_request "DEFVIEW v transform copy $a := doc(\"d\") modify do delete $a//x return $a") with
+  | Service.Defview { name = "v"; query } ->
+    Alcotest.(check bool) ":= is optional" true (String.sub query 0 9 = "transform")
+  | _ -> Alcotest.fail "DEFVIEW parse without :=");
+  (match ok (Wire.Line.decode_request "UNDEFVIEW v") with
+  | Service.Undefview { name = "v" } -> ()
+  | _ -> Alcotest.fail "UNDEFVIEW parse");
+  (match ok (Wire.Line.decode_request "listviews") with
+  | Service.Listviews -> ()
+  | _ -> Alcotest.fail "LISTVIEWS parse (case-insensitive verb)");
   (match ok (Wire.Line.decode_request "commit d insert <x/> into $a") with
   | Service.Commit { doc = "d"; query = "insert <x/> into $a" } -> ()
   | _ -> Alcotest.fail "COMMIT parse (case-insensitive verb)");
@@ -142,7 +169,7 @@ let test_line_protocol () =
       | Ok _ -> Alcotest.fail ("should not parse: " ^ line)
       | Error _ -> ())
     [ ""; "LOAD d"; "TRANSFORM d"; "TRANSFORM d bogus-engine q"; "APPLY d"; "COMMIT d";
-      "FROBNICATE x" ];
+      "FROBNICATE x"; "TRANSFORM VIEW v"; "DEFVIEW v"; "UNDEFVIEW" ];
   (* encode/decode round trips for representable requests *)
   List.iter
     (fun req ->
@@ -151,17 +178,32 @@ let test_line_protocol () =
       | Ok line ->
         Alcotest.(check bool) "line round trip" true (Wire.Line.decode_request line = Ok req))
     [
-      Service.Count { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices };
+      Service.Count { target = Service.Doc "d"; engine = Core.Engine.Td_bu; query = q_del_prices };
       Service.Apply { doc = "d"; query = "delete $a//price" };
       Service.Commit { doc = "d"; query = "(delete $a//price, rename $a/site as x)" };
+      Service.Transform
+        { target = Service.View "v"; engine = Core.Engine.Td_bu;
+          query = "for $x in a/b return $x" };
+      Service.Count
+        { target = Service.View "v"; engine = Core.Engine.Gentop;
+          query = "for $x in a/b return $x" };
+      Service.Defview { name = "v"; query = q_del_prices };
+      Service.Undefview { name = "v" };
+      Service.Listviews;
     ];
   (* the line protocol's blind spots: exactly what the binary frames fix *)
   (match
      Wire.Line.encode_request
-       (Service.Transform { doc = "d"; engine = Core.Engine.Td_bu; query = "a\nb" })
+       (Service.Transform { target = Service.Doc "d"; engine = Core.Engine.Td_bu; query = "a\nb" })
    with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "a multi-line query must not be expressible on one line");
+  (match
+     Wire.Line.encode_request
+       (Service.Transform { target = Service.Doc "VIEW"; engine = Core.Engine.Td_bu; query = "q" })
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a document named VIEW must not be expressible on one line");
   match Wire.Line.encode_request (Service.Batch [ Service.Stats ]) with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "a batch must not be expressible on one line"
@@ -178,18 +220,25 @@ let gen_text =
 
 let gen_engine = QCheck.Gen.oneofl Core.Engine.all
 
+let gen_target =
+  QCheck.Gen.(
+    oneof [ map (fun d -> Service.Doc d) gen_text; map (fun v -> Service.View v) gen_text ])
+
 let gen_simple_request =
   QCheck.Gen.(
     oneof
       [
         map2 (fun name file -> Service.Load { name; file }) gen_text gen_text;
         map (fun name -> Service.Unload { name }) gen_text;
-        map3 (fun doc engine query -> Service.Transform { doc; engine; query }) gen_text
+        map3 (fun target engine query -> Service.Transform { target; engine; query }) gen_target
           gen_engine gen_text;
-        map3 (fun doc engine query -> Service.Count { doc; engine; query }) gen_text gen_engine
-          gen_text;
+        map3 (fun target engine query -> Service.Count { target; engine; query }) gen_target
+          gen_engine gen_text;
         map2 (fun doc query -> Service.Apply { doc; query }) gen_text gen_text;
         map2 (fun doc query -> Service.Commit { doc; query }) gen_text gen_text;
+        map2 (fun name query -> Service.Defview { name; query }) gen_text gen_text;
+        map (fun name -> Service.Undefview { name }) gen_text;
+        return Service.Listviews;
         return Service.Stats;
       ])
 
@@ -210,6 +259,7 @@ let gen_err_code =
       Service.Conflict;
       Service.Overloaded;
       Service.Bad_request;
+      Service.View_compose_error;
     ]
 
 let gen_simple_response =
@@ -236,6 +286,18 @@ let gen_simple_response =
           (fun doc (primitives, collapsed) (elements, generation) ->
             Service.Ok (Service.Committed { doc; primitives; collapsed; elements; generation }))
           gen_text (pair small_nat small_nat) (pair small_nat small_nat);
+        map3
+          (fun (name, base) (depth, generation) redefined ->
+            Service.Ok (Service.View_defined { name; base; depth; generation; redefined }))
+          (pair gen_text gen_text) (pair small_nat small_nat) bool;
+        map (fun name -> Service.Ok (Service.View_undefined { name })) gen_text;
+        map
+          (fun views -> Service.Ok (Service.View_list views))
+          (list_size (int_range 0 4)
+             (map2
+                (fun (v_name, v_base) (v_depth, v_generation) ->
+                  { Service.v_name; v_base; v_depth; v_generation })
+                (pair gen_text gen_text) (pair small_nat small_nat)));
         map2 (fun code message -> Service.Error { code; message }) gen_err_code gen_text;
       ])
 
@@ -319,7 +381,7 @@ let test_socket_matches_in_process () =
               List.iter
                 (fun q ->
                   let req =
-                    Service.Transform { doc = "d"; engine = Core.Engine.Td_bu; query = q }
+                    Service.Transform { target = Service.Doc "d"; engine = Core.Engine.Td_bu; query = q }
                   in
                   let over_socket = Client.call cli req in
                   let in_process = Service.call svc req in
@@ -335,7 +397,7 @@ let test_socket_matches_in_process () =
                 queries;
               (match
                  Client.call cli
-                   (Service.Count { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
+                   (Service.Count { target = Service.Doc "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
                with
               | Service.Ok (Service.Element_count 16) -> ()
               | _ -> Alcotest.fail "COUNT over the socket");
@@ -374,7 +436,7 @@ let test_socket_concurrent_clients () =
                     match
                       Client.call cli
                         (Service.Transform
-                           { doc = "d";
+                           { target = Service.Doc "d";
                              engine = Core.Engine.Td_bu;
                              query = List.nth queries which
                            })
@@ -401,7 +463,7 @@ let assert_still_serving sock doc =
       load_over cli doc;
       match
         Client.call cli
-          (Service.Count { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
+          (Service.Count { target = Service.Doc "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
       with
       | Service.Ok (Service.Element_count 16) -> ()
       | _ -> Alcotest.fail "server no longer serves after an abusive client")
@@ -550,14 +612,14 @@ let test_error_codes_over_socket () =
               (match
                  Client.call cli
                    (Service.Transform
-                      { doc = "nope"; engine = Core.Engine.Td_bu; query = q_del_prices })
+                      { target = Service.Doc "nope"; engine = Core.Engine.Td_bu; query = q_del_prices })
                with
               | Service.Error { code = Service.Unknown_document; _ } -> ()
               | _ -> Alcotest.fail "unknown document must map to unknown-document");
               (match
                  Client.call cli
                    (Service.Transform
-                      { doc = "d"; engine = Core.Engine.Td_bu; query = "not a query" })
+                      { target = Service.Doc "d"; engine = Core.Engine.Td_bu; query = "not a query" })
                with
               | Service.Error { code = Service.Query_parse_error; _ } -> ()
               | _ -> Alcotest.fail "bad query must map to query-parse-error");
@@ -576,7 +638,7 @@ let test_batch_over_socket () =
             (fun () ->
               load_over cli doc;
               let count =
-                Service.Count { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices }
+                Service.Count { target = Service.Doc "d"; engine = Core.Engine.Td_bu; query = q_del_prices }
               in
               match Client.call_batch cli [ count; count; count ] with
               | [ Service.Ok (Service.Element_count 16);
@@ -612,7 +674,7 @@ let test_busy_rejection () =
               (* the first connection is unaffected *)
               match
                 Client.call cli1
-                  (Service.Count { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
+                  (Service.Count { target = Service.Doc "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
               with
               | Service.Ok (Service.Element_count 16) -> ()
               | _ -> Alcotest.fail "the admitted connection must keep working")))
@@ -686,7 +748,7 @@ let test_stream_over_socket () =
               (* the connection still serves plain requests afterwards *)
               (match
                  Client.call cli
-                   (Service.Count { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
+                   (Service.Count { target = Service.Doc "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
                with
               | Service.Ok (Service.Element_count 16) -> ()
               | _ -> Alcotest.fail "plain request after a stream");
@@ -1009,10 +1071,88 @@ let test_tcp_roundtrip () =
               load_over cli doc;
               match
                 Client.call cli
-                  (Service.Count { doc = "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
+                  (Service.Count { target = Service.Doc "d"; engine = Core.Engine.Td_bu; query = q_del_prices })
               with
               | Service.Ok (Service.Element_count 16) -> ()
               | _ -> Alcotest.fail "COUNT over TCP")))
+
+(* DEFVIEW and view-addressed queries over the socket: defined through
+   one connection, served composed, byte-identical to the naive
+   materialize-then-query answer computed in-process. *)
+let test_views_over_socket () =
+  let v1_def = {|transform copy $a := doc("d") modify do delete $a//price return $a|} in
+  let v2_def =
+    {|transform copy $a := doc("v1") modify do rename $a/site/items/item as product return $a|}
+  in
+  let uq_text = "for $x in site/items/product return $x" in
+  with_doc_file (fun doc ->
+      with_server (fun svc sock ->
+          let cli = Client.connect (Addr.Unix_socket sock) in
+          Fun.protect
+            ~finally:(fun () -> Client.close cli)
+            (fun () ->
+              load_over cli doc;
+              (match Client.call cli (Service.Defview { name = "v1"; query = v1_def }) with
+              | Service.Ok (Service.View_defined { name = "v1"; base = "d"; depth = 1; _ }) ->
+                ()
+              | _ -> Alcotest.fail "DEFVIEW v1 over the socket");
+              (match Client.call cli (Service.Defview { name = "v2"; query = v2_def }) with
+              | Service.Ok (Service.View_defined { name = "v2"; base = "v1"; depth = 2; _ })
+                -> ()
+              | _ -> Alcotest.fail "DEFVIEW v2 over the socket");
+              (* a rejected definition maps to the structured code *)
+              (match
+                 Client.call cli
+                   (Service.Defview
+                      {
+                        name = "bad";
+                        query =
+                          {|transform copy $a := doc("d") modify do delete $a/site return $a|};
+                      })
+               with
+              | Service.Error { code = Service.View_compose_error; _ } -> ()
+              | _ -> Alcotest.fail "view-compose-error must survive the wire");
+              let naive =
+                let base = Xut_xml.Dom.parse_string doc_xml in
+                let updates =
+                  List.map
+                    (fun s -> (Core.Transform_parser.parse s).Core.Transform_ast.update)
+                    [ v1_def; v2_def ]
+                in
+                Core.Composition.naive_stack updates (Core.User_query.parse uq_text) ~doc:base
+              in
+              let expected =
+                String.concat "\n"
+                  (List.map
+                     (fun item ->
+                       match item with
+                       | Xut_xquery.Xq_value.N n -> Xut_xml.Serialize.to_string n
+                       | Xut_xquery.Xq_value.D e -> Xut_xml.Serialize.element_to_string e
+                       | other -> Xut_xquery.Xq_value.string_of_item other)
+                     naive)
+              in
+              let req =
+                Service.Transform
+                  { target = Service.View "v2"; engine = Core.Engine.Td_bu; query = uq_text }
+              in
+              (match Client.call cli req with
+              | Service.Ok (Service.Tree t) ->
+                Alcotest.(check string)
+                  "TRANSFORM VIEW over the socket byte-identical to naive" expected t
+              | _ -> Alcotest.fail "TRANSFORM VIEW over the socket");
+              Alcotest.(check bool) "socket response = in-process response" true
+                (Client.call cli req = Service.call svc req);
+              (match Client.call cli Service.Listviews with
+              | Service.Ok (Service.View_list [ a; b ]) ->
+                Alcotest.(check string) "v1 listed" "v1" a.Service.v_name;
+                Alcotest.(check string) "v2 listed" "v2" b.Service.v_name
+              | _ -> Alcotest.fail "LISTVIEWS over the socket");
+              let m = Service.metrics svc in
+              Alcotest.(check bool) "served composed" true (Metrics.view_hits m > 0);
+              Alcotest.(check int) "no fallback" 0 (Metrics.compose_fallbacks m);
+              match Client.call cli (Service.Undefview { name = "v2" }) with
+              | Service.Ok (Service.View_undefined { name = "v2" }) -> ()
+              | _ -> Alcotest.fail "UNDEFVIEW over the socket")))
 
 let suite =
   [
@@ -1041,4 +1181,5 @@ let suite =
     Alcotest.test_case "socket: APPLY/COMMIT write path" `Quick test_commit_over_socket;
     Alcotest.test_case "socket: mid-stream error frame" `Quick test_mid_stream_error;
     Alcotest.test_case "tcp: round trip on an ephemeral port" `Quick test_tcp_roundtrip;
+    Alcotest.test_case "socket: DEFVIEW and view queries" `Quick test_views_over_socket;
   ]

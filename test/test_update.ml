@@ -242,7 +242,7 @@ let load_doc svc path =
 let generation svc = (Option.get (Doc_store.info (Service.store svc) "d")).Doc_store.generation
 
 let tree_of svc query =
-  match Service.call svc (Service.Transform { doc = "d"; engine = Core.Engine.Td_bu; query }) with
+  match Service.call svc (Service.Transform { target = Service.Doc "d"; engine = Core.Engine.Td_bu; query }) with
   | Service.Ok (Service.Tree s) -> s
   | _ -> Alcotest.fail "transform failed"
 
@@ -382,7 +382,7 @@ let test_interleaved_readers () =
               readers :=
                 Service.submit svc
                   (Service.Transform
-                     { doc = "d"; engine = Core.Engine.Td_bu; query = identity_query })
+                     { target = Service.Doc "d"; engine = Core.Engine.Td_bu; query = identity_query })
                 :: !readers
             done;
             let q =
