@@ -83,6 +83,48 @@ let tdbu_ns_per_node ~factor ~reps =
       (u.Workloads.name, dt *. 1e9 /. float_of_int nodes))
     queries
 
+(* ---- annotator ns/node A/B: schema skip-sets on vs off ----------------
+
+   The bottom-up annotation pass over XMark, with and without the
+   NFA x schema skip-set oracle.  The schema-selective query confines
+   its matches to one arm of the site tree, so the oracle prunes the
+   other arms without a visit; the broad query reaches almost every arm,
+   so the oracle is a no-op and the A/B doubles as a regression guard
+   for the per-node skip check. *)
+
+let annotator_queries =
+  [ ("selective", p1); ("broad", "/site//date") ]
+
+let annotator_ab ~factor ~reps =
+  Xut_xmark.Site_schema.register ();
+  let schema =
+    match Xut_schema.Schema.find Xut_xmark.Site_schema.schema_name with
+    | Some s -> s
+    | None -> assert false
+  in
+  let root = Xut_xmark.Generator.generate ~factor () in
+  let nodes = Xut_xml.Node.element_count (Xut_xml.Node.Element root) in
+  List.map
+    (fun (label, path_s) ->
+      let nfa = Xut_automata.Selecting_nfa.of_path (Xut_xpath.Parser.parse path_s) in
+      let product = Xut_schema.Schema.product schema nfa in
+      let skip e = Xut_schema.Schema.skippable product (Xut_xml.Node.sym e) in
+      ignore (Sys.opaque_identity (Xut_automata.Annotator.annotate nfa root));
+      ignore (Sys.opaque_identity (Xut_automata.Annotator.annotate ~skip nfa root));
+      let off =
+        Timing.measure ~reps (fun () ->
+            ignore (Sys.opaque_identity (Xut_automata.Annotator.annotate nfa root)))
+      in
+      let on =
+        Timing.measure ~reps (fun () ->
+            ignore (Sys.opaque_identity (Xut_automata.Annotator.annotate ~skip nfa root)))
+      in
+      ( label,
+        Xut_schema.Schema.skip_count product,
+        off *. 1e9 /. float_of_int nodes,
+        on *. 1e9 /. float_of_int nodes ))
+    annotator_queries
+
 (* ---- JSON output ------------------------------------------------------- *)
 
 let json_escape s =
@@ -96,10 +138,28 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json path ~factor ~micro ~tdbu =
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    let status = Unix.close_process_in ic in
+    match (status, line) with Unix.WEXITED 0, l when l <> "" -> l | _ -> "unknown"
+  with _ -> "unknown"
+
+let iso_date () =
+  let t = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900) (t.Unix.tm_mon + 1)
+    t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec
+
+let write_json path ~factor ~micro ~tdbu ~annot =
   Out_channel.with_open_text path (fun oc ->
       output_string oc "{\n";
       Printf.fprintf oc "  \"bench\": \"micro\",\n";
+      Printf.fprintf oc
+        "  \"meta\": { \"commit\": \"%s\", \"date\": \"%s\", \"cores\": %d, \"os\": \"%s\" },\n"
+        (git_commit ()) (iso_date ())
+        (Domain.recommended_domain_count ())
+        Sys.os_type;
       Printf.fprintf oc "  \"xmark_factor\": %g,\n" factor;
       Printf.fprintf oc "  \"micro_ns_per_run\": {\n";
       List.iteri
@@ -115,6 +175,16 @@ let write_json path ~factor ~micro ~tdbu =
             (if i = List.length tdbu - 1 then "" else ","))
         tdbu;
       Printf.fprintf oc "  },\n";
+      Printf.fprintf oc "  \"annotator_ns_per_node\": [\n";
+      List.iteri
+        (fun i (label, skips, off, on) ->
+          Printf.fprintf oc
+            "    { \"query\": \"%s\", \"skip_set_size\": %d, \"skip_off\": %.2f, \
+             \"skip_on\": %.2f }%s\n"
+            (json_escape label) skips off on
+            (if i = List.length annot - 1 then "" else ","))
+        annot;
+      Printf.fprintf oc "  ],\n";
       let mean =
         List.fold_left (fun acc (_, ns) -> acc +. ns) 0. tdbu
         /. float_of_int (max 1 (List.length tdbu))
@@ -156,6 +226,14 @@ let run ?json ?(quick = false) ?(tdbu_only = false) () =
     /. float_of_int (max 1 (List.length tdbu))
   in
   Printf.printf "  %-6s %10.2f ns/node\n" "mean" mean;
+  Printf.printf "\n== Annotator ns/node, schema skip-sets off vs on (XMark f=%g) ==\n" factor;
+  let annot = annotator_ab ~factor ~reps in
+  List.iter
+    (fun (label, skips, off, on) ->
+      Printf.printf "  %-10s skip_set=%-3d off %8.2f ns/node   on %8.2f ns/node  (%.2fx)\n"
+        label skips off on
+        (if on > 0. then off /. on else 0.))
+    annot;
   match json with
-  | Some path -> write_json path ~factor ~micro:(List.rev !micro_results) ~tdbu
+  | Some path -> write_json path ~factor ~micro:(List.rev !micro_results) ~tdbu ~annot
   | None -> ()

@@ -20,6 +20,31 @@ let read_file path =
 
 let load_doc path = Xut_xml.Dom.parse_file path
 
+(* ---------------- run metadata (for bench JSON) ----------------
+
+   Enough provenance to compare BENCH_*.json files across checkouts:
+   which commit produced the numbers, when, and on how many cores. *)
+
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    let status = Unix.close_process_in ic in
+    match (status, line) with Unix.WEXITED 0, l when l <> "" -> l | _ -> "unknown"
+  with _ -> "unknown"
+
+let iso_date () =
+  let t = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900) (t.Unix.tm_mon + 1)
+    t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec
+
+let json_meta oc =
+  Printf.fprintf oc
+    "  \"meta\": { \"commit\": \"%s\", \"date\": \"%s\", \"cores\": %d, \"os\": \"%s\" },\n"
+    (git_commit ()) (iso_date ())
+    (Domain.recommended_domain_count ())
+    Sys.os_type
+
 (* ---------------- shared arguments ---------------- *)
 
 let doc_arg =
@@ -481,6 +506,9 @@ type bench_row = {
   row_composed : int;
   row_view_inval : int;
   row_compose_fallbacks : int;
+  row_skipped_subtrees : int;  (* schema mode only *)
+  row_skipped_nodes : int;
+  row_products : int;
 }
 
 let percentile sorted q =
@@ -515,7 +543,8 @@ let view_user_query = "for $x in site/people/person return $x/name"
 
 let bench_serve_cmd =
   let run doc_opt factor requests domains_list engine query_opt payload stream chunk_size
-      json_opt socket batch docs write_ratio write_depth commit_storm views chain_depth =
+      json_opt socket batch docs write_ratio write_depth commit_storm views chain_depth
+      schema =
     (* Streaming is a payload-mode variant; batching does not apply (a
        stream is one transform per exchange).  Commit-storm mode is a
        synchronous loop (client-side latency is the point), so it takes
@@ -539,6 +568,15 @@ let bench_serve_cmd =
       Printf.eprintf "bench-serve: --views must be >= 0 and --chain-depth >= 1\n";
       exit 2
     end;
+    (* --schema loads the documents under the XMark schema, turning on
+       admission checks and subtree skip-sets.  Write cells use the
+       bench variant, which additionally permits the marker element the
+       commit workload inserts. *)
+    let schema_name_opt =
+      if not schema then None
+      else if write_ratio > 0. then Some Xut_xmark.Site_schema.bench_schema_name
+      else Some Xut_xmark.Site_schema.schema_name
+    in
     (* View mode serves composed answers, which are never streamed. *)
     let stream = stream && views = 0 in
     (* Every [wperiod]-th unit is a COMMIT instead of a read: with ratio
@@ -582,13 +620,14 @@ let bench_serve_cmd =
     let domain_counts = if domain_counts = [] then [ 1; 2; 4 ] else domain_counts in
     Printf.printf
       "bench-serve: doc=%s docs=%d requests=%d engine=%s reply=%s transport=%s batch=%d \
-       write-ratio=%g write-depth=%d%s cores=%d\n\
+       write-ratio=%g write-depth=%d%s%s cores=%d\n\
        query: %s\n\n"
       doc_file docs requests (Engine.name engine)
       (if stream then "stream" else if payload then "payload" else "count")
       (if socket then "unix-socket" else "in-process")
       batch write_ratio write_depth
       (if commit_storm then " commit-storm" else "")
+      (match schema_name_opt with Some s -> " schema=" ^ s | None -> "")
       (Domain.recommended_domain_count ())
       query;
     Printf.printf "%-8s %-6s %10s %12s %10s %10s %10s %10s\n" "domains" "cache" "wall(s)"
@@ -604,7 +643,7 @@ let bench_serve_cmd =
         (fun name ->
           match
             Xut_service.Service.call svc
-              (Xut_service.Service.Load { name; file = doc_file })
+              (Xut_service.Service.Load { name; file = doc_file; schema = schema_name_opt })
           with
           | Xut_service.Service.Ok _ -> ()
           | Xut_service.Service.Error { message; _ } -> failwith ("bench-serve: " ^ message))
@@ -826,6 +865,9 @@ let bench_serve_cmd =
       let composed = Xut_service.Metrics.composed_plans m in
       let view_inval = Xut_service.Metrics.view_invalidations m in
       let compose_fb = Xut_service.Metrics.compose_fallbacks m in
+      let skipped_sub = Xut_service.Metrics.skipped_subtrees m in
+      let skipped_nodes = Xut_service.Metrics.skipped_nodes m in
+      let products = Xut_service.Metrics.schema_products m in
       let cs = Xut_service.Service.cache_stats svc in
       Xut_service.Service.shutdown svc;
       if errors > 0 then failwith (Printf.sprintf "bench-serve: %d errors" errors);
@@ -856,6 +898,12 @@ let bench_serve_cmd =
           "         views: n=%d depth=%d view_hits=%d composed_plans=%d \
            view_invalidations=%d compose_fallbacks=%d\n%!"
           views chain_depth view_hits composed view_inval compose_fb;
+      (match schema_name_opt with
+      | Some sname ->
+        Printf.printf
+          "         schema: name=%s skipped_subtrees=%d skipped_nodes=%d products=%d\n%!"
+          sname skipped_sub skipped_nodes products
+      | None -> ());
       {
         rps;
         mb_s;
@@ -867,6 +915,9 @@ let bench_serve_cmd =
         row_composed = composed;
         row_view_inval = view_inval;
         row_compose_fallbacks = compose_fb;
+        row_skipped_subtrees = skipped_sub;
+        row_skipped_nodes = skipped_nodes;
+        row_products = products;
         read_p50_ms = percentile lat 0.50;
         read_p95_ms = percentile lat 0.95;
         read_max_ms = percentile lat 1.0;
@@ -887,6 +938,7 @@ let bench_serve_cmd =
       Out_channel.with_open_text path (fun oc ->
           output_string oc "{\n";
           Printf.fprintf oc "  \"bench\": \"bench-serve\",\n";
+          json_meta oc;
           Printf.fprintf oc "  \"engine\": \"%s\",\n" (Engine.name engine);
           Printf.fprintf oc "  \"requests\": %d,\n" requests;
           Printf.fprintf oc "  \"docs\": %d,\n" docs;
@@ -901,6 +953,8 @@ let bench_serve_cmd =
           Printf.fprintf oc "  \"commit_storm\": %b,\n" commit_storm;
           Printf.fprintf oc "  \"views\": %d,\n" views;
           Printf.fprintf oc "  \"chain_depth\": %d,\n" chain_depth;
+          Printf.fprintf oc "  \"schema\": %s,\n"
+            (match schema_name_opt with Some s -> Printf.sprintf "\"%s\"" s | None -> "null");
           Printf.fprintf oc "  \"rows\": [\n";
           List.iteri
             (fun i (d, off, on) ->
@@ -935,6 +989,16 @@ let bench_serve_cmd =
                           off.row_view_hits on.row_view_hits off.row_composed on.row_composed
                           off.row_view_inval on.row_view_inval off.row_compose_fallbacks
                           on.row_compose_fallbacks
+                      else "");
+                     (if schema_name_opt <> None then
+                        Printf.sprintf
+                          ", \"skipped_subtrees_cache_off\": %d, \
+                           \"skipped_subtrees_cache_on\": %d, \
+                           \"skipped_nodes_cache_off\": %d, \"skipped_nodes_cache_on\": %d, \
+                           \"schema_products_cache_off\": %d, \"schema_products_cache_on\": %d"
+                          off.row_skipped_subtrees on.row_skipped_subtrees
+                          off.row_skipped_nodes on.row_skipped_nodes off.row_products
+                          on.row_products
                       else "");
                    ])
                 (if i = List.length results - 1 then "" else ","))
@@ -1052,6 +1116,14 @@ let bench_serve_cmd =
              ~doc:"Depth of each view chain with --views: level 1 is defined over a base \
                    document, each further level over the previous view (default 2).")
   in
+  let schema_flag =
+    Arg.(value & flag
+         & info [ "schema" ]
+             ~doc:"Load the benchmark documents under the built-in XMark schema (the bench \
+                   variant when writes are enabled), turning on statically-empty admission \
+                   checks and schema skip-set subtree pruning.  Each row then reports \
+                   skipped_subtrees, skipped_nodes and product constructions.")
+  in
   let bench_engine =
     let parse s =
       match Engine.of_string s with
@@ -1071,7 +1143,7 @@ let bench_serve_cmd =
     Term.(
       const run $ doc_opt $ factor $ requests $ domains_list $ bench_engine $ query_opt
       $ payload $ stream $ chunk_size $ json_opt $ socket $ batch $ docs $ write_ratio
-      $ write_depth $ commit_storm $ views $ chain_depth)
+      $ write_depth $ commit_storm $ views $ chain_depth $ schema_flag)
 
 let main =
   let info = Cmd.info "xut" ~version:"1.0.0" ~doc:"Querying XML with update syntax (SIGMOD 2007)." in
@@ -1079,4 +1151,8 @@ let main =
     [ transform_cmd; compose_cmd; rewrite_cmd; query_cmd; xmark_cmd; serve_cmd; client_cmd;
       bench_serve_cmd ]
 
-let () = exit (Cmd.eval' main)
+let () =
+  (* the built-in XMark schemas are available to every subcommand
+     (serve validates LOAD ... SCHEMA against the registry) *)
+  Xut_xmark.Site_schema.register ();
+  exit (Cmd.eval' main)

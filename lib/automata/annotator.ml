@@ -51,8 +51,13 @@ let top_quals nfa states' =
    an entry depends on nothing but the node's subtree and its demand —
    the subtree-locality that [repair] exploits.  [written] counts the
    entries produced (instrumentation for the repair metrics). *)
-let rec annotate_subtree nfa tbl written (e : Node.element) (states : Selecting_nfa.set)
-    (seeds : int list) : unit =
+let rec annotate_subtree ~skip nfa tbl written (e : Node.element)
+    (states : Selecting_nfa.set) (seeds : int list) : unit =
+  if skip e then ()
+    (* schema skip-set: every configuration at or below this symbol is
+       seed-free, so the unpruned pass would write no entries here either
+       — the table is identical with or without the visit *)
+  else begin
   let lq = tbl.lq in
   let name = Node.name e in
   let states' = Selecting_nfa.next_unchecked nfa states (Node.sym e) in
@@ -66,7 +71,7 @@ let rec annotate_subtree nfa tbl written (e : Node.element) (states : Selecting_
         let kid_seeds =
           List.filter (fun p -> not (Lq.label_blocked lq p (Node.name c))) candidates
         in
-        annotate_subtree nfa tbl written c states' kid_seeds)
+        annotate_subtree ~skip nfa tbl written c states' kid_seeds)
       kids;
     if all_seeds <> [] then begin
       let csat i =
@@ -85,11 +90,12 @@ let rec annotate_subtree nfa tbl written (e : Node.element) (states : Selecting_
       incr written
     end
   end
+  end
 
-let annotate nfa root =
+let annotate ?(skip = fun _ -> false) nfa root =
   let tbl = { sat = Hashtbl.create 1024; lq = Selecting_nfa.lq nfa } in
   if has_any_qual nfa then
-    annotate_subtree nfa tbl (ref 0) root (Selecting_nfa.start nfa) [];
+    annotate_subtree ~skip nfa tbl (ref 0) root (Selecting_nfa.start nfa) [];
   tbl
 
 type repair_stats = { recomputed : int; reused : int; dropped : int }
@@ -104,7 +110,7 @@ type repair_stats = { recomputed : int; reused : int; dropped : int }
    and for shared subtrees whose demanded (state set, seed set) changed
    (a rename on the spine above them), and dropping entries whose ids
    left the tree. *)
-let repair nfa ~old_table ~spine new_root =
+let repair ?(skip = fun _ -> false) nfa ~old_table ~spine new_root =
   match Hashtbl.find_opt spine (Node.id new_root) with
   | None -> None (* degenerate diff: the document element was replaced *)
   | Some old_root ->
@@ -123,7 +129,11 @@ let repair nfa ~old_table ~spine new_root =
       (* Forget everything the old run knew about a departed (or
          demand-invalidated) subtree. *)
       let scrub oe = Node.iter_elements (fun x -> drop (Node.id x)) oe in
-      let fresh e states seeds = annotate_subtree nfa tbl recomputed e states seeds in
+      (* Schema pruning reaches repair only through [fresh] (the same
+         entry point a from-scratch run uses), so pruned and unpruned
+         repairs produce the same table: skipped subtrees are exactly
+         those a fresh run writes nothing under. *)
+      let fresh e states seeds = annotate_subtree ~skip nfa tbl recomputed e states seeds in
       (* [oe]/[e] are counterparts: physically the same node (shared
          subtree) or an old spine element and its fresh rebuild.  The two
          (states, seeds) pairs are the demands the old and new runs

@@ -22,10 +22,13 @@ val expand : Xut_xpath.Lq.t -> name:string -> int list -> bool array * int list
     child-seed candidates (the [*/p] and [//p] expressions reachable).
     Shared with the SAX variant of the pass (Section 6). *)
 
-val annotate : Selecting_nfa.t -> Node.element -> table
+val annotate : ?skip:(Node.element -> bool) -> Selecting_nfa.t -> Node.element -> table
 (** Run the pass from the document element, with the start set of the
     NFA (the root's label is consumed by the first transition, matching
-    the [$a/p] convention). *)
+    the [$a/p] convention).  [skip], when given, is a schema skip-set
+    oracle: a [true] answer promises every configuration at or below the
+    argument is seed-free, so the subtree is left unvisited — the table
+    is identical with or without the oracle, just cheaper to build. *)
 
 type repair_stats = {
   recomputed : int;  (** entries evaluated afresh (spine + new material) *)
@@ -34,6 +37,7 @@ type repair_stats = {
 }
 
 val repair :
+  ?skip:(Node.element -> bool) ->
   Selecting_nfa.t ->
   old_table:table ->
   spine:(int, Node.element) Hashtbl.t ->

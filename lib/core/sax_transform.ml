@@ -6,7 +6,13 @@ exception Unsupported_streaming of string
 
 type source = (Sax.event -> unit) -> unit
 
-type run_stats = { max_stack_depth : int; truth_entries : int; elements_seen : int }
+type run_stats = {
+  max_stack_depth : int;
+  truth_entries : int;
+  elements_seen : int;
+  skipped_subtrees : int;
+  skipped_elements : int;
+}
 
 (* Ld: truth of top-level qualifier [lq] at the element with document-order
    number [seq].  Both passes number start-tags identically, so (seq, lq)
@@ -32,18 +38,33 @@ type p1_frame = {
   seq : int;
 }
 
-let pass1 nfa source truth =
+let pass1 ~sskip nfa source truth =
   let lq = Selecting_nfa.lq nfa in
   let nlq = Lq.length lq in
   let stack : p1_frame list ref = ref [] in
   let skip = ref 0 in
+  (* was the current skip episode opened by the schema oracle (as opposed
+     to an empty state set)?  Episodes never nest, so one flag suffices. *)
+  let schema_mode = ref false in
+  let skipped_subtrees = ref 0 and skipped_elements = ref 0 in
   let seq = ref (-1) in
   let max_depth = ref 0 in
   let handle = function
     | Sax.Start_document | Sax.End_document | Sax.Comment_event _ | Sax.Pi_event _ -> ()
     | Sax.Start_element (name, attrs) ->
       incr seq;
-      if !skip > 0 then incr skip
+      if !skip > 0 then begin
+        incr skip;
+        if !schema_mode then incr skipped_elements
+      end
+      else if sskip (Sym.intern name) then begin
+        (* schema skip-set: seed-free below, so no truth entry the second
+           pass could ask for originates here *)
+        skip := 1;
+        schema_mode := true;
+        incr skipped_subtrees;
+        incr skipped_elements
+      end
       else begin
         let parent_states, parent_candidates =
           match !stack with
@@ -76,7 +97,10 @@ let pass1 nfa source truth =
       if !skip = 0 then
         match !stack with f :: _ -> Buffer.add_string f.text t | [] -> ())
     | Sax.End_element _ ->
-      if !skip > 0 then decr skip
+      if !skip > 0 then begin
+        decr skip;
+        if !skip = 0 then schema_mode := false
+      end
       else begin
         match !stack with
         | [] -> ()
@@ -102,7 +126,7 @@ let pass1 nfa source truth =
       end
   in
   source handle;
-  !max_depth, !seq + 1
+  !max_depth, !seq + 1, !skipped_subtrees, !skipped_elements
 
 (* ---------------- pass 2: SAX topDown ---------------- *)
 
@@ -120,10 +144,13 @@ let emit_node sink node =
   in
   go node
 
-let pass2 nfa update source truth sink =
+let pass2 ~sskip nfa update source truth sink =
   let root_matched = Selecting_nfa.selects_context nfa in
   let stack : p2_frame list ref = ref [] in
   let skip = ref 0 in
+  (* schema-skipped subtree being copied to the output verbatim: nothing
+     below can match, so the events pass through with no transition run *)
+  let verbatim = ref 0 in
   let seq = ref (-1) in
   let produced_root = ref false in
   let handle = function
@@ -132,12 +159,25 @@ let pass2 nfa update source truth sink =
       if not !produced_root then
         raise (Transform_ast.Invalid_update "update deletes the document element");
       sink Sax.End_document
-    | Sax.Comment_event _ as ev -> if !skip = 0 && !stack <> [] then sink ev
-    | Sax.Pi_event _ as ev -> if !skip = 0 && !stack <> [] then sink ev
-    | Sax.Characters t -> if !skip = 0 && !stack <> [] then sink (Sax.Characters t)
+    | Sax.Comment_event _ as ev ->
+      if !verbatim > 0 then sink ev else if !skip = 0 && !stack <> [] then sink ev
+    | Sax.Pi_event _ as ev ->
+      if !verbatim > 0 then sink ev else if !skip = 0 && !stack <> [] then sink ev
+    | Sax.Characters t ->
+      if !verbatim > 0 then sink (Sax.Characters t)
+      else if !skip = 0 && !stack <> [] then sink (Sax.Characters t)
     | Sax.Start_element (name, attrs) ->
       incr seq;
       if !skip > 0 then incr skip
+      else if !verbatim > 0 then begin
+        incr verbatim;
+        sink (Sax.Start_element (name, attrs))
+      end
+      else if sskip (Sym.intern name) then begin
+        if !stack = [] then produced_root := true;
+        sink (Sax.Start_element (name, attrs));
+        verbatim := 1
+      end
       else begin
         let at_root = !stack = [] in
         let parent_states =
@@ -177,8 +217,12 @@ let pass2 nfa update source truth sink =
           sink (Sax.Start_element (name, attrs));
           push name
       end
-    | Sax.End_element _ ->
+    | Sax.End_element _ as ev ->
       if !skip > 0 then decr skip
+      else if !verbatim > 0 then begin
+        decr verbatim;
+        sink ev
+      end
       else begin
         match !stack with
         | [] -> ()
@@ -192,7 +236,7 @@ let pass2 nfa update source truth sink =
   in
   source handle
 
-let run nfa update ~source ~sink =
+let run ?(skip = fun _ -> false) nfa update ~source ~sink =
   (match Selecting_nfa.ctx_qual nfa with
   | Ast.Q_true -> ()
   | q ->
@@ -200,9 +244,17 @@ let run nfa update ~source ~sink =
       (Unsupported_streaming
          ("context qualifier [" ^ Ast.qual_to_string q ^ "] cannot be checked in streaming mode")));
   let truth = Truth.create () in
-  let max_depth, elements = pass1 nfa source truth in
-  pass2 nfa update source truth sink;
-  { max_stack_depth = max_depth; truth_entries = Hashtbl.length truth; elements_seen = elements }
+  let max_depth, elements, skipped_subtrees, skipped_elements =
+    pass1 ~sskip:skip nfa source truth
+  in
+  pass2 ~sskip:skip nfa update source truth sink;
+  {
+    max_stack_depth = max_depth;
+    truth_entries = Hashtbl.length truth;
+    elements_seen = elements;
+    skipped_subtrees;
+    skipped_elements;
+  }
 
 let transform update root =
   let nfa = Selecting_nfa.of_path (Transform_ast.path update) in

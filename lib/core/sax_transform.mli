@@ -30,15 +30,23 @@ type run_stats = {
   max_stack_depth : int;  (** pass-1 peak stack size *)
   truth_entries : int;    (** size of Ld *)
   elements_seen : int;
+  skipped_subtrees : int;  (** subtrees the schema skip-set pruned in pass 1 *)
+  skipped_elements : int;  (** elements inside those subtrees (exact count) *)
 }
 
 val run :
+  ?skip:(Sym.t -> bool) ->
   Selecting_nfa.t ->
   Transform_ast.update ->
   source:source ->
   sink:(Sax.event -> unit) ->
   run_stats
-(** @raise Transform_ast.Invalid_update when the update deletes the
+(** [skip], when given, is a schema skip-set oracle over element symbols
+    ({!Xut_schema.Schema.skippable}): a [true] answer promises no node at
+    or below such an element can be selected or contribute a qualifier
+    truth, so pass 1 skips the subtree (no frames, no truth entries) and
+    pass 2 copies its events to the sink verbatim, with no transitions.
+    @raise Transform_ast.Invalid_update when the update deletes the
     document element. *)
 
 val transform : Transform_ast.update -> Node.element -> Node.element

@@ -18,8 +18,15 @@ let rebuild_elem e kids =
     Node.Element (Node.element ~attrs:(Node.attrs e) (Node.name e) kids)
   end
 
-let make_go ~checkp nfa update =
+let make_go ~checkp ?(skip = fun _ -> false) nfa update =
   let rec go (e : Node.element) states : Node.t list =
+    if skip e then begin
+      (* schema skip-set: no configuration at or below this symbol can
+         accept, so the subtree is shared without running a transition *)
+      Stats.share ();
+      [ Node.Element e ]
+    end
+    else begin
       Stats.visit ();
       let states' =
         Selecting_nfa.next nfa ~checkp:(fun s -> checkp s e) states (Node.sym e)
@@ -47,15 +54,16 @@ let make_go ~checkp nfa update =
           if matched then Semantics.apply_matched update e ~kids
           else [ rebuild_elem e kids ]
       end
+    end
   in
   go
 
-let run ?checkp nfa update root =
+let run ?checkp ?skip nfa update root =
   let checkp = match checkp with Some f -> f | None -> direct_checkp nfa in
   if not (Semantics.ctx_holds nfa root) then root
   else if Selecting_nfa.selects_context nfa then Semantics.apply_at_root update root
   else begin
-    let go = make_go ~checkp nfa update in
+    let go = make_go ~checkp ?skip nfa update in
     match go root (Selecting_nfa.start nfa) with
     | [ Node.Element e ] -> e
     | [] -> raise (Transform_ast.Invalid_update "update deletes the document element")
@@ -125,13 +133,18 @@ let emit_tree sink node =
   in
   go node
 
-let stream ?checkp nfa update root sink =
+let stream ?checkp ?(skip = fun _ -> false) nfa update root sink =
   let checkp = match checkp with Some f -> f | None -> direct_checkp nfa in
   if not (Semantics.ctx_holds nfa root) then emit_tree sink (Node.Element root)
   else if Selecting_nfa.selects_context nfa then
     emit_tree sink (Node.Element (Semantics.apply_at_root update root))
   else begin
     let rec go (e : Node.element) states =
+      if skip e then begin
+        Stats.share ();
+        emit_tree sink (Node.Element e)
+      end
+      else begin
       Stats.visit ();
       let states' =
         Selecting_nfa.next nfa ~checkp:(fun s -> checkp s e) states (Node.sym e)
@@ -165,6 +178,7 @@ let stream ?checkp nfa update root sink =
           kids e states';
           sink (Sax.End_element (Node.name e))
       end
+      end
     and kids e states' =
       List.iter
         (function
@@ -174,6 +188,11 @@ let stream ?checkp nfa update root sink =
     in
     (* the document element needs the structural checks [run] applies to
        [go]'s result list — settled here before anything is emitted *)
+    if skip root then begin
+      Stats.share ();
+      emit_tree sink (Node.Element root)
+    end
+    else begin
     Stats.visit ();
     let states' =
       Selecting_nfa.next nfa ~checkp:(fun s -> checkp s root)
@@ -215,5 +234,6 @@ let stream ?checkp nfa update root sink =
         sink (Sax.Start_element (Node.name root, Node.attrs root));
         kids root states';
         sink (Sax.End_element (Node.name root))
+    end
     end
   end

@@ -17,8 +17,18 @@ type checkp = int -> Node.element -> bool
 val direct_checkp : Selecting_nfa.t -> checkp
 (** Qualifier evaluation by the direct evaluator (GENTOP). *)
 
-val run : ?checkp:checkp -> Selecting_nfa.t -> Transform_ast.update -> Node.element -> Node.element
+val run :
+  ?checkp:checkp ->
+  ?skip:(Node.element -> bool) ->
+  Selecting_nfa.t ->
+  Transform_ast.update ->
+  Node.element ->
+  Node.element
 (** Evaluate the transform query whose embedded path built [nfa].
+    [skip], when given, is a schema skip-set oracle
+    ({!Xut_schema.Schema.skippable} over a validated document): a [true]
+    answer promises no node at or below the argument can be selected, so
+    the subtree is shared without running any transition.
     @raise Transform_ast.Invalid_update as {!Semantics.apply}. *)
 
 val transform : Transform_ast.update -> Node.element -> Node.element
@@ -27,6 +37,7 @@ val transform : Transform_ast.update -> Node.element -> Node.element
 
 val stream :
   ?checkp:checkp ->
+  ?skip:(Node.element -> bool) ->
   Selecting_nfa.t ->
   Transform_ast.update ->
   Node.element ->

@@ -1,0 +1,347 @@
+open Xut_xml
+open Xut_automata
+
+(* ---------------- grammar ---------------- *)
+
+type rx =
+  | Empty
+  | Elem of string
+  | Seq of rx list
+  | Alt of rx list
+  | Star of rx
+  | Opt of rx
+  | Plus of rx
+
+type t = {
+  s_name : string;
+  s_root : Sym.t;
+  (* reachability projection: declared symbol -> allowed child symbols *)
+  s_children : (Sym.t, (Sym.t, unit) Hashtbl.t) Hashtbl.t;
+}
+
+let rec rx_syms acc = function
+  | Empty -> acc
+  | Elem n -> n :: acc
+  | Seq l | Alt l -> List.fold_left rx_syms acc l
+  | Star r | Opt r | Plus r -> rx_syms acc r
+
+let define ~name ~root decls =
+  let tbl : (Sym.t, (Sym.t, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create (List.length decls * 2)
+  in
+  let dup =
+    List.fold_left
+      (fun dup (n, _) ->
+        let s = Sym.intern n in
+        if Hashtbl.mem tbl s then Some n
+        else begin
+          Hashtbl.replace tbl s (Hashtbl.create 4);
+          dup
+        end)
+      None decls
+  in
+  match dup with
+  | Some n -> Error (Printf.sprintf "schema %s: duplicate declaration of %s" name n)
+  | None ->
+    let undeclared = ref None in
+    List.iter
+      (fun (n, rx) ->
+        let parent = Sym.intern n in
+        let kids = Hashtbl.find tbl parent in
+        List.iter
+          (fun child ->
+            let cs = Sym.intern child in
+            if not (Hashtbl.mem tbl cs) && !undeclared = None then
+              undeclared := Some (child, n);
+            Hashtbl.replace kids cs ())
+          (rx_syms [] rx))
+      decls;
+    (match !undeclared with
+    | Some (child, parent) ->
+      Error
+        (Printf.sprintf "schema %s: %s (in the content of %s) is not declared" name child
+           parent)
+    | None ->
+      let root_sym = Sym.intern root in
+      if not (Hashtbl.mem tbl root_sym) then
+        Error (Printf.sprintf "schema %s: root %s is not declared" name root)
+      else Ok { s_name = name; s_root = root_sym; s_children = tbl })
+
+let name t = t.s_name
+let root_sym t = t.s_root
+let declared t s = Hashtbl.mem t.s_children s
+
+let allowed t ~parent child =
+  match Hashtbl.find_opt t.s_children parent with
+  | None -> false
+  | Some kids -> Hashtbl.mem kids child
+
+let child_syms t parent =
+  match Hashtbl.find_opt t.s_children parent with
+  | None -> []
+  | Some kids -> Hashtbl.fold (fun s () acc -> s :: acc) kids []
+
+(* ---------------- registry ---------------- *)
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 8
+let registry_mu = Mutex.create ()
+
+let register t =
+  Mutex.lock registry_mu;
+  Hashtbl.replace registry t.s_name t;
+  Mutex.unlock registry_mu
+
+let find name =
+  Mutex.lock registry_mu;
+  let r = Hashtbl.find_opt registry name in
+  Mutex.unlock registry_mu;
+  r
+
+let registered () =
+  Mutex.lock registry_mu;
+  let r = Hashtbl.fold (fun n _ acc -> n :: acc) registry [] in
+  Mutex.unlock registry_mu;
+  List.sort compare r
+
+(* ---------------- validation ---------------- *)
+
+exception Nonconforming of string
+
+(* Conformance walk of a fresh subtree; records subtree element counts
+   into [sizes] and returns the root's. *)
+let rec check_subtree t sizes (e : Node.element) =
+  let sym = Node.sym e in
+  let sz =
+    List.fold_left
+      (fun acc c ->
+        if not (allowed t ~parent:sym (Node.sym c)) then
+          raise
+            (Nonconforming
+               (Printf.sprintf "element %s not allowed under %s (schema %s)" (Node.name c)
+                  (Node.name e) t.s_name));
+        acc + check_subtree t sizes c)
+      1 (Node.child_elements e)
+  in
+  Hashtbl.replace sizes (Node.id e) sz;
+  sz
+
+let validate t root =
+  if Node.sym root <> t.s_root then
+    Error
+      (Printf.sprintf "document element %s is not the schema root %s (schema %s)"
+         (Node.name root) (Sym.name t.s_root) t.s_name)
+  else
+    let sizes = Hashtbl.create 1024 in
+    match check_subtree t sizes root with
+    | _ -> Ok sizes
+    | exception Nonconforming msg -> Error msg
+
+(* Incremental re-validation across a commit: shared subtrees kept their
+   ids and were conforming before, and conformance is local to a parent
+   and its direct children, so only rebuilt spine nodes (their child
+   edges may have changed) and freshly inserted material need checking.
+   The size table is maintained by the same walk, exactly as
+   {!Xut_automata.Annotator.repair} maintains the annotation table. *)
+let validate_commit t ~spine ~old_sizes new_root =
+  if not (Hashtbl.mem spine (Node.id new_root)) then
+    (* degenerate diff: the document element itself was replaced *)
+    validate t new_root
+  else if Node.sym new_root <> t.s_root then
+    Error
+      (Printf.sprintf "document element %s is not the schema root %s (schema %s)"
+         (Node.name new_root) (Sym.name t.s_root) t.s_name)
+  else begin
+    let sizes = Hashtbl.copy old_sizes in
+    let scrub oe = Node.iter_elements (fun x -> Hashtbl.remove sizes (Node.id x)) oe in
+    let shared_size c =
+      match Hashtbl.find_opt sizes (Node.id c) with
+      | Some sz -> sz
+      | None -> check_subtree t sizes c (* should not happen; stay exact *)
+    in
+    (* [oe]/[e]: an old spine element and its fresh rebuild. *)
+    let rec pair oe e =
+      Hashtbl.remove sizes (Node.id oe);
+      let sym = Node.sym e in
+      let old_kids = Node.child_elements oe in
+      let old_by_id = Hashtbl.create (max 4 (List.length old_kids)) in
+      List.iter (fun oc -> Hashtbl.replace old_by_id (Node.id oc) oc) old_kids;
+      let surviving = Hashtbl.create 8 in
+      let sz =
+        List.fold_left
+          (fun acc c ->
+            if not (allowed t ~parent:sym (Node.sym c)) then
+              raise
+                (Nonconforming
+                   (Printf.sprintf "element %s not allowed under %s (schema %s)"
+                      (Node.name c) (Node.name e) t.s_name));
+            let csz =
+              if Hashtbl.mem old_by_id (Node.id c) then begin
+                Hashtbl.replace surviving (Node.id c) ();
+                shared_size c
+              end
+              else
+                match Hashtbl.find_opt spine (Node.id c) with
+                | Some oc when Hashtbl.mem old_by_id (Node.id oc) ->
+                  Hashtbl.replace surviving (Node.id oc) ();
+                  pair oc c
+                | _ -> check_subtree t sizes c
+            in
+            acc + csz)
+          1 (Node.child_elements e)
+      in
+      List.iter
+        (fun oc -> if not (Hashtbl.mem surviving (Node.id oc)) then scrub oc)
+        old_kids;
+      Hashtbl.replace sizes (Node.id e) sz;
+      sz
+    in
+    match pair (Hashtbl.find spine (Node.id new_root)) new_root with
+    | _ -> Ok sizes
+    | exception Nonconforming msg -> Error msg
+  end
+
+(* ---------------- the product ---------------- *)
+
+(* A configuration is everything {!Annotator.annotate_subtree}'s
+   recursion depends on at a node: the symbol, the NFA state set before
+   consuming it, and the LQ seeds the parent demands.  The exploration
+   below walks the schema graph with exactly the annotator's transition
+   (so a conforming document can only ever realize explored
+   configurations), then closes "contributes" under reachability. *)
+
+type cfg = Sym.t * int list * int list
+
+type cnode = {
+  n_accepting : bool;
+  n_hot : bool;  (* accepts, or demands qualifier seeds (writes entries) *)
+  n_kids : cfg list;
+  mutable n_contrib : bool;
+}
+
+type product = {
+  p_empty : bool;
+  p_skip : bool array;  (* indexed by Sym.t; out of range = not skippable *)
+  p_skips : int;
+  p_configs : int;
+  p_capped : bool;
+}
+
+let config_cap = 4096
+
+let top_quals nfa states' =
+  let qs = Selecting_nfa.set_inter states' (Selecting_nfa.qual_states nfa) in
+  if Selecting_nfa.set_is_empty qs then []
+  else Selecting_nfa.set_fold (fun s acc -> Selecting_nfa.state_lq nfa s :: acc) qs []
+
+let no_pruning ~capped ~configs =
+  {
+    p_empty = false;
+    p_skip = [||];
+    p_skips = 0;
+    p_configs = configs;
+    p_capped = capped;
+  }
+
+let product t nfa =
+  let lq = Selecting_nfa.lq nfa in
+  let nodes : (cfg, cnode) Hashtbl.t = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let enqueue key states = Queue.push (key, states) queue in
+  let start = Selecting_nfa.start nfa in
+  enqueue (t.s_root, Selecting_nfa.set_to_list start, []) start;
+  let capped = ref false in
+  while not (Queue.is_empty queue) && not !capped do
+    let ((sym, _, seeds) as key), states = Queue.pop queue in
+    if not (Hashtbl.mem nodes key) then begin
+      if Hashtbl.length nodes >= config_cap then capped := true
+      else begin
+        let states' = Selecting_nfa.next_unchecked nfa states sym in
+        let all_seeds = List.sort_uniq compare (seeds @ top_quals nfa states') in
+        let dead = Selecting_nfa.set_is_empty states' && all_seeds = [] in
+        let accepting = (not dead) && Selecting_nfa.accepts_set nfa states' in
+        let hot = accepting || all_seeds <> [] in
+        let kids =
+          if dead then []
+          else begin
+            let candidates =
+              if all_seeds = [] then []
+              else snd (Annotator.expand lq ~name:(Sym.name sym) all_seeds)
+            in
+            let states'_l = Selecting_nfa.set_to_list states' in
+            List.map
+              (fun child ->
+                let kid_seeds =
+                  List.filter
+                    (fun p -> not (Xut_xpath.Lq.label_blocked lq p (Sym.name child)))
+                    candidates
+                in
+                let kkey = (child, states'_l, kid_seeds) in
+                if not (Hashtbl.mem nodes kkey) then enqueue kkey states';
+                kkey)
+              (child_syms t sym)
+          end
+        in
+        Hashtbl.replace nodes key
+          { n_accepting = accepting; n_hot = hot; n_kids = kids; n_contrib = hot }
+      end
+    end
+  done;
+  if !capped then no_pruning ~capped:true ~configs:(Hashtbl.length nodes)
+  else begin
+    (* contributes = hot \/ some child configuration contributes: a least
+       fixpoint (the schema graph may be cyclic — parlist/listitem). *)
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Hashtbl.iter
+        (fun _ n ->
+          if
+            (not n.n_contrib)
+            && List.exists
+                 (fun k ->
+                   match Hashtbl.find_opt nodes k with
+                   | Some kn -> kn.n_contrib
+                   | None -> false)
+                 n.n_kids
+          then begin
+            n.n_contrib <- true;
+            changed := true
+          end)
+        nodes
+    done;
+    let any_accepting = ref false in
+    Hashtbl.iter (fun _ n -> if n.n_accepting then any_accepting := true) nodes;
+    let skip = Array.make (Sym.count ()) false in
+    let reached = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun (sym, _, _) n ->
+        let all_cold =
+          (match Hashtbl.find_opt reached sym with Some b -> b | None -> true)
+          && not n.n_contrib
+        in
+        Hashtbl.replace reached sym all_cold)
+      nodes;
+    let skips = ref 0 in
+    Hashtbl.iter
+      (fun sym all_cold ->
+        if all_cold && sym >= 0 && sym < Array.length skip then begin
+          skip.(sym) <- true;
+          incr skips
+        end)
+      reached;
+    {
+      p_empty = (not (Selecting_nfa.selects_context nfa)) && not !any_accepting;
+      p_skip = skip;
+      p_skips = !skips;
+      p_configs = Hashtbl.length nodes;
+      p_capped = false;
+    }
+  end
+
+let statically_empty p = p.p_empty
+
+let skippable p sym = sym >= 0 && sym < Array.length p.p_skip && p.p_skip.(sym)
+
+let skip_count p = p.p_skips
+let config_count p = p.p_configs
+let capped p = p.p_capped

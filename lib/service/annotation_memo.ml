@@ -29,7 +29,7 @@ let evict_lru t =
   in
   match victim with Some (id, _) -> Hashtbl.remove t.docs id | None -> ()
 
-let find t nfa root =
+let find ?skip t nfa root =
   let id = Xut_xml.Node.id root in
   Mutex.lock t.mu;
   let cached =
@@ -46,7 +46,7 @@ let find t nfa root =
   | None ->
     (* Built outside the lock: concurrent misses on the same document may
        annotate twice; one insert wins and both tables are valid. *)
-    let table = Annotator.annotate nfa root in
+    let table = Annotator.annotate ?skip nfa root in
     Mutex.lock t.mu;
     if not (Hashtbl.mem t.docs id) then begin
       if Hashtbl.length t.docs >= capacity then evict_lru t;
@@ -75,7 +75,7 @@ let invalidate t ~root_id =
    IN PLACE — readers that picked up the pre-commit snapshot before the
    swap still resolve its table (immutable, never repaired in place);
    the LRU drops it once younger roots push it out. *)
-let repair t nfa ~old_root_id ~spine new_root =
+let repair ?skip t nfa ~old_root_id ~spine new_root =
   Mutex.lock t.mu;
   let old_entry = Hashtbl.find_opt t.docs old_root_id in
   Mutex.unlock t.mu;
@@ -84,7 +84,7 @@ let repair t nfa ~old_root_id ~spine new_root =
   | Some { table = old_table; _ } -> begin
     (* Repair runs outside the lock, like [find]'s build: a racing
        reader of the old snapshot still hits the old entry meanwhile. *)
-    match Annotator.repair nfa ~old_table ~spine new_root with
+    match Annotator.repair ?skip nfa ~old_table ~spine new_root with
     | None ->
       (* degenerate diff (root replaced): fall back to eviction *)
       ignore (invalidate t ~root_id:old_root_id);

@@ -15,11 +15,19 @@ val capacity : int
 (** 8: the per-memo bound on memoized annotation tables.  Overflow
     evicts only the least-recently-used document's table. *)
 
-val find : t -> Selecting_nfa.t -> Xut_xml.Node.element -> Annotator.table
+val find :
+  ?skip:(Xut_xml.Node.element -> bool) ->
+  t ->
+  Selecting_nfa.t ->
+  Xut_xml.Node.element ->
+  Annotator.table
 (** The memoized bottom-up annotation of this document for [nfa],
     computing and remembering it on first use.  The table is built
     outside the memo lock, so concurrent first uses may annotate twice;
-    one insert wins and both tables are valid. *)
+    one insert wins and both tables are valid.  [skip] (a schema
+    skip-set oracle, see {!Xut_automata.Annotator.annotate}) only speeds
+    the build: the resulting table is identical with or without it, so
+    tables stay shareable across schema-on and schema-off callers. *)
 
 val count : t -> int
 
@@ -27,6 +35,7 @@ val invalidate : t -> root_id:int -> bool
 (** Drop the table for one document root, if present. *)
 
 val repair :
+  ?skip:(Xut_xml.Node.element -> bool) ->
   t ->
   Selecting_nfa.t ->
   old_root_id:int ->

@@ -5,6 +5,7 @@ type info = {
   file : string option;
   elements : int;
   generation : int;
+  schema : string option;
 }
 
 type reason = Unloaded | Replaced | Committed
@@ -17,7 +18,16 @@ type event = {
   generation : int;
   reason : reason;
   repair : repair_hint option;
+  schema : string option;
 }
+
+(* A binding: the tree, its info, and — when loaded under a schema — the
+   per-element subtree-size table the validation walk produced (element
+   id -> element count below-and-including), backing O(1) skipped-node
+   accounting.  The table is never mutated after publication: commits
+   derive a fresh copy ({!Xut_schema.Schema.validate_commit}), so readers
+   holding a snapshot keep a consistent table. *)
+type entry = { root : Node.element; einfo : info; sizes : (int, int) Hashtbl.t option }
 
 (* [cmu] serializes writers (commit/register/evict) per shard so a
    commit's read-evaluate-swap is atomic with respect to every other
@@ -26,7 +36,7 @@ type event = {
 type shard = {
   mu : Mutex.t;
   cmu : Mutex.t;
-  tbl : (string, Node.element * info) Hashtbl.t;
+  tbl : (string, entry) Hashtbl.t;
 }
 
 type t = {
@@ -75,29 +85,56 @@ let fire t event =
   Mutex.unlock t.lmu;
   List.iter (fun f -> f event) listeners
 
-let register t ~name ?file root =
-  let generation = Atomic.fetch_and_add t.generations 1 + 1 in
-  let info =
-    { name; file; elements = Node.element_count (Node.Element root); generation }
-  in
-  let sh = shard_of t name in
-  let previous =
-    as_writer sh (fun () ->
-        locked sh (fun () ->
-            let prev = Hashtbl.find_opt sh.tbl name in
-            Hashtbl.replace sh.tbl name (root, info);
-            prev))
-  in
-  (match previous with
-  | Some (old_root, _) ->
-    fire t
-      { name; root_id = Node.id old_root; generation; reason = Replaced; repair = None }
-  | None -> ());
-  (info, previous <> None)
+(* Validation happens here, before the binding is published, so a LOAD
+   under a schema either yields a fully conformant binding (with its
+   size table) or fails without touching the store. *)
+let check_schema ~name root = function
+  | None -> Stdlib.Ok (None, None)
+  | Some sname -> begin
+    match Xut_schema.Schema.find sname with
+    | None -> Stdlib.Error (Printf.sprintf "unknown schema %S (not registered)" sname)
+    | Some s -> begin
+      match Xut_schema.Schema.validate s root with
+      | Stdlib.Ok sizes -> Stdlib.Ok (Some sname, Some sizes)
+      | Stdlib.Error msg ->
+        Stdlib.Error
+          (Printf.sprintf "document %S does not conform to schema %S: %s" name sname msg)
+    end
+  end
 
-let load_file t ~name path =
+let register t ~name ?file ?schema root =
+  match check_schema ~name root schema with
+  | Stdlib.Error _ as e -> e
+  | Stdlib.Ok (schema, sizes) ->
+    let generation = Atomic.fetch_and_add t.generations 1 + 1 in
+    let info =
+      { name; file; elements = Node.element_count (Node.Element root); generation; schema }
+    in
+    let sh = shard_of t name in
+    let previous =
+      as_writer sh (fun () ->
+          locked sh (fun () ->
+              let prev = Hashtbl.find_opt sh.tbl name in
+              Hashtbl.replace sh.tbl name { root; einfo = info; sizes };
+              prev))
+    in
+    (match previous with
+    | Some prev ->
+      fire t
+        {
+          name;
+          root_id = Node.id prev.root;
+          generation;
+          reason = Replaced;
+          repair = None;
+          schema;
+        }
+    | None -> ());
+    Stdlib.Ok (info, previous <> None)
+
+let load_file t ~name ?schema path =
   match Dom.parse_file path with
-  | root -> Ok (register t ~name ~file:path root)
+  | root -> register t ~name ~file:path ?schema root
   | exception Sax.Parse_error { line; col; msg } ->
     Error (Printf.sprintf "parse error in %s at %d:%d: %s" path line col msg)
   | exception Sys_error msg -> Error msg
@@ -106,11 +143,18 @@ let load_file t ~name path =
 
 let find t name =
   let sh = shard_of t name in
-  locked sh (fun () -> Option.map fst (Hashtbl.find_opt sh.tbl name))
+  locked sh (fun () ->
+      Option.map (fun e -> e.root) (Hashtbl.find_opt sh.tbl name))
 
 let info t name =
   let sh = shard_of t name in
-  locked sh (fun () -> Option.map snd (Hashtbl.find_opt sh.tbl name))
+  locked sh (fun () ->
+      Option.map (fun e -> e.einfo) (Hashtbl.find_opt sh.tbl name))
+
+let snapshot t name =
+  let sh = shard_of t name in
+  locked sh (fun () ->
+      Option.map (fun e -> (e.root, e.einfo, e.sizes)) (Hashtbl.find_opt sh.tbl name))
 
 let evict t name =
   let sh = shard_of t name in
@@ -125,14 +169,15 @@ let evict t name =
   in
   match removed with
   | None -> false
-  | Some (root, info) ->
+  | Some e ->
     fire t
       {
         name;
-        root_id = Node.id root;
-        generation = info.generation;
+        root_id = Node.id e.root;
+        generation = e.einfo.generation;
         reason = Unloaded;
         repair = None;
+        schema = e.einfo.schema;
       };
     true
 
@@ -142,6 +187,33 @@ type ('a, 'e) commit_result =
   | Rejected of 'e
   | No_document
 
+(* Revalidate the post-commit tree against the binding's schema.  With a
+   rebuilt-spine diff this is incremental (shared subtrees keep their
+   recorded sizes); without one it falls back to a full walk.  A
+   nonconforming result does not reject the commit — updates are the
+   system's point — it silently {e drops} the schema binding, turning
+   pruning off for the document from the swap onward. *)
+let revalidated (info : info) root' spine old_sizes =
+  match info.schema with
+  | None -> (None, None)
+  | Some sname -> begin
+    match Xut_schema.Schema.find sname with
+    | None -> (None, None)
+    | Some s -> begin
+      match (spine, old_sizes) with
+      | Some spine, Some old_sizes -> begin
+        match Xut_schema.Schema.validate_commit s ~spine ~old_sizes root' with
+        | Stdlib.Ok sizes -> (Some sname, Some sizes)
+        | Stdlib.Error _ -> (None, None)
+      end
+      | _ -> begin
+        match Xut_schema.Schema.validate s root' with
+        | Stdlib.Ok sizes -> (Some sname, Some sizes)
+        | Stdlib.Error _ -> (None, None)
+      end
+    end
+  end
+
 let commit t ~name f =
   let sh = shard_of t name in
   let departed = ref None in
@@ -149,7 +221,7 @@ let commit t ~name f =
     as_writer sh (fun () ->
         match locked sh (fun () -> Hashtbl.find_opt sh.tbl name) with
         | None -> No_document
-        | Some (root, info) -> begin
+        | Some { root; einfo = info; sizes } -> begin
           (* [f] runs under the writer lock only: readers proceed against
              the current binding while the new tree is built. *)
           match f info root with
@@ -157,14 +229,17 @@ let commit t ~name f =
           | Ok (None, a) -> Unchanged (info, a)
           | Ok (Some (root', spine), a) ->
             let generation = Atomic.fetch_and_add t.generations 1 + 1 in
+            let schema', sizes' = revalidated info root' spine sizes in
             let info' =
               {
                 info with
                 elements = Node.element_count (Node.Element root');
                 generation;
+                schema = schema';
               }
             in
-            locked sh (fun () -> Hashtbl.replace sh.tbl name (root', info'));
+            locked sh (fun () ->
+                Hashtbl.replace sh.tbl name { root = root'; einfo = info'; sizes = sizes' });
             departed :=
               Some
                 ( Node.id root,
@@ -181,6 +256,7 @@ let commit t ~name f =
         generation = info'.generation;
         reason = Committed;
         repair;
+        schema = info'.schema;
       }
   | _ -> ());
   outcome

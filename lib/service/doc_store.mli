@@ -28,6 +28,11 @@ type info = {
   file : string option;  (** origin path, when loaded from disk *)
   elements : int;        (** element count, for listings *)
   generation : int;      (** monotone load stamp, unique per register *)
+  schema : string option;
+      (** the registered {!Xut_schema.Schema} the binding conforms to,
+          when it was loaded under one.  Maintained across commits by
+          incremental revalidation; dropped (not an error) the moment a
+          committed tree stops conforming. *)
 }
 
 (** Why a tree left the store: {!evict} ([Unloaded]), a re-register
@@ -53,6 +58,11 @@ type event = {
   repair : repair_hint option;
       (** [Committed] swaps that supplied a diff; always [None] for
           [Unloaded]/[Replaced] *)
+  schema : string option;
+      (** the schema the {e surviving} binding conforms to, captured at
+          the swap (so listeners need no racy re-read): the new
+          binding's for [Committed]/[Replaced], the departed one's for
+          [Unloaded] *)
 }
 
 type t
@@ -69,17 +79,34 @@ val subscribe : t -> (event -> unit) -> unit
     {e outside} every shard lock — re-entering the store from a listener
     is safe. *)
 
-val register : t -> name:string -> ?file:string -> Node.element -> info * bool
+val register :
+  t ->
+  name:string ->
+  ?file:string ->
+  ?schema:string ->
+  Node.element ->
+  (info * bool, string) result
 (** Register an already-built tree under [name], replacing any previous
     binding.  The [bool] is [true] when a previous binding was replaced
     (a reload) — in that case a [Replaced] event fires for the old
-    tree before this returns. *)
+    tree before this returns.  With [schema], the tree is validated
+    against the registered schema of that name {e before} anything is
+    published: on nonconformance (or an unknown schema name) the load
+    fails and the store is untouched. *)
 
-val load_file : t -> name:string -> string -> (info * bool, string) result
+val load_file :
+  t -> name:string -> ?schema:string -> string -> (info * bool, string) result
 (** Parse the file (outside any store lock) and {!register} it. *)
 
 val find : t -> string -> Node.element option
 val info : t -> string -> info option
+
+val snapshot : t -> string -> (Node.element * info * (int, int) Hashtbl.t option) option
+(** The full binding in one locked read: tree, info, and — when the
+    binding holds a schema — the per-element subtree-size table the
+    validation walk produced (element id -> elements at-and-below),
+    backing O(1) skipped-node accounting.  The table is immutable once
+    published (commits swap in a fresh copy). *)
 
 val evict : t -> string -> bool
 (** Remove a binding; [false] when the name was not bound.  On removal

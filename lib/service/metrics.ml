@@ -35,6 +35,10 @@ type t = {
   composed_plans : int Atomic.t;
   view_invalidations : int Atomic.t;
   compose_fallbacks : int Atomic.t;
+  skipped_subtrees : int Atomic.t;
+  skipped_nodes : int Atomic.t;
+  statically_empty_rejections : int Atomic.t;
+  schema_products : int Atomic.t;
   commits : int Atomic.t;
   commit_conflicts : int Atomic.t;
   commit_noops : int Atomic.t;
@@ -78,6 +82,10 @@ let create () =
     composed_plans = Atomic.make 0;
     view_invalidations = Atomic.make 0;
     compose_fallbacks = Atomic.make 0;
+    skipped_subtrees = Atomic.make 0;
+    skipped_nodes = Atomic.make 0;
+    statically_empty_rejections = Atomic.make 0;
+    schema_products = Atomic.make 0;
     commits = Atomic.make 0;
     commit_conflicts = Atomic.make 0;
     commit_noops = Atomic.make 0;
@@ -172,6 +180,18 @@ let view_hits m = Atomic.get m.view_hits
 let composed_plans m = Atomic.get m.composed_plans
 let view_invalidations m = Atomic.get m.view_invalidations
 let compose_fallbacks m = Atomic.get m.compose_fallbacks
+
+let add_skipped m ~subtrees ~nodes =
+  if subtrees > 0 then ignore (Atomic.fetch_and_add m.skipped_subtrees subtrees);
+  if nodes > 0 then ignore (Atomic.fetch_and_add m.skipped_nodes nodes)
+
+let incr_statically_empty m = Atomic.incr m.statically_empty_rejections
+let incr_schema_products m = Atomic.incr m.schema_products
+
+let skipped_subtrees m = Atomic.get m.skipped_subtrees
+let skipped_nodes m = Atomic.get m.skipped_nodes
+let statically_empty_rejections m = Atomic.get m.statically_empty_rejections
+let schema_products m = Atomic.get m.schema_products
 
 let commit_recorded m ~primitives =
   Atomic.incr m.commits;
@@ -273,6 +293,10 @@ let reset m =
   Atomic.set m.composed_plans 0;
   Atomic.set m.view_invalidations 0;
   Atomic.set m.compose_fallbacks 0;
+  Atomic.set m.skipped_subtrees 0;
+  Atomic.set m.skipped_nodes 0;
+  Atomic.set m.statically_empty_rejections 0;
+  Atomic.set m.schema_products 0;
   Atomic.set m.commits 0;
   Atomic.set m.commit_conflicts 0;
   Atomic.set m.commit_noops 0;
@@ -321,6 +345,10 @@ let dump m =
   Printf.bprintf b "composed_plans %d\n" (composed_plans m);
   Printf.bprintf b "view_invalidations %d\n" (view_invalidations m);
   Printf.bprintf b "compose_fallbacks %d\n" (compose_fallbacks m);
+  Printf.bprintf b "skipped_subtrees %d\n" (skipped_subtrees m);
+  Printf.bprintf b "skipped_nodes %d\n" (skipped_nodes m);
+  Printf.bprintf b "statically_empty_rejections %d\n" (statically_empty_rejections m);
+  Printf.bprintf b "schema_products %d\n" (schema_products m);
   Printf.bprintf b "commits %d\n" (commits m);
   Printf.bprintf b "commit_conflicts %d\n" (commit_conflicts m);
   Printf.bprintf b "commit_noops %d\n" (commit_noops m);

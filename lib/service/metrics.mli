@@ -133,6 +133,25 @@ val composed_plans : t -> int
 val view_invalidations : t -> int
 val compose_fallbacks : t -> int
 
+(** {2 Schema-pruning counters}
+
+    Maintained by the schema-aware serving path: element subtrees the
+    skip-set pruned without a visit ([skipped_subtrees]) and the exact
+    number of elements inside them ([skipped_nodes], from the document's
+    size table — work avoided, not done), requests rejected at admission
+    because the NFA x schema product proved the query can select nothing
+    ([statically_empty_rejections]), and products actually constructed —
+    not served from a per-plan memo — ([schema_products]). *)
+
+val add_skipped : t -> subtrees:int -> nodes:int -> unit
+val incr_statically_empty : t -> unit
+val incr_schema_products : t -> unit
+
+val skipped_subtrees : t -> int
+val skipped_nodes : t -> int
+val statically_empty_rejections : t -> int
+val schema_products : t -> int
+
 (** {2 Commit counters}
 
     Maintained by the write path ([COMMIT] requests): effective commits

@@ -7,16 +7,25 @@ type plan = {
   norm : Norm.t;
   nfa : Selecting_nfa.t;
   annotations : Annotation_memo.t;
+  products : Product_memo.t;
 }
 
 let compile source =
   let query = Core.Transform_parser.parse source in
   let norm = Norm.steps (Core.Transform_ast.path query.Core.Transform_ast.update) in
   let nfa = Selecting_nfa.of_norm norm in
-  { source; query; norm; nfa; annotations = Annotation_memo.create () }
+  {
+    source;
+    query;
+    norm;
+    nfa;
+    annotations = Annotation_memo.create ();
+    products = Product_memo.create ();
+  }
 
 let max_annotated_docs = Annotation_memo.capacity
-let annotation plan root = Annotation_memo.find plan.annotations plan.nfa root
+let annotation ?skip plan root = Annotation_memo.find ?skip plan.annotations plan.nfa root
+let product plan schema = Product_memo.get plan.products schema plan.nfa
 
 (* Recency is a stamp per entry from a monotone clock; eviction scans for
    the minimum.  The scan is O(capacity) but runs only on insertion into
@@ -181,10 +190,13 @@ type repair_totals = {
   reused_nodes : int;
 }
 
-let repair t ~old_root_id ~spine new_root =
+let repair ?(plan_skip = fun _ -> None) t ~old_root_id ~spine new_root =
   List.fold_left
     (fun acc plan ->
-      match Annotation_memo.repair plan.annotations plan.nfa ~old_root_id ~spine new_root with
+      match
+        Annotation_memo.repair ?skip:(plan_skip plan) plan.annotations plan.nfa
+          ~old_root_id ~spine new_root
+      with
       | `Absent -> acc
       | `Fallback -> { acc with fallbacks = acc.fallbacks + 1 }
       | `Repaired (st : Annotator.repair_stats) ->

@@ -21,18 +21,27 @@ type plan = {
   nfa : Selecting_nfa.t;           (** selecting NFA built from [norm] *)
   annotations : Annotation_memo.t;
       (** per-plan memo of TD-BU annotation tables, keyed by doc root *)
+  products : Product_memo.t;
+      (** per-plan memo of NFA x schema products, keyed by schema name *)
 }
 
 val compile : string -> plan
 (** Run the whole front end: parse, normalize, build the NFA.
     @raise Core.Transform_parser.Parse_error on bad transform syntax. *)
 
-val annotation : plan -> Xut_xml.Node.element -> Annotator.table
+val annotation :
+  ?skip:(Xut_xml.Node.element -> bool) -> plan -> Xut_xml.Node.element -> Annotator.table
 (** The memoized bottom-up annotation of this document for this plan's
     NFA ({!Annotation_memo.find}).  This is the big per-request saving
     for repeated TD-BU queries on a stored document: the whole first
     pass of twoPass is amortized away, leaving only the top-down
-    rebuild. *)
+    rebuild.  [skip] prunes the build without changing the table (see
+    {!Annotation_memo.find}). *)
+
+val product : plan -> Xut_schema.Schema.t -> Xut_schema.Schema.product * bool
+(** The product of this plan's NFA with [schema], memoized per plan
+    ({!Product_memo.get}): the statically-empty verdict and subtree
+    skip-set the admission check and the pruned engines consume. *)
 
 val max_annotated_docs : int
 (** {!Annotation_memo.capacity}: the per-plan bound on memoized tables. *)
@@ -90,6 +99,7 @@ type repair_totals = {
 }
 
 val repair :
+  ?plan_skip:(plan -> (Xut_xml.Node.element -> bool) option) ->
   t ->
   old_root_id:int ->
   spine:(int, Xut_xml.Node.element) Hashtbl.t ->
@@ -102,7 +112,10 @@ val repair :
     {e kept} — readers already holding the pre-commit snapshot must
     still resolve its table — and ages out of the per-plan LRU
     ({!max_annotated_docs}) like any other entry.  Plans with no table
-    for the old root are untouched (nothing to keep warm). *)
+    for the old root are untouched (nothing to keep warm).  [plan_skip]
+    supplies each plan's schema skip-set oracle (from {!product} against
+    the document's post-commit binding), pruning the fresh-subtree
+    annotation inside the repair without changing its result. *)
 
 val annotation_entries : t -> int
 (** Total memoized annotation tables across all cached plans — the

@@ -1,0 +1,24 @@
+open Xut_schema
+
+(* One NFA x schema product per (plan-or-view, schema) pair, computed on
+   first use.  Schemas are immutable once registered and the NFA is fixed
+   for the plan's lifetime, so the product never needs invalidation —
+   the memo is keyed by schema name alone.  Single-flight under the
+   mutex: the construction is static (schema symbols x NFA states, no
+   document), microseconds of pure CPU. *)
+type t = { mu : Mutex.t; tbl : (string, Schema.product) Hashtbl.t }
+
+let create () = { mu = Mutex.create (); tbl = Hashtbl.create 2 }
+
+let get t schema nfa =
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      let key = Schema.name schema in
+      match Hashtbl.find_opt t.tbl key with
+      | Some p -> (p, false)
+      | None ->
+        let p = Schema.product schema nfa in
+        Hashtbl.replace t.tbl key p;
+        (p, true))

@@ -1,0 +1,15 @@
+open Xut_automata
+open Xut_schema
+
+(** Per-plan (and per-view) memo of {!Xut_schema.Schema.product}s, keyed
+    by schema name.  Registered schemas are immutable, and a plan's NFA
+    is fixed, so entries never invalidate; they die with the plan. *)
+
+type t
+
+val create : unit -> t
+
+val get : t -> Schema.t -> Selecting_nfa.t -> Schema.product * bool
+(** The product of [nfa] with [schema], computed and remembered on first
+    use.  The [bool] is [true] when this call built it (the
+    [schema_products] metric counts those). *)

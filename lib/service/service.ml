@@ -5,7 +5,7 @@ open Core
 type target = Doc of string | View of string
 
 type request =
-  | Load of { name : string; file : string }
+  | Load of { name : string; file : string; schema : string option }
   | Unload of { name : string }
   | Transform of { target : target; engine : Engine.algo; query : string }
   | Count of { target : target; engine : Engine.algo; query : string }
@@ -25,11 +25,18 @@ type err_code =
   | Overloaded
   | Bad_request
   | View_compose_error
+  | Statically_empty
 
 type view_info = { v_name : string; v_base : string; v_depth : int; v_generation : int }
 
 type payload =
-  | Doc_loaded of { name : string; elements : int; reloaded : bool; generation : int }
+  | Doc_loaded of
+      { name : string;
+        elements : int;
+        reloaded : bool;
+        generation : int;
+        schema : string option
+      }
   | Doc_unloaded of { name : string }
   | Tree of string
   | Element_count of int
@@ -56,6 +63,7 @@ let err_code_name = function
   | Overloaded -> "overloaded"
   | Bad_request -> "bad-request"
   | View_compose_error -> "view-compose-error"
+  | Statically_empty -> "statically-empty"
 
 let err_code_of_name = function
   | "unknown-document" -> Some Unknown_document
@@ -65,6 +73,7 @@ let err_code_of_name = function
   | "overloaded" -> Some Overloaded
   | "bad-request" -> Some Bad_request
   | "view-compose-error" -> Some View_compose_error
+  | "statically-empty" -> Some Statically_empty
   | _ -> None
 
 let error code fmt = Printf.ksprintf (fun message -> Error { code; message }) fmt
@@ -75,11 +84,15 @@ let rec render_response = function
     Stdlib.Error (Printf.sprintf "%s: %s" (err_code_name code) message)
 
 and render_payload = function
-  | Doc_loaded { name; elements; reloaded; generation = _ } ->
+  | Doc_loaded { name; elements; reloaded; generation = _; schema } ->
     (* the fresh-load string is the pre-redesign protocol text; a reload
-       is flagged so scripted clients can tell the tree was swapped *)
-    if reloaded then Printf.sprintf "loaded %s elements=%d reloaded=true" name elements
-    else Printf.sprintf "loaded %s elements=%d" name elements
+       is flagged so scripted clients can tell the tree was swapped, and
+       a schema binding is echoed so they can tell validation took *)
+    let base =
+      if reloaded then Printf.sprintf "loaded %s elements=%d reloaded=true" name elements
+      else Printf.sprintf "loaded %s elements=%d" name elements
+    in
+    (match schema with None -> base | Some s -> base ^ " schema=" ^ s)
   | Doc_unloaded { name } -> Printf.sprintf "unloaded %s" name
   | Tree s -> s
   | Element_count n -> Printf.sprintf "elements=%d" n
@@ -135,19 +148,85 @@ type t = {
 
 let default_chunk_size = Xut_xml.Serialize.Sink.default_chunk_size
 
+(* ---------------- schema-aware static pruning ----------------
+
+   When the target document was loaded under a schema, the plan's NFA is
+   multiplied with it ({!Xut_schema.Schema.product}, memoized per plan):
+   a statically-empty product rejects the request before any document
+   work, and otherwise the product's skip-set becomes a per-request
+   oracle the engines consult to share whole subtrees without visiting
+   them.  The oracle also does the accounting: each [true] answer is one
+   pruned subtree, whose exact element population comes from the
+   binding's size table (work {e avoided}, measured in O(1)). *)
+
+type pruning = {
+  product : Xut_schema.Schema.product;
+  skip : Xut_xml.Node.element -> bool;  (* counting oracle for DOM engines *)
+}
+
+(* The product of [nfa] with the binding's schema, or [None] when the
+   document has no (live) schema or the product can prune nothing. *)
+let pruning_for ~metrics (dinfo : Doc_store.info) sizes products nfa =
+  match dinfo.Doc_store.schema with
+  | None -> None
+  | Some sname -> begin
+    match Xut_schema.Schema.find sname with
+    | None -> None
+    | Some schema ->
+      let product, built = Product_memo.get products schema nfa in
+      if built then Metrics.incr_schema_products metrics;
+      if
+        Xut_schema.Schema.skip_count product = 0
+        && not (Xut_schema.Schema.statically_empty product)
+      then None
+      else begin
+        let size_of e =
+          let whole () = Xut_xml.Node.element_count (Xut_xml.Node.Element e) in
+          match sizes with
+          | Some tbl ->
+            (match Hashtbl.find_opt tbl (Xut_xml.Node.id e) with
+            | Some n -> n
+            | None -> whole ())
+          | None -> whole ()
+        in
+        let skip e =
+          if Xut_schema.Schema.skippable product (Xut_xml.Node.sym e) then begin
+            Metrics.add_skipped metrics ~subtrees:1 ~nodes:(size_of e);
+            true
+          end
+          else false
+        in
+        Some { product; skip }
+      end
+  end
+
+(* The admission check: a Doc-target Transform/Count whose product is
+   statically empty can never select anything in any document conforming
+   to the schema — reject it before touching the tree. *)
+let admit ~metrics (dinfo : Doc_store.info) pruning =
+  match pruning with
+  | Some p when Xut_schema.Schema.statically_empty p.product ->
+    Metrics.incr_statically_empty metrics;
+    Stdlib.Error
+      (error Statically_empty
+         "query selects nothing under schema %S (NFA x schema product is empty)"
+         (Option.value ~default:"?" dinfo.Doc_store.schema))
+  | _ -> Stdlib.Ok ()
+
 (* Engines that consume the selecting NFA take the precompiled one from
    the plan; TD-BU additionally reuses the memoized bottom-up annotation
    of the stored document.  The others (Naive, snapshot copy, reference,
    SAX) only need the parsed AST. *)
-let run_plan (plan : Plan_cache.plan) engine root =
+let run_plan ?pruning (plan : Plan_cache.plan) engine root =
   let update = plan.Plan_cache.query.Transform_ast.update in
+  let skip = Option.map (fun p -> p.skip) pruning in
   match (engine : Engine.algo) with
-  | Engine.Gentop -> Top_down.run plan.Plan_cache.nfa update root
+  | Engine.Gentop -> Top_down.run ?skip plan.Plan_cache.nfa update root
   | Engine.Td_bu ->
-    let table = Plan_cache.annotation plan root in
+    let table = Plan_cache.annotation ?skip plan root in
     Top_down.run
       ~checkp:(Xut_automata.Annotator.checkp table plan.Plan_cache.nfa)
-      plan.Plan_cache.nfa update root
+      ?skip plan.Plan_cache.nfa update root
   | other -> Engine.transform other update root
 
 (* The zero-materialization counterpart of [run_plan]: the engines that
@@ -155,40 +234,60 @@ let run_plan (plan : Plan_cache.plan) engine root =
    output tree, no monolithic string); the rest materialize their tree
    and hand it to the sink whole, still getting chunking, the pooled
    buffer and the escape fast path. *)
-let run_plan_stream (plan : Plan_cache.plan) engine root sink =
+let run_plan_stream ~metrics ?pruning (plan : Plan_cache.plan) engine root sink =
   let update = plan.Plan_cache.query.Transform_ast.update in
   let events = Xut_xml.Serialize.Sink.event sink in
+  let skip = Option.map (fun p -> p.skip) pruning in
   match (engine : Engine.algo) with
-  | Engine.Gentop -> Top_down.stream plan.Plan_cache.nfa update root events
+  | Engine.Gentop -> Top_down.stream ?skip plan.Plan_cache.nfa update root events
   | Engine.Td_bu ->
-    let table = Plan_cache.annotation plan root in
+    let table = Plan_cache.annotation ?skip plan root in
     Top_down.stream
       ~checkp:(Xut_automata.Annotator.checkp table plan.Plan_cache.nfa)
-      plan.Plan_cache.nfa update root events
+      ?skip plan.Plan_cache.nfa update root events
   | Engine.Two_pass_sax ->
     (* same front end as [Sax_transform.transform]: the SAX passes need
-       the NFA built from the raw path *)
+       the NFA built from the raw path.  The skip-set is a property of
+       the query's semantics under the schema, so it holds for this NFA
+       too; the SAX engine consumes it by symbol and reports exact
+       skip counts in its run stats. *)
     let nfa = Xut_automata.Selecting_nfa.of_path (Transform_ast.path update) in
-    ignore
-      (Sax_transform.run nfa update ~source:(Xut_xml.Sax.events_of_tree root) ~sink:events)
+    let sym_skip =
+      Option.map
+        (fun p sym -> Xut_schema.Schema.skippable p.product sym)
+        pruning
+    in
+    let stats =
+      Sax_transform.run ?skip:sym_skip nfa update
+        ~source:(Xut_xml.Sax.events_of_tree root) ~sink:events
+    in
+    Metrics.add_skipped metrics ~subtrees:stats.Sax_transform.skipped_subtrees
+      ~nodes:stats.Sax_transform.skipped_elements
   | other -> Xut_xml.Serialize.Sink.element sink (Engine.transform other update root)
 
 let evaluate ~store ~cache ~metrics ~doc ~engine ~query =
-  match Doc_store.find store doc with
+  match Doc_store.snapshot store doc with
   | None -> Stdlib.Error (error Unknown_document "no document %S (LOAD it first)" doc)
-  | Some root -> begin
+  | Some (root, dinfo, sizes) -> begin
     match Plan_cache.find_or_compile cache query with
     | exception Transform_parser.Parse_error msg ->
       Stdlib.Error (error Query_parse_error "%s" msg)
     | exception e -> Stdlib.Error (error Query_parse_error "%s" (Printexc.to_string e))
-    | plan, outcome ->
+    | plan, outcome -> begin
       (match outcome with
       | Plan_cache.Hit -> Metrics.incr_cache_hits metrics
       | Plan_cache.Miss -> Metrics.incr_cache_misses metrics);
-      (match run_plan plan engine root with
-      | out -> Stdlib.Ok out
-      | exception Failure msg -> Stdlib.Error (error Eval_error "%s" msg)
-      | exception e -> Stdlib.Error (error Eval_error "%s" (Printexc.to_string e)))
+      let pruning =
+        pruning_for ~metrics dinfo sizes plan.Plan_cache.products plan.Plan_cache.nfa
+      in
+      match admit ~metrics dinfo pruning with
+      | Stdlib.Error e -> Stdlib.Error e
+      | Stdlib.Ok () ->
+        (match run_plan ?pruning plan engine root with
+        | out -> Stdlib.Ok out
+        | exception Failure msg -> Stdlib.Error (error Eval_error "%s" msg)
+        | exception e -> Stdlib.Error (error Eval_error "%s" (Printexc.to_string e)))
+    end
   end
 
 (* ---------------- stored-view serving ---------------- *)
@@ -236,12 +335,12 @@ let evaluate_view ~store ~cache ~views ~metrics ~name ~engine ~query =
   match View_store.resolve views name with
   | None -> Stdlib.Error (error Unknown_document "no view %S (DEFVIEW it first)" name)
   | Some chain -> begin
-    match Doc_store.find store chain.View_store.base with
+    match Doc_store.snapshot store chain.View_store.base with
     | None ->
       Stdlib.Error
         (error Unknown_document "no document %S (base of view %S; LOAD it first)"
            chain.View_store.base name)
-    | Some root -> begin
+    | Some (root, base_info, base_sizes) -> begin
       match Xut_xquery.Xq_parser.parse_expr query with
       | exception Xut_xquery.Xq_parser.Parse_error msg ->
         Stdlib.Error (error Query_parse_error "%s" msg)
@@ -287,12 +386,22 @@ let evaluate_view ~store ~cache ~views ~metrics ~name ~engine ~query =
             if outcome = Plan_cache.Miss then Metrics.incr_composed_plans metrics;
             Metrics.incr_view_hits metrics;
             (* the oracle answers level-0 qualifier checks over the base
-               tree from the view's memoized annotation table *)
+               tree from the view's memoized annotation table; when the
+               base document is schema-bound, the innermost update's own
+               NFA x schema product prunes the table build (the table is
+               identical either way — views are never rejected) *)
             let oracle =
               match (engine : Engine.algo), levels with
               | Engine.Td_bu, (inner : View_store.view) :: _ ->
+                let skip =
+                  Option.map
+                    (fun p -> p.skip)
+                    (pruning_for ~metrics base_info base_sizes inner.View_store.products
+                       inner.View_store.nfa)
+                in
                 let table =
-                  Annotation_memo.find inner.View_store.memo inner.View_store.nfa root
+                  Annotation_memo.find ?skip inner.View_store.memo inner.View_store.nfa
+                    root
                 in
                 Some (Xut_automata.Annotator.checkp table inner.View_store.nfa)
               | _ -> None
@@ -435,8 +544,8 @@ let handle_commit ~store ~metrics ~doc ~query =
    [response], so a worker can only die to a runtime error (and even
    that the pool turns into an [Error] future). *)
 let rec handle ~store ~cache ~views ~metrics ~depth = function
-  | Load { name; file } -> begin
-    match Doc_store.load_file store ~name file with
+  | Load { name; file; schema } -> begin
+    match Doc_store.load_file store ~name ?schema file with
     | Stdlib.Ok (info, reloaded) ->
       Ok
         (Doc_loaded
@@ -445,6 +554,7 @@ let rec handle ~store ~cache ~views ~metrics ~depth = function
              elements = info.Doc_store.elements;
              reloaded;
              generation = info.Doc_store.generation;
+             schema = info.Doc_store.schema;
            })
     | Stdlib.Error msg -> error Bad_request "%s" msg
   end
@@ -491,7 +601,10 @@ let rec handle ~store ~cache ~views ~metrics ~depth = function
         match Doc_store.info store name with
         | Some i ->
           Printf.bprintf b "\ndoc %s elements=%d generation=%d" i.Doc_store.name
-            i.Doc_store.elements i.Doc_store.generation
+            i.Doc_store.elements i.Doc_store.generation;
+          (match i.Doc_store.schema with
+          | Some s -> Printf.bprintf b " schema=%s" s
+          | None -> ())
         | None -> ())
       (Doc_store.names store);
     List.iter
@@ -516,9 +629,9 @@ let handle_streaming ~store ~cache ~metrics { emit; chunk_size } = function
   | Transform { target = View _; _ } ->
     error Bad_request "streaming a view target is not supported"
   | Transform { target = Doc doc; engine; query } -> begin
-    match Doc_store.find store doc with
+    match Doc_store.snapshot store doc with
     | None -> error Unknown_document "no document %S (LOAD it first)" doc
-    | Some root -> begin
+    | Some (root, dinfo, sizes) -> begin
       match Plan_cache.find_or_compile cache query with
       | exception Transform_parser.Parse_error msg -> error Query_parse_error "%s" msg
       | exception e -> error Query_parse_error "%s" (Printexc.to_string e)
@@ -526,25 +639,32 @@ let handle_streaming ~store ~cache ~metrics { emit; chunk_size } = function
         (match outcome with
         | Plan_cache.Hit -> Metrics.incr_cache_hits metrics
         | Plan_cache.Miss -> Metrics.incr_cache_misses metrics);
-        Metrics.stream_started metrics;
-        let sink =
-          Xut_xml.Serialize.Sink.create ~chunk_size (fun chunk ->
-              Metrics.stream_chunk metrics (String.length chunk);
-              emit chunk)
+        let pruning =
+          pruning_for ~metrics dinfo sizes plan.Plan_cache.products plan.Plan_cache.nfa
         in
-        match run_plan_stream plan engine root sink with
-        | () ->
-          let totals = Xut_xml.Serialize.Sink.close sink in
-          Ok
-            (Stream_done
-               { bytes = totals.Xut_xml.Serialize.Sink.bytes;
-                 chunks = totals.Xut_xml.Serialize.Sink.chunks
-               })
-        | exception e ->
-          Xut_xml.Serialize.Sink.abort sink;
-          (match e with
-          | Failure msg -> error Eval_error "%s" msg
-          | e -> error Eval_error "%s" (Printexc.to_string e))
+        match admit ~metrics dinfo pruning with
+        | Stdlib.Error e -> e
+        | Stdlib.Ok () -> begin
+          Metrics.stream_started metrics;
+          let sink =
+            Xut_xml.Serialize.Sink.create ~chunk_size (fun chunk ->
+                Metrics.stream_chunk metrics (String.length chunk);
+                emit chunk)
+          in
+          match run_plan_stream ~metrics ?pruning plan engine root sink with
+          | () ->
+            let totals = Xut_xml.Serialize.Sink.close sink in
+            Ok
+              (Stream_done
+                 { bytes = totals.Xut_xml.Serialize.Sink.bytes;
+                   chunks = totals.Xut_xml.Serialize.Sink.chunks
+                 })
+          | exception e ->
+            Xut_xml.Serialize.Sink.abort sink;
+            (match e with
+            | Failure msg -> error Eval_error "%s" msg
+            | e -> error Eval_error "%s" (Printexc.to_string e))
+        end
       end
     end
   end
@@ -577,10 +697,34 @@ let create ?(domains = 1) ?(cache_capacity = 128) ?(queue_capacity = 64) ?store_
      counted as [view_invalidations].  A plain COMMIT keeps composed
      plans: they depend on the definitions, not on document content. *)
   Doc_store.subscribe store (fun ev ->
+      (* The schema captured at the swap (if the new tree still
+         conforms): each repaired table's fresh-subtree annotation runs
+         under the owning plan's skip-set, exactly as a from-scratch
+         build would.  The oracle changes cost, never content, so the
+         repaired table equals the unpruned one — repair_fallbacks stays
+         0 with pruning on. *)
+      let skip_against nfa products =
+        match ev.Doc_store.schema with
+        | None -> None
+        | Some sname -> begin
+          match Xut_schema.Schema.find sname with
+          | None -> None
+          | Some schema ->
+            let product, built = Product_memo.get products schema nfa in
+            if built then Metrics.incr_schema_products metrics;
+            if Xut_schema.Schema.skip_count product = 0 then None
+            else
+              Some
+                (fun e -> Xut_schema.Schema.skippable product (Xut_xml.Node.sym e))
+        end
+      in
       (match ev.Doc_store.repair with
       | Some hint ->
+        let plan_skip (plan : Plan_cache.plan) =
+          skip_against plan.Plan_cache.nfa plan.Plan_cache.products
+        in
         let totals =
-          Plan_cache.repair cache ~old_root_id:ev.Doc_store.root_id
+          Plan_cache.repair ~plan_skip cache ~old_root_id:ev.Doc_store.root_id
             ~spine:hint.Doc_store.spine hint.Doc_store.new_root
         in
         Metrics.add_repairs metrics ~repaired:totals.Plan_cache.repaired
@@ -602,7 +746,9 @@ let create ?(domains = 1) ?(cache_capacity = 128) ?(queue_capacity = 64) ?store_
             match ev.Doc_store.repair with
             | Some hint -> (
               match
-                Annotation_memo.repair v.View_store.memo v.View_store.nfa
+                Annotation_memo.repair
+                  ?skip:(skip_against v.View_store.nfa v.View_store.products)
+                  v.View_store.memo v.View_store.nfa
                   ~old_root_id:ev.Doc_store.root_id ~spine:hint.Doc_store.spine
                   hint.Doc_store.new_root
               with

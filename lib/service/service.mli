@@ -23,8 +23,14 @@ type target =
     path. *)
 
 type request =
-  | Load of { name : string; file : string }
-      (** Parse [file] and store it under [name]. *)
+  | Load of { name : string; file : string; schema : string option }
+      (** Parse [file] and store it under [name].  With [schema], the
+          tree is validated against the registered
+          {!Xut_schema.Schema} of that name before the binding is
+          published — a nonconforming document (or unknown schema name)
+          fails the load with [Bad_request] — and the binding then
+          carries the schema: Doc-target queries are admission-checked
+          and pruned against it until a commit breaks conformance. *)
   | Unload of { name : string }
   | Transform of { target : target; engine : Core.Engine.algo; query : string }
       (** Evaluate a query against a stored document or view; the
@@ -85,14 +91,27 @@ type err_code =
       (** a [Defview] was rejected at definition time: the transform
           falls outside the composable fragment, or its base chain
           would form a cycle *)
+  | Statically_empty
+      (** a Doc-target [Transform]/[Count] was rejected at admission:
+          the product of its selecting NFA with the document's schema is
+          empty, so the query can never select anything in {e any}
+          conforming document — the request would be a full-document
+          no-op, and the schema proves it without touching the tree *)
 
 type view_info = { v_name : string; v_base : string; v_depth : int; v_generation : int }
 
 type payload =
-  | Doc_loaded of { name : string; elements : int; reloaded : bool; generation : int }
+  | Doc_loaded of
+      { name : string;
+        elements : int;
+        reloaded : bool;
+        generation : int;
+        schema : string option
+      }
       (** [reloaded] is [true] when the [LOAD] replaced an existing
           binding (the old tree's caches were invalidated);
-          [generation] is the store's monotone load stamp. *)
+          [generation] is the store's monotone load stamp; [schema] the
+          validated binding, echoed back when the load named one. *)
   | Doc_unloaded of { name : string }
   | Tree of string         (** serialized result document of a [Transform] *)
   | Element_count of int   (** reply to a [Count] *)
@@ -129,7 +148,8 @@ and response =
 val err_code_name : err_code -> string
 (** Stable lower-kebab name ("unknown-document", "query-parse-error",
     "eval-error", "conflict", "overloaded", "bad-request",
-    "view-compose-error"), used by the line protocol and logs. *)
+    "view-compose-error", "statically-empty"), used by the line protocol
+    and logs. *)
 
 val err_code_of_name : string -> err_code option
 

@@ -17,6 +17,7 @@ type view = {
   nfa : Selecting_nfa.t;
   generation : int;  (* bumped on every (re)definition of this name *)
   memo : Annotation_memo.t;  (* innermost-level oracle over the base doc *)
+  products : Product_memo.t;  (* NFA x schema products, innermost level *)
 }
 
 type error =
@@ -73,6 +74,7 @@ let define t ~name ~source =
                 nfa;
                 generation = t.clock;
                 memo = Annotation_memo.create ();
+                products = Product_memo.create ();
               }
             in
             Hashtbl.replace t.tbl name v;

@@ -24,6 +24,10 @@ type view = {
   generation : int;     (** store-wide monotone; bumped on redefinition *)
   memo : Annotation_memo.t;
       (** innermost-level TD-BU oracle tables over the base document *)
+  products : Product_memo.t;
+      (** NFA x schema products for this view's own NFA — the innermost
+          update's, the only level that runs against the schema-validated
+          base document *)
 }
 
 type error =

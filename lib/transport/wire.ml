@@ -12,29 +12,44 @@ module Line = struct
     let verb, rest = split2 line in
     match String.uppercase_ascii verb with
     | "LOAD" -> begin
+      (* LOAD <name> <file> [SCHEMA <schema>] *)
+      let usage = "usage: LOAD <name> <file> [SCHEMA <schema>]" in
       match split2 rest with
-      | "", _ -> Error "usage: LOAD <name> <file>"
-      | name, file when file <> "" -> Ok (Service.Load { name; file })
-      | _ -> Error "usage: LOAD <name> <file>"
+      | "", _ -> Error usage
+      | name, rest' when rest' <> "" -> begin
+        match split2 rest' with
+        | file, "" -> Ok (Service.Load { name; file; schema = None })
+        | file, tail -> begin
+          match split2 tail with
+          | kw, s when String.uppercase_ascii kw = "SCHEMA" && s <> "" ->
+            Ok (Service.Load { name; file; schema = Some s })
+          | _ -> Error usage
+        end
+      end
+      | _ -> Error usage
     end
     | "UNLOAD" ->
       if rest = "" then Error "usage: UNLOAD <name>"
       else Ok (Service.Unload { name = rest })
     | ("TRANSFORM" | "COUNT") as verb -> begin
-      (* TRANSFORM <doc> <engine> <query>
+      (* TRANSFORM [DOC] <doc> <engine> <query>
          TRANSFORM VIEW <name> <engine> <query>
-         (the literal keyword VIEW claims the first word: a document
-         named exactly "VIEW" is unaddressable on the line protocol —
-         use the binary protocol for that) *)
-      let target_of name = if name = "VIEW" then None else Some (Service.Doc name) in
+         The literal keyword VIEW claims the first word; the DOC keyword
+         is the explicit escape hatch, so a document literally named
+         "VIEW" (or "DOC") stays addressable: TRANSFORM DOC VIEW ... *)
       let name, rest' = split2 rest in
       let target, rest' =
-        match target_of name with
-        | Some tgt -> (Some tgt, rest')
-        | None -> (
+        match name with
+        | "VIEW" -> (
           match split2 rest' with
           | vname, rest'' when vname <> "" -> (Some (Service.View vname), rest'')
           | _ -> (None, rest'))
+        | "DOC" -> (
+          match split2 rest' with
+          | dname, rest'' when dname <> "" -> (Some (Service.Doc dname), rest'')
+          | _ -> (None, rest'))
+        | "" -> (None, rest')
+        | name -> (Some (Service.Doc name), rest')
       in
       match target with
       | Some target when rest' <> "" -> begin
@@ -43,11 +58,11 @@ module Line = struct
         | None -> Error (Printf.sprintf "unknown engine %S" engine_s)
         | Some engine ->
           if query = "" then
-            Error (Printf.sprintf "usage: %s [VIEW] <name> <engine> <query>" verb)
+            Error (Printf.sprintf "usage: %s [DOC|VIEW] <name> <engine> <query>" verb)
           else if verb = "COUNT" then Ok (Service.Count { target; engine; query })
           else Ok (Service.Transform { target; engine; query })
       end
-      | _ -> Error (Printf.sprintf "usage: %s [VIEW] <name> <engine> <query>" verb)
+      | _ -> Error (Printf.sprintf "usage: %s [DOC|VIEW] <name> <engine> <query>" verb)
     end
     | ("APPLY" | "COMMIT") as verb -> begin
       match split2 rest with
@@ -87,23 +102,25 @@ module Line = struct
   let encode_targeted verb target engine query =
     let name, prefix =
       match target with
-      | Service.Doc name -> (name, "")
+      | Service.Doc name ->
+        (* the DOC keyword disambiguates document names that would
+           otherwise read as a keyword *)
+        (name, if name = "VIEW" || name = "DOC" then "DOC " else "")
       | Service.View name -> (name, "VIEW ")
     in
-    if name = "VIEW" && prefix = "" then
-      Error
-        (Printf.sprintf
-           "a document named \"VIEW\" is not addressable on the line protocol (%s would \
-            parse as a view request)"
-           verb)
-    else if plain_word name && one_line query then
+    if plain_word name && one_line query then
       Ok (Printf.sprintf "%s %s%s %s %s" verb prefix name (Core.Engine.name engine) query)
     else Error (Printf.sprintf "%s with a multi-line query is not expressible on one line" verb)
 
   let encode_request = function
-    | Service.Load { name; file } ->
-      if plain_word name && plain_word file then Ok (Printf.sprintf "LOAD %s %s" name file)
-      else Error "LOAD name/file with whitespace is not expressible on one line"
+    | Service.Load { name; file; schema } ->
+      let schema_ok = match schema with None -> true | Some s -> plain_word s in
+      if plain_word name && plain_word file && schema_ok then
+        Ok
+          (match schema with
+          | None -> Printf.sprintf "LOAD %s %s" name file
+          | Some s -> Printf.sprintf "LOAD %s %s SCHEMA %s" name file s)
+      else Error "LOAD name/file/schema with whitespace is not expressible on one line"
     | Service.Unload { name } ->
       if plain_word name then Ok ("UNLOAD " ^ name)
       else Error "UNLOAD name with whitespace is not expressible on one line"
@@ -229,10 +246,18 @@ module Binary = struct
     Buffer.add_string b s
 
   let rec put_request b = function
-    | Service.Load { name; file } ->
+    (* tag 1 is the v1 schemaless load; a load naming a schema gets its
+       own tag (15) so a v1 peer rejects rather than silently drops the
+       schema *)
+    | Service.Load { name; file; schema = None } ->
       put_u8 b 1;
       put_str b name;
       put_str b file
+    | Service.Load { name; file; schema = Some s } ->
+      put_u8 b 15;
+      put_str b name;
+      put_str b file;
+      put_str b s
     | Service.Unload { name } ->
       put_u8 b 2;
       put_str b name
@@ -273,6 +298,7 @@ module Binary = struct
       put_u8 b 13;
       put_str b name
     | Service.Listviews -> put_u8 b 14
+  (* tag 15 is the schema-carrying Load above *)
 
   let err_code_byte = function
     | Service.Unknown_document -> 1
@@ -282,6 +308,7 @@ module Binary = struct
     | Service.Bad_request -> 5
     | Service.Conflict -> 6
     | Service.View_compose_error -> 7
+    | Service.Statically_empty -> 8
 
   let err_code_of_byte = function
     | 1 -> Some Service.Unknown_document
@@ -291,15 +318,27 @@ module Binary = struct
     | 5 -> Some Service.Bad_request
     | 6 -> Some Service.Conflict
     | 7 -> Some Service.View_compose_error
+    | 8 -> Some Service.Statically_empty
     | _ -> None
 
   let rec put_response b = function
-    | Service.Ok (Service.Doc_loaded { name; elements; reloaded; generation }) ->
+    (* tag 1 is the v1 schemaless Doc_loaded; a schema-bound load is
+       acknowledged with its own tag (14) carrying the schema name *)
+    | Service.Ok (Service.Doc_loaded { name; elements; reloaded; generation; schema = None })
+      ->
       put_u8 b 1;
       put_str b name;
       put_u32 b elements;
       put_u8 b (if reloaded then 1 else 0);
       put_u32 b generation
+    | Service.Ok
+        (Service.Doc_loaded { name; elements; reloaded; generation; schema = Some s }) ->
+      put_u8 b 14;
+      put_str b name;
+      put_u32 b elements;
+      put_u8 b (if reloaded then 1 else 0);
+      put_u32 b generation;
+      put_str b s
     | Service.Ok (Service.Doc_unloaded { name }) ->
       put_u8 b 2;
       put_str b name
@@ -418,7 +457,7 @@ module Binary = struct
     | 1 ->
       let name = get_str c in
       let file = get_str c in
-      Service.Load { name; file }
+      Service.Load { name; file; schema = None }
     | 2 -> Service.Unload { name = get_str c }
     | (3 | 4 | 10 | 11) as tag ->
       let name = get_str c in
@@ -445,6 +484,11 @@ module Binary = struct
       Service.Defview { name; query }
     | 13 -> Service.Undefview { name = get_str c }
     | 14 -> Service.Listviews
+    | 15 ->
+      let name = get_str c in
+      let file = get_str c in
+      let schema = get_str c in
+      Service.Load { name; file; schema = Some schema }
     | t -> raise (Malformed (Printf.sprintf "unknown request tag %d" t))
 
   let rec get_response c =
@@ -459,7 +503,7 @@ module Binary = struct
         | b -> raise (Malformed (Printf.sprintf "bad reloaded flag %d" b))
       in
       let generation = get_u32 c in
-      Service.Ok (Service.Doc_loaded { name; elements; reloaded; generation })
+      Service.Ok (Service.Doc_loaded { name; elements; reloaded; generation; schema = None })
     | 2 -> Service.Ok (Service.Doc_unloaded { name = get_str c })
     | 3 -> Service.Ok (Service.Tree (get_str c))
     | 4 -> Service.Ok (Service.Element_count (get_u32 c))
@@ -515,6 +559,19 @@ module Binary = struct
             { Service.v_name; v_base; v_depth; v_generation })
       in
       Service.Ok (Service.View_list views)
+    | 14 ->
+      let name = get_str c in
+      let elements = get_u32 c in
+      let reloaded =
+        match get_u8 c with
+        | 0 -> false
+        | 1 -> true
+        | b -> raise (Malformed (Printf.sprintf "bad reloaded flag %d" b))
+      in
+      let generation = get_u32 c in
+      let schema = get_str c in
+      Service.Ok
+        (Service.Doc_loaded { name; elements; reloaded; generation; schema = Some schema })
     | t -> raise (Malformed (Printf.sprintf "unknown response tag %d" t))
 
   let decode_with get s =

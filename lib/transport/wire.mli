@@ -19,10 +19,10 @@ module Line : sig
   val decode_request : string -> (Service.request, string) result
   (** Parse one line:
       {v
-      LOAD <name> <file>
+      LOAD <name> <file> [SCHEMA <schema>]
       UNLOAD <name>
-      TRANSFORM [VIEW] <name> <engine> <query text...>
-      COUNT [VIEW] <name> <engine> <query text...>
+      TRANSFORM [DOC|VIEW] <name> <engine> <query text...>
+      COUNT [DOC|VIEW] <name> <engine> <query text...>
       APPLY <name> <update query text...>
       COMMIT <name> <update query text...>
       DEFVIEW <name> := <transform query text...>
@@ -33,16 +33,20 @@ module Line : sig
       The APPLY/COMMIT query may be a full transform query or a bare
       update / parenthesized update sequence over [$a].  The literal
       (uppercase) keyword [VIEW] after TRANSFORM/COUNT addresses a
-      stored view instead of a document — which makes a document named
-      exactly ["VIEW"] unaddressable on this protocol (the binary
-      protocol has no such ambiguity).  DEFVIEW's [:=] is optional on
-      input and always printed on output. *)
+      stored view instead of a document; the [DOC] keyword forces
+      document addressing, so a document literally named ["VIEW"] (or
+      ["DOC"]) stays reachable: [TRANSFORM DOC VIEW td_bu ...].
+      [LOAD ... SCHEMA s] validates the document against the registered
+      schema [s] and binds it for admission checks and subtree pruning.
+      DEFVIEW's [:=] is optional on input and always printed on
+      output. *)
 
   val encode_request : Service.request -> (string, string) result
   (** Render a request back to one line.  [Error _] when the request is
       not expressible in the line protocol: a [Batch], a name
-      containing whitespace, a query containing a newline, or a
-      doc-targeted TRANSFORM/COUNT whose document is named ["VIEW"]. *)
+      containing whitespace, or a query containing a newline.
+      Doc-targeted TRANSFORM/COUNT on a document named ["VIEW"] or
+      ["DOC"] renders with the explicit [DOC] keyword. *)
 
   val render_response : Service.response -> string
   (** The reply text of the stdin protocol: ["OK <payload>"],

@@ -1,0 +1,24 @@
+open Xut_schema
+
+(** The built-in regular-tree-grammar schema of the XMark [site]
+    vocabulary — exactly the grammar {!Generator} produces, so
+    generated documents always validate against it. *)
+
+val schema_name : string
+(** ["xmark"]. *)
+
+val bench_schema_name : string
+(** ["xmark-bench"]: {!schema} widened so the [bench-serve] marker
+    element ({!bench_marker}) is allowed under every [--write-depth]
+    insertion target — the variant the schema-enabled write benches
+    load, keeping pruning alive across marker commits. *)
+
+val bench_marker : string
+(** ["xut_bench_promo"]. *)
+
+val schema : Schema.t Lazy.t
+val bench_schema : Schema.t Lazy.t
+
+val register : unit -> unit
+(** Put both schemas in the {!Xut_schema.Schema} registry (the CLI and
+    the tests call this at startup). *)

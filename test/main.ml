@@ -15,4 +15,5 @@ let () =
       ("transport", Test_transport.suite);
     ("update", Test_update.suite);
       ("repair", Test_repair.suite);
+      ("schema", Test_schema.suite);
       ("misc", Test_misc.suite) ]

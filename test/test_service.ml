@@ -137,10 +137,10 @@ let test_store_reload_generations () =
       events := (ev.Doc_store.name, ev.Doc_store.reason, ev.Doc_store.generation) :: !events);
   let tree () = Xut_xml.Node.element "r" [ Xut_xml.Node.elem "c" [] ] in
   let t1 = tree () in
-  let i1, r1 = Doc_store.register store ~name:"d" t1 in
+  let i1, r1 = Result.get_ok (Doc_store.register store ~name:"d" t1) in
   Alcotest.(check bool) "first register is fresh" false r1;
   Alcotest.(check bool) "no event on a fresh load" true (!events = []);
-  let i2, r2 = Doc_store.register store ~name:"d" (tree ()) in
+  let i2, r2 = Result.get_ok (Doc_store.register store ~name:"d" (tree ())) in
   Alcotest.(check bool) "second register reloads" true r2;
   Alcotest.(check bool) "generation is monotone" true
     (i2.Doc_store.generation > i1.Doc_store.generation);
@@ -207,8 +207,8 @@ let test_store_shard_equivalence =
       match op with
       | `Load i ->
         let tree () = Xut_xml.Node.element names.(i) [ Xut_xml.Node.elem "c" [] ] in
-        let i1, r1 = Doc_store.register s1 ~name:names.(i) (tree ()) in
-        let i4, r4 = Doc_store.register s4 ~name:names.(i) (tree ()) in
+        let i1, r1 = Result.get_ok (Doc_store.register s1 ~name:names.(i) (tree ())) in
+        let i4, r4 = Result.get_ok (Doc_store.register s4 ~name:names.(i) (tree ())) in
         r1 = r4
         && i1.Doc_store.generation = i4.Doc_store.generation
         && i1.Doc_store.elements = i4.Doc_store.elements
@@ -245,8 +245,8 @@ let with_service ?(domains = 1) ?(cache_capacity = 128) f =
   Fun.protect ~finally:(fun () -> Service.shutdown svc) (fun () -> f svc)
 
 let load_doc svc path =
-  match Service.call svc (Service.Load { name = "d"; file = path }) with
-  | Service.Ok (Service.Doc_loaded { name = "d"; elements = 18; reloaded = false; generation = _ })
+  match Service.call svc (Service.Load { name = "d"; file = path; schema = None }) with
+  | Service.Ok (Service.Doc_loaded { name = "d"; elements = 18; reloaded = false; _ })
     -> ()
   | Service.Ok _ -> Alcotest.fail "LOAD answered with the wrong payload"
   | Service.Error { message; _ } -> Alcotest.fail message
@@ -309,10 +309,12 @@ let test_render_response_compat () =
   in
   check "loaded" "loaded d elements=18"
     (Service.Ok
-       (Service.Doc_loaded { name = "d"; elements = 18; reloaded = false; generation = 1 }));
+       (Service.Doc_loaded
+          { name = "d"; elements = 18; reloaded = false; generation = 1; schema = None }));
   check "reloaded" "loaded d elements=18 reloaded=true"
     (Service.Ok
-       (Service.Doc_loaded { name = "d"; elements = 18; reloaded = true; generation = 2 }));
+       (Service.Doc_loaded
+          { name = "d"; elements = 18; reloaded = true; generation = 2; schema = None }));
   check "unloaded" "unloaded d" (Service.Ok (Service.Doc_unloaded { name = "d" }));
   check "tree" "<a/>" (Service.Ok (Service.Tree "<a/>"));
   check "count" "elements=16" (Service.Ok (Service.Element_count 16));
@@ -468,7 +470,7 @@ let test_service_reload_replaces () =
           let before = transform () in
           (* LOAD over a live name: reported as a reload, and the old
              tree's annotation table goes with it *)
-          (match Service.call svc (Service.Load { name = "d"; file = path }) with
+          (match Service.call svc (Service.Load { name = "d"; file = path; schema = None }) with
           | Service.Ok (Service.Doc_loaded { reloaded = true; generation; _ }) ->
             Alcotest.(check bool) "reload advances the generation" true (generation >= 2)
           | Service.Ok _ -> Alcotest.fail "LOAD over a live name must report reloaded=true"
@@ -749,7 +751,7 @@ let test_view_invalidation_graph () =
   with_doc_file (fun path ->
       with_service (fun svc ->
           load_doc svc path;
-          (match Service.call svc (Service.Load { name = "e"; file = path }) with
+          (match Service.call svc (Service.Load { name = "e"; file = path; schema = None }) with
           | Service.Ok (Service.Doc_loaded _) -> ()
           | _ -> Alcotest.fail "LOAD e");
           ignore (defview svc "v1" v1_def);

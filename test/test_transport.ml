@@ -109,8 +109,11 @@ let decode_error_frame bytes =
 let test_line_protocol () =
   let ok = function Ok r -> r | Error e -> Alcotest.fail e in
   (match ok (Wire.Line.decode_request "LOAD d /tmp/x.xml") with
-  | Service.Load { name = "d"; file = "/tmp/x.xml" } -> ()
+  | Service.Load { name = "d"; file = "/tmp/x.xml"; schema = None } -> ()
   | _ -> Alcotest.fail "LOAD parse");
+  (match ok (Wire.Line.decode_request "LOAD d /tmp/x.xml SCHEMA xmark") with
+  | Service.Load { name = "d"; file = "/tmp/x.xml"; schema = Some "xmark" } -> ()
+  | _ -> Alcotest.fail "LOAD SCHEMA parse");
   (match
      ok
        (Wire.Line.decode_request
@@ -198,12 +201,23 @@ let test_line_protocol () =
    with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "a multi-line query must not be expressible on one line");
+  (* a document literally named VIEW (or DOC) rides the explicit DOC
+     keyword and round-trips *)
   (match
      Wire.Line.encode_request
        (Service.Transform { target = Service.Doc "VIEW"; engine = Core.Engine.Td_bu; query = "q" })
    with
-  | Error _ -> ()
-  | Ok _ -> Alcotest.fail "a document named VIEW must not be expressible on one line");
+  | Ok line -> begin
+    Alcotest.(check string) "doc named VIEW takes the DOC keyword" "TRANSFORM DOC VIEW TD-BU q"
+      line;
+    match Wire.Line.decode_request line with
+    | Ok (Service.Transform { target = Service.Doc "VIEW"; _ }) -> ()
+    | _ -> Alcotest.fail "TRANSFORM DOC VIEW must decode back to the document target"
+  end
+  | Error e -> Alcotest.fail ("a document named VIEW must be expressible via DOC: " ^ e));
+  (match Wire.Line.decode_request "COUNT DOC DOC td-bu q" with
+  | Ok (Service.Count { target = Service.Doc "DOC"; _ }) -> ()
+  | _ -> Alcotest.fail "COUNT DOC DOC must address the document named DOC");
   match Wire.Line.encode_request (Service.Batch [ Service.Stats ]) with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "a batch must not be expressible on one line"
@@ -228,7 +242,8 @@ let gen_simple_request =
   QCheck.Gen.(
     oneof
       [
-        map2 (fun name file -> Service.Load { name; file }) gen_text gen_text;
+        map3 (fun name file schema -> Service.Load { name; file; schema }) gen_text gen_text
+          (opt gen_text);
         map (fun name -> Service.Unload { name }) gen_text;
         map3 (fun target engine query -> Service.Transform { target; engine; query }) gen_target
           gen_engine gen_text;
@@ -260,16 +275,17 @@ let gen_err_code =
       Service.Overloaded;
       Service.Bad_request;
       Service.View_compose_error;
+      Service.Statically_empty;
     ]
 
 let gen_simple_response =
   QCheck.Gen.(
     oneof
       [
-        map2
-          (fun (name, reloaded) (elements, generation) ->
-            Service.Ok (Service.Doc_loaded { name; elements; reloaded; generation }))
-          (pair gen_text bool) (pair small_nat small_nat);
+        map3
+          (fun (name, reloaded) (elements, generation) schema ->
+            Service.Ok (Service.Doc_loaded { name; elements; reloaded; generation; schema }))
+          (pair gen_text bool) (pair small_nat small_nat) (opt gen_text);
         map (fun name -> Service.Ok (Service.Doc_unloaded { name })) gen_text;
         map (fun s -> Service.Ok (Service.Tree s)) gen_text;
         map (fun n -> Service.Ok (Service.Element_count n)) small_nat;
@@ -365,7 +381,7 @@ let test_header_validation () =
 (* ---- socket round trips ---- *)
 
 let load_over t path =
-  match Client.call t (Service.Load { name = "d"; file = path }) with
+  match Client.call t (Service.Load { name = "d"; file = path; schema = None }) with
   | Service.Ok (Service.Doc_loaded { name = "d"; elements = 18; _ }) -> ()
   | Service.Ok _ -> Alcotest.fail "LOAD over the socket: wrong payload"
   | Service.Error { message; _ } -> Alcotest.fail message
@@ -812,7 +828,8 @@ let test_v1_client_fallback () =
               (* request_frame emits version-1 frames: exactly what an
                  old client would send *)
               raw_write fd
-                (Wire.Binary.request_frame ~id:21L (Service.Load { name = "d"; file = doc }));
+                (Wire.Binary.request_frame ~id:21L
+                   (Service.Load { name = "d"; file = doc; schema = None }));
               let h, payload = read_one () in
               Alcotest.(check int) "reply echoes version 1" 1 h.Wire.Binary.version;
               (match Wire.Binary.decode_response payload with
@@ -906,7 +923,7 @@ let test_notice_over_socket () =
               load_over plain doc;
               Alcotest.(check bool) "a fresh LOAD pushes no notice" true (!notices = []);
               (* reload: the plain client LOADs over the live name *)
-              (match Client.call plain (Service.Load { name = "d"; file = doc }) with
+              (match Client.call plain (Service.Load { name = "d"; file = doc; schema = None }) with
               | Service.Ok (Service.Doc_loaded { reloaded = true; _ }) -> ()
               | _ -> Alcotest.fail "reload must report reloaded=true");
               (* unload from the plain client too *)

@@ -235,7 +235,7 @@ let with_service ?(domains = 1) f =
   Fun.protect ~finally:(fun () -> Service.shutdown svc) (fun () -> f svc)
 
 let load_doc svc path =
-  match Service.call svc (Service.Load { name = "d"; file = path }) with
+  match Service.call svc (Service.Load { name = "d"; file = path; schema = None }) with
   | Service.Ok (Service.Doc_loaded _) -> ()
   | _ -> Alcotest.fail "load failed"
 
