@@ -86,22 +86,66 @@ let print_doc ~pretty root =
 (* ---------------- transform ---------------- *)
 
 let transform_cmd =
-  let run query doc engine pretty stats =
+  let run query doc engine pretty stats stream =
     let q = Transform_parser.parse (read_query query) in
-    let root = load_doc doc in
-    Stats.reset ();
-    let t0 = Unix.gettimeofday () in
-    let out = Engine.run engine q ~doc:root in
-    let dt = Unix.gettimeofday () -. t0 in
-    print_doc ~pretty out;
-    if stats then
-      Format.eprintf "engine=%s time=%.4fs %a@." (Engine.name engine) dt Stats.pp (Stats.read ());
-    0
+    if stream then begin
+      (* Fused constant-memory path: SAX parse straight through the
+         selecting NFA into the chunked serializer, never building a
+         tree.  Plans that need the bottom-up qualifier pass fall back
+         to the two-parse configuration (still no tree); output is
+         byte-identical either way. *)
+      if pretty then begin
+        Printf.eprintf "xut transform: --stream does not indent; drop --pretty\n";
+        exit 2
+      end;
+      let update = q.Transform_ast.update in
+      let nfa = Xut_automata.Selecting_nfa.of_path (Transform_ast.path update) in
+      let source h = Xut_xml.Sax.parse_file doc h in
+      let t0 = Unix.gettimeofday () in
+      let sink = Xut_xml.Serialize.Sink.create print_string in
+      let fused = Sax_transform.one_pass nfa in
+      let rs =
+        try
+          if fused then Sax_transform.run_once nfa update ~source ~sink:(Xut_xml.Serialize.Sink.event sink)
+          else Sax_transform.run nfa update ~source ~sink:(Xut_xml.Serialize.Sink.event sink)
+        with e ->
+          Xut_xml.Serialize.Sink.abort sink;
+          raise e
+      in
+      ignore (Xut_xml.Serialize.Sink.close sink);
+      print_newline ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if stats then
+        Format.eprintf "engine=%s time=%.4fs depth=%d truth=%d elements=%d@."
+          (if fused then "fusedSAX" else "twoPassSAX")
+          dt rs.Sax_transform.max_stack_depth rs.Sax_transform.truth_entries
+          rs.Sax_transform.elements_seen;
+      0
+    end
+    else begin
+      let root = load_doc doc in
+      Stats.reset ();
+      let t0 = Unix.gettimeofday () in
+      let out = Engine.run engine q ~doc:root in
+      let dt = Unix.gettimeofday () -. t0 in
+      print_doc ~pretty out;
+      if stats then
+        Format.eprintf "engine=%s time=%.4fs %a@." (Engine.name engine) dt Stats.pp (Stats.read ());
+      0
+    end
   in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print timing and node counters to stderr.") in
+  let stream =
+    Arg.(value & flag
+         & info [ "stream" ]
+             ~doc:"Constant-memory streaming: drive the SAX parse of the document straight \
+                   through the compiled plan into the serializer, never materializing a tree \
+                   (single-pass when the plan is qualifier-free, two parses otherwise; \
+                   ignores --engine).")
+  in
   Cmd.v
     (Cmd.info "transform" ~doc:"Evaluate a transform query (update syntax) without touching the store.")
-    Term.(const run $ query_pos $ doc_arg $ engine_arg $ indent_arg $ stats)
+    Term.(const run $ query_pos $ doc_arg $ engine_arg $ indent_arg $ stats $ stream)
 
 (* ---------------- compose ---------------- *)
 
@@ -205,9 +249,28 @@ let query_cmd =
 (* ---------------- xmark ---------------- *)
 
 let xmark_cmd =
-  let run factor seed output =
-    Xut_xmark.Generator.to_file ~seed:(Int64.of_int seed) ~factor output;
-    Printf.printf "wrote %s (factor %g)\n" output factor;
+  let run factor seed output stream =
+    if stream then begin
+      (* SAX generator mode: the document goes out as an event stream
+         through the chunked serializer — same bytes as the default
+         writer, and "-" sends them to stdout (e.g. to pipe into a
+         TRANSFORM-STREAM FILE fifo). *)
+      let write oc =
+        let sink = Xut_xml.Serialize.Sink.create (output_string oc) in
+        Xut_xmark.Generator.events ~seed:(Int64.of_int seed) ~factor
+          (Xut_xml.Serialize.Sink.event sink);
+        ignore (Xut_xml.Serialize.Sink.close sink)
+      in
+      if output = "-" then write stdout
+      else begin
+        Out_channel.with_open_bin output write;
+        Printf.printf "wrote %s (factor %g, streamed)\n" output factor
+      end
+    end
+    else begin
+      Xut_xmark.Generator.to_file ~seed:(Int64.of_int seed) ~factor output;
+      Printf.printf "wrote %s (factor %g)\n" output factor
+    end;
     0
   in
   let factor =
@@ -215,13 +278,24 @@ let xmark_cmd =
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.") in
   let output =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Output path.")
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Output path (\"-\" for stdout with --stream).")
+  in
+  let stream =
+    Arg.(value & flag
+         & info [ "stream" ]
+             ~doc:"Emit the document as a SAX event stream through the chunked serializer \
+                   (byte-identical to the default writer); FILE may be \"-\" for stdout.")
   in
   Cmd.v
     (Cmd.info "xmark" ~doc:"Generate an XMark-style auction document.")
-    Term.(const run $ factor $ seed $ output)
+    Term.(const run $ factor $ seed $ output $ stream)
 
 (* ---------------- serve ---------------- *)
+
+let ingest_source_of_line = function
+  | `Doc name -> Xut_service.Service.From_doc name
+  | `File path -> Xut_service.Service.From_file path
 
 let stdin_serve_loop svc =
   let rec loop () =
@@ -229,10 +303,19 @@ let stdin_serve_loop svc =
     | None -> ()
     | Some line when String.trim line = "" -> loop ()
     | Some line ->
-      (match Xut_transport.Wire.Line.decode_request line with
+      (match Xut_transport.Wire.Line.decode_incoming line with
       | Error msg -> Printf.printf "ERR %s\n%!" msg
-      | Ok req ->
+      | Ok (Xut_transport.Wire.Line.Plain req) ->
         let resp = Xut_service.Service.call svc req in
+        Printf.printf "%s\n%!" (Xut_transport.Wire.Line.render_response resp)
+      | Ok (Xut_transport.Wire.Line.Stream_ingest { source; query }) ->
+        (* streamed ingest on the line protocol: raw chunks to stdout as
+           they arrive, then the rendered completion on its own line *)
+        let resp =
+          Xut_service.Service.transform_ingest svc
+            ~source:(ingest_source_of_line source) ~query print_string
+        in
+        print_newline ();
         Printf.printf "%s\n%!" (Xut_transport.Wire.Line.render_response resp));
       loop ()
   in
@@ -367,8 +450,8 @@ let client_cmd =
     let parsed =
       List.map
         (fun line ->
-          match Xut_transport.Wire.Line.decode_request line with
-          | Ok req -> req
+          match Xut_transport.Wire.Line.decode_incoming line with
+          | Ok incoming -> incoming
           | Error msg ->
             Printf.eprintf "xut client: %s\n" msg;
             exit 2)
@@ -427,10 +510,44 @@ let client_cmd =
           "xut client: --stream applies only to document-targeted TRANSFORM requests\n";
         failed := true
     in
+    (* TRANSFORM-STREAM lines are inherently streaming (fused server-side
+       ingest, protocol v2), whatever the --stream flag says. *)
+    let ingest_one { Xut_transport.Wire.Line.source; query } =
+      let source =
+        match source with
+        | `Doc name -> Xut_transport.Wire.Binary.Ingest_doc name
+        | `File path -> Xut_transport.Wire.Binary.Ingest_file path
+      in
+      match
+        Xut_transport.Client.transform_ingest cli ~source ~query ~chunk_size
+          (fun chunk -> print_string chunk)
+      with
+      | Xut_service.Service.Ok (Xut_service.Service.Stream_done _) ->
+        print_newline ();
+        flush stdout
+      | other ->
+        flush stdout;
+        print_resp other
+    in
+    let run_one = function
+      | Xut_transport.Wire.Line.Plain req ->
+        if stream then stream_one req
+        else print_resp (Xut_transport.Client.call cli req)
+      | Xut_transport.Wire.Line.Stream_ingest ingest -> ingest_one ingest
+    in
     (try
-       if stream then List.iter stream_one parsed
-       else if batch then List.iter print_resp (Xut_transport.Client.call_batch cli parsed)
-       else List.iter (fun req -> print_resp (Xut_transport.Client.call cli req)) parsed
+       if batch then
+         let plain =
+           List.map
+             (function
+               | Xut_transport.Wire.Line.Plain req -> req
+               | Xut_transport.Wire.Line.Stream_ingest _ ->
+                 Printf.eprintf "xut client: TRANSFORM-STREAM cannot ride in a BATCH frame\n";
+                 exit 2)
+             parsed
+         in
+         List.iter print_resp (Xut_transport.Client.call_batch cli plain)
+       else List.iter run_one parsed
      with Xut_transport.Client.Transport_error msg ->
        Printf.eprintf "xut client: %s\n" msg;
        Xut_transport.Client.close cli;
@@ -1145,11 +1262,231 @@ let bench_serve_cmd =
       $ payload $ stream $ chunk_size $ json_opt $ socket $ batch $ docs $ write_ratio
       $ write_depth $ commit_storm $ views $ chain_depth $ schema_flag)
 
+(* ---------------- bench-stream ---------------- *)
+
+(* Peak-RSS of streamed ingest vs materialized serving as the document
+   grows.  VmHWM is a per-process high-water mark that never comes back
+   down, so every measurement runs in its own forked child: the child
+   serves one transform, reads its own VmHWM, writes one row to a file
+   and _exits; the parent collects the rows.  The fused rows should stay
+   flat while the materialized ones grow with the document. *)
+
+let vm_hwm_kb () =
+  In_channel.with_open_text "/proc/self/status" (fun ic ->
+      let rec go () =
+        match In_channel.input_line ic with
+        | None -> 0
+        | Some line when String.length line > 6 && String.sub line 0 6 = "VmHWM:" ->
+          Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d" Fun.id
+        | Some _ -> go ()
+      in
+      go ())
+
+type stream_row = {
+  srow_mode : string;
+  srow_factor : float;
+  srow_file_bytes : int;
+  srow_out_bytes : int;
+  srow_rss_kb : int;
+  srow_elapsed : float;
+  srow_fused : int;
+  srow_fallbacks : int;
+  srow_digest : string;
+}
+
+let bench_stream_cmd =
+  let measure_child ~mode ~doc_file ~query ~chunk_size ~row_path =
+    (* The transformed bytes go to a file — the only place the whole
+       result exists — and are digested from there, so fused children
+       never hold more than a chunk of output and the parent can still
+       check fused/materialized byte-identity. *)
+    let out_path = row_path ^ ".out" in
+    (* Bound the GC's headroom in every measured child (both modes
+       equally): the default space_overhead lets the major heap float on
+       allocation churn, which reads as RSS "growth" that has nothing to
+       do with what the pipeline retains. *)
+    Gc.set { (Gc.get ()) with Gc.space_overhead = 60 };
+    let t0 = Unix.gettimeofday () in
+    let fused_n, fallback_n =
+      match mode with
+      | `Fused ->
+        let svc = Xut_service.Service.create ~domains:1 () in
+        let oc = Out_channel.open_bin out_path in
+        let resp =
+          Xut_service.Service.transform_ingest svc
+            ~source:(Xut_service.Service.From_file doc_file) ~query ~chunk_size
+            (Out_channel.output_string oc)
+        in
+        Out_channel.close oc;
+        (match resp with
+        | Xut_service.Service.Ok _ -> ()
+        | Xut_service.Service.Error { message; _ } -> failwith message);
+        let m = Xut_service.Service.metrics svc in
+        (Xut_service.Metrics.streams_fused m, Xut_service.Metrics.stream_fallbacks m)
+      | `Materialized ->
+        let svc = Xut_service.Service.create ~domains:1 () in
+        (match
+           Xut_service.Service.call svc
+             (Xut_service.Service.Load { name = "d"; file = doc_file; schema = None })
+         with
+        | Xut_service.Service.Ok _ -> ()
+        | Xut_service.Service.Error { message; _ } -> failwith message);
+        (match
+           Xut_service.Service.call svc
+             (Xut_service.Service.Transform
+                { target = Xut_service.Service.Doc "d"; engine = Engine.Gentop; query })
+         with
+        | Xut_service.Service.Ok (Xut_service.Service.Tree s) ->
+          Out_channel.with_open_bin out_path (fun oc -> Out_channel.output_string oc s)
+        | Xut_service.Service.Ok _ -> failwith "bench-stream: unexpected response shape"
+        | Xut_service.Service.Error { message; _ } -> failwith message);
+        (0, 0)
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let out_bytes = (Unix.stat out_path).Unix.st_size in
+    let digest = Digest.to_hex (Digest.file out_path) in
+    Sys.remove out_path;
+    Out_channel.with_open_text row_path (fun oc ->
+        Printf.fprintf oc "%d %d %.6f %d %d %s\n" out_bytes (vm_hwm_kb ()) dt fused_n
+          fallback_n digest)
+  in
+  let run factors_str query_opt chunk_size json_opt =
+    let factors =
+      String.split_on_char ',' factors_str
+      |> List.filter_map (fun s -> float_of_string_opt (String.trim s))
+      |> List.filter (fun f -> f > 0.)
+    in
+    let factors = if factors = [] then [ 0.001; 0.01; 0.1 ] else factors in
+    let query =
+      match query_opt with
+      | Some q -> read_query q
+      | None ->
+        (* qualifier-free, so the plan is one-pass streamable and every
+           fused row exercises the zero-tree path *)
+        "transform copy $a := doc(\"d\") modify do delete $a/site/regions//item/mailbox \
+         return $a"
+    in
+    Printf.printf "bench-stream: factors=%s chunk=%d\nquery: %s\n\n" factors_str chunk_size
+      query;
+    Printf.printf "%-14s %-8s %12s %12s %12s %10s %6s %5s\n" "mode" "factor" "file(B)"
+      "out(B)" "peak_rss(kB)" "wall(s)" "fused" "fb";
+    let rows =
+      List.concat_map
+        (fun factor ->
+          let doc_file = Filename.temp_file "xut_stream_bench" ".xml" in
+          Xut_xmark.Generator.to_file ~seed:42L ~factor doc_file;
+          let file_bytes = (Unix.stat doc_file).Unix.st_size in
+          let per_mode mode =
+            let row_path = Filename.temp_file "xut_stream_row" ".txt" in
+            flush stdout;
+            flush stderr;
+            (match Unix.fork () with
+            | 0 ->
+              (try measure_child ~mode ~doc_file ~query ~chunk_size ~row_path
+               with e ->
+                 Printf.eprintf "bench-stream: %s\n%!" (Printexc.to_string e);
+                 Unix._exit 1);
+              Unix._exit 0
+            | pid -> (
+              match snd (Unix.waitpid [] pid) with
+              | Unix.WEXITED 0 -> ()
+              | _ -> failwith "bench-stream: measurement child failed"));
+            let line = In_channel.with_open_text row_path In_channel.input_all in
+            Sys.remove row_path;
+            Scanf.sscanf line "%d %d %f %d %d %s"
+              (fun out_bytes rss dt fused fb digest ->
+                let row =
+                  {
+                    srow_mode = (match mode with `Fused -> "fused" | `Materialized -> "materialized");
+                    srow_factor = factor;
+                    srow_file_bytes = file_bytes;
+                    srow_out_bytes = out_bytes;
+                    srow_rss_kb = rss;
+                    srow_elapsed = dt;
+                    srow_fused = fused;
+                    srow_fallbacks = fb;
+                    srow_digest = digest;
+                  }
+                in
+                Printf.printf "%-14s %-8g %12d %12d %12d %10.3f %6d %5d\n%!" row.srow_mode
+                  factor file_bytes out_bytes rss dt fused fb;
+                row)
+          in
+          let fused = per_mode `Fused in
+          let mat = per_mode `Materialized in
+          if fused.srow_digest <> mat.srow_digest then
+            failwith
+              (Printf.sprintf
+                 "bench-stream: fused and materialized outputs differ at factor %g" factor);
+          Sys.remove doc_file;
+          [ fused; mat ])
+        factors
+    in
+    let fused_rows = List.filter (fun r -> r.srow_mode = "fused") rows in
+    let rss_of f = (List.find (fun r -> r.srow_factor = f) fused_rows).srow_rss_kb in
+    let fmin = List.fold_left min (List.hd factors) factors in
+    let fmax = List.fold_left max (List.hd factors) factors in
+    let ratio = float_of_int (rss_of fmax) /. float_of_int (max 1 (rss_of fmin)) in
+    Printf.printf
+      "\nfused peak-RSS: %d kB at factor %g -> %d kB at factor %g (%.2fx while the \
+       document grew %.0fx)\n"
+      (rss_of fmin) fmin (rss_of fmax) fmax ratio (fmax /. fmin);
+    (match json_opt with
+    | None -> ()
+    | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc "{\n";
+          Printf.fprintf oc "  \"bench\": \"bench-stream\",\n";
+          json_meta oc;
+          Printf.fprintf oc "  \"query\": %S,\n" query;
+          Printf.fprintf oc "  \"chunk_size\": %d,\n" chunk_size;
+          Printf.fprintf oc "  \"fused_rss_ratio\": %.3f,\n" ratio;
+          Printf.fprintf oc "  \"doc_growth\": %.1f,\n" (fmax /. fmin);
+          Printf.fprintf oc "  \"rows\": [\n";
+          List.iteri
+            (fun i r ->
+              Printf.fprintf oc
+                "    { \"mode\": \"%s\", \"factor\": %g, \"file_bytes\": %d, \
+                 \"out_bytes\": %d, \"peak_rss_kb\": %d, \"elapsed_s\": %.4f, \
+                 \"streams_fused\": %d, \"stream_fallbacks\": %d, \"sha\": \"%s\" }%s\n"
+                r.srow_mode r.srow_factor r.srow_file_bytes r.srow_out_bytes r.srow_rss_kb
+                r.srow_elapsed r.srow_fused r.srow_fallbacks r.srow_digest
+                (if i = List.length rows - 1 then "" else ","))
+            rows;
+          Printf.fprintf oc "  ]\n}\n");
+      Printf.printf "[json: %s]\n" path);
+    0
+  in
+  let factors =
+    Arg.(value & opt string "0.001,0.01,0.1"
+         & info [ "factors" ] ~docv:"LIST"
+             ~doc:"Comma-separated XMark factors; the largest over the smallest is the \
+                   document-growth ratio the fused peak-RSS is judged against.")
+  in
+  let query_opt =
+    Arg.(value & opt (some string) None
+         & info [ "q"; "query" ] ~docv:"QUERY"
+             ~doc:"Transform query (or @FILE); the default is qualifier-free, hence fused.")
+  in
+  let chunk_size =
+    Arg.(value & opt int Xut_service.Service.default_chunk_size
+         & info [ "chunk-size" ] ~docv:"BYTES" ~doc:"Stream chunk size.")
+  in
+  let json_opt =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Also write the rows as JSON to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "bench-stream"
+       ~doc:"Peak-RSS benchmark of streamed ingest (TRANSFORM-STREAM) vs materialized \
+             serving over growing XMark documents, one forked child per measurement.")
+    Term.(const run $ factors $ query_opt $ chunk_size $ json_opt)
+
 let main =
   let info = Cmd.info "xut" ~version:"1.0.0" ~doc:"Querying XML with update syntax (SIGMOD 2007)." in
   Cmd.group info
     [ transform_cmd; compose_cmd; rewrite_cmd; query_cmd; xmark_cmd; serve_cmd; client_cmd;
-      bench_serve_cmd ]
+      bench_serve_cmd; bench_stream_cmd ]
 
 let () =
   (* the built-in XMark schemas are available to every subcommand

@@ -151,6 +151,8 @@ let pass2 ~sskip nfa update source truth sink =
   (* schema-skipped subtree being copied to the output verbatim: nothing
      below can match, so the events pass through with no transition run *)
   let verbatim = ref 0 in
+  let verbatim_subtrees = ref 0 and verbatim_elements = ref 0 in
+  let max_depth = ref 0 in
   let seq = ref (-1) in
   let produced_root = ref false in
   let handle = function
@@ -171,12 +173,15 @@ let pass2 ~sskip nfa update source truth sink =
       if !skip > 0 then incr skip
       else if !verbatim > 0 then begin
         incr verbatim;
+        incr verbatim_elements;
         sink (Sax.Start_element (name, attrs))
       end
       else if sskip (Sym.intern name) then begin
         if !stack = [] then produced_root := true;
         sink (Sax.Start_element (name, attrs));
-        verbatim := 1
+        verbatim := 1;
+        incr verbatim_subtrees;
+        incr verbatim_elements
       end
       else begin
         let at_root = !stack = [] in
@@ -188,7 +193,8 @@ let pass2 ~sskip nfa update source truth sink =
         let matched = Selecting_nfa.accepts_set nfa fstates || (at_root && root_matched) in
         let push out_name =
           if at_root then produced_root := true;
-          stack := { fstates; out_name; matched } :: !stack
+          stack := { fstates; out_name; matched } :: !stack;
+          max_depth := max !max_depth (List.length !stack)
         in
         match update, matched with
         | Transform_ast.Delete _, true ->
@@ -234,23 +240,52 @@ let pass2 ~sskip nfa update source truth sink =
           sink (Sax.End_element f.out_name)
       end
   in
-  source handle
+  source handle;
+  (!max_depth, !seq + 1, !verbatim_subtrees, !verbatim_elements)
 
-let run ?(skip = fun _ -> false) nfa update ~source ~sink =
-  (match Selecting_nfa.ctx_qual nfa with
+let check_ctx_qual nfa =
+  match Selecting_nfa.ctx_qual nfa with
   | Ast.Q_true -> ()
   | q ->
     raise
       (Unsupported_streaming
-         ("context qualifier [" ^ Ast.qual_to_string q ^ "] cannot be checked in streaming mode")));
+         ("context qualifier [" ^ Ast.qual_to_string q ^ "] cannot be checked in streaming mode"))
+
+let run ?(skip = fun _ -> false) nfa update ~source ~sink =
+  check_ctx_qual nfa;
   let truth = Truth.create () in
   let max_depth, elements, skipped_subtrees, skipped_elements =
     pass1 ~sskip:skip nfa source truth
   in
-  pass2 ~sskip:skip nfa update source truth sink;
+  let _ = pass2 ~sskip:skip nfa update source truth sink in
   {
     max_stack_depth = max_depth;
     truth_entries = Hashtbl.length truth;
+    elements_seen = elements;
+    skipped_subtrees;
+    skipped_elements;
+  }
+
+(* A plan is one-pass streamable iff the top-down run never needs the
+   bottom-up truth table: no context qualifier and no qualifier-bearing
+   NFA state.  Then pass 2 alone, over a single forward read of the
+   input, is the whole transform — O(depth) memory. *)
+let one_pass nfa =
+  (match Selecting_nfa.ctx_qual nfa with Ast.Q_true -> true | _ -> false)
+  && Selecting_nfa.set_is_empty (Selecting_nfa.qual_states nfa)
+
+let run_once ?(skip = fun _ -> false) nfa update ~source ~sink =
+  if not (one_pass nfa) then
+    raise
+      (Unsupported_streaming
+         "plan has qualifiers: one-pass streaming needs the bottom-up pass");
+  let truth = Truth.create () in
+  let max_depth, elements, skipped_subtrees, skipped_elements =
+    pass2 ~sskip:skip nfa update source truth sink
+  in
+  {
+    max_stack_depth = max_depth;
+    truth_entries = 0;
     elements_seen = elements;
     skipped_subtrees;
     skipped_elements;

@@ -49,6 +49,30 @@ val run :
     @raise Transform_ast.Invalid_update when the update deletes the
     document element. *)
 
+val one_pass : Selecting_nfa.t -> bool
+(** [one_pass nfa] is [true] when the compiled plan never consults the
+    bottom-up truth table: the context qualifier is trivially true and no
+    NFA state carries a qualifier.  Such plans are fully streamable in a
+    single forward pass ({!run_once}) with O(depth) memory — the
+    degenerate forest-transducer decomposition where the bottom-up
+    automaton is empty. *)
+
+val run_once :
+  ?skip:(Sym.t -> bool) ->
+  Selecting_nfa.t ->
+  Transform_ast.update ->
+  source:source ->
+  sink:(Sax.event -> unit) ->
+  run_stats
+(** Fused single-pass transform: pass 2 alone over one reading of the
+    input, for plans where {!one_pass} holds.  The [source] is consumed
+    exactly once, so it may be a non-replayable stream (a socket, a
+    pipe).  Returned stats have [truth_entries = 0]; [skipped_*] count
+    the subtrees/elements copied verbatim under the schema skip-set.
+    @raise Unsupported_streaming when [one_pass nfa] is [false].
+    @raise Transform_ast.Invalid_update when the update deletes the
+    document element. *)
+
 val transform : Transform_ast.update -> Node.element -> Node.element
 (** Run the streaming algorithm over an in-memory tree (events replayed
     from the tree, result rebuilt by the DOM builder) — the configuration

@@ -19,6 +19,7 @@ type event = {
   reason : reason;
   repair : repair_hint option;
   schema : string option;
+  schema_dropped : bool;
 }
 
 (* A binding: the tree, its info, and — when loaded under a schema — the
@@ -128,6 +129,7 @@ let register t ~name ?file ?schema root =
           reason = Replaced;
           repair = None;
           schema;
+          schema_dropped = false;
         }
     | None -> ());
     Stdlib.Ok (info, previous <> None)
@@ -178,6 +180,7 @@ let evict t name =
         reason = Unloaded;
         repair = None;
         schema = e.einfo.schema;
+        schema_dropped = false;
       };
     true
 
@@ -191,25 +194,27 @@ type ('a, 'e) commit_result =
    rebuilt-spine diff this is incremental (shared subtrees keep their
    recorded sizes); without one it falls back to a full walk.  A
    nonconforming result does not reject the commit — updates are the
-   system's point — it silently {e drops} the schema binding, turning
-   pruning off for the document from the swap onward. *)
+   system's point — it {e drops} the schema binding, turning pruning off
+   for the document from the swap onward.  The third component reports
+   that drop so the event can carry it (a [schema_dropped] notice +
+   counter; the drop used to be silent). *)
 let revalidated (info : info) root' spine old_sizes =
   match info.schema with
-  | None -> (None, None)
+  | None -> (None, None, false)
   | Some sname -> begin
     match Xut_schema.Schema.find sname with
-    | None -> (None, None)
+    | None -> (None, None, true)
     | Some s -> begin
       match (spine, old_sizes) with
       | Some spine, Some old_sizes -> begin
         match Xut_schema.Schema.validate_commit s ~spine ~old_sizes root' with
-        | Stdlib.Ok sizes -> (Some sname, Some sizes)
-        | Stdlib.Error _ -> (None, None)
+        | Stdlib.Ok sizes -> (Some sname, Some sizes, false)
+        | Stdlib.Error _ -> (None, None, true)
       end
       | _ -> begin
         match Xut_schema.Schema.validate s root' with
-        | Stdlib.Ok sizes -> (Some sname, Some sizes)
-        | Stdlib.Error _ -> (None, None)
+        | Stdlib.Ok sizes -> (Some sname, Some sizes, false)
+        | Stdlib.Error _ -> (None, None, true)
       end
     end
   end
@@ -229,7 +234,7 @@ let commit t ~name f =
           | Ok (None, a) -> Unchanged (info, a)
           | Ok (Some (root', spine), a) ->
             let generation = Atomic.fetch_and_add t.generations 1 + 1 in
-            let schema', sizes' = revalidated info root' spine sizes in
+            let schema', sizes', dropped = revalidated info root' spine sizes in
             let info' =
               {
                 info with
@@ -243,12 +248,13 @@ let commit t ~name f =
             departed :=
               Some
                 ( Node.id root,
-                  Option.map (fun spine -> { new_root = root'; spine }) spine );
+                  Option.map (fun spine -> { new_root = root'; spine }) spine,
+                  dropped );
             Swapped (info', a)
         end)
   in
   (match (outcome, !departed) with
-  | Swapped (info', _), Some (old_root_id, repair) ->
+  | Swapped (info', _), Some (old_root_id, repair, schema_dropped) ->
     fire t
       {
         name;
@@ -257,6 +263,7 @@ let commit t ~name f =
         reason = Committed;
         repair;
         schema = info'.schema;
+        schema_dropped;
       }
   | _ -> ());
   outcome

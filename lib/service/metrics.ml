@@ -25,6 +25,9 @@ type t = {
   streams : int Atomic.t;
   stream_chunks : int Atomic.t;
   stream_bytes : int Atomic.t;
+  streams_fused : int Atomic.t;
+  stream_fallbacks : int Atomic.t;
+  schema_bindings_dropped : int Atomic.t;
   invalidations : int Atomic.t;
   annotation_repairs : int Atomic.t;
   repair_fallbacks : int Atomic.t;
@@ -72,6 +75,9 @@ let create () =
     streams = Atomic.make 0;
     stream_chunks = Atomic.make 0;
     stream_bytes = Atomic.make 0;
+    streams_fused = Atomic.make 0;
+    stream_fallbacks = Atomic.make 0;
+    schema_bindings_dropped = Atomic.make 0;
     invalidations = Atomic.make 0;
     annotation_repairs = Atomic.make 0;
     repair_fallbacks = Atomic.make 0;
@@ -231,6 +237,13 @@ let streams m = Atomic.get m.streams
 let stream_chunks m = Atomic.get m.stream_chunks
 let stream_bytes m = Atomic.get m.stream_bytes
 
+let incr_streams_fused m = Atomic.incr m.streams_fused
+let incr_stream_fallbacks m = Atomic.incr m.stream_fallbacks
+let incr_schema_bindings_dropped m = Atomic.incr m.schema_bindings_dropped
+let streams_fused m = Atomic.get m.streams_fused
+let stream_fallbacks m = Atomic.get m.stream_fallbacks
+let schema_bindings_dropped m = Atomic.get m.schema_bindings_dropped
+
 let conns_accepted m = Atomic.get m.conns_accepted
 let conns_active m = Atomic.get m.conns_active
 let conns_rejected m = Atomic.get m.conns_rejected
@@ -283,6 +296,9 @@ let reset m =
   Atomic.set m.streams 0;
   Atomic.set m.stream_chunks 0;
   Atomic.set m.stream_bytes 0;
+  Atomic.set m.streams_fused 0;
+  Atomic.set m.stream_fallbacks 0;
+  Atomic.set m.schema_bindings_dropped 0;
   Atomic.set m.invalidations 0;
   Atomic.set m.annotation_repairs 0;
   Atomic.set m.repair_fallbacks 0;
@@ -335,6 +351,9 @@ let dump m =
   Printf.bprintf b "streams %d\n" (streams m);
   Printf.bprintf b "stream_chunks %d\n" (stream_chunks m);
   Printf.bprintf b "stream_bytes %d\n" (stream_bytes m);
+  Printf.bprintf b "streams_fused %d\n" (streams_fused m);
+  Printf.bprintf b "stream_fallbacks %d\n" (stream_fallbacks m);
+  Printf.bprintf b "schema_bindings_dropped %d\n" (schema_bindings_dropped m);
   Printf.bprintf b "doc_invalidations %d\n" (invalidations m);
   Printf.bprintf b "annotation_repairs %d\n" (annotation_repairs m);
   Printf.bprintf b "repair_fallbacks %d\n" (repair_fallbacks m);

@@ -80,6 +80,24 @@ val streams : t -> int
 val stream_chunks : t -> int
 val stream_bytes : t -> int
 
+val incr_streams_fused : t -> unit
+(** A streaming-ingest request ran fused: one-pass SAX transform, no
+    tree, no truth table. *)
+
+val incr_stream_fallbacks : t -> unit
+(** A streaming-ingest request could not run fused (the plan needs the
+    bottom-up pass or a materialized tree) and was served — with
+    byte-identical output — by a fallback path. *)
+
+val streams_fused : t -> int
+val stream_fallbacks : t -> int
+
+val incr_schema_bindings_dropped : t -> unit
+(** A COMMIT produced a document that no longer conforms to its bound
+    schema, so the binding was dropped (see {!Doc_store.commit}). *)
+
+val schema_bindings_dropped : t -> int
+
 (** {2 Invalidation counters}
 
     Maintained by the service's document-lifecycle hook: every

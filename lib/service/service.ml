@@ -136,7 +136,14 @@ and render_payload = function
    framing and supply [emit]); [request] stays pure data. *)
 type stream_params = { emit : string -> unit; chunk_size : int }
 
-type job = { req : request; stream : stream_params option }
+(* Where a streamed-ingest transform reads from: a stored document, or
+   a server-side file that is never materialized as a tree. *)
+type stream_source = From_doc of string | From_file of string
+
+type job =
+  | Plain_job of request
+  | Stream_job of request * stream_params
+  | Ingest_job of { source : stream_source; query : string; params : stream_params }
 
 type t = {
   store : Doc_store.t;
@@ -672,6 +679,120 @@ let handle_streaming ~store ~cache ~metrics { emit; chunk_size } = function
   | Stats | Batch _ ->
     error Bad_request "only TRANSFORM can stream"
 
+(* ---------------- streamed ingest ----------------
+
+   TRANSFORM-STREAM: transform a source without materializing the input
+   as a tree, when the plan admits it.  The classifier is
+   {!Sax_transform.one_pass}: a plan with no qualifiers anywhere (no
+   context qualifier, no qualifier-bearing NFA state) never consults the
+   bottom-up truth table, so the top-down pass alone over a single
+   forward read of the input is the whole transform — O(depth) memory,
+   end to end ([streams_fused]).
+
+   Shapes outside that fragment fall back automatically, with
+   byte-identical output (same serializer sink, same transform
+   semantics), counted in [stream_fallbacks]:
+
+   - a FILE source with a trivially-true context qualifier runs the full
+     two-pass SAX algorithm, reading the file twice (the paper's Fig. 14
+     configuration) — a truth table but still no tree;
+   - everything else (context qualifiers; qualifier-bearing plans over a
+     stored document, whose tree already exists) uses the tree and
+     streams only the output via [run_plan_stream]. *)
+let handle_ingest ~store ~cache ~metrics { emit; chunk_size } ~source ~query =
+  match Plan_cache.find_or_compile cache query with
+  | exception Transform_parser.Parse_error msg -> error Query_parse_error "%s" msg
+  | exception e -> error Query_parse_error "%s" (Printexc.to_string e)
+  | plan, outcome -> begin
+    (match outcome with
+    | Plan_cache.Hit -> Metrics.incr_cache_hits metrics
+    | Plan_cache.Miss -> Metrics.incr_cache_misses metrics);
+    let update = plan.Plan_cache.query.Transform_ast.update in
+    (* the SAX passes need the NFA built from the raw path, exactly as
+       in [run_plan_stream]'s SAX arm *)
+    let nfa = Xut_automata.Selecting_nfa.of_path (Transform_ast.path update) in
+    let streamed body =
+      Metrics.stream_started metrics;
+      let sink =
+        Xut_xml.Serialize.Sink.create ~chunk_size (fun chunk ->
+            Metrics.stream_chunk metrics (String.length chunk);
+            emit chunk)
+      in
+      match body sink with
+      | () ->
+        let totals = Xut_xml.Serialize.Sink.close sink in
+        Ok
+          (Stream_done
+             { bytes = totals.Xut_xml.Serialize.Sink.bytes;
+               chunks = totals.Xut_xml.Serialize.Sink.chunks
+             })
+      | exception e ->
+        Xut_xml.Serialize.Sink.abort sink;
+        (match e with
+        | Xut_xml.Sax.Parse_error { line; col; msg } ->
+          error Eval_error "parse error at %d:%d: %s" line col msg
+        | Sys_error msg -> error Eval_error "%s" msg
+        | Failure msg -> error Eval_error "%s" msg
+        | e -> error Eval_error "%s" (Printexc.to_string e))
+    in
+    let count_sax_skips (stats : Sax_transform.run_stats) =
+      Metrics.add_skipped metrics ~subtrees:stats.Sax_transform.skipped_subtrees
+        ~nodes:stats.Sax_transform.skipped_elements
+    in
+    match source with
+    | From_doc doc -> begin
+      match Doc_store.snapshot store doc with
+      | None -> error Unknown_document "no document %S (LOAD it first)" doc
+      | Some (root, dinfo, sizes) -> begin
+        let pruning =
+          pruning_for ~metrics dinfo sizes plan.Plan_cache.products plan.Plan_cache.nfa
+        in
+        match admit ~metrics dinfo pruning with
+        | Stdlib.Error e -> e
+        | Stdlib.Ok () ->
+          if Sax_transform.one_pass nfa then begin
+            Metrics.incr_streams_fused metrics;
+            let sym_skip =
+              Option.map (fun p sym -> Xut_schema.Schema.skippable p.product sym) pruning
+            in
+            streamed (fun sink ->
+                count_sax_skips
+                  (Sax_transform.run_once ?skip:sym_skip nfa update
+                     ~source:(Xut_xml.Sax.events_of_tree root)
+                     ~sink:(Xut_xml.Serialize.Sink.event sink)))
+          end
+          else begin
+            Metrics.incr_stream_fallbacks metrics;
+            streamed (fun sink -> run_plan_stream ~metrics ?pruning plan Engine.Gentop root sink)
+          end
+      end
+    end
+    | From_file path ->
+      if not (Sys.file_exists path) then error Eval_error "no such file %S" path
+      else if Sax_transform.one_pass nfa then begin
+        Metrics.incr_streams_fused metrics;
+        streamed (fun sink ->
+            count_sax_skips
+              (Sax_transform.run_once nfa update
+                 ~source:(fun h -> Xut_xml.Sax.parse_file path h)
+                 ~sink:(Xut_xml.Serialize.Sink.event sink)))
+      end
+      else begin
+        Metrics.incr_stream_fallbacks metrics;
+        match Xut_automata.Selecting_nfa.ctx_qual nfa with
+        | Xut_xpath.Ast.Q_true ->
+          streamed (fun sink ->
+              count_sax_skips
+                (Sax_transform.run nfa update
+                   ~source:(fun h -> Xut_xml.Sax.parse_file path h)
+                   ~sink:(Xut_xml.Serialize.Sink.event sink)))
+        | _ ->
+          streamed (fun sink ->
+              let root = Xut_xml.Dom.parse_file path in
+              run_plan_stream ~metrics plan Engine.Gentop root sink)
+      end
+  end
+
 let rec count_errors = function
   | Error _ -> 1
   | Ok (Batch_results rs) -> List.fold_left (fun n r -> n + count_errors r) 0 rs
@@ -697,6 +818,7 @@ let create ?(domains = 1) ?(cache_capacity = 128) ?(queue_capacity = 64) ?store_
      counted as [view_invalidations].  A plain COMMIT keeps composed
      plans: they depend on the definitions, not on document content. *)
   Doc_store.subscribe store (fun ev ->
+      if ev.Doc_store.schema_dropped then Metrics.incr_schema_bindings_dropped metrics;
       (* The schema captured at the swap (if the new tree still
          conforms): each repaired table's fresh-subtree annotation runs
          under the owning plan's skip-set, exactly as a from-scratch
@@ -767,9 +889,11 @@ let create ?(domains = 1) ?(cache_capacity = 128) ?(queue_capacity = 64) ?store_
     Metrics.incr_requests metrics;
     let t0 = Unix.gettimeofday () in
     let resp =
-      match job.stream with
-      | None -> handle ~store ~cache ~views ~metrics ~depth:0 job.req
-      | Some sp -> handle_streaming ~store ~cache ~metrics sp job.req
+      match job with
+      | Plain_job req -> handle ~store ~cache ~views ~metrics ~depth:0 req
+      | Stream_job (req, sp) -> handle_streaming ~store ~cache ~metrics sp req
+      | Ingest_job { source; query; params } ->
+        handle_ingest ~store ~cache ~metrics params ~source ~query
     in
     Metrics.record_latency metrics (Unix.gettimeofday () -. t0);
     for _ = 1 to count_errors resp do
@@ -798,14 +922,17 @@ let submit_job t job =
   | exception Invalid_argument _ ->
     Ready (error Overloaded "service is shut down")
 
-let submit t req = submit_job t { req; stream = None }
+let submit t req = submit_job t (Plain_job req)
 
 let submit_stream t ~doc ~engine ~query ?(chunk_size = default_chunk_size) emit =
   submit_job t
-    {
-      req = Transform { target = Doc doc; engine; query };
-      stream = Some { emit; chunk_size = max 1 chunk_size };
-    }
+    (Stream_job
+       ( Transform { target = Doc doc; engine; query },
+         { emit; chunk_size = max 1 chunk_size } ))
+
+let submit_ingest t ~source ~query ?(chunk_size = default_chunk_size) emit =
+  submit_job t
+    (Ingest_job { source; query; params = { emit; chunk_size = max 1 chunk_size } })
 
 let flatten = function
   | Stdlib.Ok r -> r
@@ -823,6 +950,9 @@ let call t req = await (submit t req)
 
 let transform_stream t ~doc ~engine ~query ?chunk_size emit =
   await (submit_stream t ~doc ~engine ~query ?chunk_size emit)
+
+let transform_ingest t ~source ~query ?chunk_size emit =
+  await (submit_ingest t ~source ~query ?chunk_size emit)
 let metrics t = t.metrics
 let cache_stats t = Plan_cache.stats t.cache
 let store t = t.store

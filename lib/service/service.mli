@@ -239,6 +239,45 @@ val transform_stream :
 (** Synchronous {!submit_stream}: [Ok (Stream_done _)] after the last
     chunk, or an [Error]. *)
 
+(** {2 Streamed ingest}
+
+    The constant-memory {e input} path ([TRANSFORM-STREAM]): the source
+    is driven through the SAX transform straight into the chunked sink,
+    never materializing the input as a tree — when the plan admits it.
+    The classifier is {!Core.Sax_transform.one_pass}: plans with no
+    qualifiers anywhere run fused in one forward pass with O(depth)
+    memory ({!Metrics.streams_fused}).  Other shapes fall back
+    automatically with byte-identical output
+    ({!Metrics.stream_fallbacks}): a [From_file] plan with a trivial
+    context qualifier runs the two-parse SAX algorithm (two reads of
+    the file, a truth table, still no tree); anything else uses a tree
+    (the stored one, or a one-off parse of the file) and streams only
+    the output. *)
+
+(** Input of a streamed-ingest transform: a stored document, or a
+    server-side file path. *)
+type stream_source = From_doc of string | From_file of string
+
+val submit_ingest :
+  t ->
+  source:stream_source ->
+  query:string ->
+  ?chunk_size:int ->
+  (string -> unit) ->
+  future
+(** Enqueue a streamed-ingest transform; [emit] contract as in
+    {!submit_stream}.  No engine argument: the streaming SAX machinery
+    is the engine, the fallback is automatic. *)
+
+val transform_ingest :
+  t ->
+  source:stream_source ->
+  query:string ->
+  ?chunk_size:int ->
+  (string -> unit) ->
+  response
+(** Synchronous {!submit_ingest}. *)
+
 val metrics : t -> Metrics.t
 val cache_stats : t -> Plan_cache.stats
 val store : t -> Doc_store.t

@@ -5,6 +5,10 @@ exception Transport_error of string
 type t = {
   fd : Unix.file_descr;
   mutable next_id : int64;
+  mutable dead : bool;
+      (* the byte stream is no longer frame-aligned (a timeout or read
+         error struck mid-frame): the fd is closed and every operation
+         fails fast — reuse would misparse the next header *)
   stash : (int64, Service.response) Hashtbl.t;
   hdr : Bytes.t;
   on_notice : (Wire.Binary.notice -> unit) option;
@@ -27,12 +31,26 @@ let connect ?(timeout = 30.) ?on_notice addr =
   {
     fd;
     next_id = 1L;
+    dead = false;
     stash = Hashtbl.create 8;
     hdr = Bytes.create Wire.Binary.header_size;
     on_notice;
   }
 
-let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+let close t =
+  if not t.dead then ( try Unix.close t.fd with Unix.Unix_error _ -> ())
+
+let kill t msg =
+  t.dead <- true;
+  (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  raise (Transport_error msg)
+
+let check_alive t =
+  if t.dead then
+    raise
+      (Transport_error
+         "connection is dead (closed after a mid-frame timeout or read error); reconnect")
 
 let write_all t s =
   let b = Bytes.unsafe_of_string s in
@@ -47,20 +65,30 @@ let write_all t s =
   in
   go 0
 
-let rec read_exact t buf off len =
+(* [consumed] counts bytes of the current frame already read before this
+   call (0 while waiting for a fresh header; the header size once the
+   payload read starts).  A timeout after partial progress strands the
+   connection mid-frame — the next read would misparse the remaining
+   bytes as a header — so the connection is killed rather than left
+   desynced; a timeout at a frame boundary leaves it usable.  EOF and
+   read errors also kill: the fd has nothing more to give. *)
+let rec read_exact t ~consumed buf off len =
   if len > 0 then
     match Unix.read t.fd buf off len with
-    | 0 -> raise (Transport_error "connection closed by server")
-    | n -> read_exact t buf (off + n) (len - n)
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_exact t buf off len
+    | 0 -> kill t "connection closed by server"
+    | n -> read_exact t ~consumed buf (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_exact t ~consumed buf off len
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-      raise (Transport_error "timed out waiting for the server")
+      if consumed + off > 0 then
+        kill t "timed out mid-frame: connection desynced, closing it"
+      else raise (Transport_error "timed out waiting for the server")
     | exception Unix.Unix_error (e, _, _) ->
-      raise (Transport_error ("read failed: " ^ Unix.error_message e))
+      kill t ("read failed: " ^ Unix.error_message e)
 
 let request_version t = match t.on_notice with Some _ -> 2 | None -> 1
 
 let send t req =
+  check_alive t;
   let id = t.next_id in
   t.next_id <- Int64.add id 1L;
   write_all t (Wire.Binary.request_frame ~version:(request_version t) ~id req);
@@ -71,12 +99,13 @@ let send t req =
    dispatched to [on_notice] and never surfaced to the callers, so they
    may arrive interleaved with any response or stream. *)
 let rec read_raw_frame t =
-  read_exact t t.hdr 0 Wire.Binary.header_size;
+  check_alive t;
+  read_exact t ~consumed:0 t.hdr 0 Wire.Binary.header_size;
   match Wire.Binary.decode_header t.hdr with
   | Error msg -> raise (Transport_error ("bad frame from server: " ^ msg))
   | Ok ({ Wire.Binary.length; kind; _ } as hdr) ->
     let payload = Bytes.create length in
-    read_exact t payload 0 length;
+    read_exact t ~consumed:Wire.Binary.header_size payload 0 length;
     let payload = Bytes.unsafe_to_string payload in
     if kind = Wire.Binary.Notice then begin
       (match Wire.Binary.decode_notice payload with
@@ -130,11 +159,10 @@ let call_batch t reqs =
   | Service.Ok (Service.Batch_results rs) -> rs
   | other -> [ other ]
 
-let transform_stream t ~doc ~engine ~query ?(chunk_size = Service.default_chunk_size) on_chunk =
-  let id = t.next_id in
-  t.next_id <- Int64.add id 1L;
-  write_all t
-    (Wire.Binary.stream_request_frame ~id { Wire.Binary.doc; engine; query; chunk_size });
+(* Shared reply loop of the two streaming request shapes: consume the
+   Stream_begin / chunks / terminal frame of request [id], stashing
+   completions of other pipelined requests. *)
+let stream_reply t ~id on_chunk =
   let rec wait () =
     let hdr, payload = read_raw_frame t in
     let rid = hdr.Wire.Binary.id in
@@ -168,3 +196,19 @@ let transform_stream t ~doc ~engine ~query ?(chunk_size = Service.default_chunk_
     end
   in
   wait ()
+
+let transform_stream t ~doc ~engine ~query ?(chunk_size = Service.default_chunk_size) on_chunk =
+  check_alive t;
+  let id = t.next_id in
+  t.next_id <- Int64.add id 1L;
+  write_all t
+    (Wire.Binary.stream_request_frame ~id { Wire.Binary.doc; engine; query; chunk_size });
+  stream_reply t ~id on_chunk
+
+let transform_ingest t ~source ~query ?(chunk_size = Service.default_chunk_size) on_chunk =
+  check_alive t;
+  let id = t.next_id in
+  t.next_id <- Int64.add id 1L;
+  write_all t
+    (Wire.Binary.ingest_request_frame ~id { Wire.Binary.source; query; chunk_size });
+  stream_reply t ~id on_chunk

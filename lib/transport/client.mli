@@ -15,7 +15,14 @@ open Xut_service
 
 exception Transport_error of string
 (** Connection lost, stream ended mid-frame, or an undecodable frame
-    from the server. *)
+    from the server.
+
+    When a read timeout or error strikes {e mid-frame}, the byte stream
+    is no longer frame-aligned and cannot be resynchronized, so the
+    client marks the connection dead and closes the socket; every
+    subsequent operation raises this immediately ("connection is dead")
+    instead of misparsing leftover bytes as a header.  A timeout at a
+    frame boundary (nothing read) leaves the connection usable. *)
 
 type t
 
@@ -67,3 +74,17 @@ val transform_stream :
     stream (a server that rejects the request, or a BUSY notice) is
     returned as-is.  Do not pipeline other requests while a stream is
     being read. *)
+
+val transform_ingest :
+  t ->
+  source:Wire.Binary.ingest_source ->
+  query:string ->
+  ?chunk_size:int ->
+  (string -> unit) ->
+  Service.response
+(** Streamed-ingest transform ([TRANSFORM-STREAM], protocol v2): like
+    {!transform_stream} but over an ingest source — a stored document
+    ([Ingest_doc]) or a server-side file ([Ingest_file]) driven through
+    the server's fused SAX pipeline without materializing a tree.  No
+    engine argument; unstreamable plans fall back server-side with
+    byte-identical output. *)

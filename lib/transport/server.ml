@@ -131,6 +131,36 @@ let dispatch_stream t conn ~id (sr : Wire.Binary.stream_request) =
       in
       ignore (write_raw t conn final))
 
+(* A streamed-ingest transform: same reply discipline as
+   [dispatch_stream], different request shape (source instead of
+   doc+engine). *)
+let dispatch_ingest t conn ~id (ir : Wire.Binary.ingest_request) =
+  ignore (write_raw t conn (Wire.Binary.stream_begin_frame ~id));
+  let emit chunk =
+    if not (write_raw t conn (Wire.Binary.stream_chunk_frame ~id chunk)) then
+      failwith "client disconnected mid-stream"
+  in
+  let source =
+    match ir.Wire.Binary.source with
+    | Wire.Binary.Ingest_doc d -> Service.From_doc d
+    | Wire.Binary.Ingest_file p -> Service.From_file p
+  in
+  let fut =
+    Service.submit_ingest t.svc ~source ~query:ir.Wire.Binary.query
+      ~chunk_size:ir.Wire.Binary.chunk_size emit
+  in
+  spawn_completion conn (fun () ->
+      let final =
+        match Service.await fut with
+        | Service.Ok (Service.Stream_done { bytes; chunks }) ->
+          Wire.Binary.stream_end_frame ~id ~bytes ~chunks
+        | Service.Error { code; message } -> Wire.Binary.stream_error_frame ~id ~code message
+        | Service.Ok _ ->
+          Wire.Binary.stream_error_frame ~id ~code:Service.Eval_error
+            "stream produced a non-stream response"
+      in
+      ignore (write_raw t conn final))
+
 (* ---- connection reader ---- *)
 
 let serve_conn t conn =
@@ -167,6 +197,9 @@ let serve_conn t conn =
             loop ()
           | Ok (Wire.Binary.Stream sr) ->
             dispatch_stream t conn ~id sr;
+            loop ()
+          | Ok (Wire.Binary.Ingest ir) ->
+            dispatch_ingest t conn ~id ir;
             loop ()
         end
       end
@@ -321,12 +354,18 @@ let start ?(config = default_config) ~service addr =
      LOAD/UNLOAD; a dead connection just fails its write. *)
   Service.on_invalidate service (fun ev ->
       if not t.stopping then begin
-        let frame = Wire.Binary.notice_frame (Wire.Binary.notice_of_event ev) in
+        (* usually one frame; two when a commit also dropped the
+           document's schema binding (the extra Schema_dropped notice) *)
+        let frames =
+          List.map Wire.Binary.notice_frame (Wire.Binary.notices_of_event ev)
+        in
         Mutex.lock t.mu;
         let conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
         Mutex.unlock t.mu;
         List.iter
-          (fun c -> if c.peer_version >= 2 then ignore (write_raw t c frame))
+          (fun c ->
+            if c.peer_version >= 2 then
+              List.iter (fun frame -> ignore (write_raw t c frame)) frames)
           conns
       end);
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());

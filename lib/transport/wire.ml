@@ -1,14 +1,14 @@
 open Xut_service
 
 module Line = struct
+  let split2 s =
+    match String.index_opt s ' ' with
+    | None -> (s, "")
+    | Some i ->
+      (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
+
   let decode_request line =
     let line = String.trim line in
-    let split2 s =
-      match String.index_opt s ' ' with
-      | None -> (s, "")
-      | Some i ->
-        (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
-    in
     let verb, rest = split2 line in
     match String.uppercase_ascii verb with
     | "LOAD" -> begin
@@ -86,13 +86,48 @@ module Line = struct
       else Ok (Service.Undefview { name = rest })
     | "LISTVIEWS" -> Ok Service.Listviews
     | "STATS" -> Ok Service.Stats
+    | "TRANSFORM-STREAM" ->
+      Error "TRANSFORM-STREAM is a streaming request: decode it with Line.decode_incoming"
     | "" -> Error "empty request"
     | v ->
       Error
         (Printf.sprintf
            "unknown request %S \
-            (LOAD|UNLOAD|TRANSFORM|COUNT|APPLY|COMMIT|DEFVIEW|UNDEFVIEW|LISTVIEWS|STATS)"
+            (LOAD|UNLOAD|TRANSFORM|TRANSFORM-STREAM|COUNT|APPLY|COMMIT|DEFVIEW|UNDEFVIEW|LISTVIEWS|STATS)"
            v)
+
+  type ingest = { source : [ `Doc of string | `File of string ]; query : string }
+  type incoming = Plain of Service.request | Stream_ingest of ingest
+
+  (* TRANSFORM-STREAM [DOC] <name> <query> — streamed ingest of a stored
+     document; TRANSFORM-STREAM FILE <path> <query> — of a file, never
+     building the tree.  No engine word: the streaming SAX machinery is
+     the engine, with automatic fallback. *)
+  let decode_incoming line =
+    let trimmed = String.trim line in
+    let verb, rest = split2 trimmed in
+    if String.uppercase_ascii verb <> "TRANSFORM-STREAM" then
+      Result.map (fun r -> Plain r) (decode_request line)
+    else begin
+      let usage = "usage: TRANSFORM-STREAM [DOC|FILE] <name|path> <query>" in
+      let name, rest' = split2 rest in
+      let source, rest' =
+        match name with
+        | "FILE" -> (
+          match split2 rest' with
+          | path, rest'' when path <> "" -> (Some (`File path), rest'')
+          | _ -> (None, rest'))
+        | "DOC" -> (
+          match split2 rest' with
+          | dname, rest'' when dname <> "" -> (Some (`Doc dname), rest'')
+          | _ -> (None, rest'))
+        | "" -> (None, rest')
+        | name -> (Some (`Doc name), rest')
+      in
+      match source with
+      | Some source when rest' <> "" -> Ok (Stream_ingest { source; query = rest' })
+      | _ -> Error usage
+    end
 
   let plain_word s =
     s <> "" && not (String.exists (fun c -> c = ' ' || c = '\n' || c = '\r' || c = '\t') s)
@@ -604,7 +639,25 @@ module Binary = struct
     chunk_size : int;
   }
 
-  type incoming = Plain of Service.request | Stream of stream_request
+  (* A streamed-ingest request (tag 16, v2) transforms its source — a
+     stored document or a server-side file — through the fused SAX
+     pipeline, never materializing a tree.  Same reply discipline as
+     tag 7: Stream_begin / Stream_chunk* / Stream_end or Stream_error. *)
+
+  let ingest_request_tag = 16
+
+  type ingest_source = Ingest_doc of string | Ingest_file of string
+
+  type ingest_request = {
+    source : ingest_source;
+    query : string;
+    chunk_size : int;
+  }
+
+  type incoming =
+    | Plain of Service.request
+    | Stream of stream_request
+    | Ingest of ingest_request
 
   let encode_stream_request { doc; engine; query; chunk_size } =
     let b = Buffer.create 128 in
@@ -626,43 +679,94 @@ module Binary = struct
     if chunk_size = 0 then raise (Malformed "stream chunk_size must be positive");
     { doc; engine; query; chunk_size }
 
+  let encode_ingest_request ({ source; query; chunk_size } : ingest_request) =
+    let b = Buffer.create 128 in
+    put_u8 b ingest_request_tag;
+    (match source with
+    | Ingest_doc d ->
+      put_u8 b 1;
+      put_str b d
+    | Ingest_file p ->
+      put_u8 b 2;
+      put_str b p);
+    put_str b query;
+    put_u32 b chunk_size;
+    Buffer.contents b
+
+  let get_ingest_request c : ingest_request =
+    (match get_u8 c with
+    | t when t = ingest_request_tag -> ()
+    | t -> raise (Malformed (Printf.sprintf "not an ingest request (tag %d)" t)));
+    let source =
+      match get_u8 c with
+      | 1 -> Ingest_doc (get_str c)
+      | 2 -> Ingest_file (get_str c)
+      | b -> raise (Malformed (Printf.sprintf "unknown ingest source %d" b))
+    in
+    let query = get_str c in
+    let chunk_size = get_u32 c in
+    if chunk_size = 0 then raise (Malformed "stream chunk_size must be positive");
+    { source; query; chunk_size }
+
   let decode_incoming ~version s =
     if s <> "" && Char.code s.[0] = stream_request_tag then
       if version < 2 then Error "stream requests need protocol version 2"
-      else
-        Result.map (fun sr -> Stream sr) (decode_with get_stream_request s)
+      else Result.map (fun sr -> Stream sr) (decode_with get_stream_request s)
+    else if s <> "" && Char.code s.[0] = ingest_request_tag then
+      if version < 2 then Error "streamed-ingest requests need protocol version 2"
+      else Result.map (fun ir -> Ingest ir) (decode_with get_ingest_request s)
     else Result.map (fun r -> Plain r) (decode_with get_request s)
 
   (* ---- invalidation notices (protocol v2) ----
 
      Server-push frames on the reserved id-0 notice channel: a stored
-     document was unloaded, or replaced by a reload.  Sent only to
-     peers that have spoken v2 on the connection — a v1 peer never sees
-     a frame kind it cannot parse. *)
+     document was unloaded, replaced by a reload, committed, or lost its
+     schema binding at a commit.  Sent only to peers that have spoken v2
+     on the connection — a v1 peer never sees a frame kind it cannot
+     parse.  The reason is a wire-local type (not {!Doc_store.reason}):
+     [Schema_dropped] is an extra notice riding on a commit event, not a
+     store lifecycle transition of its own. *)
+
+  type notice_reason = Unloaded | Replaced | Committed | Schema_dropped
 
   type notice = {
     doc : string;
-    reason : Doc_store.reason;
+    reason : notice_reason;
     generation : int;  (** of the new binding for [Replaced], of the
                            removed one for [Unloaded] *)
   }
 
+  let reason_of_store = function
+    | Doc_store.Unloaded -> Unloaded
+    | Doc_store.Replaced -> Replaced
+    | Doc_store.Committed -> Committed
+
   let notice_of_event ev =
     {
       doc = ev.Doc_store.name;
-      reason = ev.Doc_store.reason;
+      reason = reason_of_store ev.Doc_store.reason;
       generation = ev.Doc_store.generation;
     }
 
+  (* A commit that dropped the document's schema binding yields two
+     notices: the usual [Committed] (cache invalidation) plus a
+     [Schema_dropped] so operators see the conformance loss. *)
+  let notices_of_event ev =
+    let base = notice_of_event ev in
+    if ev.Doc_store.schema_dropped then [ base; { base with reason = Schema_dropped } ]
+    else [ base ]
+
   let reason_byte = function
-    | Doc_store.Unloaded -> 1
-    | Doc_store.Replaced -> 2
-    | Doc_store.Committed -> 3
+    | Unloaded -> 1
+    | Replaced -> 2
+    | Committed -> 3
+    | Schema_dropped -> 4
 
   let reason_of_byte = function
-    | 1 -> Some Doc_store.Unloaded
-    | 2 -> Some Doc_store.Replaced
-    | 3 -> Some Doc_store.Committed
+    | 1 -> Some Unloaded
+    | 2 -> Some Replaced
+    | 3 -> Some Committed
+    | 4 -> Some Schema_dropped
     | _ -> None
 
   let encode_notice { doc; reason; generation } =
@@ -687,9 +791,10 @@ module Binary = struct
   let render_notice { doc; reason; generation } =
     Printf.sprintf "NOTICE %s %s generation=%d"
       (match reason with
-      | Doc_store.Unloaded -> "unloaded"
-      | Doc_store.Replaced -> "replaced"
-      | Doc_store.Committed -> "committed")
+      | Unloaded -> "unloaded"
+      | Replaced -> "replaced"
+      | Committed -> "committed"
+      | Schema_dropped -> "schema-dropped")
       doc generation
 
   (* ---- frame builders ----
@@ -714,6 +819,7 @@ module Binary = struct
     frame ~version ~kind:Response ~id (encode_response resp)
 
   let stream_request_frame ~id sr = frame ~kind:Request ~id (encode_stream_request sr)
+  let ingest_request_frame ~id ir = frame ~kind:Request ~id (encode_ingest_request ir)
   let stream_begin_frame ~id = frame ~kind:Stream_begin ~id ""
   let stream_chunk_frame ~id chunk = frame ~kind:Stream_chunk ~id chunk
 

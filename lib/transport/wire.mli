@@ -41,6 +41,23 @@ module Line : sig
       DEFVIEW's [:=] is optional on input and always printed on
       output. *)
 
+  type ingest = { source : [ `Doc of string | `File of string ]; query : string }
+  (** A streamed-ingest request of the line protocol:
+      [TRANSFORM-STREAM [DOC] <name> <query>] transforms a stored
+      document, [TRANSFORM-STREAM FILE <path> <query>] a (server-side)
+      file, through the fused SAX pipeline without materializing a
+      tree.  No engine word — the streaming machinery is the engine,
+      with automatic byte-identical fallback for unstreamable shapes.
+      As with TRANSFORM, the [DOC] keyword keeps documents literally
+      named ["FILE"]/["DOC"] addressable. *)
+
+  type incoming = Plain of Service.request | Stream_ingest of ingest
+
+  val decode_incoming : string -> (incoming, string) result
+  (** Parse one line of the stdin protocol including the streaming
+      verb.  {!decode_request} alone rejects [TRANSFORM-STREAM] (a
+      stream is not a [Service.request]). *)
+
   val encode_request : Service.request -> (string, string) result
   (** Render a request back to one line.  [Error _] when the request is
       not expressible in the line protocol: a [Batch], a name
@@ -118,34 +135,62 @@ module Binary : sig
     chunk_size : int;
   }
 
+  type ingest_source = Ingest_doc of string | Ingest_file of string
+
+  type ingest_request = {
+    source : ingest_source;
+    query : string;
+    chunk_size : int;
+  }
+  (** A streamed-ingest request (payload tag 16, v2): transform a stored
+      document or a server-side file through the fused SAX pipeline,
+      never materializing a tree.  Replies use the same [Stream_*]
+      frames as tag 7. *)
+
   (** What a server reads out of a Request frame: a plain service
-      request, or a stream request (payload tag 7, v2 frames only). *)
-  type incoming = Plain of Service.request | Stream of stream_request
+      request, a stream request (payload tag 7, v2 frames only), or a
+      streamed-ingest request (payload tag 16, v2 frames only). *)
+  type incoming =
+    | Plain of Service.request
+    | Stream of stream_request
+    | Ingest of ingest_request
 
   val encode_stream_request : stream_request -> string
+  val encode_ingest_request : ingest_request -> string
 
   val decode_incoming : version:int -> string -> (incoming, string) result
   (** Decode a Request-frame payload given the frame-header version.
-      A stream request in a v1 frame is an [Error _]; a stream-request
+      A stream or ingest request in a v1 frame is an [Error _]; either
       tag nested anywhere inside a batch is malformed. *)
 
   (** {2 Invalidation notices (v2)}
 
       Server-push frames on the reserved id-0 channel telling connected
       clients that a stored document was unloaded, replaced or committed
-      over, so they can drop anything derived from the old tree.  The
+      over — or that a commit cost the document its schema binding.  The
       server sends them only to connections that have spoken v2 — a v1
-      peer never sees the frame kind (and so stays blind to commits). *)
+      peer never sees the frame kind (and so stays blind to commits and
+      schema drops). *)
+
+  (** Wire-local reason (not {!Doc_store.reason}): [Schema_dropped] is
+      an extra notice riding on a [Committed] event whose revalidation
+      dropped the binding, not a store lifecycle transition. *)
+  type notice_reason = Unloaded | Replaced | Committed | Schema_dropped
 
   type notice = {
     doc : string;
-    reason : Doc_store.reason;
+    reason : notice_reason;
     generation : int;
         (** of the new binding for [Replaced]/[Committed], of the
             removed one for [Unloaded] *)
   }
 
   val notice_of_event : Doc_store.event -> notice
+
+  val notices_of_event : Doc_store.event -> notice list
+  (** All notices one event implies: the {!notice_of_event} notice,
+      plus a [Schema_dropped] one when the event's [schema_dropped]
+      flag is set.  What the server broadcasts. *)
 
   val encode_notice : notice -> string
   val decode_notice : string -> (notice, string) result
@@ -171,6 +216,7 @@ module Binary : sig
   val request_frame : ?version:int -> id:int64 -> Service.request -> string
   val response_frame : ?version:int -> id:int64 -> Service.response -> string
   val stream_request_frame : id:int64 -> stream_request -> string
+  val ingest_request_frame : id:int64 -> ingest_request -> string
   val stream_begin_frame : id:int64 -> string
   val stream_chunk_frame : id:int64 -> string -> string
   val stream_end_frame : id:int64 -> bytes:int -> chunks:int -> string

@@ -227,6 +227,62 @@ let generate ?(seed = 42L) ~factor () =
   in
   Node.element "site" [ regions_e; categories_e; catgraph_e; people_e; open_e; closed_e ]
 
+let rec node_events h = function
+  | Node.Element e ->
+    h (Sax.Start_element (Node.name e, Node.attrs e));
+    List.iter (node_events h) (Node.children e);
+    h (Sax.End_element (Node.name e))
+  | Node.Text s -> h (Sax.Characters s)
+  | Node.Comment s -> h (Sax.Comment_event s)
+  | Node.Pi (t, c) -> h (Sax.Pi_event (t, c))
+
+let events ?(seed = 42L) ~factor handler =
+  (* Same construction and rng consumption order as {!generate} /
+     {!to_file}, but each second-level subtree is handed to [handler] as
+     events and dropped — the whole document exists only as the event
+     stream (regions still buffer their items per region, as the file
+     writer does). *)
+  let rng = Prng.create seed in
+  let c = counts ~factor in
+  let emit node = node_events handler node in
+  let open_tag name = handler (Sax.Start_element (name, [])) in
+  let close_tag name = handler (Sax.End_element name) in
+  handler Sax.Start_document;
+  open_tag "site";
+  let region_names = [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |] in
+  let buckets = Array.make (Array.length region_names) [] in
+  for i = c.items - 1 downto 0 do
+    let r = Prng.int rng (Array.length region_names) in
+    buckets.(r) <- item rng ~id:i ~n_categories:c.categories :: buckets.(r)
+  done;
+  open_tag "regions";
+  Array.iteri
+    (fun i name ->
+      open_tag name;
+      List.iter emit buckets.(i);
+      close_tag name)
+    region_names;
+  close_tag "regions";
+  emit (categories rng ~n_categories:c.categories);
+  emit (catgraph rng ~n_categories:c.categories);
+  open_tag "people";
+  for i = 0 to c.persons - 1 do
+    emit (person rng ~id:i)
+  done;
+  close_tag "people";
+  open_tag "open_auctions";
+  for i = 0 to c.open_auctions - 1 do
+    emit (open_auction rng ~id:i ~n_persons:c.persons ~n_items:c.items)
+  done;
+  close_tag "open_auctions";
+  open_tag "closed_auctions";
+  for _ = 1 to c.closed_auctions do
+    emit (closed_auction rng ~n_persons:c.persons ~n_items:c.items)
+  done;
+  close_tag "closed_auctions";
+  close_tag "site";
+  handler Sax.End_document
+
 let to_file ?(seed = 42L) ~factor path =
   (* Streamed: each second-level subtree (item, person, auction, ...) is
      built, serialized and dropped, so document size is not bounded by

@@ -38,3 +38,11 @@ val generate : ?seed:int64 -> factor:float -> unit -> Node.element
 val to_file : ?seed:int64 -> factor:float -> string -> unit
 (** Generate and serialize to a file (streamed; used to create the large
     documents of the Fig. 14 experiment without holding the tree). *)
+
+val events : ?seed:int64 -> factor:float -> (Sax.event -> unit) -> unit
+(** Generate as a SAX event stream — [Start_document], the [site]
+    document, [End_document] — without ever materializing the whole
+    tree: each second-level subtree is built, walked and dropped.  Same
+    seed/factor ⇒ the same document as {!generate}/{!to_file} (driving
+    the events through {!Xut_xml.Serialize.Sink} reproduces the
+    {!to_file} bytes).  Backs [xmark --stream]. *)

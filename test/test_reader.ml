@@ -85,8 +85,35 @@ let test_streaming_transform_tiny_chunks () =
       Alcotest.(check bool) "chunked streaming = reference" true
         (Node.equal_element expected got))
 
+(* Chunk-boundary property: for random XMark documents, the event
+   stream must not depend on where the reader's refills land — chunk
+   size 1 puts a boundary inside every token, 2/3/7 shear multi-byte
+   constructs (entity references, CDATA markers, comments) at varying
+   offsets, 64 exercises ordinary refills. *)
+let prop_chunked_equals_string =
+  QCheck2.Test.make ~name:"of_channel ~chunk_size:k = of_string on random XMark docs"
+    ~count:8
+    QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 2 12))
+    (fun (seed, size) ->
+      let factor = float_of_int size /. 10_000. in
+      let doc = Xut_xmark.Generator.generate ~seed:(Int64.of_int seed) ~factor () in
+      let text = Serialize.element_to_string doc in
+      let expected = events_of (Sax.parse_string text) in
+      with_temp_doc text (fun tmp ->
+          List.for_all
+            (fun chunk_size ->
+              let got =
+                events_of (fun h ->
+                    In_channel.with_open_bin tmp (fun ic ->
+                        Sax.parse_reader (Reader.of_channel ~chunk_size ic) h))
+              in
+              List.length expected = List.length got
+              && List.for_all2 Sax.equal_event expected got)
+            [ 1; 2; 3; 7; 64 ]))
+
 let suite =
   [ Alcotest.test_case "reader basics" `Quick test_reader_basics;
+    QCheck_alcotest.to_alcotest prop_chunked_equals_string;
     Alcotest.test_case "chunk boundaries" `Quick test_chunk_boundaries;
     Alcotest.test_case "chunked xmark document" `Quick test_chunked_xmark;
     Alcotest.test_case "error position" `Quick test_error_position;

@@ -327,6 +327,47 @@ let test_socket_statically_empty () =
                     Alcotest.fail
                       "statically-empty rejection must survive the binary round trip"))))
 
+(* The commit lifecycle of a schema binding: conforming commits keep it
+   (incremental revalidation), a nonconforming one drops it — and the
+   drop is loud: a flagged store event and a metrics counter, not a
+   silent None. *)
+let test_commit_schema_drop () =
+  with_xmark_file (fun path ->
+      with_service (fun svc ->
+          ignore (load svc ~schema:Xut_xmark.Site_schema.bench_schema_name "d" path);
+          let drops = ref [] in
+          Doc_store.subscribe (Service.store svc) (fun ev ->
+              if ev.Doc_store.schema_dropped then drops := ev.Doc_store.name :: !drops);
+          let commit q =
+            match Service.call svc (Service.Commit { doc = "d"; query = q }) with
+            | Service.Ok (Service.Committed _) -> ()
+            | _ -> Alcotest.fail ("COMMIT: " ^ q)
+          in
+          let bound () =
+            match Doc_store.info (Service.store svc) "d" with
+            | Some { Doc_store.schema; _ } -> schema
+            | None -> Alcotest.fail "document vanished"
+          in
+          (* the bench schema permits the marker element: conforming *)
+          commit "insert <xut_bench_promo>p</xut_bench_promo> into $a";
+          Alcotest.(check bool) "conforming commit keeps the binding" true (bound () <> None);
+          Alcotest.(check int) "no drop counted" 0
+            (Metrics.schema_bindings_dropped (Service.metrics svc));
+          (* an element no schema rule permits: the commit itself
+             succeeds, the binding goes away observably *)
+          commit "insert <bogus>1</bogus> into $a/site";
+          Alcotest.(check bool) "nonconforming commit drops the binding" true
+            (bound () = None);
+          Alcotest.(check (list string)) "flagged event fired once" [ "d" ] !drops;
+          Alcotest.(check int) "drop counted" 1
+            (Metrics.schema_bindings_dropped (Service.metrics svc));
+          (* once dropped there is nothing left to drop: further commits
+             are schemaless and fire no more flags *)
+          commit "delete $a//bogus";
+          Alcotest.(check (list string)) "no second event" [ "d" ] !drops;
+          Alcotest.(check int) "counter unchanged" 1
+            (Metrics.schema_bindings_dropped (Service.metrics svc))))
+
 let suite =
   [ Alcotest.test_case "validate: generated XMark conforms" `Quick test_validate_generated;
     Alcotest.test_case "validate: nonconforming trees rejected" `Quick test_validate_reject;
@@ -344,4 +385,6 @@ let suite =
     Alcotest.test_case "service: composed views agree under pruning" `Quick
       test_view_chain_equivalence;
     Alcotest.test_case "socket: statically-empty over the wire" `Quick
-      test_socket_statically_empty ]
+      test_socket_statically_empty;
+    Alcotest.test_case "service: nonconforming COMMIT drops the binding loudly" `Quick
+      test_commit_schema_drop ]

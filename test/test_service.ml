@@ -570,6 +570,85 @@ let test_transform_stream () =
               (has "serialize_pool_hits ")
           | _ -> Alcotest.fail "STATS"))
 
+(* ---- streamed ingest ---- *)
+
+let test_transform_ingest () =
+  with_doc_file (fun path ->
+      with_service (fun svc ->
+          load_doc svc path;
+          let ingest source q =
+            let buf = Buffer.create 256 in
+            match
+              Service.transform_ingest svc ~source ~query:q ~chunk_size:32
+                (Buffer.add_string buf)
+            with
+            | Service.Ok (Service.Stream_done { bytes; _ }) ->
+              Alcotest.(check int) "byte total" (Buffer.length buf) bytes;
+              Buffer.contents buf
+            | Service.Ok _ -> Alcotest.fail "expected Stream_done"
+            | Service.Error { message; _ } -> Alcotest.fail message
+          in
+          (* all test queries, both source shapes, byte-identical to the
+             materialized answer: qualifier-free shapes run fused, the
+             qualifier-carrying one exercises both fallback tiers (tree
+             walk for the stored doc, two-parse SAX for the file) *)
+          List.iter
+            (fun q ->
+              let expected = reference_answer Core.Engine.Gentop q in
+              Alcotest.(check string) "doc ingest = materialized" expected
+                (ingest (Service.From_doc "d") q);
+              Alcotest.(check string) "file ingest = materialized" expected
+                (ingest (Service.From_file path) q))
+            queries;
+          let m = Service.metrics svc in
+          Alcotest.(check int) "fused runs counted" 4 (Metrics.streams_fused m);
+          Alcotest.(check int) "fallbacks counted" 2 (Metrics.stream_fallbacks m);
+          (* every ingest is exactly one of fused/fallback *)
+          Alcotest.(check int) "fused + fallback = ingests" (2 * List.length queries)
+            (Metrics.streams_fused m + Metrics.stream_fallbacks m);
+          (* error paths: no chunks may precede a typed rejection *)
+          (match
+             Service.transform_ingest svc ~source:(Service.From_doc "nope")
+               ~query:q_del_prices
+               (fun _ -> Alcotest.fail "no chunks for an unknown document")
+           with
+          | Service.Error { code = Service.Unknown_document; _ } -> ()
+          | _ -> Alcotest.fail "unknown-document code");
+          (match
+             Service.transform_ingest svc ~source:(Service.From_file "/nonexistent/x.xml")
+               ~query:q_del_prices
+               (fun _ -> Alcotest.fail "no chunks for a missing file")
+           with
+          | Service.Error { code = Service.Eval_error; _ } -> ()
+          | _ -> Alcotest.fail "missing-file code");
+          (match
+             Service.transform_ingest svc ~source:(Service.From_doc "d") ~query:"nonsense"
+               (fun _ -> Alcotest.fail "no chunks for a bad query")
+           with
+          | Service.Error { code = Service.Query_parse_error; _ } -> ()
+          | _ -> Alcotest.fail "query-parse-error code");
+          (* malformed input failing mid-parse: the fused pipeline has
+             already emitted chunks when the parser trips *)
+          let bad = Filename.temp_file "xut_service_bad" ".xml" in
+          Out_channel.with_open_bin bad (fun oc ->
+              Out_channel.output_string oc "<site><open>";
+              for _ = 1 to 2000 do
+                Out_channel.output_string oc "<b>x</b>"
+              done;
+              Out_channel.output_string oc "</mismatch></site>");
+          Fun.protect
+            ~finally:(fun () -> Sys.remove bad)
+            (fun () ->
+              let got = ref 0 in
+              match
+                Service.transform_ingest svc ~source:(Service.From_file bad)
+                  ~query:q_del_prices ~chunk_size:64
+                  (fun chunk -> got := !got + String.length chunk)
+              with
+              | Service.Error { code = Service.Eval_error; _ } ->
+                Alcotest.(check bool) "chunks flowed before the parse error" true (!got > 0)
+              | _ -> Alcotest.fail "mid-parse failure must end in an error")))
+
 (* ---- stored views ---- *)
 
 (* Mirror of the service's result rendering, so expectations are
@@ -877,6 +956,8 @@ let suite =
     Alcotest.test_case "service: render_response compatibility" `Quick
       test_render_response_compat;
     Alcotest.test_case "service: streamed transform" `Quick test_transform_stream;
+    Alcotest.test_case "service: streamed ingest = materialized" `Quick
+      test_transform_ingest;
     Alcotest.test_case "pool: parallel fan-out" `Quick test_pool_parallel_sum;
     Alcotest.test_case "pool: failure isolation" `Quick test_pool_failure_isolation;
     Alcotest.test_case "metrics: histogram and queue depth" `Quick test_metrics_histogram;

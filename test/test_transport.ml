@@ -864,23 +864,23 @@ let test_notice_codec () =
       | Ok n' -> Alcotest.(check bool) "notice round trips" true (n' = n)
       | Error e -> Alcotest.fail e)
     [
-      { Wire.Binary.doc = "d"; reason = Doc_store.Unloaded; generation = 4 };
-      { Wire.Binary.doc = "name with\nnewline"; reason = Doc_store.Replaced; generation = 0 };
-      { Wire.Binary.doc = "d"; reason = Doc_store.Committed; generation = 7 };
+      { Wire.Binary.doc = "d"; reason = Wire.Binary.Unloaded; generation = 4 };
+      { Wire.Binary.doc = "name with\nnewline"; reason = Wire.Binary.Replaced; generation = 0 };
+      { Wire.Binary.doc = "d"; reason = Wire.Binary.Committed; generation = 7 };
     ];
   Alcotest.(check string) "render: unloaded" "NOTICE unloaded d generation=4"
     (Wire.Binary.render_notice
-       { Wire.Binary.doc = "d"; reason = Doc_store.Unloaded; generation = 4 });
+       { Wire.Binary.doc = "d"; reason = Wire.Binary.Unloaded; generation = 4 });
   Alcotest.(check string) "render: replaced" "NOTICE replaced d generation=5"
     (Wire.Binary.render_notice
-       { Wire.Binary.doc = "d"; reason = Doc_store.Replaced; generation = 5 });
+       { Wire.Binary.doc = "d"; reason = Wire.Binary.Replaced; generation = 5 });
   Alcotest.(check string) "render: committed" "NOTICE committed d generation=7"
     (Wire.Binary.render_notice
-       { Wire.Binary.doc = "d"; reason = Doc_store.Committed; generation = 7 });
+       { Wire.Binary.doc = "d"; reason = Wire.Binary.Committed; generation = 7 });
   (* the frame itself: id 0, kind Notice, version 2 *)
   let f =
     Wire.Binary.notice_frame
-      { Wire.Binary.doc = "d"; reason = Doc_store.Unloaded; generation = 4 }
+      { Wire.Binary.doc = "d"; reason = Wire.Binary.Unloaded; generation = 4 }
   in
   (match
      Wire.Binary.decode_header (Bytes.of_string (String.sub f 0 Wire.Binary.header_size))
@@ -936,8 +936,8 @@ let test_notice_over_socket () =
               | Service.Ok (Service.Stats_dump _) -> ()
               | _ -> Alcotest.fail "STATS after the notices");
               (match List.rev !notices with
-              | [ { Wire.Binary.doc = "d"; reason = Doc_store.Replaced; generation = g1 };
-                  { Wire.Binary.doc = "d"; reason = Doc_store.Unloaded; generation = g2 }
+              | [ { Wire.Binary.doc = "d"; reason = Wire.Binary.Replaced; generation = g1 };
+                  { Wire.Binary.doc = "d"; reason = Wire.Binary.Unloaded; generation = g2 }
                 ] ->
                 Alcotest.(check int) "unload names the replacing generation" g1 g2;
                 Alcotest.(check bool) "the reload advanced the generation" true (g1 >= 2)
@@ -988,7 +988,7 @@ let test_commit_over_socket () =
               | Service.Ok (Service.Stats_dump _) -> ()
               | _ -> Alcotest.fail "STATS after the commit");
               (match !notices with
-              | [ { Wire.Binary.doc = "d"; reason = Doc_store.Committed; generation = 2 } ] -> ()
+              | [ { Wire.Binary.doc = "d"; reason = Wire.Binary.Committed; generation = 2 } ] -> ()
               | l ->
                 Alcotest.fail
                   (Printf.sprintf "expected one committed notice, got %d: %s" (List.length l)
@@ -1171,6 +1171,333 @@ let test_views_over_socket () =
               | Service.Ok (Service.View_undefined { name = "v2" }) -> ()
               | _ -> Alcotest.fail "UNDEFVIEW over the socket")))
 
+(* ---- streamed ingest (TRANSFORM-STREAM) ---- *)
+
+let test_ingest_codec () =
+  (* line syntax: bare name and DOC-keyword forms address the store,
+     FILE addresses a server-side path *)
+  (match Wire.Line.decode_incoming "TRANSFORM-STREAM d transform q" with
+  | Ok (Wire.Line.Stream_ingest { source = `Doc "d"; query = "transform q" }) -> ()
+  | _ -> Alcotest.fail "bare-name ingest parse");
+  (match Wire.Line.decode_incoming "TRANSFORM-STREAM DOC FILE transform q" with
+  | Ok (Wire.Line.Stream_ingest { source = `Doc "FILE"; query = _ }) -> ()
+  | _ -> Alcotest.fail "DOC keyword keeps \"FILE\" addressable as a name");
+  (match Wire.Line.decode_incoming "TRANSFORM-STREAM FILE /tmp/x.xml transform q" with
+  | Ok (Wire.Line.Stream_ingest { source = `File "/tmp/x.xml"; query = _ }) -> ()
+  | _ -> Alcotest.fail "FILE ingest parse");
+  (match Wire.Line.decode_incoming "STATS" with
+  | Ok (Wire.Line.Plain Service.Stats) -> ()
+  | _ -> Alcotest.fail "plain requests pass through decode_incoming");
+  List.iter
+    (fun line ->
+      match Wire.Line.decode_incoming line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("should not parse: " ^ line))
+    [ "TRANSFORM-STREAM"; "TRANSFORM-STREAM d"; "TRANSFORM-STREAM FILE /x" ];
+  (* decode_request refuses the verb with a pointer at decode_incoming *)
+  (match Wire.Line.decode_request "TRANSFORM-STREAM d transform q" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "decode_request must not accept TRANSFORM-STREAM");
+  (* binary codec round trips, both source shapes *)
+  List.iter
+    (fun ir ->
+      match
+        Wire.Binary.decode_incoming ~version:2 (Wire.Binary.encode_ingest_request ir)
+      with
+      | Ok (Wire.Binary.Ingest ir') ->
+        Alcotest.(check bool) "ingest request round trips" true (ir' = ir)
+      | Ok _ -> Alcotest.fail "wrong incoming shape"
+      | Error e -> Alcotest.fail e)
+    [
+      { Wire.Binary.source = Wire.Binary.Ingest_doc "d"; query = q_del_prices;
+        chunk_size = 64 };
+      { Wire.Binary.source = Wire.Binary.Ingest_file "/tmp/some file.xml";
+        query = "transform q"; chunk_size = 65536 };
+    ];
+  (* a v1 peer gets a clean error, not a misparse *)
+  (match
+     Wire.Binary.decode_incoming ~version:1
+       (Wire.Binary.encode_ingest_request
+          { Wire.Binary.source = Wire.Binary.Ingest_doc "d"; query = "q"; chunk_size = 64 })
+   with
+  | Error msg ->
+    Alcotest.(check bool) "v1 rejection names the version" true
+      (String.split_on_char ' ' msg |> List.exists (fun w -> w = "version"))
+  | Ok _ -> Alcotest.fail "ingest payloads must be v2-only");
+  (* schema-dropped notices: reason byte 4 round trips and renders *)
+  let n = { Wire.Binary.doc = "d"; reason = Wire.Binary.Schema_dropped; generation = 9 } in
+  (match Wire.Binary.decode_notice (Wire.Binary.encode_notice n) with
+  | Ok n' -> Alcotest.(check bool) "schema-dropped round trips" true (n' = n)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check string) "render: schema-dropped" "NOTICE schema-dropped d generation=9"
+    (Wire.Binary.render_notice n);
+  (* a committed event with the drop flag fans out into two notices *)
+  let ev ~dropped =
+    { Doc_store.name = "d"; root_id = 1; generation = 3; reason = Doc_store.Committed;
+      repair = None; schema = None; schema_dropped = dropped }
+  in
+  (match Wire.Binary.notices_of_event (ev ~dropped:true) with
+  | [ { Wire.Binary.reason = Wire.Binary.Committed; _ };
+      { Wire.Binary.reason = Wire.Binary.Schema_dropped; doc = "d"; generation = 3 } ] -> ()
+  | _ -> Alcotest.fail "drop events must carry the extra schema-dropped notice");
+  match Wire.Binary.notices_of_event (ev ~dropped:false) with
+  | [ { Wire.Binary.reason = Wire.Binary.Committed; _ } ] -> ()
+  | _ -> Alcotest.fail "ordinary commits push exactly one notice"
+
+let test_ingest_over_socket () =
+  with_doc_file (fun doc ->
+      with_server (fun svc sock ->
+          let cli = Client.connect (Addr.Unix_socket sock) in
+          Fun.protect
+            ~finally:(fun () -> Client.close cli)
+            (fun () ->
+              load_over cli doc;
+              let ingest source q =
+                let buf = Buffer.create 256 in
+                match
+                  Client.transform_ingest cli ~source ~query:q ~chunk_size:32
+                    (Buffer.add_string buf)
+                with
+                | Service.Ok (Service.Stream_done { bytes; chunks }) ->
+                  Alcotest.(check int) "byte total" (Buffer.length buf) bytes;
+                  Alcotest.(check bool) "chunked at size 32" true (chunks > 1);
+                  Buffer.contents buf
+                | Service.Ok _ -> Alcotest.fail "expected Stream_done"
+                | Service.Error { message; _ } -> Alcotest.fail message
+              in
+              (* every test query, both source shapes, byte-identical to
+                 the materialized engine answer — including the
+                 qualifier-carrying shape the classifier must bounce to
+                 the fallback path *)
+              List.iter
+                (fun q ->
+                  let expected = reference_answer Core.Engine.Gentop q in
+                  Alcotest.(check string) "doc ingest = materialized" expected
+                    (ingest (Wire.Binary.Ingest_doc "d") q);
+                  Alcotest.(check string) "file ingest = materialized" expected
+                    (ingest (Wire.Binary.Ingest_file doc) q))
+                queries;
+              let m = Service.metrics svc in
+              Alcotest.(check int) "qualifier-free shapes ran fused" 4
+                (Metrics.streams_fused m);
+              Alcotest.(check int) "qualifier shapes fell back, counted" 2
+                (Metrics.stream_fallbacks m);
+              (* unknown document: typed error, no chunks *)
+              (match
+                 Client.transform_ingest cli ~source:(Wire.Binary.Ingest_doc "nope")
+                   ~query:q_del_prices
+                   (fun _ -> Alcotest.fail "no chunks for an unknown document")
+               with
+              | Service.Error { code = Service.Unknown_document; _ } -> ()
+              | _ -> Alcotest.fail "unknown-document code");
+              (* missing file: typed error, no chunks *)
+              match
+                Client.transform_ingest cli
+                  ~source:(Wire.Binary.Ingest_file "/nonexistent/nope.xml")
+                  ~query:q_del_prices
+                  (fun _ -> Alcotest.fail "no chunks for a missing file")
+              with
+              | Service.Error { code = Service.Eval_error; _ } -> ()
+              | _ -> Alcotest.fail "missing-file code")))
+
+(* A v1-framed ingest payload is answered with a clean bad-request
+   naming the version requirement, exactly like v1-framed stream
+   requests. *)
+let test_ingest_v1_rejected () =
+  with_server (fun _svc sock ->
+      let fd = raw_connect sock in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let p =
+            Wire.Binary.encode_ingest_request
+              { Wire.Binary.source = Wire.Binary.Ingest_doc "d"; query = q_del_prices;
+                chunk_size = 64 }
+          in
+          raw_write fd
+            (Bytes.to_string
+               (Wire.Binary.encode_header
+                  { Wire.Binary.version = 1; kind = Wire.Binary.Request; id = 31L;
+                    length = String.length p })
+            ^ p);
+          let hdr = Bytes.create Wire.Binary.header_size in
+          let rec read_exact b off len =
+            if len > 0 then begin
+              let n = Unix.read fd b off len in
+              if n > 0 then read_exact b (off + n) (len - n)
+            end
+          in
+          read_exact hdr 0 Wire.Binary.header_size;
+          match Wire.Binary.decode_header hdr with
+          | Ok { Wire.Binary.version = 1; id = 31L; length; _ } -> begin
+            let pl = Bytes.create length in
+            read_exact pl 0 length;
+            match Wire.Binary.decode_response (Bytes.unsafe_to_string pl) with
+            | Ok (Service.Error { code = Service.Bad_request; message }) ->
+              Alcotest.(check bool) "names the version requirement" true
+                (String.split_on_char ' ' message |> List.exists (fun w -> w = "version"))
+            | _ -> Alcotest.fail "v1-framed ingest must answer bad-request"
+          end
+          | _ -> Alcotest.fail "rejection must echo a v1 response header"))
+
+(* Malformed input failing MID-parse, over the real socket: the fused
+   pipeline has already shipped chunks when the parser trips, so the
+   client sees partial output then a STREAM_ERROR — and the connection
+   stays usable. *)
+let test_ingest_malformed_midparse () =
+  with_server (fun _svc sock ->
+      let bad = Filename.temp_file "xut_transport_bad" ".xml" in
+      Out_channel.with_open_bin bad (fun oc ->
+          Out_channel.output_string oc "<site><open>";
+          for _ = 1 to 2000 do
+            Out_channel.output_string oc "<b>x</b>"
+          done;
+          Out_channel.output_string oc "</mismatch></site>");
+      Fun.protect
+        ~finally:(fun () -> Sys.remove bad)
+        (fun () ->
+          let cli = Client.connect (Addr.Unix_socket sock) in
+          Fun.protect
+            ~finally:(fun () -> Client.close cli)
+            (fun () ->
+              let got = ref 0 in
+              (match
+                 Client.transform_ingest cli ~source:(Wire.Binary.Ingest_file bad)
+                   ~query:q_del_prices ~chunk_size:64
+                   (fun chunk -> got := !got + String.length chunk)
+               with
+              | Service.Error { code = Service.Eval_error; message } ->
+                Alcotest.(check bool) "chunks flowed before the parse error" true (!got > 0);
+                Alcotest.(check bool) "the error names the parse position" true
+                  (String.split_on_char ' ' message |> List.exists (fun w -> w = "parse"))
+              | _ -> Alcotest.fail "mid-parse failure must surface as a stream error");
+              (* the connection survived: frames are still aligned *)
+              match Client.call cli Service.Stats with
+              | Service.Ok (Service.Stats_dump _) -> ()
+              | _ -> Alcotest.fail "the connection must stay usable after the error")))
+
+(* A nonconforming COMMIT drops the schema binding loudly: subscribed
+   clients get the committed notice plus the schema-dropped one. *)
+let test_schema_drop_notice () =
+  Xut_xmark.Site_schema.register ();
+  let doc = Filename.temp_file "xut_transport_xmark" ".xml" in
+  Xut_xmark.Generator.to_file ~factor:0.001 doc;
+  Fun.protect
+    ~finally:(fun () -> Sys.remove doc)
+    (fun () ->
+      with_server (fun svc sock ->
+          let notices = ref [] in
+          let sub =
+            Client.connect ~on_notice:(fun n -> notices := n :: !notices)
+              (Addr.Unix_socket sock)
+          in
+          Fun.protect
+            ~finally:(fun () -> Client.close sub)
+            (fun () ->
+              (match
+                 Client.call sub (Service.Load { name = "d"; file = doc; schema = Some "xmark" })
+               with
+              | Service.Ok (Service.Doc_loaded { schema = Some "xmark"; _ }) -> ()
+              | _ -> Alcotest.fail "LOAD ... SCHEMA over the socket");
+              (match
+                 Client.call sub
+                   (Service.Commit { doc = "d"; query = "insert <bogus>1</bogus> into $a/site" })
+               with
+              | Service.Ok (Service.Committed _) -> ()
+              | _ -> Alcotest.fail "the nonconforming COMMIT itself must succeed");
+              (match Client.call sub Service.Stats with
+              | Service.Ok (Service.Stats_dump dump) ->
+                Alcotest.(check bool) "counter in STATS" true
+                  (String.split_on_char '\n' dump
+                  |> List.exists (fun l -> l = "schema_bindings_dropped 1"))
+              | _ -> Alcotest.fail "STATS after the commit");
+              (match List.rev !notices with
+              | [ { Wire.Binary.reason = Wire.Binary.Committed; doc = "d"; _ };
+                  { Wire.Binary.reason = Wire.Binary.Schema_dropped; doc = "d"; _ } ] -> ()
+              | l ->
+                Alcotest.fail
+                  (Printf.sprintf "expected [committed; schema-dropped], got %d: %s"
+                     (List.length l)
+                     (String.concat "; " (List.map Wire.Binary.render_notice l))));
+              Alcotest.(check int) "metrics count the drop" 1
+                (Metrics.schema_bindings_dropped (Service.metrics svc));
+              match Doc_store.info (Service.store svc) "d" with
+              | Some { Doc_store.schema = None; _ } -> ()
+              | _ -> Alcotest.fail "the binding must have lost its schema")))
+
+(* The desync fix: a timeout at a frame boundary is survivable, a
+   timeout after partial frame progress is not — the client must close
+   the connection and fail fast instead of misparsing leftover bytes. *)
+let test_client_dead_after_midframe_timeout () =
+  let path = Filename.temp_file "xut_transport_test" ".sock" in
+  Sys.remove path;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX path);
+  Unix.listen listen_fd 1;
+  let server =
+    Thread.create
+      (fun () ->
+        let fd, _ = Unix.accept listen_fd in
+        let hdr = Bytes.create Wire.Binary.header_size in
+        let rec read_exact b off len =
+          if len > 0 then begin
+            let n = Unix.read fd b off len in
+            if n > 0 then read_exact b (off + n) (len - n)
+          end
+        in
+        let eat_request () =
+          read_exact hdr 0 Wire.Binary.header_size;
+          match Wire.Binary.decode_header hdr with
+          | Ok { Wire.Binary.length; _ } ->
+            let p = Bytes.create length in
+            read_exact p 0 length
+          | Error _ -> ()
+        in
+        (* requests 1 and 2: no response at all (boundary timeouts) *)
+        eat_request ();
+        eat_request ();
+        (* request 3: half a header, then silence (mid-frame timeout) *)
+        eat_request ();
+        ignore (Unix.write fd (Bytes.make 8 '\000') 0 8);
+        Thread.delay 1.0;
+        (try Unix.close fd with Unix.Unix_error _ -> ()))
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Thread.join server;
+      Unix.close listen_fd;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let cli = Client.connect ~timeout:0.25 (Addr.Unix_socket path) in
+      let expect_timeout label =
+        match Client.call cli Service.Stats with
+        | exception Client.Transport_error msg ->
+          Alcotest.(check bool) (label ^ ": a boundary timeout, not a dead connection")
+            false
+            (String.split_on_char ' ' msg |> List.exists (fun w -> w = "dead"))
+        | _ -> Alcotest.fail (label ^ ": the server never answers")
+      in
+      (* boundary timeouts leave the connection usable: the second call
+         still reaches the wire instead of failing fast *)
+      expect_timeout "call 1";
+      expect_timeout "call 2";
+      (* the third read strands mid-header: the client must kill the
+         connection rather than leave 8 stale bytes in the stream *)
+      (match Client.call cli Service.Stats with
+      | exception Client.Transport_error msg ->
+        Alcotest.(check bool) "mid-frame timeout names the desync" true
+          (String.split_on_char ' ' msg |> List.exists (fun w -> w = "mid-frame:"))
+      | _ -> Alcotest.fail "the half-written frame must not parse");
+      (* every further operation fails fast, before touching the wire *)
+      (match Client.call cli Service.Stats with
+      | exception Client.Transport_error msg ->
+        Alcotest.(check bool) "dead connections fail fast" true
+          (String.split_on_char ' ' msg |> List.exists (fun w -> w = "dead"))
+      | _ -> Alcotest.fail "a dead connection must not accept requests");
+      (* close after kill is a no-op, not a double-close *)
+      Client.close cli)
+
 let suite =
   [
     Alcotest.test_case "wire: line protocol" `Quick test_line_protocol;
@@ -1199,4 +1526,15 @@ let suite =
     Alcotest.test_case "socket: mid-stream error frame" `Quick test_mid_stream_error;
     Alcotest.test_case "tcp: round trip on an ephemeral port" `Quick test_tcp_roundtrip;
     Alcotest.test_case "socket: DEFVIEW and view queries" `Quick test_views_over_socket;
+    Alcotest.test_case "wire: ingest codecs (line + binary + notices)" `Quick
+      test_ingest_codec;
+    Alcotest.test_case "socket: streamed ingest reassembles" `Quick test_ingest_over_socket;
+    Alcotest.test_case "socket: v1-framed ingest rejected cleanly" `Quick
+      test_ingest_v1_rejected;
+    Alcotest.test_case "socket: malformed input mid-parse" `Quick
+      test_ingest_malformed_midparse;
+    Alcotest.test_case "socket: schema-dropped notice on commit" `Quick
+      test_schema_drop_notice;
+    Alcotest.test_case "client: dead after mid-frame timeout" `Quick
+      test_client_dead_after_midframe_timeout;
   ]
